@@ -1,0 +1,68 @@
+"""Ablation: the co-prime permutation vs naive neighbour pairing.
+
+Sec. 4.1 motivates the modular permutation by (a) its negligible
+per-thread cost and (b) avoiding the ``n -> n+1`` mapping prior work
+found ineffective.  This benchmark measures both claims:
+
+* throughput of the permutation function itself (it's a multiply and a
+  modulo per thread);
+* *pairing diversity*: how varied the thread-distance between the two
+  halves of each test instance is — neighbour pairing always
+  communicates across distance 1 (same warp/workgroup), while the
+  co-prime permutation spreads communication across the whole grid.
+"""
+
+import statistics
+
+from repro.env import (
+    ParallelPermutation,
+    assign_instances,
+    coprime_to,
+    naive_neighbor_assignment,
+)
+
+
+def pairing_distances(partners):
+    size = len(partners)
+    return [
+        min((partner - thread) % size, (thread - partner) % size)
+        for thread, partner in enumerate(partners)
+    ]
+
+
+def test_permutation_throughput_and_diversity(benchmark):
+    size = 262_144
+    factor = coprime_to(size, 419)
+    permutation = ParallelPermutation(size, factor)
+
+    def permute_all():
+        return [permutation(value) for value in range(4096)]
+
+    benchmark(permute_all)
+
+    coprime_partners = [
+        assignment.roles[1]
+        for assignment in assign_instances(4096, factor=419)
+    ]
+    naive_partners = naive_neighbor_assignment(4096)
+
+    coprime_distances = pairing_distances(coprime_partners)
+    naive_distances = pairing_distances(naive_partners)
+
+    coprime_spread = statistics.pstdev(coprime_distances)
+    naive_spread = statistics.pstdev(naive_distances)
+    print(
+        f"\npairing distance: naive mean="
+        f"{statistics.mean(naive_distances):.1f} (spread "
+        f"{naive_spread:.1f}); co-prime mean="
+        f"{statistics.mean(coprime_distances):.1f} (spread "
+        f"{coprime_spread:.1f})"
+    )
+
+    # Neighbour pairing always talks to the thread next door.
+    assert set(naive_distances) == {1}
+    # The co-prime permutation spreads communication widely.
+    assert statistics.mean(coprime_distances) > 100
+    assert coprime_spread > 100
+    # And it is still a bijection covering every instance role.
+    assert sorted(coprime_partners) == list(range(4096))

@@ -1,0 +1,59 @@
+"""Ablation: what makes PTE fast? (DESIGN.md design-choice index)
+
+Separates PTE's two ingredients using the paper-scale tuning results:
+
+* **parallelism alone** (PTE-baseline vs SITE-baseline): dispatch
+  amortisation plus contention;
+* **stress alone** (SITE vs SITE-baseline): tuned single-instance
+  stress;
+* **their combination** (PTE vs everything else): the paper's +43%
+  stress synergy on top of parallelism.
+"""
+
+from repro import EnvironmentKind
+from repro.analysis import ascii_table, score_cell
+
+
+def _metrics(result, suite):
+    cell = score_cell(result, suite)
+    return cell.mutation_score, cell.average_death_rate
+
+
+def test_ablation_parallelism_vs_stress(benchmark, tuning_results, suite):
+    def collect():
+        return {
+            kind: _metrics(result, suite)
+            for kind, result in tuning_results.items()
+        }
+
+    metrics = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    rows = [
+        [kind.value, f"{score:.3f}", f"{rate:,.1f}"]
+        for kind, (score, rate) in metrics.items()
+    ]
+    print(
+        "\n"
+        + ascii_table(
+            ["Environment", "Mutation score", "Avg death rate (/s)"],
+            rows,
+            title="Ablation: parallelism x stress",
+        )
+    )
+
+    site_baseline = metrics[EnvironmentKind.SITE_BASELINE]
+    site = metrics[EnvironmentKind.SITE]
+    pte_baseline = metrics[EnvironmentKind.PTE_BASELINE]
+    pte = metrics[EnvironmentKind.PTE]
+
+    # Parallelism alone is the dominant ingredient...
+    assert pte_baseline[0] > site[0]
+    assert pte_baseline[1] > 100 * site[1]
+    # ...stress alone helps single instances...
+    assert site[0] > site_baseline[0]
+    # ...and stress still adds on top of parallelism (the synergy).
+    assert pte[0] >= pte_baseline[0]
+    assert pte[1] > pte_baseline[1]
+    synergy = pte[1] / pte_baseline[1] - 1
+    print(f"stress synergy on top of parallelism: +{synergy * 100:.0f}% "
+          f"(paper: +43%)")

@@ -1,0 +1,59 @@
+"""Ablation: random tuning (the paper's strategy) vs evolutionary search.
+
+Sec. 4.1 tunes by random sampling; this ablation measures what a
+smarter search buys under the *same* evaluation budget, using the mean
+mutant death rate across a hard slice of the suite (the weakening-sw
+mutants on AMD, where stress quality matters most).
+"""
+
+from repro.env import EnvironmentKind, Runner
+from repro.env.search import (
+    EvolutionarySearch,
+    RandomSearch,
+    mean_rate_objective,
+)
+from repro.gpu import make_device
+from repro.mutation import MutatorKind, default_suite
+
+BUDGET = 40
+
+
+def test_search_strategies(benchmark):
+    suite = default_suite()
+    tests = [
+        mutant
+        for pair in suite.by_mutator(MutatorKind.WEAKENING_SW)
+        for mutant in pair.mutants
+    ][:6]
+    objective = mean_rate_objective(
+        [make_device("amd")],
+        tests,
+        runner=Runner(iterations_override=50),
+    )
+
+    def run_both():
+        random_result = RandomSearch(EnvironmentKind.PTE, seed=11).run(
+            objective, budget=BUDGET
+        )
+        evolved_result = EvolutionarySearch(
+            EnvironmentKind.PTE, seed=11, population=8, survivors=3
+        ).run(objective, budget=BUDGET)
+        return random_result, evolved_result
+
+    random_result, evolved_result = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+
+    print(
+        f"\nbudget={BUDGET} environments; objective = mean death rate "
+        f"over {len(tests)} weakening-sw mutants on AMD"
+    )
+    print(f"random search best:       {random_result.best.score:,.1f}/s")
+    print(f"evolutionary search best: {evolved_result.best.score:,.1f}/s")
+    gain = evolved_result.best.score / max(random_result.best.score, 1e-9)
+    print(f"evolutionary / random: {gain:.2f}x")
+
+    assert random_result.evaluations == BUDGET
+    assert evolved_result.evaluations == BUDGET
+    # Evolution should at least match random search at equal budget.
+    assert evolved_result.best.score >= 0.8 * random_result.best.score

@@ -1,0 +1,58 @@
+"""Figure 5 (b, d, f, h, j): mutant death rates.
+
+Regenerates the rate panels and checks the Sec. 5.2 findings:
+
+* PTE's average mutant death rate is about three orders of magnitude
+  above SITE's (paper: 2731x);
+* the reversing-po-loc mutants die fastest and the weakening-sw
+  mutants slowest;
+* per-device reversing-po-loc rates are ordered NVIDIA > AMD >
+  Intel > M1 (paper: 428K / 58K / 22K / 6.5K per second).
+"""
+
+from repro import EnvironmentKind, figure5
+from repro.analysis import render_figure5_rates
+from repro.mutation import MutatorKind
+
+
+def test_figure5_death_rates(benchmark, tuning_results, suite):
+    figure = benchmark.pedantic(
+        figure5, args=(tuning_results, suite), rounds=1, iterations=1
+    )
+
+    for group in (
+        "combined",
+        MutatorKind.REVERSING_PO_LOC.value,
+        MutatorKind.WEAKENING_PO_LOC.value,
+        MutatorKind.WEAKENING_SW.value,
+    ):
+        print("\n" + render_figure5_rates(figure, group))
+
+    pte_rate = figure.rate(EnvironmentKind.PTE)
+    site_rate = figure.rate(EnvironmentKind.SITE)
+    speedup = pte_rate / site_rate
+    print(f"\nPTE/SITE death-rate ratio: {speedup:,.0f}x (paper: 2731x)")
+    assert speedup > 500  # "three orders of magnitude"
+
+    reversing = MutatorKind.REVERSING_PO_LOC.value
+    weakening_sw = MutatorKind.WEAKENING_SW.value
+    assert figure.rate(EnvironmentKind.PTE, reversing) > figure.rate(
+        EnvironmentKind.PTE, weakening_sw
+    )
+
+    per_device = [
+        figure.rate(EnvironmentKind.PTE, reversing, device)
+        for device in ("NVIDIA", "AMD", "Intel", "M1")
+    ]
+    print(
+        "reversing po-loc PTE rates: "
+        + ", ".join(f"{rate:,.0f}/s" for rate in per_device)
+    )
+    assert per_device == sorted(per_device, reverse=True)
+
+    stress_gain = figure.rate(EnvironmentKind.PTE) / figure.rate(
+        EnvironmentKind.PTE_BASELINE
+    )
+    print(f"PTE stress synergy: +{(stress_gain - 1) * 100:.0f}% "
+          f"(paper: +43%)")
+    assert stress_gain > 1.0

@@ -1,0 +1,53 @@
+"""Figure 5 (a, c, e, g, i): mutation scores.
+
+Regenerates the score panels from the four paper-scale tuning
+experiments and checks the Sec. 5.2 findings:
+
+* PTE's combined mutation score beats SITE's by a wide margin
+  (paper: 83.6% vs 46.1%);
+* stress lifts PTE over PTE-baseline (paper: 72.7% → 83.5%);
+* SITE-baseline observes almost nothing (paper: 6.3%);
+* SITE kills no weakening-po-loc mutants on NVIDIA or M1.
+"""
+
+from repro import EnvironmentKind, figure5
+from repro.analysis import render_figure5_scores
+from repro.mutation import MutatorKind
+
+
+def test_figure5_mutation_scores(benchmark, tuning_results, suite):
+    figure = benchmark.pedantic(
+        figure5, args=(tuning_results, suite), rounds=1, iterations=1
+    )
+
+    for group in (
+        "combined",
+        MutatorKind.REVERSING_PO_LOC.value,
+        MutatorKind.WEAKENING_PO_LOC.value,
+        MutatorKind.WEAKENING_SW.value,
+    ):
+        print("\n" + render_figure5_scores(figure, group))
+
+    pte = figure.score(EnvironmentKind.PTE)
+    site = figure.score(EnvironmentKind.SITE)
+    pte_baseline = figure.score(EnvironmentKind.PTE_BASELINE)
+    site_baseline = figure.score(EnvironmentKind.SITE_BASELINE)
+
+    # Who wins, by roughly what factor (paper: .836/.461/.727/.063).
+    assert pte > site
+    assert pte > pte_baseline
+    assert site > site_baseline
+    assert 0.70 <= pte <= 0.95
+    assert 0.35 <= site <= 0.75
+    assert site_baseline <= 0.20
+
+    # SITE kills no weakening po-loc mutants on NVIDIA/M1 (Fig. 5c).
+    for device in ("NVIDIA", "M1"):
+        assert (
+            figure.score(
+                EnvironmentKind.SITE,
+                MutatorKind.WEAKENING_PO_LOC.value,
+                device,
+            )
+            == 0.0
+        )

@@ -1,0 +1,70 @@
+"""Figure 6: time budgets vs reproducible mutation scores.
+
+Runs the full Algorithm 1 sweep (budgets 2^-10 s .. 2^6 s, targets 95%
+and 99.999%) over the PTE and SITE tuning results and checks the
+Sec. 5.3 findings:
+
+* PTE reaches a high mutation score (paper: 82%) at a 64 s budget with
+  the 99.999% target, roughly double SITE's (paper: 43%);
+* SITE's score collapses to zero at small budgets (paper: zero from
+  1/32 s down);
+* PTE still kills a substantial fraction at 1/1024 s with the 95%
+  target (paper: 36%);
+* PTE matches SITE's best score with a tiny fraction of the budget
+  (paper: 1/4096th).
+"""
+
+from repro import EnvironmentKind, figure6
+from repro.analysis import DEFAULT_BUDGETS, DEFAULT_TARGETS, render_figure6
+
+
+def test_figure6_budget_sweep(benchmark, tuning_results):
+    results = {
+        EnvironmentKind.PTE: tuning_results[EnvironmentKind.PTE],
+        EnvironmentKind.SITE: tuning_results[EnvironmentKind.SITE],
+    }
+    figure = benchmark.pedantic(
+        figure6,
+        args=(results,),
+        kwargs={"budgets": DEFAULT_BUDGETS, "targets": DEFAULT_TARGETS},
+        rounds=1,
+        iterations=1,
+    )
+
+    print("\n" + render_figure6(figure))
+
+    strict = 0.99999
+    floor = 0.95
+    pte_64 = figure.score_at(EnvironmentKind.PTE, strict, 64.0)
+    site_64 = figure.score_at(EnvironmentKind.SITE, strict, 64.0)
+    print(
+        f"\nat 64s, r=99.999%: PTE={pte_64:.2f} vs SITE={site_64:.2f} "
+        f"(paper: 0.82 vs 0.43)"
+    )
+    assert pte_64 > site_64
+    assert pte_64 >= 0.7
+
+    # SITE collapses at tight budgets.
+    assert figure.score_at(EnvironmentKind.SITE, floor, 1.0 / 32) == 0.0
+
+    # PTE is still effective at 1/1024 s (paper: 36%).
+    pte_tiny = figure.score_at(EnvironmentKind.PTE, floor, 1.0 / 1024)
+    print(f"PTE at 1/1024s, r=95%: {pte_tiny:.2f} (paper: 0.36)")
+    assert pte_tiny >= 0.2
+
+    # PTE reaches SITE's maximum score with a far smaller budget.
+    site_best = max(
+        score for _, score in figure.series(EnvironmentKind.SITE, floor)
+    )
+    budgets_reaching = [
+        budget
+        for budget, score in figure.series(EnvironmentKind.PTE, floor)
+        if score >= site_best
+    ]
+    assert budgets_reaching
+    ratio = 64.0 / min(budgets_reaching)
+    print(
+        f"PTE matches SITE's best score ({site_best:.2f}) with "
+        f"1/{ratio:,.0f} of the 64s budget (paper: 1/4096)"
+    )
+    assert ratio >= 256

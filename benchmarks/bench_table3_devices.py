@@ -1,0 +1,31 @@
+"""Table 3: the device roster, and device-model throughput.
+
+Prints the regenerated roster and benchmarks the workload→tuning
+mapping, which sits on every test run's hot path.
+"""
+
+from repro.analysis import render_table3
+from repro.gpu import STUDY_PROFILES, Workload, profile_by_name
+
+
+def test_table3_roster(benchmark):
+    workload = Workload(
+        instances_in_flight=262_144,
+        mem_stress=0.7,
+        pre_stress=0.3,
+        pattern_affinity=0.8,
+        location_spread=0.9,
+    )
+
+    def map_all_profiles():
+        return [profile.tuning(workload) for profile in STUDY_PROFILES]
+
+    tunings = benchmark(map_all_profiles)
+
+    print("\n" + render_table3())
+
+    assert len(tunings) == 4
+    assert [p.short_name for p in STUDY_PROFILES] == [
+        "NVIDIA", "AMD", "Intel", "M1",
+    ]
+    assert [p.compute_units for p in STUDY_PROFILES] == [64, 24, 48, 128]

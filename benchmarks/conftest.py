@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark harness.
+
+The Figure 5 / Figure 6 benchmarks aggregate the same four tuning
+experiments (Sec. 5.1: SITE Baseline, SITE, PTE Baseline, PTE at the
+paper's full scale of 150 random environments); this conftest runs
+them once per session.
+"""
+
+import pytest
+
+from repro import EnvironmentKind, study_devices, tuning_run
+from repro.mutation import default_suite
+
+#: The paper's tuning scale (Sec. 5.1).
+ENVIRONMENT_COUNT = 150
+SEED = 42
+
+
+@pytest.fixture(scope="session")
+def suite():
+    return default_suite()
+
+
+@pytest.fixture(scope="session")
+def devices():
+    return study_devices()
+
+
+@pytest.fixture(scope="session")
+def tuning_results(suite, devices):
+    """The four tuning experiments of Sec. 5.1, at paper scale."""
+    return {
+        kind: tuning_run(
+            kind,
+            devices,
+            suite.mutants,
+            environment_count=ENVIRONMENT_COUNT,
+            seed=SEED,
+        )
+        for kind in EnvironmentKind
+    }

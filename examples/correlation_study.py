@@ -1,0 +1,43 @@
+"""Correlation study: do mutants predict real bugs? (Table 4)
+
+MC Mutants is only valid if killing mutants correlates with finding
+real MCS bugs.  This example reproduces the paper's validation on the
+three historical bugs (Intel CoRR, AMD MP-relacq, NVIDIA Kepler
+MP-CO): each conformance test and its mutants run in many random
+parallel environments on the (simulated) buggy device, and the kill
+counts are correlated across environments.
+
+Run:  python examples/correlation_study.py [env_count]
+"""
+
+import sys
+
+from repro import render_table4, table4
+from repro.analysis import TABLE4_CASES
+
+
+def main() -> None:
+    environment_count = int(sys.argv[1]) if len(sys.argv) > 1 else 80
+    print(
+        f"Running each bug's conformance test and mutants in "
+        f"{environment_count} random PTEs x 100 iterations ..."
+    )
+    rows = table4(environment_count=environment_count, seed=0)
+    print("\n" + render_table4(rows))
+    print("\nPer-mutant detail:")
+    for row, case in zip(rows, TABLE4_CASES):
+        print(f"\n  {row.vendor} ({case.device_name}, {row.failed_test}):")
+        for mutant_name, correlation in sorted(row.per_mutant.items()):
+            marker = " <= reported" if mutant_name == row.best_mutant else ""
+            print(
+                f"    {mutant_name:28s} {correlation.describe()}{marker}"
+            )
+    print(
+        "\nEvery reported PCC is very strong (> .8): environments that "
+        "kill mutants\nare the environments that find bugs — the "
+        "validity argument of Sec. 5.4."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""CTS curation: from tuning data to a shippable conformance suite.
+
+Reproduces the Sec. 4.2 / 5.3 workflow that got MCS tests into the
+official WebGPU CTS:
+
+1. tune parallel environments across the four study devices;
+2. run Algorithm 1 per mutant to pick one environment each;
+3. explore the budget/confidence trade-off (the Fig. 6 sweep);
+4. emit the final CTS plan — one environment and one budget per test —
+   with its total reproducibility accounting.
+
+Run:  python examples/cts_curation.py
+"""
+
+from repro import (
+    EnvironmentKind,
+    TARGET_MAX,
+    build_suite,
+    curate,
+    figure6,
+    render_figure6,
+    study_devices,
+    total_reproducibility,
+    tuning_run,
+)
+
+
+def main() -> None:
+    suite = build_suite()
+    devices = study_devices()
+    print(
+        f"Tuning {len(suite.mutants)} mutants on "
+        f"{', '.join(d.name for d in devices)} ..."
+    )
+    result = tuning_run(
+        EnvironmentKind.PTE,
+        devices,
+        suite.mutants,
+        environment_count=60,
+        seed=42,
+    )
+
+    # The Fig. 6 sweep at a handful of budgets.
+    sweep = figure6(
+        {EnvironmentKind.PTE: result},
+        budgets=(1.0 / 64, 1.0, 4.0, 64.0),
+        targets=(0.95, TARGET_MAX),
+    )
+    print("\n" + render_figure6(sweep))
+
+    # The paper's recommended operating point: 99.999% per test.
+    budget = 4.0
+    plan = curate(suite, result, TARGET_MAX, budget_seconds=budget)
+    print("\n" + plan.describe())
+
+    print("\n--- confidence accounting (Sec. 4.2) ---")
+    print(
+        f"A 95% per-test target over 20 tests gives total "
+        f"reproducibility {total_reproducibility(0.95, 20):.1%} — "
+        f"a flaky CTS."
+    )
+    print(
+        f"The {TARGET_MAX:%} target gives "
+        f"{total_reproducibility(TARGET_MAX, 20):.2%}."
+    )
+    for device in devices:
+        print(
+            f"This plan on {device.name:7s}: total reproducibility "
+            f"{plan.total_reproducibility(device.name):.4f} in "
+            f"{plan.total_budget_seconds:g}s of testing"
+        )
+
+
+if __name__ == "__main__":
+    main()

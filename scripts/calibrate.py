@@ -1,0 +1,85 @@
+"""Calibration harness: prints Fig. 5-shaped metrics for constant tuning.
+
+Not part of the library; run as ``python scripts/calibrate.py``.
+"""
+
+import time
+
+from repro.env import EnvironmentKind, tuning_run
+from repro.gpu import study_devices
+from repro.mutation import MutatorKind, default_suite
+
+suite = default_suite()
+devices = study_devices()
+mutants = suite.mutants
+by_mutator = {
+    kind: [m.name for p in suite.by_mutator(kind) for m in p.mutants]
+    for kind in MutatorKind
+}
+
+t0 = time.time()
+results = {}
+for kind in EnvironmentKind:
+    results[kind] = tuning_run(
+        kind, devices, mutants, environment_count=150, seed=1
+    )
+print(f"tuning: {time.time()-t0:.1f}s")
+
+
+def score(result, names, device):
+    return sum(result.killed(n, device.name) for n in names) / len(names)
+
+
+def avg_rate(result, names, device):
+    rates = [result.best_rate(n, device.name) for n in names]
+    return sum(rates) / len(rates)
+
+
+print("\n=== mutation scores (rows: env kind; cols: device) ===")
+for kind, result in results.items():
+    row = [f"{score(result, [m.name for m in mutants], d):5.2f}" for d in devices]
+    total = sum(
+        result.killed(m.name, d.name) for m in mutants for d in devices
+    ) / (len(mutants) * len(devices))
+    print(f"{kind.value:14s} " + " ".join(row) + f"  | all={total:.3f}")
+
+print("\n=== per-mutator scores, SITE vs PTE ===")
+for mk, names in by_mutator.items():
+    for kind in (EnvironmentKind.SITE, EnvironmentKind.PTE):
+        row = [f"{score(results[kind], names, d):5.2f}" for d in devices]
+        print(f"{mk.value:18s} {kind.value:4s} " + " ".join(row))
+
+print("\n=== avg max death rates (kills/s) ===")
+for kind, result in results.items():
+    row = [f"{avg_rate(result, [m.name for m in mutants], d):12,.1f}" for d in devices]
+    print(f"{kind.value:14s} " + " ".join(row))
+
+print("\n=== reversing-po-loc PTE rates per device (paper: NVIDIA max, M1 min) ===")
+names = by_mutator[MutatorKind.REVERSING_PO_LOC]
+for d in devices:
+    print(f"  {d.name:8s} {avg_rate(results[EnvironmentKind.PTE], names, d):12,.1f}")
+
+print("\n=== per-mutator PTE rates (paper: rev >> weak-poloc > sw) ===")
+for mk, names in by_mutator.items():
+    overall = sum(avg_rate(results[EnvironmentKind.PTE], names, d) for d in devices) / 4
+    print(f"  {mk.value:18s} {overall:12,.1f}")
+
+site = results[EnvironmentKind.SITE]
+pte = results[EnvironmentKind.PTE]
+pteb = results[EnvironmentKind.PTE_BASELINE]
+all_names = [m.name for m in mutants]
+site_rate = sum(avg_rate(site, all_names, d) for d in devices) / 4
+pte_rate = sum(avg_rate(pte, all_names, d) for d in devices) / 4
+pteb_rate = sum(avg_rate(pteb, all_names, d) for d in devices) / 4
+print(f"\nPTE/SITE rate ratio: {pte_rate/site_rate:,.0f}x  (paper: 2731x)")
+print(f"PTE vs PTE-baseline rate: +{(pte_rate/pteb_rate-1)*100:.0f}%  (paper: +43%)")
+print("\nSITE weakening-poloc kills on NVIDIA/M1 (paper: zero):")
+for d in devices:
+    if d.name in ("NVIDIA", "M1"):
+        names = by_mutator[MutatorKind.WEAKENING_PO_LOC]
+        print(f"  {d.name}: {sum(site.killed(n, d.name) for n in names)}")
+print("\nIntel SITE vs PTE score (paper: SITE wins):")
+print(
+    f"  SITE {score(site, all_names, devices[2]):.2f} "
+    f"vs PTE {score(pte, all_names, devices[2]):.2f}"
+)

@@ -1,0 +1,103 @@
+"""Evaluation analysis: statistics, scores, figures, tables, reports.
+
+Everything Sec. 5 of the paper computes from raw runs: mutation scores
+and death rates (Fig. 5), budget/confidence curves (Fig. 6), the bug
+correlation study (Table 4), Pearson/t-test statistics, plain-text
+rendering, and JSON persistence of tuning results.
+"""
+
+from repro.analysis.compare import (
+    ChangeKind,
+    ComparisonReport,
+    RateChange,
+    compare_results,
+)
+from repro.analysis.correlation import (
+    BugCase,
+    CorrelationRow,
+    TABLE4_CASES,
+    correlation_row,
+    table4,
+)
+from repro.analysis.figures import (
+    DEFAULT_BUDGETS,
+    DEFAULT_TARGETS,
+    Figure5,
+    Figure6,
+    Figure6Point,
+    figure5,
+    figure6,
+)
+from repro.analysis.mutation_score import ScoreCell, score_cell, score_matrix
+from repro.analysis.report import (
+    ascii_table,
+    render_figure5_rates,
+    render_figure5_scores,
+    render_figure6,
+    render_table2,
+    render_table3,
+    render_table4,
+)
+from repro.analysis.serialize import (
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
+from repro.analysis.uncertainty import (
+    Interval,
+    poisson_rate_interval,
+    rate_ratio_test,
+    rates_differ,
+    wilson_interval,
+)
+from repro.analysis.stats import (
+    CorrelationResult,
+    correlate,
+    correlation_p_value,
+    correlation_t_statistic,
+    pearson_correlation,
+)
+
+__all__ = [
+    "BugCase",
+    "ChangeKind",
+    "ComparisonReport",
+    "Interval",
+    "RateChange",
+    "compare_results",
+    "CorrelationResult",
+    "CorrelationRow",
+    "DEFAULT_BUDGETS",
+    "DEFAULT_TARGETS",
+    "Figure5",
+    "Figure6",
+    "Figure6Point",
+    "ScoreCell",
+    "TABLE4_CASES",
+    "ascii_table",
+    "correlate",
+    "correlation_p_value",
+    "correlation_row",
+    "correlation_t_statistic",
+    "figure5",
+    "figure6",
+    "load_result",
+    "pearson_correlation",
+    "poisson_rate_interval",
+    "rate_ratio_test",
+    "rates_differ",
+    "render_figure5_rates",
+    "render_figure5_scores",
+    "render_figure6",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+    "result_from_dict",
+    "result_to_dict",
+    "save_result",
+    "score_cell",
+    "score_matrix",
+    "table4",
+    "wilson_interval",
+]

@@ -1,0 +1,145 @@
+"""Comparing tuning results: driver-regression detection.
+
+The WebGPU CTS runs the curated MCS tests on every driver roll; the
+question a maintainer asks is "did this device's mutant death rates
+*drop*?" — a drop means the testing environment lost power (or the
+implementation changed behaviour) and the suite's confidence budget no
+longer holds.  This module compares two tuning results run with the
+same environments and flags statistically significant changes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.uncertainty import rate_ratio_test
+from repro.env.tuning import TuningResult
+from repro.errors import AnalysisError
+
+
+class ChangeKind(enum.Enum):
+    REGRESSION = "regression"  # rate dropped
+    IMPROVEMENT = "improvement"  # rate rose
+    APPEARED = "appeared"  # behaviour newly observable
+    VANISHED = "vanished"  # behaviour no longer observed
+
+
+@dataclass(frozen=True)
+class RateChange:
+    """One significant per-(test, device) change between two runs."""
+
+    test_name: str
+    device_name: str
+    kind: ChangeKind
+    baseline_rate: float
+    current_rate: float
+    p_value: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.kind.value}: {self.test_name} on {self.device_name} "
+            f"{self.baseline_rate:,.2f}/s -> {self.current_rate:,.2f}/s "
+            f"(p={self.p_value:.2e})"
+        )
+
+
+@dataclass(frozen=True)
+class ComparisonReport:
+    """All significant changes between a baseline and a current run."""
+
+    changes: Tuple[RateChange, ...]
+    pairs_compared: int
+
+    @property
+    def regressions(self) -> List[RateChange]:
+        return [
+            change
+            for change in self.changes
+            if change.kind in (ChangeKind.REGRESSION, ChangeKind.VANISHED)
+        ]
+
+    @property
+    def clean(self) -> bool:
+        return not self.regressions
+
+    def describe(self) -> str:
+        if not self.changes:
+            return (
+                f"no significant changes across {self.pairs_compared} "
+                f"(test, device) pairs"
+            )
+        lines = [
+            f"{len(self.changes)} significant change(s) across "
+            f"{self.pairs_compared} pairs:"
+        ]
+        lines.extend(f"  {change.describe()}" for change in self.changes)
+        return "\n".join(lines)
+
+
+def _aggregate(
+    result: TuningResult,
+) -> Dict[Tuple[str, str], Tuple[int, float]]:
+    """Total (kills, seconds) per (test, device) across environments."""
+    totals: Dict[Tuple[str, str], Tuple[int, float]] = {}
+    for run in result.runs:
+        key = (run.test_name, run.device_name)
+        kills, seconds = totals.get(key, (0, 0.0))
+        totals[key] = (kills + run.kills, seconds + run.seconds)
+    return totals
+
+
+def compare_results(
+    baseline: TuningResult,
+    current: TuningResult,
+    significance: float = 0.001,
+) -> ComparisonReport:
+    """Flag significant rate changes between two tuning results.
+
+    Both results should cover the same tests and devices (typically the
+    same environments re-run against a new driver/build); pairs missing
+    from either side are ignored.
+    """
+    if not 0.0 < significance < 1.0:
+        raise AnalysisError("significance must be in (0, 1)")
+    baseline_totals = _aggregate(baseline)
+    current_totals = _aggregate(current)
+    shared = sorted(set(baseline_totals) & set(current_totals))
+    if not shared:
+        raise AnalysisError("the results share no (test, device) pairs")
+    changes: List[RateChange] = []
+    for key in shared:
+        kills_a, seconds_a = baseline_totals[key]
+        kills_b, seconds_b = current_totals[key]
+        if seconds_a <= 0.0 or seconds_b <= 0.0:
+            continue
+        rate_a = kills_a / seconds_a
+        rate_b = kills_b / seconds_b
+        kind: Optional[ChangeKind] = None
+        if kills_a == 0 and kills_b == 0:
+            continue
+        p_value = rate_ratio_test(kills_a, seconds_a, kills_b, seconds_b)
+        if p_value >= significance:
+            continue
+        if kills_a == 0:
+            kind = ChangeKind.APPEARED
+        elif kills_b == 0:
+            kind = ChangeKind.VANISHED
+        elif rate_b < rate_a:
+            kind = ChangeKind.REGRESSION
+        else:
+            kind = ChangeKind.IMPROVEMENT
+        changes.append(
+            RateChange(
+                test_name=key[0],
+                device_name=key[1],
+                kind=kind,
+                baseline_rate=rate_a,
+                current_rate=rate_b,
+                p_value=p_value,
+            )
+        )
+    return ComparisonReport(
+        changes=tuple(changes), pairs_compared=len(shared)
+    )

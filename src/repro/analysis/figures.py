@@ -1,0 +1,180 @@
+"""Data builders for Figure 5 and Figure 6.
+
+These functions regenerate the paper's evaluation figures as plain
+data structures (with ``rows()`` renderings for the benchmark
+harness); no plotting dependency is required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.mutation_score import ScoreCell, score_matrix
+from repro.confidence.merge import merge_suite, reproducible_pairs
+from repro.env.environment import EnvironmentKind
+from repro.env.tuning import TuningResult
+from repro.errors import AnalysisError
+from repro.mutation.suite import MutationSuite
+
+
+@dataclass(frozen=True)
+class Figure5:
+    """Mutation scores and death rates (all ten panels of Fig. 5).
+
+    ``cells[kind][group][device]`` where group is a mutator title or
+    ``"combined"`` and device is a short name or ``"all"``.
+    """
+
+    cells: Mapping[EnvironmentKind, Mapping[str, Mapping[str, ScoreCell]]]
+
+    def score(
+        self, kind: EnvironmentKind, group: str = "combined",
+        device: str = "all",
+    ) -> float:
+        return self.cells[kind][group][device].mutation_score
+
+    def rate(
+        self, kind: EnvironmentKind, group: str = "combined",
+        device: str = "all",
+    ) -> float:
+        return self.cells[kind][group][device].average_death_rate
+
+    def devices(self) -> List[str]:
+        any_kind = next(iter(self.cells.values()))
+        names = list(next(iter(any_kind.values())))
+        return [name for name in names if name != "all"]
+
+    def score_rows(self, group: str = "combined") -> List[List[str]]:
+        """Printable rows: one per environment kind."""
+        devices = self.devices()
+        rows = []
+        for kind in self.cells:
+            cells = self.cells[kind][group]
+            rows.append(
+                [kind.value]
+                + [f"{cells[d].mutation_score:.3f}" for d in devices]
+                + [f"{cells['all'].mutation_score:.3f}"]
+            )
+        return rows
+
+    def rate_rows(self, group: str = "combined") -> List[List[str]]:
+        devices = self.devices()
+        rows = []
+        for kind in self.cells:
+            cells = self.cells[kind][group]
+            rows.append(
+                [kind.value]
+                + [f"{cells[d].average_death_rate:,.1f}" for d in devices]
+                + [f"{cells['all'].average_death_rate:,.1f}"]
+            )
+        return rows
+
+
+def figure5(
+    results: Mapping[EnvironmentKind, TuningResult],
+    suite: MutationSuite,
+) -> Figure5:
+    """Aggregate the four tuning experiments into Fig. 5's panels."""
+    if not results:
+        raise AnalysisError("no tuning results supplied")
+    cells: Dict[EnvironmentKind, Dict[str, Dict[str, ScoreCell]]] = {}
+    for kind, result in results.items():
+        cells[kind] = score_matrix(result, suite)
+    return Figure5(cells=cells)
+
+
+#: The budget sweep of Fig. 6: powers of two from 1/1024 s to 64 s.
+DEFAULT_BUDGETS: Tuple[float, ...] = tuple(
+    2.0 ** exponent for exponent in range(-10, 7)
+)
+
+#: The two reproducibility targets of Fig. 6.
+DEFAULT_TARGETS: Tuple[float, ...] = (0.95, 0.99999)
+
+
+@dataclass(frozen=True)
+class Figure6Point:
+    kind: EnvironmentKind
+    target: float
+    budget_seconds: float
+    mutation_score: float
+
+
+@dataclass(frozen=True)
+class Figure6:
+    """Mutation score vs. time budget per reproducibility target."""
+
+    points: Tuple[Figure6Point, ...]
+
+    def series(
+        self, kind: EnvironmentKind, target: float
+    ) -> List[Tuple[float, float]]:
+        return [
+            (point.budget_seconds, point.mutation_score)
+            for point in self.points
+            if point.kind is kind and point.target == target
+        ]
+
+    def score_at(
+        self, kind: EnvironmentKind, target: float, budget_seconds: float
+    ) -> float:
+        for point in self.points:
+            if (
+                point.kind is kind
+                and point.target == target
+                and point.budget_seconds == budget_seconds
+            ):
+                return point.mutation_score
+        raise AnalysisError(
+            f"no Fig. 6 point for {kind.value}, r={target}, "
+            f"b={budget_seconds}"
+        )
+
+    def rows(self) -> List[List[str]]:
+        rows = []
+        for point in self.points:
+            rows.append(
+                [
+                    point.kind.value,
+                    f"{point.target:.5f}",
+                    f"{point.budget_seconds:g}",
+                    f"{point.mutation_score:.3f}",
+                ]
+            )
+        return rows
+
+
+def figure6(
+    results: Mapping[EnvironmentKind, TuningResult],
+    budgets: Sequence[float] = DEFAULT_BUDGETS,
+    targets: Sequence[float] = DEFAULT_TARGETS,
+    test_names: Optional[Sequence[str]] = None,
+) -> Figure6:
+    """Reproduce Fig. 6: merged-environment scores across budgets.
+
+    For each (environment kind, target, budget), Algorithm 1 picks one
+    environment per mutant; the score counts (mutant, device) pairs
+    whose chosen environment sustains the ceiling rate.
+    """
+    points: List[Figure6Point] = []
+    for kind, result in results.items():
+        names = (
+            list(test_names) if test_names is not None else result.test_names
+        )
+        device_count = len(result.device_names)
+        for target in targets:
+            for budget in budgets:
+                decisions = merge_suite(result, names, target, budget)
+                score = reproducible_pairs(
+                    decisions, target, budget, device_count
+                )
+                points.append(
+                    Figure6Point(
+                        kind=kind,
+                        target=target,
+                        budget_seconds=budget,
+                        mutation_score=score,
+                    )
+                )
+    return Figure6(points=tuple(points))

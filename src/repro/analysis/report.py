@@ -1,0 +1,128 @@
+"""Plain-text rendering of tables and figures.
+
+The benchmark harness prints the same rows/series the paper reports;
+this module owns the formatting so benchmarks and examples share it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.analysis.correlation import CorrelationRow
+from repro.analysis.figures import Figure5, Figure6
+from repro.errors import AnalysisError
+from repro.gpu.profiles import DeviceProfile, STUDY_PROFILES
+from repro.mutation.suite import MutationSuite
+
+
+def ascii_table(
+    headers: Sequence[str], rows: Sequence[Sequence[str]], title: str = ""
+) -> str:
+    """A minimal fixed-width table renderer."""
+    if not headers:
+        raise AnalysisError("a table needs headers")
+    for row in rows:
+        if len(row) != len(headers):
+            raise AnalysisError(
+                f"row width {len(row)} does not match "
+                f"{len(headers)} headers"
+            )
+    columns = [list(column) for column in zip(headers, *rows)] if rows else [
+        [header] for header in headers
+    ]
+    widths = [max(len(str(cell)) for cell in column) for column in columns]
+    separator = "-+-".join("-" * width for width in widths)
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(
+            str(cell).ljust(width) for cell, width in zip(cells, widths)
+        )
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(headers))
+    lines.append(separator)
+    lines.extend(render_row(row) for row in rows)
+    return "\n".join(lines)
+
+
+def render_table2(suite: MutationSuite) -> str:
+    """Table 2: conformance test and mutant counts per mutator."""
+    rows = [
+        [kind.value.title(), str(counts[0]), str(counts[1])]
+        for kind, counts in suite.counts().items()
+    ]
+    combined = suite.combined_counts()
+    rows.append(["Combined", str(combined[0]), str(combined[1])])
+    return ascii_table(
+        ["Mutator", "Conformance Tests", "Mutants"],
+        rows,
+        title="Table 2: tests generated per mutator",
+    )
+
+
+def render_table3(
+    profiles: Sequence[DeviceProfile] = STUDY_PROFILES,
+) -> str:
+    """Table 3: the device roster."""
+    rows = [
+        [
+            profile.vendor.value,
+            profile.chip,
+            str(profile.compute_units),
+            profile.device_type.value,
+            profile.short_name,
+        ]
+        for profile in profiles
+    ]
+    return ascii_table(
+        ["Vendor", "Chip", "CUs", "Type", "Short Name"],
+        rows,
+        title="Table 3: devices in the study",
+    )
+
+
+def render_table4(rows: Sequence[CorrelationRow]) -> str:
+    """Table 4: bug ↔ mutant correlation."""
+    body = [
+        [
+            row.vendor,
+            row.failed_test,
+            row.mutant_type,
+            f"{row.pcc:.3f}",
+            f"{row.correlation.p_value:.1e}",
+        ]
+        for row in rows
+    ]
+    return ascii_table(
+        ["Vendor", "Failed Test", "Mutant Type", "PCC", "p-value"],
+        body,
+        title="Table 4: correlation between killing mutants and real bugs",
+    )
+
+
+def render_figure5_scores(figure: Figure5, group: str = "combined") -> str:
+    headers = ["Environment"] + figure.devices() + ["all"]
+    return ascii_table(
+        headers,
+        figure.score_rows(group),
+        title=f"Figure 5 (mutation scores, {group})",
+    )
+
+
+def render_figure5_rates(figure: Figure5, group: str = "combined") -> str:
+    headers = ["Environment"] + figure.devices() + ["all"]
+    return ascii_table(
+        headers,
+        figure.rate_rows(group),
+        title=f"Figure 5 (avg mutant death rates /s, {group})",
+    )
+
+
+def render_figure6(figure: Figure6) -> str:
+    return ascii_table(
+        ["Environment", "Target", "Budget (s)", "Mutation score"],
+        figure.rows(),
+        title="Figure 6: budget vs reproducible mutation score",
+    )

@@ -1,0 +1,103 @@
+"""JSON (de)serialisation of tuning results.
+
+The paper's artifact exchanges tuning statistics as JSON files (one
+per device/preset); this module provides the equivalent for our
+:class:`~repro.env.tuning.TuningResult`, so results can be archived
+and re-analysed without rerunning the experiments.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.env.environment import EnvironmentKind, TestingEnvironment
+from repro.env.parameters import EnvironmentParameters
+from repro.env.runner import TestRun
+from repro.env.tuning import TuningResult
+from repro.errors import AnalysisError, ReproError
+
+FORMAT_VERSION = 1
+
+
+def environment_to_dict(environment: TestingEnvironment) -> Dict[str, Any]:
+    return {
+        "kind": environment.kind.value,
+        "env_key": environment.env_key,
+        "parameters": dataclasses.asdict(environment.parameters),
+    }
+
+
+def environment_from_dict(payload: Dict[str, Any]) -> TestingEnvironment:
+    try:
+        kind = EnvironmentKind(payload["kind"])
+        parameters = EnvironmentParameters(**payload["parameters"])
+        return TestingEnvironment(
+            kind=kind,
+            parameters=parameters,
+            env_key=payload["env_key"],
+        )
+    except (KeyError, TypeError, ValueError, ReproError) as error:
+        raise AnalysisError(f"malformed environment payload: {error}")
+
+
+def run_to_dict(run: TestRun) -> Dict[str, Any]:
+    return {
+        "test": run.test_name,
+        "device": run.device_name,
+        "environment": environment_to_dict(run.environment),
+        "iterations": run.iterations,
+        "instances_per_iteration": run.instances_per_iteration,
+        "kills": run.kills,
+        "seconds": run.seconds,
+    }
+
+
+def run_from_dict(payload: Dict[str, Any]) -> TestRun:
+    try:
+        return TestRun(
+            test_name=payload["test"],
+            device_name=payload["device"],
+            environment=environment_from_dict(payload["environment"]),
+            iterations=payload["iterations"],
+            instances_per_iteration=payload["instances_per_iteration"],
+            kills=payload["kills"],
+            seconds=payload["seconds"],
+        )
+    except KeyError as error:
+        raise AnalysisError(f"malformed run payload: missing {error}")
+
+
+def result_to_dict(result: TuningResult) -> Dict[str, Any]:
+    return {
+        "version": FORMAT_VERSION,
+        "kind": result.kind.value,
+        "runs": [run_to_dict(run) for run in result.runs],
+    }
+
+
+def result_from_dict(payload: Dict[str, Any]) -> TuningResult:
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise AnalysisError(
+            f"unsupported stats format version: {version!r}"
+        )
+    kind = EnvironmentKind(payload["kind"])
+    runs = [run_from_dict(entry) for entry in payload["runs"]]
+    return TuningResult(kind=kind, runs=runs)
+
+
+def save_result(result: TuningResult, path: Union[str, Path]) -> None:
+    """Write a tuning result to a JSON file."""
+    Path(path).write_text(json.dumps(result_to_dict(result), indent=2))
+
+
+def load_result(path: Union[str, Path]) -> TuningResult:
+    """Read a tuning result from a JSON file."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as error:
+        raise AnalysisError(f"invalid JSON in {path}: {error}")
+    return result_from_dict(payload)

@@ -1,0 +1,157 @@
+"""Uncertainty quantification for death rates and scores.
+
+The paper reports point estimates; a conformance-suite maintainer also
+needs error bars: is a rate drop a regression or noise?  This module
+provides the standard machinery:
+
+* Poisson-exact confidence intervals for kill *rates* (a kill count in
+  a known duration is a Poisson observation);
+* Wilson intervals for kill *probabilities* (kills out of instances);
+* a two-sample Poisson rate test used by
+  :mod:`repro.analysis.compare` to flag regressions between runs.
+
+SciPy provides the exact distributions; closed-form normal
+approximations are used as fallback so the library core only depends
+on numpy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from repro.errors import AnalysisError
+
+
+def _chi2_ppf(probability: float, df: float) -> float:
+    from scipy import stats
+
+    return float(stats.chi2.ppf(probability, df))
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A two-sided confidence interval."""
+
+    low: float
+    high: float
+    confidence: float
+
+    def __contains__(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+    def describe(self) -> str:
+        return (
+            f"[{self.low:.4g}, {self.high:.4g}] "
+            f"({self.confidence:.0%} CI)"
+        )
+
+
+def poisson_rate_interval(
+    kills: int, seconds: float, confidence: float = 0.95
+) -> Interval:
+    """Exact (Garwood) confidence interval for a Poisson rate.
+
+    Args:
+        kills: Observed kill count.
+        seconds: Observation duration.
+        confidence: Two-sided coverage.
+    """
+    if kills < 0:
+        raise AnalysisError("kill count must be non-negative")
+    if seconds <= 0.0:
+        raise AnalysisError("duration must be positive")
+    if not 0.0 < confidence < 1.0:
+        raise AnalysisError("confidence must be in (0, 1)")
+    alpha = 1.0 - confidence
+    if kills == 0:
+        low = 0.0
+    else:
+        low = _chi2_ppf(alpha / 2.0, 2.0 * kills) / 2.0
+    high = _chi2_ppf(1.0 - alpha / 2.0, 2.0 * (kills + 1)) / 2.0
+    return Interval(
+        low=low / seconds, high=high / seconds, confidence=confidence
+    )
+
+
+def wilson_interval(
+    successes: int, trials: int, confidence: float = 0.95
+) -> Interval:
+    """Wilson score interval for a binomial proportion."""
+    if trials <= 0:
+        raise AnalysisError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise AnalysisError("successes must be within [0, trials]")
+    if not 0.0 < confidence < 1.0:
+        raise AnalysisError("confidence must be in (0, 1)")
+    z = _normal_ppf(0.5 + confidence / 2.0)
+    proportion = successes / trials
+    denominator = 1.0 + z * z / trials
+    centre = proportion + z * z / (2.0 * trials)
+    margin = z * math.sqrt(
+        proportion * (1.0 - proportion) / trials
+        + z * z / (4.0 * trials * trials)
+    )
+    low = max(0.0, (centre - margin) / denominator)
+    high = min(1.0, (centre + margin) / denominator)
+    # Guard against floating-point shaving the exact boundary cases.
+    if successes == 0:
+        low = 0.0
+    if successes == trials:
+        high = 1.0
+    return Interval(low=low, high=high, confidence=confidence)
+
+
+def _normal_ppf(probability: float) -> float:
+    try:
+        from scipy import stats
+
+        return float(stats.norm.ppf(probability))
+    except ImportError:  # pragma: no cover - scipy is a test dependency
+        # Acklam's rational approximation would go here; the test
+        # environment always has SciPy.
+        raise
+
+
+def rate_ratio_test(
+    kills_a: int,
+    seconds_a: float,
+    kills_b: int,
+    seconds_b: float,
+) -> float:
+    """Two-sided p-value for H0: the two Poisson rates are equal.
+
+    Uses the conditional binomial test: given ``kills_a + kills_b``
+    total events, under H0 the count in sample A is binomial with
+    probability ``seconds_a / (seconds_a + seconds_b)``.
+    """
+    if seconds_a <= 0.0 or seconds_b <= 0.0:
+        raise AnalysisError("durations must be positive")
+    if kills_a < 0 or kills_b < 0:
+        raise AnalysisError("kill counts must be non-negative")
+    total = kills_a + kills_b
+    if total == 0:
+        return 1.0
+    from scipy import stats
+
+    probability = seconds_a / (seconds_a + seconds_b)
+    result = stats.binomtest(kills_a, total, probability)
+    return float(result.pvalue)
+
+
+def rates_differ(
+    kills_a: int,
+    seconds_a: float,
+    kills_b: int,
+    seconds_b: float,
+    significance: float = 0.01,
+) -> bool:
+    """True when the two observed rates are significantly different."""
+    if not 0.0 < significance < 1.0:
+        raise AnalysisError("significance must be in (0, 1)")
+    return rate_ratio_test(
+        kills_a, seconds_a, kills_b, seconds_b
+    ) < significance

@@ -1,0 +1,382 @@
+"""Command-line interface, mirroring the paper artifact's workflow.
+
+The artifact drives everything through ``analysis.py --action
+mutation-score|merge|correlation --stats_path ...`` over JSON stats
+files; this CLI reproduces that surface and adds the data-collection
+side the artifact ran in a browser:
+
+.. code-block:: bash
+
+    python -m repro suite                         # Table 2 + test listing
+    python -m repro show corr --wgsl              # one test, as WGSL
+    python -m repro tune --kind PTE --out pte.json
+    python -m repro analyze --action mutation-score --stats-path pte.json
+    python -m repro analyze --action merge --stats-path pte.json \\
+        --rep 99.999 --budget 4
+    python -m repro analyze --action correlation --envs 80
+    python -m repro figures --stats-dir statsdir  # Fig. 5 + Fig. 6
+    python -m repro cts --stats-path pte.json --rep 99.999 --budget 4
+
+All commands are deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Dict, Optional, Sequence
+
+from repro.analysis import (
+    figure5,
+    figure6,
+    load_result,
+    render_figure5_rates,
+    render_figure5_scores,
+    render_figure6,
+    render_table2,
+    render_table3,
+    render_table4,
+    save_result,
+    score_matrix,
+    table4,
+)
+from repro.analysis.report import ascii_table
+from repro.confidence import curate, merge_suite, reproducible_pairs
+from repro.env import EnvironmentKind, tuning_run
+from repro.errors import ReproError
+from repro.gpu import make_device, study_devices
+from repro.litmus import extended, format_test, generate_wgsl, library
+from repro.mutation import default_suite
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MC Mutants reproduction (ASPLOS 2023)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    suite_cmd = commands.add_parser(
+        "suite", help="generate the verified suite and print Table 2"
+    )
+    suite_cmd.add_argument(
+        "--list", action="store_true", help="also list every test"
+    )
+
+    show = commands.add_parser("show", help="print one test")
+    show.add_argument("name", help="suite test name, alias, or library name")
+    show.add_argument(
+        "--wgsl", action="store_true", help="emit the WGSL shader"
+    )
+    show.add_argument(
+        "--litmus",
+        action="store_true",
+        help="emit the textual litmus format",
+    )
+
+    run = commands.add_parser(
+        "run",
+        help="run one test operationally and print the outcome histogram",
+    )
+    run.add_argument("name")
+    run.add_argument("--device", default="amd")
+    run.add_argument(
+        "--buggy",
+        action="store_true",
+        help="inject the device's historical bug(s)",
+    )
+    run.add_argument("--instances", type=int, default=1000)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--stress", action="store_true", help="apply heavy stress"
+    )
+
+    tune = commands.add_parser(
+        "tune", help="run a tuning experiment and save JSON stats"
+    )
+    tune.add_argument(
+        "--kind",
+        choices=[kind.name for kind in EnvironmentKind],
+        default="PTE",
+    )
+    tune.add_argument("--envs", type=int, default=150)
+    tune.add_argument("--seed", type=int, default=0)
+    tune.add_argument("--devices", nargs="*", default=None)
+    tune.add_argument("--out", required=True)
+
+    analyze = commands.add_parser(
+        "analyze", help="the artifact's analysis actions"
+    )
+    analyze.add_argument(
+        "--action",
+        choices=["mutation-score", "merge", "correlation"],
+        required=True,
+    )
+    analyze.add_argument("--stats-path", default=None)
+    analyze.add_argument("--rep", type=float, default=95.0,
+                         help="reproducibility target in percent")
+    analyze.add_argument("--budget", type=float, default=4.0,
+                         help="per-test time budget in seconds")
+    analyze.add_argument("--envs", type=int, default=80,
+                         help="environments for --action correlation")
+    analyze.add_argument("--seed", type=int, default=0)
+
+    figures = commands.add_parser(
+        "figures", help="regenerate Figure 5 and Figure 6 from stats"
+    )
+    figures.add_argument(
+        "--stats-dir",
+        required=True,
+        help="directory containing <kind>.json files from `tune`",
+    )
+
+    cts = commands.add_parser(
+        "cts", help="curate a conformance test suite (Algorithm 1)"
+    )
+    cts.add_argument("--stats-path", required=True)
+    cts.add_argument("--rep", type=float, default=99.999)
+    cts.add_argument("--budget", type=float, default=4.0)
+
+    commands.add_parser("devices", help="print Table 3")
+    return parser
+
+
+def _find_test(name: str):
+    suite = default_suite()
+    try:
+        return suite.find(name)
+    except KeyError:
+        pass
+    try:
+        return suite.find_by_alias(name).conformance
+    except KeyError:
+        pass
+    try:
+        return library.by_name(name)
+    except KeyError:
+        pass
+    return extended.by_name(name)
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    suite = default_suite()
+    print(render_table2(suite))
+    if args.list:
+        rows = []
+        for pair in suite.pairs:
+            rows.append(
+                [
+                    pair.conformance.name,
+                    pair.alias,
+                    pair.mutator.value,
+                    ", ".join(m.name for m in pair.mutants),
+                ]
+            )
+        print()
+        print(
+            ascii_table(
+                ["Conformance test", "Alias", "Mutator", "Mutants"], rows
+            )
+        )
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    test = _find_test(args.name)
+    if args.wgsl:
+        print(generate_wgsl(test))
+    elif args.litmus:
+        print(format_test(test), end="")
+    else:
+        print(test.pretty())
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.gpu import Workload
+    from repro.litmus import TestOracle
+
+    test = _find_test(args.name)
+    device = make_device(args.device, buggy=args.buggy)
+    if args.stress:
+        workload = Workload(
+            instances_in_flight=50_000,
+            mem_stress=0.9,
+            pre_stress=0.5,
+            pattern_affinity=0.9,
+            location_spread=0.9,
+        )
+    else:
+        workload = Workload()
+    rng = np.random.default_rng(args.seed)
+    histogram = device.collect_histogram(
+        test, workload, args.instances, rng
+    )
+    oracle = TestOracle(test)
+    violations = 0
+    targets = 0
+    for outcome, count in histogram.outcomes():
+        if oracle.is_violation(outcome):
+            violations += count
+        if oracle.matches_target(outcome):
+            targets += count
+    print(f"{test.name} on {device.describe()}")
+    print(f"{args.instances} instances:")
+    print(histogram.pretty())
+    print(f"target behaviour observed: {targets}")
+    print(f"MCS violations: {violations}")
+    return 0
+
+
+def _devices(names: Optional[Sequence[str]]):
+    if not names:
+        return study_devices()
+    return [make_device(name) for name in names]
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    kind = EnvironmentKind[args.kind]
+    suite = default_suite()
+    result = tuning_run(
+        kind,
+        _devices(args.devices),
+        suite.mutants,
+        environment_count=args.envs,
+        seed=args.seed,
+    )
+    save_result(result, args.out)
+    print(
+        f"saved {len(result.runs)} runs ({kind.value}, "
+        f"{len(result.environments)} environments) to {args.out}"
+    )
+    return 0
+
+
+def _rep_fraction(rep_percent: float) -> float:
+    if not 0.0 < rep_percent < 100.0:
+        raise ReproError("--rep must be a percentage in (0, 100)")
+    return rep_percent / 100.0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    if args.action == "correlation":
+        rows = table4(
+            environment_count=args.envs, iterations=100, seed=args.seed
+        )
+        print(render_table4(rows))
+        return 0
+    if args.stats_path is None:
+        raise ReproError(f"--stats-path is required for {args.action}")
+    result = load_result(args.stats_path)
+    suite = default_suite()
+    if args.action == "mutation-score":
+        matrix = score_matrix(result, suite)
+        rows = []
+        for group, cells in matrix.items():
+            cell = cells["all"]
+            rows.append(
+                [
+                    group,
+                    f"{cell.killed}/{cell.total}",
+                    f"{cell.mutation_score:.3f}",
+                    f"{cell.average_death_rate:,.1f}",
+                ]
+            )
+        print(
+            ascii_table(
+                ["Mutator", "Killed", "Score", "Avg rate (/s)"],
+                rows,
+                title=f"mutation scores for {args.stats_path}",
+            )
+        )
+        return 0
+    # merge
+    target = _rep_fraction(args.rep)
+    decisions = merge_suite(
+        result, result.test_names, target, args.budget
+    )
+    score = reproducible_pairs(
+        decisions, target, args.budget, len(result.device_names)
+    )
+    scheduled = sum(
+        1 for decision in decisions if decision.environment is not None
+    )
+    print(
+        f"{scheduled}/{len(decisions)} tests have a merged environment; "
+        f"reproducible (test, device) fraction at r={args.rep}% "
+        f"b={args.budget:g}s: {score:.3f}"
+    )
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    stats_dir = Path(args.stats_dir)
+    results: Dict[EnvironmentKind, object] = {}
+    for kind in EnvironmentKind:
+        path = stats_dir / f"{kind.name.lower()}.json"
+        if path.exists():
+            results[kind] = load_result(path)
+    if not results:
+        raise ReproError(
+            f"no <kind>.json stats files found in {stats_dir} "
+            f"(expected e.g. pte.json; produce them with `repro tune`)"
+        )
+    suite = default_suite()
+    figure = figure5(results, suite)  # type: ignore[arg-type]
+    print(render_figure5_scores(figure))
+    print()
+    print(render_figure5_rates(figure))
+    print()
+    print(render_figure6(figure6(results)))  # type: ignore[arg-type]
+    return 0
+
+
+def _cmd_cts(args: argparse.Namespace) -> int:
+    result = load_result(args.stats_path)
+    plan = curate(
+        default_suite(),
+        result,
+        _rep_fraction(args.rep),
+        budget_seconds=args.budget,
+    )
+    print(plan.describe())
+    for device in result.device_names:
+        print(
+            f"total reproducibility on {device}: "
+            f"{plan.total_reproducibility(device):.4f}"
+        )
+    return 0
+
+
+def _cmd_devices(_: argparse.Namespace) -> int:
+    print(render_table3())
+    return 0
+
+
+_HANDLERS = {
+    "suite": _cmd_suite,
+    "show": _cmd_show,
+    "run": _cmd_run,
+    "tune": _cmd_tune,
+    "analyze": _cmd_analyze,
+    "figures": _cmd_figures,
+    "cts": _cmd_cts,
+    "devices": _cmd_devices,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _parser().parse_args(argv)
+    try:
+        return _HANDLERS[args.command](args)
+    except (ReproError, KeyError, FileNotFoundError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

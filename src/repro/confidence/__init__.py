@@ -1,0 +1,45 @@
+"""MCS Test Confidence (Sec. 4.2): reproducibility, merging, curation.
+
+Turns raw mutant death rates into statistical confidence: the
+``1 - e^{-x}`` reproducibility score, Algorithm 1's cross-device
+environment merging, and the CTS curation that the official WebGPU
+conformance suite adopted.
+"""
+
+from repro.confidence.cts import CtsEntry, CtsPlan, curate
+from repro.confidence.merge import (
+    MergeDecision,
+    merge_environments,
+    merge_suite,
+    reproducible_pairs,
+    tuning_rate_function,
+)
+from repro.confidence.reproducibility import (
+    TARGET_FLOOR,
+    TARGET_MAX,
+    ceiling_rate,
+    expected_runs_until_clean,
+    reproducibility_score,
+    required_kills,
+    score_at_budget,
+    total_reproducibility,
+)
+
+__all__ = [
+    "CtsEntry",
+    "CtsPlan",
+    "MergeDecision",
+    "TARGET_FLOOR",
+    "TARGET_MAX",
+    "ceiling_rate",
+    "curate",
+    "expected_runs_until_clean",
+    "merge_environments",
+    "merge_suite",
+    "reproducibility_score",
+    "reproducible_pairs",
+    "required_kills",
+    "score_at_budget",
+    "total_reproducibility",
+    "tuning_rate_function",
+]

@@ -1,0 +1,165 @@
+"""Conformance-test-suite curation (Sec. 4.2, Sec. 5.5).
+
+The end product of the whole methodology: a set of litmus tests, each
+paired with the single testing environment Algorithm 1 chose for it and
+a per-test time budget, such that the suite reaches a target *total*
+reproducibility.  This is what the paper contributed to the official
+WebGPU CTS — MCS tests that run in about a minute on desktop hardware
+with a quantified chance of catching the bugs the mutants model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.confidence.merge import MergeDecision, merge_suite
+from repro.confidence.reproducibility import score_at_budget
+from repro.env.tuning import TuningResult
+from repro.errors import AnalysisError
+from repro.mutation.suite import MutationSuite
+
+
+@dataclass(frozen=True)
+class CtsEntry:
+    """One conformance test scheduled into the CTS."""
+
+    conformance_name: str
+    mutant_name: str
+    decision: MergeDecision
+    budget_seconds: float
+
+    @property
+    def environment_name(self) -> Optional[str]:
+        if self.decision.environment is None:
+            return None
+        return self.decision.environment.name
+
+    def device_reproducibility(self, device: str) -> float:
+        return self.decision.reproducibility(device, self.budget_seconds)
+
+    def worst_reproducibility(self) -> float:
+        if not self.decision.rates:
+            return 0.0
+        return min(
+            self.device_reproducibility(device)
+            for device in self.decision.rates
+        )
+
+
+@dataclass(frozen=True)
+class CtsPlan:
+    """A curated MCS test suite with its confidence accounting."""
+
+    entries: Tuple[CtsEntry, ...]
+    reproducibility_target: float
+    budget_seconds: float
+
+    @property
+    def total_budget_seconds(self) -> float:
+        return self.budget_seconds * len(self.entries)
+
+    def total_reproducibility(
+        self, device: str, observable_only: bool = True
+    ) -> float:
+        """P(one CTS run on ``device`` kills every scheduled mutant).
+
+        With ``observable_only`` (the default), entries whose behaviour
+        the device never exhibits (rate 0 — Sec. 3.4's "specification
+        more permissive than the implementation") are excluded: a CTS
+        cannot be expected to reproduce what the hardware cannot show.
+        """
+        probability = 1.0
+        for entry in self.entries:
+            rate = entry.decision.rates.get(device, 0.0)
+            if observable_only and rate == 0.0:
+                continue
+            probability *= entry.device_reproducibility(device)
+        return probability
+
+    def worst_case_total(self, observable_only: bool = True) -> float:
+        """Total reproducibility using each entry's worst device."""
+        probability = 1.0
+        for entry in self.entries:
+            rates = [
+                rate
+                for rate in entry.decision.rates.values()
+                if not (observable_only and rate == 0.0)
+            ]
+            if not rates:
+                continue
+            probability *= min(
+                score_at_budget(rate, self.budget_seconds)
+                for rate in rates
+            )
+        return probability
+
+    def scheduled(self) -> List[CtsEntry]:
+        """Entries that actually found an environment."""
+        return [
+            entry
+            for entry in self.entries
+            if entry.decision.environment is not None
+        ]
+
+    def describe(self) -> str:
+        lines = [
+            f"CTS plan: {len(self.scheduled())}/{len(self.entries)} tests "
+            f"scheduled, {self.budget_seconds:g}s each "
+            f"({self.total_budget_seconds:g}s total), target "
+            f"{self.reproducibility_target:%} per test",
+        ]
+        for entry in self.entries:
+            env = entry.environment_name or "<no environment found>"
+            lines.append(
+                f"  {entry.conformance_name:24s} via {entry.mutant_name:28s} "
+                f"env={env:20s} worst-device rep="
+                f"{entry.worst_reproducibility():.6f}"
+            )
+        return "\n".join(lines)
+
+
+def curate(
+    suite: MutationSuite,
+    result: TuningResult,
+    reproducibility_target: float,
+    budget_seconds: float,
+) -> CtsPlan:
+    """Build a CTS plan from a tuning result.
+
+    For each conformance test, the mutant with the best merged
+    environment (most devices at ceiling, then highest minimum
+    non-zero rate) represents it: the environment that reliably kills
+    the mutant is the environment most likely to reveal the
+    corresponding real bug (Sec. 5.4).
+    """
+    if not result.runs:
+        raise AnalysisError("tuning result is empty")
+    entries: List[CtsEntry] = []
+    for pair in suite.pairs:
+        mutant_names = [mutant.name for mutant in pair.mutants]
+        decisions = merge_suite(
+            result, mutant_names, reproducibility_target, budget_seconds
+        )
+        best = max(
+            decisions,
+            key=lambda decision: (
+                decision.devices_at_ceiling,
+                decision.min_nonzero_rate
+                if decision.min_nonzero_rate != float("inf")
+                else 0.0,
+            ),
+        )
+        entries.append(
+            CtsEntry(
+                conformance_name=pair.conformance.name,
+                mutant_name=best.test_name,
+                decision=best,
+                budget_seconds=budget_seconds,
+            )
+        )
+    return CtsPlan(
+        entries=tuple(entries),
+        reproducibility_target=reproducibility_target,
+        budget_seconds=budget_seconds,
+    )

@@ -1,0 +1,87 @@
+"""Reproducibility scores (Sec. 4.2).
+
+Prior work derived that if a behaviour was observed ``x`` times in a
+test run, the probability that an identical subsequent run observes it
+at least once is ``1 - e^{-x}`` — the *reproducibility score*.  MCS
+Test Confidence builds on this:
+
+* the inverse gives the kill count a run must reach for a target score
+  (``ceil(-ln(1 - r))``, line 7 of Algorithm 1);
+* dividing by a time budget turns that into a *ceiling rate* a test
+  environment must sustain;
+* multiplying per-test scores gives the *total reproducibility* of a
+  conformance test suite, which is why the paper recommends 99.999%
+  per test (95% per test would make a 20-test CTS flaky: ``0.95^20 ≈
+  35.8%``).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import AnalysisError
+
+
+def reproducibility_score(kills: int) -> float:
+    """P(a subsequent identical run kills at least once) = 1 - e^-x."""
+    if kills < 0:
+        raise AnalysisError("kill count must be non-negative")
+    return 1.0 - math.exp(-kills)
+
+
+def required_kills(score: float) -> int:
+    """The smallest kill count whose reproducibility reaches ``score``.
+
+    The inverse of :func:`reproducibility_score`, rounded up (line 7 of
+    Algorithm 1 uses the ceiling).
+    """
+    _check_score(score)
+    return math.ceil(-math.log(1.0 - score))
+
+
+def ceiling_rate(score: float, budget_seconds: float) -> float:
+    """Kills/second a test environment must sustain for the target.
+
+    ``ceil(-ln(1-r)) / b`` — Algorithm 1, line 7.
+    """
+    if budget_seconds <= 0.0:
+        raise AnalysisError("time budget must be positive")
+    return required_kills(score) / budget_seconds
+
+
+def score_at_budget(rate: float, budget_seconds: float) -> float:
+    """Reproducibility of a run of length ``budget_seconds`` given a
+    sustained kill rate (expected kills = rate × budget)."""
+    if rate < 0.0:
+        raise AnalysisError("rate must be non-negative")
+    if budget_seconds <= 0.0:
+        raise AnalysisError("time budget must be positive")
+    return 1.0 - math.exp(-rate * budget_seconds)
+
+
+def total_reproducibility(per_test_score: float, test_count: int) -> float:
+    """P(one CTS run kills *every* mutant) = score^n (Sec. 4.2)."""
+    _check_score(per_test_score, allow_one=True)
+    if test_count < 0:
+        raise AnalysisError("test count must be non-negative")
+    return per_test_score ** test_count
+
+def expected_runs_until_clean(total_score: float) -> float:
+    """Mean CTS executions until one kills every mutant (geometric)."""
+    if not 0.0 < total_score <= 1.0:
+        raise AnalysisError("total score must be in (0, 1]")
+    return 1.0 / total_score
+
+
+def _check_score(score: float, allow_one: bool = False) -> None:
+    upper_ok = score <= 1.0 if allow_one else score < 1.0
+    if not (0.0 <= score and upper_ok):
+        bound = "[0, 1]" if allow_one else "[0, 1)"
+        raise AnalysisError(f"score must be in {bound}, got {score}")
+
+
+#: The paper's two reference targets (Sec. 5.3): 95% is the floor
+#: (3 kills per budget; total reproducibility 36.5% over 20 tests),
+#: 99.999% the recommended maximum (total 99.98%).
+TARGET_FLOOR = 0.95
+TARGET_MAX = 0.99999

@@ -1,0 +1,165 @@
+"""The 17 tunable stress parameters of testing environments.
+
+Prior work (Kirkham et al., "Foundations of Empirical Memory
+Consistency Testing") defined 17 parameters controlling the context a
+litmus test runs in; the paper tunes testing environments by randomly
+instantiating them (Sec. 4.1, "Additional parameters").  This module
+reproduces that parameter space, its random sampling, and the four
+preset environments of Sec. 5.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from repro.errors import EnvironmentError_
+
+#: Stress access patterns, as in the paper's artifact.
+STRESS_PATTERNS = (
+    "store-store",
+    "store-load",
+    "load-store",
+    "load-load",
+)
+
+
+@dataclass(frozen=True)
+class EnvironmentParameters:
+    """One point in the 17-dimensional testing-environment space."""
+
+    testing_workgroups: int = 2
+    max_workgroups: int = 32
+    workgroup_size: int = 256
+    shuffle_pct: int = 0
+    barrier_pct: int = 0
+    mem_stress_pct: int = 0
+    mem_stress_iterations: int = 0
+    mem_stress_pattern: int = 0
+    pre_stress_pct: int = 0
+    pre_stress_iterations: int = 0
+    pre_stress_pattern: int = 0
+    stress_line_size: int = 16  # 2**stress_line_exponent elements
+    stress_target_lines: int = 2
+    scratch_memory_size: int = 2048
+    mem_stride: int = 1
+    permute_first: int = 419
+    permute_second: int = 1031
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.testing_workgroups <= self.max_workgroups:
+            raise EnvironmentError_(
+                "need 1 <= testing_workgroups <= max_workgroups"
+            )
+        if self.workgroup_size < 1:
+            raise EnvironmentError_("workgroup_size must be >= 1")
+        for name in ("shuffle_pct", "barrier_pct", "mem_stress_pct",
+                     "pre_stress_pct"):
+            value = getattr(self, name)
+            if not 0 <= value <= 100:
+                raise EnvironmentError_(f"{name} must be in [0, 100]")
+        for name in ("mem_stress_iterations", "pre_stress_iterations",
+                     "stress_target_lines", "mem_stride"):
+            if getattr(self, name) < 0:
+                raise EnvironmentError_(f"{name} must be >= 0")
+        for name in ("mem_stress_pattern", "pre_stress_pattern"):
+            value = getattr(self, name)
+            if not 0 <= value < len(STRESS_PATTERNS):
+                raise EnvironmentError_(
+                    f"{name} must index one of {STRESS_PATTERNS}"
+                )
+        for name in ("stress_line_size", "scratch_memory_size"):
+            value = getattr(self, name)
+            if value < 1 or value & (value - 1):
+                raise EnvironmentError_(f"{name} must be a power of two")
+        if self.permute_first < 1 or self.permute_second < 1:
+            raise EnvironmentError_("permutation factors must be >= 1")
+
+    # -- derived views -------------------------------------------------------
+
+    @property
+    def parameter_count(self) -> int:
+        return len(fields(self))
+
+    @property
+    def testing_threads(self) -> int:
+        return self.testing_workgroups * self.workgroup_size
+
+    @property
+    def stress_workgroup_fraction(self) -> float:
+        return (
+            self.max_workgroups - self.testing_workgroups
+        ) / self.max_workgroups
+
+    @property
+    def stress_line_exponent(self) -> int:
+        return int(self.stress_line_size).bit_length() - 1
+
+    def describe(self) -> str:
+        pairs = [
+            f"{field.name}={getattr(self, field.name)}"
+            for field in fields(self)
+        ]
+        return ", ".join(pairs)
+
+
+def random_parameters(
+    rng: np.random.Generator,
+    parallel: bool,
+) -> EnvironmentParameters:
+    """Draw a random environment configuration (one tuning candidate).
+
+    Args:
+        rng: Source of randomness (seeded by the tuning harness).
+        parallel: PTE-style (hundreds of testing workgroups) vs
+            SITE-style (exactly one instance per iteration).
+    """
+    if parallel:
+        testing_workgroups = int(rng.integers(16, 1025))
+        max_workgroups = testing_workgroups + int(rng.integers(0, 513))
+        workgroup_size = int(rng.choice([64, 128, 256]))
+    else:
+        testing_workgroups = 2
+        max_workgroups = int(rng.integers(4, 129))
+        workgroup_size = 1
+    return EnvironmentParameters(
+        testing_workgroups=testing_workgroups,
+        max_workgroups=max_workgroups,
+        workgroup_size=workgroup_size,
+        shuffle_pct=int(rng.choice([0, 50, 100])),
+        barrier_pct=int(rng.choice([0, 100])),
+        mem_stress_pct=int(rng.choice([0, 25, 50, 75, 100])),
+        mem_stress_iterations=int(rng.integers(0, 1025)),
+        mem_stress_pattern=int(rng.integers(0, 4)),
+        pre_stress_pct=int(rng.choice([0, 25, 50, 75, 100])),
+        pre_stress_iterations=int(rng.integers(0, 129)),
+        pre_stress_pattern=int(rng.integers(0, 4)),
+        stress_line_size=int(2 ** rng.integers(2, 9)),
+        stress_target_lines=int(rng.integers(1, 17)),
+        scratch_memory_size=int(2 ** rng.integers(9, 13)),
+        mem_stride=int(rng.integers(1, 8)),
+        permute_first=int(rng.integers(1, 4096)),
+        permute_second=int(rng.integers(1, 4096)),
+    )
+
+
+# -- the four presets of Sec. 5.1 -------------------------------------------
+
+
+def site_baseline_parameters() -> EnvironmentParameters:
+    """SITE Baseline: one instance, 32 workgroups, no stress."""
+    return EnvironmentParameters(
+        testing_workgroups=2,
+        max_workgroups=32,
+        workgroup_size=1,
+    )
+
+
+def pte_baseline_parameters() -> EnvironmentParameters:
+    """PTE Baseline: 1024 testing workgroups × 256 threads, no stress."""
+    return EnvironmentParameters(
+        testing_workgroups=1024,
+        max_workgroups=1024,
+        workgroup_size=256,
+    )

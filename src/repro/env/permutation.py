@@ -1,0 +1,155 @@
+"""The parallel permutation strategy of Sec. 4.1.
+
+PTE assigns test instances and memory locations to threads with the
+modular permutation ``v ↦ (v · P) mod N`` where ``P`` is co-prime to
+``N``.  The function is a bijection, costs a handful of ALU ops per
+thread, has no divergent control flow, and avoids the degenerate
+``n ↦ n + 1`` neighbour pairing that prior work showed to be
+ineffective.
+
+This module also implements the striping rule: test instances are
+spread across workgroups so that communication patterns vary spatially
+("if thread 0 in workgroup A communicates with some thread in workgroup
+B, thread 1 in workgroup B communicates with some thread in C").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import EnvironmentError_
+
+
+def is_coprime(first: int, second: int) -> bool:
+    """True iff gcd(first, second) == 1."""
+    return math.gcd(first, second) == 1
+
+
+def coprime_to(n: int, candidate: int) -> int:
+    """The smallest integer >= ``candidate`` that is co-prime to ``n``.
+
+    Used to repair a randomly drawn permutation factor: the tuning
+    harness draws factors freely and snaps them to validity.
+    """
+    if n <= 0:
+        raise EnvironmentError_("modulus must be positive")
+    value = max(1, candidate)
+    while not is_coprime(n, value):
+        value += 1
+    return value
+
+
+@dataclass(frozen=True)
+class ParallelPermutation:
+    """The bijection ``v ↦ (v * factor) mod size``."""
+
+    size: int
+    factor: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise EnvironmentError_("permutation size must be positive")
+        if not 0 < self.factor:
+            raise EnvironmentError_("permutation factor must be positive")
+        if not is_coprime(self.size, self.factor):
+            raise EnvironmentError_(
+                f"factor {self.factor} is not co-prime to size {self.size}"
+            )
+
+    def __call__(self, value: int) -> int:
+        return (value * self.factor) % self.size
+
+    def apply_all(self) -> List[int]:
+        return [self(value) for value in range(self.size)]
+
+    @property
+    def is_degenerate(self) -> bool:
+        """Identity or near-neighbour mappings stress nothing."""
+        return self.factor % self.size in (1, self.size - 1)
+
+
+def naive_neighbor_assignment(size: int) -> List[int]:
+    """The ineffective ``n ↦ (n + 1) mod size`` pairing from prior
+    work, kept for the ablation benchmark."""
+    if size <= 0:
+        raise EnvironmentError_("size must be positive")
+    return [(value + 1) % size for value in range(size)]
+
+
+@dataclass(frozen=True)
+class InstanceAssignment:
+    """Which instance-roles one thread executes.
+
+    For a two-thread litmus test, thread ``A`` runs thread 0's
+    instructions of ``roles[0]`` and thread 1's instructions of
+    ``roles[1]`` (Fig. 4 of the paper).
+    """
+
+    thread: int
+    roles: Tuple[int, ...]
+
+
+def assign_instances(
+    thread_count: int, factor: int, roles: int = 2
+) -> List[InstanceAssignment]:
+    """PTE thread-to-instance assignment.
+
+    Thread ``t`` executes role ``j`` of instance ``perm^j(t)``, where
+    ``perm`` is the co-prime permutation.  Because ``perm`` is a
+    bijection, every role of every instance is covered exactly once,
+    and (for non-degenerate factors) the two halves of one instance
+    land on unrelated threads.
+
+    Args:
+        thread_count: N — also the number of test instances.
+        factor: P, snapped to the nearest co-prime if necessary.
+        roles: How many testing threads the litmus test has.
+    """
+    if roles < 1:
+        raise EnvironmentError_("roles must be >= 1")
+    permutation = ParallelPermutation(
+        thread_count, coprime_to(thread_count, factor)
+    )
+    assignments = []
+    for thread in range(thread_count):
+        instance_roles = []
+        value = thread
+        for _ in range(roles):
+            instance_roles.append(value)
+            value = permutation(value)
+        assignments.append(
+            InstanceAssignment(thread=thread, roles=tuple(instance_roles))
+        )
+    return assignments
+
+
+def verify_assignment_covers(
+    assignments: Sequence[InstanceAssignment], roles: int
+) -> bool:
+    """Every instance gets every role executed exactly once."""
+    thread_count = len(assignments)
+    for role in range(roles):
+        seen = sorted(assignment.roles[role] for assignment in assignments)
+        if seen != list(range(thread_count)):
+            return False
+    return True
+
+
+def stripe_workgroup(
+    workgroup: int, position: int, testing_workgroups: int
+) -> int:
+    """The workgroup a thread's communication partner lives in.
+
+    Implements the paper's striping: partners shift by the thread's
+    position within the instance, so workgroup pairs vary across
+    instances.  With three or more testing workgroups all roles of an
+    instance land in distinct workgroups.
+    """
+    if testing_workgroups <= 0:
+        raise EnvironmentError_("testing_workgroups must be positive")
+    if testing_workgroups == 1:
+        return 0
+    shift = 1 + position % (testing_workgroups - 1)
+    return (workgroup + shift) % testing_workgroups

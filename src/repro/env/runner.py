@@ -1,0 +1,203 @@
+"""Executing tests in environments and recording results.
+
+A :class:`TestRun` is the atomic measurement of the whole evaluation:
+one (test, device, environment) triple, executed for some iterations,
+yielding a kill count and a simulated duration.  Everything in Sec. 5
+— mutation scores, death rates, environment merging, correlation — is
+an aggregation over ``TestRun`` records.
+
+Two execution modes share this interface:
+
+* ``analytic`` (default) — per-instance probabilities from the batch
+  model, kills sampled binomially; scales to PTE instance counts.
+* ``operational`` — every instance actually simulated by the
+  operational executor; bounded by ``max_operational_instances`` per
+  iteration and intended for demos and validation at SITE scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.env.environment import TestingEnvironment
+from repro.errors import EnvironmentError_
+from repro.gpu.device import Device
+from repro.litmus.oracle import TestOracle
+from repro.litmus.program import LitmusTest
+
+_ORACLES: Dict[str, TestOracle] = {}
+
+
+def oracle_for(test: LitmusTest) -> TestOracle:
+    """Process-wide oracle cache (oracle construction enumerates)."""
+    key = test.pretty()
+    oracle = _ORACLES.get(key)
+    if oracle is None:
+        oracle = TestOracle(test)
+        _ORACLES[key] = oracle
+    return oracle
+
+
+@dataclass(frozen=True)
+class TestRun:
+    """The outcome of running one test in one environment on one device."""
+
+    # Not a pytest test class, despite the name.
+    __test__ = False
+
+    test_name: str
+    device_name: str
+    environment: TestingEnvironment
+    iterations: int
+    instances_per_iteration: int
+    kills: int
+    seconds: float
+
+    @property
+    def killed(self) -> bool:
+        return self.kills > 0
+
+    @property
+    def rate(self) -> float:
+        """Mutant death rate (or bug observation rate): kills/second."""
+        if self.seconds <= 0.0:
+            return 0.0
+        return self.kills / self.seconds
+
+    @property
+    def instances(self) -> int:
+        return self.iterations * self.instances_per_iteration
+
+    def describe(self) -> str:
+        return (
+            f"{self.test_name} on {self.device_name} in "
+            f"{self.environment.name}: {self.kills} kills / "
+            f"{self.instances} instances / {self.seconds:.4f}s "
+            f"({self.rate:.1f}/s)"
+        )
+
+
+class Runner:
+    """Runs tests in environments, in analytic or operational mode."""
+
+    def __init__(
+        self,
+        mode: str = "analytic",
+        max_operational_instances: int = 64,
+        iterations_override: Optional[int] = None,
+    ) -> None:
+        if mode not in ("analytic", "operational"):
+            raise EnvironmentError_(
+                f"mode must be 'analytic' or 'operational', got {mode!r}"
+            )
+        if max_operational_instances < 1:
+            raise EnvironmentError_(
+                "max_operational_instances must be >= 1"
+            )
+        self.mode = mode
+        self.max_operational_instances = max_operational_instances
+        self.iterations_override = iterations_override
+
+    # -- single runs -----------------------------------------------------
+
+    def run(
+        self,
+        device: Device,
+        test: LitmusTest,
+        environment: TestingEnvironment,
+        rng: np.random.Generator,
+    ) -> TestRun:
+        iterations = (
+            self.iterations_override
+            if self.iterations_override is not None
+            else environment.iterations()
+        )
+        if self.mode == "analytic":
+            return self._run_analytic(device, test, environment, iterations, rng)
+        return self._run_operational(device, test, environment, iterations, rng)
+
+    def _run_analytic(
+        self,
+        device: Device,
+        test: LitmusTest,
+        environment: TestingEnvironment,
+        iterations: int,
+        rng: np.random.Generator,
+    ) -> TestRun:
+        workload = environment.workload(device.profile, test)
+        kills = device.sample_iteration_kills(
+            test, workload, iterations, rng, env_key=environment.env_key
+        )
+        seconds = iterations * environment.iteration_seconds(device, test)
+        return TestRun(
+            test_name=test.name,
+            device_name=device.name,
+            environment=environment,
+            iterations=iterations,
+            instances_per_iteration=workload.instances_in_flight,
+            kills=int(kills.sum()),
+            seconds=seconds,
+        )
+
+    def _run_operational(
+        self,
+        device: Device,
+        test: LitmusTest,
+        environment: TestingEnvironment,
+        iterations: int,
+        rng: np.random.Generator,
+    ) -> TestRun:
+        oracle = oracle_for(test)
+        count_target = oracle.target_allowed()
+        workload = environment.workload(device.profile, test)
+        instances = min(
+            workload.instances_in_flight, self.max_operational_instances
+        )
+        kills = 0
+        for _ in range(iterations):
+            for _ in range(instances):
+                outcome = device.run_instance(test, workload, rng)
+                if count_target:
+                    kills += oracle.matches_target(outcome)
+                else:
+                    kills += oracle.is_violation(outcome)
+        seconds = iterations * device.iteration_seconds(
+            instances, environment.stress_level()
+        )
+        return TestRun(
+            test_name=test.name,
+            device_name=device.name,
+            environment=environment,
+            iterations=iterations,
+            instances_per_iteration=instances,
+            kills=kills,
+            seconds=seconds,
+        )
+
+    # -- matrices -----------------------------------------------------------
+
+    def run_matrix(
+        self,
+        devices: Sequence[Device],
+        tests: Sequence[LitmusTest],
+        environments: Sequence[TestingEnvironment],
+        seed: int = 0,
+    ) -> List[TestRun]:
+        """Run every (device, test, environment) combination.
+
+        Each triple gets an independent, deterministic RNG stream, so
+        subsets of the matrix reproduce the full run's values.
+        """
+        runs: List[TestRun] = []
+        for environment in environments:
+            for device in devices:
+                for test in tests:
+                    stream = np.random.default_rng(
+                        (seed, environment.env_key, hash(device.name) & 0xFFFF,
+                         hash(test.name) & 0xFFFFFF)
+                    )
+                    runs.append(self.run(device, test, environment, stream))
+        return runs

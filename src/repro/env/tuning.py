@@ -1,0 +1,165 @@
+"""Tuning runs: searching the environment space (Sec. 5.1).
+
+The paper tunes by generating random environments and executing every
+mutant in each, on every device: 150 environments, SITE × 300
+iterations, PTE × 100 iterations.  :func:`tuning_run` reproduces that
+experiment (scaled by arguments) and returns a :class:`TuningResult`
+that the analysis layer aggregates into Fig. 5 and Fig. 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.env.environment import (
+    EnvironmentKind,
+    TestingEnvironment,
+    pte_baseline,
+    random_environments,
+    site_baseline,
+)
+from repro.env.runner import Runner, TestRun
+from repro.errors import AnalysisError
+from repro.gpu.device import Device
+from repro.litmus.program import LitmusTest
+
+RunKey = Tuple[str, str, int]  # (test, device, env_key)
+
+
+@dataclass
+class TuningResult:
+    """All runs of one tuning experiment, with fast lookups."""
+
+    kind: EnvironmentKind
+    runs: List[TestRun]
+    _index: Dict[RunKey, TestRun] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        for run in self.runs:
+            key = (run.test_name, run.device_name, run.environment.env_key)
+            if key in self._index:
+                raise AnalysisError(f"duplicate run for {key}")
+            self._index[key] = run
+
+    # -- lookups ---------------------------------------------------------
+
+    @property
+    def test_names(self) -> List[str]:
+        return sorted({run.test_name for run in self.runs})
+
+    @property
+    def device_names(self) -> List[str]:
+        seen: List[str] = []
+        for run in self.runs:
+            if run.device_name not in seen:
+                seen.append(run.device_name)
+        return seen
+
+    @property
+    def environments(self) -> List[TestingEnvironment]:
+        seen: Dict[int, TestingEnvironment] = {}
+        for run in self.runs:
+            seen.setdefault(run.environment.env_key, run.environment)
+        return [seen[key] for key in sorted(seen)]
+
+    def run_for(
+        self, test_name: str, device_name: str, env_key: int
+    ) -> TestRun:
+        try:
+            return self._index[(test_name, device_name, env_key)]
+        except KeyError:
+            raise AnalysisError(
+                f"no run recorded for test={test_name!r} "
+                f"device={device_name!r} env={env_key}"
+            ) from None
+
+    def rate(self, test_name: str, device_name: str, env_key: int) -> float:
+        return self.run_for(test_name, device_name, env_key).rate
+
+    def runs_for_test(
+        self, test_name: str, device_name: Optional[str] = None
+    ) -> Iterator[TestRun]:
+        for run in self.runs:
+            if run.test_name != test_name:
+                continue
+            if device_name is not None and run.device_name != device_name:
+                continue
+            yield run
+
+    # -- aggregations used throughout Sec. 5 --------------------------------
+
+    def killed(self, test_name: str, device_name: str) -> bool:
+        """Was the test killed in at least one environment? (the
+        definition behind the mutation score, Sec. 5.2)"""
+        return any(
+            run.killed
+            for run in self.runs_for_test(test_name, device_name)
+        )
+
+    def best_rate(self, test_name: str, device_name: str) -> float:
+        """The maximum death rate over all environments."""
+        return max(
+            (
+                run.rate
+                for run in self.runs_for_test(test_name, device_name)
+            ),
+            default=0.0,
+        )
+
+    def best_environment(
+        self, test_name: str, device_name: str
+    ) -> Optional[TestingEnvironment]:
+        best: Optional[TestRun] = None
+        for run in self.runs_for_test(test_name, device_name):
+            if best is None or run.rate > best.rate:
+                best = run
+        if best is None or not best.killed:
+            return None
+        return best.environment
+
+    def merge(self, other: "TuningResult") -> "TuningResult":
+        if other.kind is not self.kind:
+            raise AnalysisError("cannot merge results of different kinds")
+        return TuningResult(kind=self.kind, runs=self.runs + other.runs)
+
+
+def environments_for(
+    kind: EnvironmentKind, count: int, seed: int
+) -> List[TestingEnvironment]:
+    """The environment family a tuning run evaluates.
+
+    Baseline kinds have exactly one (fixed) environment; stressed kinds
+    get ``count`` random candidates.
+    """
+    if kind is EnvironmentKind.SITE_BASELINE:
+        return [site_baseline()]
+    if kind is EnvironmentKind.PTE_BASELINE:
+        return [pte_baseline()]
+    return random_environments(kind, count, seed)
+
+
+def tuning_run(
+    kind: EnvironmentKind,
+    devices: Sequence[Device],
+    tests: Sequence[LitmusTest],
+    environment_count: int = 150,
+    seed: int = 0,
+    runner: Optional[Runner] = None,
+) -> TuningResult:
+    """Reproduce one of the paper's four tuning experiments.
+
+    Args:
+        kind: Which environment family (Sec. 5.1's presets).
+        devices: Devices to evaluate (normally the Table 3 roster).
+        tests: Tests to execute (normally the 32 mutants).
+        environment_count: Random candidates for stressed kinds (the
+            paper uses 150).
+        seed: Seeds both environment generation and execution.
+        runner: Defaults to the analytic runner with the paper's
+            iteration counts.
+    """
+    environments = environments_for(kind, environment_count, seed)
+    active_runner = runner if runner is not None else Runner()
+    runs = active_runner.run_matrix(devices, tests, environments, seed=seed)
+    return TuningResult(kind=kind, runs=runs)

@@ -1,0 +1,59 @@
+"""Exception hierarchy for the MC Mutants reproduction.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing interpreter-level bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class MalformedExecutionError(ReproError):
+    """An execution's events or relations violate a structural invariant.
+
+    Examples: a ``reads-from`` edge whose source is not a write, a
+    coherence order that is not total over same-location writes, or a
+    relation referencing an event that is not part of the execution.
+    """
+
+
+class MalformedProgramError(ReproError):
+    """A litmus program violates a structural invariant.
+
+    Examples: two writes storing the same value to one location (values
+    must be unique so outcomes identify the writer), or a register read
+    by the postcondition that no instruction defines.
+    """
+
+
+class MutationError(ReproError):
+    """A mutator was asked to operate on an incompatible template."""
+
+
+class WitnessError(ReproError):
+    """A candidate execution cannot be compiled to an observable witness.
+
+    Raised when a required coherence constraint has no observation
+    channel (read value, final memory value, or observer read) that can
+    certify it; the caller should add an observer thread and retry.
+    """
+
+
+class EnvironmentError_(ReproError):
+    """A testing-environment configuration is invalid.
+
+    The trailing underscore avoids shadowing the ``OSError`` alias
+    ``EnvironmentError`` built into Python.
+    """
+
+
+class DeviceError(ReproError):
+    """A simulated device was configured or used incorrectly."""
+
+
+class AnalysisError(ReproError):
+    """Statistics or reporting was requested on unusable data."""

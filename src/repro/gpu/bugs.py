@@ -1,0 +1,185 @@
+"""Injectable MCS implementation bugs (Sec. 1.1 and 5.4).
+
+The paper found two real bugs and recreated a third; each is modelled
+here at the point in the simulated implementation where the real root
+cause lived, so that observing the bug requires exactly the same
+environment conditions as killing the corresponding mutant — which is
+what makes the Table 4 correlations come out of the *mechanics* rather
+than being hard-coded.
+
+* :data:`INTEL_CORR` — WebGPU-over-Metal on Intel reordered two
+  same-location loads (the CoRR violation of Fig. 1a).  Modelled as a
+  compile-time probability of swapping adjacent same-location loads;
+  the violation still needs the remote write interleaved between them,
+  just like the reversing-po-loc mutants.
+* :data:`AMD_MP_RELACQ` — an AMD Vulkan compiler weakened atomics so
+  the storage barrier lost its release/acquire semantics (Fig. 1b).
+  Modelled by eliding fences at compile time; the violation then needs
+  a genuine weak-memory reordering, like the weakening-sw mutants.
+* :data:`NVIDIA_KEPLER_MP_CO` — the Kepler coherence violation from
+  Alglave et al. (recreated in Sec. 5.4 as MP-CO).  Modelled as loads
+  occasionally hitting a stale cache entry, with staleness pressure
+  growing with memory-system contention.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Tuple
+
+from repro.errors import DeviceError
+from repro.gpu.profiles import ExecutionTuning, Vendor
+
+
+class BugKind(enum.Enum):
+    INTEL_CORR = "intel-corr"
+    AMD_MP_RELACQ = "amd-mp-relacq"
+    NVIDIA_KEPLER_MP_CO = "nvidia-kepler-mp-co"
+
+
+@dataclass(frozen=True)
+class BugModel:
+    """One injectable implementation bug.
+
+    Attributes:
+        kind: Which historical bug this models.
+        vendor: The vendor whose implementation carried the bug (used
+            by :func:`default_bugs_for` and reports).
+        swap_probability: For :data:`INTEL_CORR` — chance that a pair
+            of adjacent same-location loads is emitted in the wrong
+            order by the (simulated) compiled code.
+        stale_base: For :data:`NVIDIA_KEPLER_MP_CO` — stale-read
+            probability with an idle memory system.
+        stale_contention_scale: Additional stale-read probability at
+            full contention.
+        stale_depth: How many commits behind a stale read may land.
+    """
+
+    kind: BugKind
+    vendor: Vendor
+    swap_probability: float = 0.0
+    stale_base: float = 0.0
+    stale_contention_scale: float = 0.0
+    stale_depth: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("swap_probability", "stale_base",
+                     "stale_contention_scale"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise DeviceError(f"{name} must be in [0, 1]")
+        if self.stale_depth < 1:
+            raise DeviceError("stale_depth must be >= 1")
+
+    # -- behavioural hooks used by the executor and batch model -----------
+
+    @property
+    def drops_fences(self) -> bool:
+        """The AMD bug compiles fences to nothing."""
+        return self.kind is BugKind.AMD_MP_RELACQ
+
+    def load_load_swap_probability(self) -> float:
+        """The Intel bug's same-location load reordering chance."""
+        if self.kind is BugKind.INTEL_CORR:
+            return self.swap_probability
+        return 0.0
+
+    def stale_read_probability(self, tuning: ExecutionTuning) -> float:
+        """The Kepler bug's stale-cache hit chance under ``tuning``."""
+        if self.kind is not BugKind.NVIDIA_KEPLER_MP_CO:
+            return 0.0
+        return min(
+            1.0,
+            self.stale_base
+            + self.stale_contention_scale * tuning.contention,
+        )
+
+
+INTEL_CORR = BugModel(
+    kind=BugKind.INTEL_CORR,
+    vendor=Vendor.INTEL,
+    swap_probability=0.35,
+)
+
+AMD_MP_RELACQ = BugModel(
+    kind=BugKind.AMD_MP_RELACQ,
+    vendor=Vendor.AMD,
+)
+
+NVIDIA_KEPLER_MP_CO = BugModel(
+    kind=BugKind.NVIDIA_KEPLER_MP_CO,
+    vendor=Vendor.NVIDIA,
+    stale_base=0.002,
+    stale_contention_scale=0.12,
+    stale_depth=2,
+)
+
+ALL_BUGS: Tuple[BugModel, ...] = (
+    INTEL_CORR,
+    AMD_MP_RELACQ,
+    NVIDIA_KEPLER_MP_CO,
+)
+
+
+class BugSet:
+    """The bugs active on one simulated device."""
+
+    def __init__(self, bugs: Iterable[BugModel] = ()) -> None:
+        self._bugs: Tuple[BugModel, ...] = tuple(bugs)
+        kinds = [bug.kind for bug in self._bugs]
+        if len(kinds) != len(set(kinds)):
+            raise DeviceError("duplicate bug kinds in BugSet")
+
+    def __iter__(self):
+        return iter(self._bugs)
+
+    def __len__(self) -> int:
+        return len(self._bugs)
+
+    def __contains__(self, kind: BugKind) -> bool:
+        return any(bug.kind is kind for bug in self._bugs)
+
+    @property
+    def kinds(self) -> FrozenSet[BugKind]:
+        return frozenset(bug.kind for bug in self._bugs)
+
+    @property
+    def drops_fences(self) -> bool:
+        return any(bug.drops_fences for bug in self._bugs)
+
+    def load_load_swap_probability(self) -> float:
+        return max(
+            (bug.load_load_swap_probability() for bug in self._bugs),
+            default=0.0,
+        )
+
+    def stale_read_probability(self, tuning: ExecutionTuning) -> float:
+        return max(
+            (bug.stale_read_probability(tuning) for bug in self._bugs),
+            default=0.0,
+        )
+
+    def stale_depth(self) -> int:
+        return max(
+            (
+                bug.stale_depth
+                for bug in self._bugs
+                if bug.kind is BugKind.NVIDIA_KEPLER_MP_CO
+            ),
+            default=1,
+        )
+
+    def __repr__(self) -> str:
+        names = ", ".join(bug.kind.value for bug in self._bugs) or "none"
+        return f"BugSet({names})"
+
+
+NO_BUGS = BugSet()
+
+
+def bug_by_kind(kind: BugKind) -> BugModel:
+    for bug in ALL_BUGS:
+        if bug.kind is kind:
+            return bug
+    raise DeviceError(f"unknown bug kind {kind!r}")

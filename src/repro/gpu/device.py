@@ -1,0 +1,204 @@
+"""Simulated GPU devices: the executable form of a profile.
+
+A :class:`Device` binds a :class:`~repro.gpu.profiles.DeviceProfile` to
+a (possibly empty) :class:`~repro.gpu.bugs.BugSet` and exposes the two
+execution paths:
+
+* :meth:`Device.run_instance` — the operational executor: one real
+  simulated instance, one outcome.  Used for examples, demos, and the
+  soundness/consistency test suites.
+* :meth:`Device.sample_iteration_kills` — the analytic batch model:
+  binomially sampled kill counts for thousands of instances per
+  iteration.  Used by the tuning and benchmark harnesses.
+
+Both paths consume the same :class:`~repro.gpu.profiles.Workload`
+description and the same tuning mapping, so environment knobs act on
+them consistently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+from repro.errors import DeviceError
+from repro.gpu.batch import BatchModel
+from repro.gpu.bugs import (
+    AMD_MP_RELACQ,
+    BugSet,
+    INTEL_CORR,
+    NVIDIA_KEPLER_MP_CO,
+)
+from repro.gpu.executor import run_instance
+from repro.gpu.profiles import (
+    DeviceProfile,
+    ExecutionTuning,
+    STUDY_PROFILES,
+    NVIDIA_KEPLER,
+    Workload,
+    profile_by_name,
+)
+from repro.litmus.outcomes import Outcome, OutcomeHistogram
+from repro.litmus.program import LitmusTest
+
+
+@dataclass(frozen=True)
+class Device:
+    """One simulated GPU, optionally carrying implementation bugs."""
+
+    profile: DeviceProfile
+    bugs: BugSet = field(default_factory=BugSet)
+
+    @property
+    def name(self) -> str:
+        return self.profile.short_name
+
+    @property
+    def batch_model(self) -> BatchModel:
+        return BatchModel(self.profile, self.bugs)
+
+    def tuning(self, workload: Workload) -> ExecutionTuning:
+        return self.profile.tuning(workload)
+
+    # -- operational path ----------------------------------------------------
+
+    def run_instance(
+        self,
+        test: LitmusTest,
+        workload: Workload,
+        rng: np.random.Generator,
+    ) -> Outcome:
+        """Execute one test instance operationally."""
+        return run_instance(test, self.tuning(workload), rng, self.bugs)
+
+    def run_instances(
+        self,
+        test: LitmusTest,
+        workload: Workload,
+        count: int,
+        rng: np.random.Generator,
+    ) -> List[Outcome]:
+        """Execute ``count`` instances operationally."""
+        if count < 0:
+            raise DeviceError("count must be non-negative")
+        return [
+            self.run_instance(test, workload, rng) for _ in range(count)
+        ]
+
+    def collect_histogram(
+        self,
+        test: LitmusTest,
+        workload: Workload,
+        count: int,
+        rng: np.random.Generator,
+    ) -> OutcomeHistogram:
+        """Run ``count`` operational instances and tally the outcomes.
+
+        This is the per-test results view of the paper's web harness:
+        each distinct observable outcome with its frequency.
+        """
+        histogram = OutcomeHistogram()
+        for outcome in self.run_instances(test, workload, count, rng):
+            histogram.record(outcome)
+        return histogram
+
+    # -- analytic path ---------------------------------------------------------
+
+    def instance_probability(
+        self,
+        test: LitmusTest,
+        workload: Workload,
+        env_key: int = 0,
+    ) -> float:
+        """Analytic per-instance target probability."""
+        return self.batch_model.instance_probability(
+            test,
+            self.tuning(workload),
+            env_key,
+            instances=workload.instances_in_flight,
+        )
+
+    def sample_iteration_kills(
+        self,
+        test: LitmusTest,
+        workload: Workload,
+        iterations: int,
+        rng: np.random.Generator,
+        env_key: int = 0,
+    ) -> np.ndarray:
+        """Kills per iteration over ``iterations`` analytic iterations."""
+        return self.batch_model.sample_kills(
+            test,
+            self.tuning(workload),
+            workload.instances_in_flight,
+            iterations,
+            rng,
+            env_key,
+        )
+
+    # -- timing ---------------------------------------------------------------
+
+    def iteration_seconds(
+        self, instances: int, stress_level: float = 0.0
+    ) -> float:
+        """Simulated wall-clock cost of one dispatch."""
+        return self.profile.costs.iteration_seconds(instances, stress_level)
+
+    def describe(self) -> str:
+        bug_list = ", ".join(b.kind.value for b in self.bugs) or "none"
+        return (
+            f"{self.profile.short_name} ({self.profile.vendor.value} "
+            f"{self.profile.chip}, {self.profile.compute_units} CUs, "
+            f"{self.profile.device_type.value.lower()}; bugs: {bug_list})"
+        )
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def make_device(
+    short_name: str, bugs: Iterable = (), buggy: bool = False
+) -> Device:
+    """Construct a device by Table 3 short name.
+
+    Args:
+        short_name: ``"NVIDIA"``, ``"AMD"``, ``"Intel"``, ``"M1"``, or
+            ``"Kepler"`` (case-insensitive).
+        bugs: Explicit bug models to inject.
+        buggy: Shortcut — inject the historical bug(s) the paper found
+            or recreated on this device (see :func:`historical_bugs`).
+    """
+    profile = profile_by_name(short_name)
+    bug_models = list(bugs)
+    if buggy:
+        bug_models.extend(historical_bugs(profile))
+    return Device(profile=profile, bugs=BugSet(bug_models))
+
+
+def historical_bugs(profile: DeviceProfile) -> Tuple:
+    """The real-world bug(s) associated with a device in the paper.
+
+    * Intel — the CoRR violation of WebGPU-over-Metal (Sec. 1.1);
+    * AMD — the MP-relacq fence weakening (Sec. 1.1);
+    * Kepler — the recreated coherence violation (Sec. 5.4).
+
+    The study devices other than Intel/AMD carry no known bug.
+    """
+    if profile is NVIDIA_KEPLER:
+        return (NVIDIA_KEPLER_MP_CO,)
+    name = profile.short_name.lower()
+    if name == "intel":
+        return (INTEL_CORR,)
+    if name == "amd":
+        return (AMD_MP_RELACQ,)
+    return ()
+
+
+def study_devices(buggy: bool = False) -> List[Device]:
+    """The four Table 3 devices, in the paper's order."""
+    return [
+        make_device(profile.short_name, buggy=buggy)
+        for profile in STUDY_PROFILES
+    ]

@@ -1,0 +1,262 @@
+"""The operational per-instance executor.
+
+This is the "real machine": it compiles a litmus test to per-thread op
+streams, applies the device's (possibly buggy) compile-time reordering,
+then interleaves the threads over the store-buffer memory subsystem of
+:mod:`repro.gpu.memory` and reports the observable
+:class:`~repro.litmus.outcomes.Outcome`.
+
+Without injected bugs, every outcome it can produce corresponds to a
+candidate execution allowed by the test's memory model — a property the
+test suite checks exhaustively against the enumeration oracle.  All the
+*rates* (how often which allowed outcome appears) are controlled by the
+:class:`~repro.gpu.profiles.ExecutionTuning` knobs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import DeviceError
+from repro.gpu.bugs import BugSet, NO_BUGS
+from repro.gpu.memory import CoherentMemory, StoreBuffer
+from repro.gpu.profiles import ExecutionTuning
+from repro.litmus.instructions import (
+    AtomicExchange,
+    AtomicLoad,
+    AtomicStore,
+    Fence,
+)
+from repro.litmus.outcomes import Outcome
+from repro.litmus.program import LitmusTest
+from repro.memory_model.events import Location
+
+
+class OpKind(enum.Enum):
+    LOAD = "load"
+    STORE = "store"
+    RMW = "rmw"
+    FENCE = "fence"
+
+
+@dataclass
+class Op:
+    """One compiled operation of a thread's instruction stream."""
+
+    kind: OpKind
+    location: Optional[Location] = None
+    value: Optional[int] = None
+    register: Optional[str] = None
+
+    @property
+    def is_memory(self) -> bool:
+        return self.kind is not OpKind.FENCE
+
+
+def compile_test(test: LitmusTest, bugs: BugSet = NO_BUGS) -> List[List[Op]]:
+    """Lower a litmus test to per-thread op streams.
+
+    The AMD fence-dropping bug applies here: the miscompiled program
+    simply has no fences, exactly like the drop-both-fences mutant.
+    """
+    threads: List[List[Op]] = []
+    for thread in test.threads:
+        ops: List[Op] = []
+        for instruction in thread:
+            if isinstance(instruction, AtomicLoad):
+                ops.append(
+                    Op(OpKind.LOAD, instruction.location,
+                       register=instruction.register)
+                )
+            elif isinstance(instruction, AtomicStore):
+                ops.append(
+                    Op(OpKind.STORE, instruction.location,
+                       value=instruction.value)
+                )
+            elif isinstance(instruction, AtomicExchange):
+                ops.append(
+                    Op(OpKind.RMW, instruction.location,
+                       value=instruction.value,
+                       register=instruction.register)
+                )
+            elif isinstance(instruction, Fence):
+                if not bugs.drops_fences:
+                    ops.append(Op(OpKind.FENCE))
+            else:
+                raise DeviceError(
+                    f"cannot compile instruction {instruction!r}"
+                )
+        threads.append(ops)
+    return threads
+
+
+def reorder_pass(
+    threads: List[List[Op]],
+    tuning: ExecutionTuning,
+    rng: np.random.Generator,
+    bugs: BugSet = NO_BUGS,
+    passes: int = 2,
+) -> List[List[Op]]:
+    """Simulate issue-order relaxation within each thread.
+
+    Adjacent operations swap with the tuning's reorder probability when
+    the swap is architecturally legal: different locations, and no
+    fence involved (fences order everything on both sides).  The Intel
+    CoRR bug additionally permits swapping adjacent *same-location
+    loads* — the coherence violation.
+    """
+    swap_same_loc_loads = bugs.load_load_swap_probability()
+    result = [list(thread) for thread in threads]
+    for ops in result:
+        for _ in range(passes):
+            index = 0
+            while index + 1 < len(ops):
+                first, second = ops[index], ops[index + 1]
+                if first.kind is OpKind.FENCE or second.kind is OpKind.FENCE:
+                    index += 1
+                    continue
+                assert first.location is not None
+                assert second.location is not None
+                if first.location != second.location:
+                    if rng.random() < tuning.reorder_probability:
+                        ops[index], ops[index + 1] = second, first
+                        index += 2
+                        continue
+                elif (
+                    first.kind is OpKind.LOAD
+                    and second.kind is OpKind.LOAD
+                    and rng.random() < swap_same_loc_loads
+                ):
+                    ops[index], ops[index + 1] = second, first
+                    index += 2
+                    continue
+                index += 1
+    return result
+
+
+class InstanceExecutor:
+    """Runs one test instance under a given tuning, producing an Outcome."""
+
+    def __init__(
+        self,
+        test: LitmusTest,
+        tuning: ExecutionTuning,
+        rng: np.random.Generator,
+        bugs: BugSet = NO_BUGS,
+    ) -> None:
+        self.test = test
+        self.tuning = tuning
+        self.rng = rng
+        self.bugs = bugs
+        self.memory = CoherentMemory()
+        self.buffers = [
+            StoreBuffer(index) for index in range(test.thread_count)
+        ]
+        self.registers: Dict[str, int] = {}
+
+    # -- single-op semantics ----------------------------------------------
+
+    def _execute(self, thread: int, op: Op) -> None:
+        buffer = self.buffers[thread]
+        if op.kind is OpKind.STORE:
+            assert op.location is not None and op.value is not None
+            buffer.push(op.location, op.value)
+        elif op.kind is OpKind.FENCE:
+            # Release half: later stores may not overtake the barrier.
+            # Acquire half is enforced at compile time (no load may be
+            # hoisted across a fence in the reorder pass).
+            buffer.push_barrier()
+        elif op.kind is OpKind.LOAD:
+            assert op.location is not None and op.register is not None
+            self.registers[op.register] = self._read(thread, op.location)
+        elif op.kind is OpKind.RMW:
+            assert op.location is not None
+            assert op.value is not None and op.register is not None
+            # RMWs act on global memory atomically: earlier pending
+            # stores to the location and any release barrier must
+            # commit first, then the read-modify-write happens in one
+            # indivisible step.
+            buffer.flush_for_rmw(op.location, self.memory)
+            old = self.memory.read_current(op.location)
+            self.memory.commit(op.location, op.value, thread)
+            self.registers[op.register] = old
+        else:  # pragma: no cover - exhaustive enum
+            raise DeviceError(f"unknown op kind {op.kind}")
+
+    def _read(self, thread: int, location: Location) -> int:
+        forwarded = self.buffers[thread].newest_pending(location)
+        if forwarded is not None:
+            return forwarded
+        stale_probability = self.bugs.stale_read_probability(self.tuning)
+        if stale_probability > 0.0 and self.rng.random() < stale_probability:
+            return self.memory.read_stale(
+                location, self.rng, self.bugs.stale_depth()
+            )
+        return self.memory.read_current(location)
+
+    # -- the interleaving loop ----------------------------------------------
+
+    def _chunk_size(self) -> int:
+        mean = self.tuning.chunk_mean
+        if mean <= 1.0:
+            return 1
+        return int(self.rng.geometric(1.0 / mean))
+
+    def _flush_step(self) -> None:
+        for buffer in self.buffers:
+            if not buffer.empty:
+                buffer.flush_random(
+                    self.memory, self.rng, self.tuning.flush_probability
+                )
+
+    def run(self) -> Outcome:
+        threads = reorder_pass(
+            compile_test(self.test, self.bugs),
+            self.tuning,
+            self.rng,
+            self.bugs,
+        )
+        cursors = [0] * len(threads)
+        remaining = [len(ops) for ops in threads]
+        while any(remaining):
+            runnable = [
+                index for index, left in enumerate(remaining) if left
+            ]
+            thread = int(self.rng.choice(runnable))
+            for _ in range(min(self._chunk_size(), remaining[thread])):
+                op = threads[thread][cursors[thread]]
+                self._execute(thread, op)
+                cursors[thread] += 1
+                remaining[thread] -= 1
+            self._flush_step()
+        # Drain the buffers in random order to finish all commits.
+        order = list(range(len(self.buffers)))
+        self.rng.shuffle(order)
+        for index in order:
+            self.buffers[index].flush_all(self.memory)
+        return self._outcome()
+
+    def _outcome(self) -> Outcome:
+        finals = {
+            location: self.memory.read_current(location)
+            for location in self.test.locations
+        }
+        reads = {
+            register: self.registers.get(register, 0)
+            for register in self.test.registers
+        }
+        return Outcome(reads=reads, finals=finals)
+
+
+def run_instance(
+    test: LitmusTest,
+    tuning: ExecutionTuning,
+    rng: np.random.Generator,
+    bugs: BugSet = NO_BUGS,
+) -> Outcome:
+    """Convenience wrapper: compile, reorder, interleave, observe."""
+    return InstanceExecutor(test, tuning, rng, bugs).run()

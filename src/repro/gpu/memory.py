@@ -1,0 +1,242 @@
+"""The simulated device's memory subsystem.
+
+Coherence is enforced *by construction*:
+
+* :class:`CoherentMemory` keeps a per-location commit history; the
+  commit order **is** the coherence order, total per location.
+* :class:`StoreBuffer` holds each thread's uncommitted stores.  Flushing
+  is non-FIFO across locations (this is what makes 2+2W and friends
+  observable) but FIFO per location, and fence barriers partition the
+  buffer: nothing after a barrier commits until everything before it
+  has (release semantics).
+* Loads read the latest commit (or the thread's own newest pending
+  store — store forwarding), so a thread's view of one location never
+  moves backwards: SC-per-location holds for every interleaving, as
+  the property tests in ``tests/gpu`` verify against the enumeration
+  oracle.
+
+Deliberate *violations* of these invariants (for bug injection) are
+provided as explicit, named entry points — e.g.
+:meth:`CoherentMemory.read_stale` — so a conforming simulation cannot
+trip into them by accident.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import DeviceError
+from repro.memory_model.events import Location
+from repro.memory_model.execution import INITIAL_VALUE
+
+
+@dataclass
+class CommitRecord:
+    """One committed write: its value and the committing thread."""
+
+    value: int
+    thread: int
+
+
+class CoherentMemory:
+    """Global memory with a per-location commit history."""
+
+    def __init__(self) -> None:
+        self._history: Dict[Location, List[CommitRecord]] = {}
+
+    def commit(self, location: Location, value: int, thread: int) -> None:
+        self._history.setdefault(location, []).append(
+            CommitRecord(value, thread)
+        )
+
+    def read_current(self, location: Location) -> int:
+        history = self._history.get(location)
+        if not history:
+            return INITIAL_VALUE
+        return history[-1].value
+
+    def read_stale(
+        self, location: Location, rng: np.random.Generator, depth: int = 1
+    ) -> int:
+        """Read a value up to ``depth`` commits behind the newest.
+
+        This deliberately violates coherence and exists only for the
+        Kepler coherence-bug model (Sec. 5.4); a conforming device
+        never calls it.
+        """
+        history = self._history.get(location)
+        if not history:
+            return INITIAL_VALUE
+        back = int(rng.integers(1, depth + 1))
+        index = len(history) - 1 - back
+        if index < 0:
+            return INITIAL_VALUE
+        return history[index].value
+
+    def history(self, location: Location) -> Tuple[CommitRecord, ...]:
+        return tuple(self._history.get(location, ()))
+
+    def coherence_order(self, location: Location) -> List[int]:
+        """Committed values in coherence order (oldest first)."""
+        return [record.value for record in self.history(location)]
+
+    def final_values(self) -> Dict[Location, int]:
+        return {
+            location: history[-1].value
+            for location, history in self._history.items()
+            if history
+        }
+
+    def locations(self) -> List[Location]:
+        return sorted(self._history, key=lambda loc: loc.name)
+
+
+@dataclass
+class PendingStore:
+    """An uncommitted store sitting in a thread's store buffer."""
+
+    location: Location
+    value: int
+
+
+_BARRIER = None  # sentinel inside the buffer's entry list
+
+
+class StoreBuffer:
+    """One thread's store buffer with release-fence barriers."""
+
+    def __init__(self, thread: int) -> None:
+        self.thread = thread
+        self._entries: List[Optional[PendingStore]] = []
+
+    def __len__(self) -> int:
+        return sum(1 for entry in self._entries if entry is not None)
+
+    @property
+    def empty(self) -> bool:
+        return len(self) == 0
+
+    def push(self, location: Location, value: int) -> None:
+        self._entries.append(PendingStore(location, value))
+
+    def push_barrier(self) -> None:
+        """Record a release fence: later stores may not overtake it."""
+        # A barrier with nothing before it orders nothing; adjacent
+        # barriers are idempotent.
+        if not self._entries or self._entries[-1] is _BARRIER:
+            return
+        self._entries.append(_BARRIER)
+
+    def newest_pending(self, location: Location) -> Optional[int]:
+        """The thread's own most recent uncommitted value, if any.
+
+        Used for store forwarding: a thread always sees its own writes.
+        """
+        for entry in reversed(self._entries):
+            if entry is not None and entry.location == location:
+                return entry.value
+        return None
+
+    def has_pending(self, location: Location) -> bool:
+        return self.newest_pending(location) is not None
+
+    def flushable_indices(self) -> List[int]:
+        """Indices of entries eligible to commit right now.
+
+        An entry is eligible iff no earlier entry targets the same
+        location (per-location FIFO, preserving coherence) and no
+        barrier precedes it (release ordering).  Eligible entries from
+        *different* locations may commit in any order — the non-FIFO
+        freedom that produces store-store reordering.
+        """
+        eligible: List[int] = []
+        seen_locations = set()
+        for index, entry in enumerate(self._entries):
+            if entry is _BARRIER:
+                break
+            assert entry is not None
+            if entry.location not in seen_locations:
+                eligible.append(index)
+                seen_locations.add(entry.location)
+        return eligible
+
+    def flush_index(self, index: int, memory: CoherentMemory) -> None:
+        """Commit the entry at ``index`` and clear satisfied barriers."""
+        entry = self._entries[index]
+        if entry is None or entry is _BARRIER:
+            raise DeviceError("cannot flush a barrier")
+        if index not in self.flushable_indices():
+            raise DeviceError(
+                f"entry {index} is not eligible to flush (ordering)"
+            )
+        memory.commit(entry.location, entry.value, self.thread)
+        del self._entries[index]
+        self._drop_leading_barriers()
+
+    def _drop_leading_barriers(self) -> None:
+        while self._entries and self._entries[0] is _BARRIER:
+            del self._entries[0]
+
+    def flush_random(
+        self, memory: CoherentMemory, rng: np.random.Generator,
+        probability: float,
+    ) -> int:
+        """Give every eligible entry one chance to commit.
+
+        Returns the number of entries committed.  Each eligible entry
+        commits independently with ``probability``; newly eligible
+        entries (unblocked by a flushed barrier) get their chance on
+        the *next* call, keeping the flush pressure bounded per step.
+        """
+        if not 0.0 <= probability <= 1.0:
+            raise DeviceError("probability must be in [0, 1]")
+        flushed = 0
+        # Snapshot eligibility, then flush by descending index so the
+        # remaining indices stay valid after deletions.
+        for index in sorted(self.flushable_indices(), reverse=True):
+            if rng.random() < probability:
+                entry = self._entries[index]
+                assert entry is not None and entry is not _BARRIER
+                memory.commit(entry.location, entry.value, self.thread)
+                del self._entries[index]
+                flushed += 1
+        self._drop_leading_barriers()
+        return flushed
+
+    def flush_for_rmw(
+        self, location: Location, memory: CoherentMemory
+    ) -> None:
+        """Drain whatever must commit before an RMW on ``location``.
+
+        An RMW's write goes straight to global memory, so it must not
+        overtake (a) the thread's earlier pending stores to the same
+        location (per-location FIFO / coherence) or (b) any pending
+        release barrier (the RMW is a store for release-ordering
+        purposes).  Everything buffered up to the later of those two
+        points commits now, in order.
+        """
+        cutoff = -1
+        for index, entry in enumerate(self._entries):
+            if entry is _BARRIER:
+                cutoff = max(cutoff, index)
+            elif entry is not None and entry.location == location:
+                cutoff = max(cutoff, index)
+        if cutoff < 0:
+            return
+        for entry in self._entries[: cutoff + 1]:
+            if entry is not _BARRIER:
+                assert entry is not None
+                memory.commit(entry.location, entry.value, self.thread)
+        del self._entries[: cutoff + 1]
+        self._drop_leading_barriers()
+
+    def flush_all(self, memory: CoherentMemory) -> None:
+        """Commit everything in order (end-of-execution drain)."""
+        for entry in self._entries:
+            if entry is not _BARRIER:
+                assert entry is not None
+                memory.commit(entry.location, entry.value, self.thread)
+        self._entries.clear()

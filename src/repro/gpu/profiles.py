@@ -1,0 +1,448 @@
+"""Simulated GPU device profiles (the paper's Table 3 roster).
+
+The paper evaluates on four physical GPUs.  We have no GPUs, so each
+device is modelled by a :class:`DeviceProfile`: a bundle of
+micro-architectural tendencies that determine how often the *allowed*
+relaxed behaviours of the WebGPU MCS actually show up, and how the
+device responds to testing-environment stress.
+
+The profile parameters were calibrated so that the qualitative findings
+of Sec. 5 hold (see DESIGN.md "shape targets"):
+
+* fine-grained inter-thread interleaving is rare without stress or
+  parallelism on all but one device (Sec. 3.1's pilot experiment);
+* NVIDIA and M1 expose essentially no cross-location weak behaviour
+  for an isolated test instance (SITE kills no weakening po-loc
+  mutants there, Fig. 5c) but plenty under heavy parallel contention;
+* Intel responds strongly to single-instance stress (SITE beats PTE's
+  random tuning there, Sec. 5.2.2);
+* stress and parallelism synergise, but with diminishing returns.
+
+Nothing in the rest of the system depends on the specific constants;
+they are data, not logic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.errors import DeviceError
+from repro.gpu.characteristics import Mechanism
+
+
+class Vendor(enum.Enum):
+    NVIDIA = "NVIDIA"
+    AMD = "AMD"
+    INTEL = "Intel"
+    APPLE = "Apple"
+
+
+class DeviceType(enum.Enum):
+    DISCRETE = "Discrete"
+    INTEGRATED = "Integrated"
+
+
+@dataclass(frozen=True)
+class Workload:
+    """What a testing environment asks of the device, normalised.
+
+    Built by :mod:`repro.env` from the 17 stress parameters plus the
+    environment's parallelism; consumed by the device model.
+
+    Attributes:
+        instances_in_flight: Concurrent test instances per iteration.
+        mem_stress: Normalised memory-stress intensity in [0, 1]
+            (stressing threads hammering scratch memory).
+        pre_stress: Normalised pre-stress intensity in [0, 1] (testing
+            threads stressing before running the test).
+        pattern_affinity: How well the chosen stress patterns and
+            line-size parameters suit this device, in [0, 1]; 0.5 is
+            neutral.  Computed against the profile's hidden optima.
+        location_spread: Quality of memory-location shuffling in [0, 1]
+            (random/permuted locations beat densely packed ones).
+        cross_workgroup: Fraction of test instances whose threads land
+            in different workgroups.
+    """
+
+    instances_in_flight: int = 1
+    mem_stress: float = 0.0
+    pre_stress: float = 0.0
+    pattern_affinity: float = 0.5
+    location_spread: float = 0.5
+    cross_workgroup: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.instances_in_flight < 1:
+            raise DeviceError("instances_in_flight must be >= 1")
+        for name in (
+            "mem_stress",
+            "pre_stress",
+            "pattern_affinity",
+            "location_spread",
+            "cross_workgroup",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise DeviceError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class ExecutionTuning:
+    """Operational-simulator knobs derived from profile × workload.
+
+    These feed :mod:`repro.gpu.executor` directly and parameterise the
+    closed forms in :mod:`repro.gpu.batch`.
+    """
+
+    reorder_probability: float  # adjacent different-location swap
+    flush_probability: float  # store-buffer entry commits per step
+    chunk_mean: float  # mean ops per scheduler slot (>= 1)
+    contention: float  # overall pressure in [0, 1]
+    stress: float = 0.0  # explicit-stress component of the pressure
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.reorder_probability <= 1.0:
+            raise DeviceError("reorder_probability out of range")
+        if not 0.0 < self.flush_probability <= 1.0:
+            raise DeviceError("flush_probability out of range")
+        if self.chunk_mean < 1.0:
+            raise DeviceError("chunk_mean must be >= 1")
+        if not 0.0 <= self.contention <= 1.0:
+            raise DeviceError("contention out of range")
+        if not 0.0 <= self.stress <= 1.0:
+            raise DeviceError("stress out of range")
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Simulated wall-clock costs of dispatching work to the device.
+
+    ``iteration_seconds`` reproduces the key economics of PTE: each
+    iteration pays a fixed dispatch overhead (API submission, kernel
+    launch, result readback) regardless of how many test instances it
+    carries, so packing thousands of instances into one dispatch is
+    orders of magnitude cheaper per instance (Sec. 4.1).
+    """
+
+    dispatch_overhead: float  # seconds per iteration
+    per_instance_cost: float  # seconds per test instance
+    stress_cost: float  # extra seconds per iteration at full stress
+
+    def iteration_seconds(
+        self, instances: int, stress_level: float = 0.0
+    ) -> float:
+        if instances < 0:
+            raise DeviceError("instances must be non-negative")
+        if not 0.0 <= stress_level <= 1.0:
+            raise DeviceError("stress_level must be in [0, 1]")
+        return (
+            self.dispatch_overhead
+            + instances * self.per_instance_cost
+            + stress_level * self.stress_cost
+        )
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Static description plus behavioural tendencies of one device."""
+
+    # -- Table 3 roster data ------------------------------------------------
+    vendor: Vendor
+    chip: str
+    compute_units: int
+    device_type: DeviceType
+    short_name: str
+
+    # -- relaxed-behaviour tendencies ---------------------------------------
+    #: Reorder probability for an isolated, unstressed instance.
+    base_reorder: float = 0.01
+    #: Reorder probability ceiling under ideal stress + contention.
+    max_reorder: float = 0.25
+    #: Store-buffer flush probability floor (heavy buffering) / ceiling.
+    min_flush: float = 0.25
+    max_flush: float = 0.9
+    #: Scheduler chunking: ops per slot without / with full contention.
+    base_chunk: float = 8.0
+    min_chunk: float = 1.0
+    #: How strongly single-instance stress moves the knobs, in [0, 1].
+    stress_response: float = 0.5
+    #: How strongly parallel contention moves the knobs, in [0, 1].
+    contention_response: float = 0.5
+    #: Fraction of stress pressure that reaches the *weak-reordering*
+    #: machinery (reorder probability).  Devices like NVIDIA and M1
+    #: interleave more readily under stress but expose essentially no
+    #: cross-location weakness for an isolated instance no matter the
+    #: stress (Fig. 5c: SITE kills no weakening po-loc mutants there);
+    #: their share is ~0 and only contention unlocks weak reordering.
+    stress_weak_share: float = 1.0
+    #: Device-specific efficiency at exposing fine-grained inter-thread
+    #: interleavings (Fig. 5b spans 6.5K/s on M1 to 428K/s on NVIDIA
+    #: for the same mutants; granularity alone cannot span that range).
+    interleave_gain: float = 1.0
+    #: Mutant mechanisms this device simply cannot exhibit (Sec. 3.4:
+    #: "the specification is more permissive than the implementation").
+    #: These account for the unobservable 16.4% of mutant/device
+    #: combinations in the paper's study.
+    suppressed_mechanisms: Tuple[Mechanism, ...] = ()
+    #: The device never exposes the multi-step coherence windows that
+    #: observer threads must witness (all-writes mutants).
+    suppresses_observer_witness: bool = False
+    #: Partial-synchronization weakness only appears under explicit
+    #: memory stress (contention alone never reveals it).
+    partial_sync_requires_stress: bool = False
+    #: Instances needed to reach half the contention ceiling.
+    contention_half_life: float = 4096.0
+    #: Multiplier applied to weak behaviour when one fence remains
+    #: (partial synchronization still suppresses weakness).
+    partial_sync_leak: float = 0.2
+    #: Hidden stress-pattern optimum (index into the 4 patterns) and
+    #: preferred line-size exponent; used to score pattern_affinity.
+    preferred_pattern: int = 0
+    preferred_line_exponent: int = 4
+    #: Simulated dispatch economics.
+    costs: CostModel = field(
+        default_factory=lambda: CostModel(2e-3, 4e-8, 1e-3)
+    )
+
+    def __post_init__(self) -> None:
+        if self.compute_units <= 0:
+            raise DeviceError("compute_units must be positive")
+        if not 0.0 <= self.base_reorder <= self.max_reorder <= 1.0:
+            raise DeviceError("reorder range invalid")
+        if not 0.0 < self.min_flush <= self.max_flush <= 1.0:
+            raise DeviceError("flush range invalid")
+        if self.min_chunk < 1.0 or self.base_chunk < self.min_chunk:
+            raise DeviceError("chunk range invalid")
+
+    # -- workload → tuning ----------------------------------------------------
+
+    def contention_level(self, instances_in_flight: int) -> float:
+        """Saturating contention in [0, 1] from concurrent instances.
+
+        Uses ``n / (n + half_life)`` so a single instance contributes
+        almost nothing and contention approaches 1 asymptotically as
+        thousands of instances fight over the memory system.
+        """
+        n = float(instances_in_flight - 1)
+        return n / (n + self.contention_half_life)
+
+    def tuning(self, workload: Workload) -> ExecutionTuning:
+        """Map a workload onto operational-simulator knobs.
+
+        Stress and contention each push the device toward its weak
+        extreme; ``pattern_affinity`` scales how effective the stress
+        is on this particular device (the hidden optimum that tuning
+        runs search for), and ``location_spread``/``cross_workgroup``
+        scale contention (instances only collide if their locations
+        and scheduling actually interact).
+        """
+        stress = (
+            max(workload.mem_stress, 0.6 * workload.pre_stress)
+            * (0.4 + 1.2 * workload.pattern_affinity)
+            * self.stress_response
+        )
+        stress = min(1.0, stress)
+        contention = (
+            self.contention_level(workload.instances_in_flight)
+            * (0.5 + 0.5 * workload.location_spread)
+            * (0.4 + 0.6 * workload.cross_workgroup)
+            * self.contention_response
+        )
+        contention = min(1.0, contention)
+        # Stress and contention combine with diminishing returns.  The
+        # timing knobs (scheduling granularity, flush latency) respond
+        # to both; the weak-reordering knob only sees the share of
+        # stress this device lets through (see ``stress_weak_share``).
+        pressure_timing = 1.0 - (1.0 - stress) * (1.0 - contention)
+        pressure_weak = 1.0 - (
+            1.0 - stress * self.stress_weak_share
+        ) * (1.0 - contention)
+        reorder = self.base_reorder + pressure_weak * (
+            self.max_reorder - self.base_reorder
+        )
+        flush = self.max_flush - pressure_timing * (
+            self.max_flush - self.min_flush
+        )
+        chunk = self.base_chunk - pressure_timing * (
+            self.base_chunk - self.min_chunk
+        )
+        return ExecutionTuning(
+            reorder_probability=reorder,
+            flush_probability=flush,
+            chunk_mean=max(self.min_chunk, chunk),
+            contention=pressure_timing,
+            stress=stress,
+        )
+
+    def pattern_affinity(self, pattern: int, line_exponent: int) -> float:
+        """Score a stress configuration against the hidden optimum.
+
+        Exact pattern match is worth most; line-size proximity adds the
+        rest.  Returns a value in [0, 1] with 0.5 reachable by neutral
+        choices, so random tuning finds good configurations at a
+        realistic rate.
+        """
+        pattern_score = 1.0 if pattern == self.preferred_pattern else 0.35
+        distance = abs(line_exponent - self.preferred_line_exponent)
+        line_score = max(0.0, 1.0 - 0.2 * distance)
+        return min(1.0, 0.6 * pattern_score + 0.4 * line_score)
+
+    def __str__(self) -> str:
+        return self.short_name
+
+
+# -- The Table 3 roster (plus the Kepler device of Sec. 5.4) ---------------
+
+NVIDIA_RTX_2080 = DeviceProfile(
+    vendor=Vendor.NVIDIA,
+    chip="GeForce RTX 2080",
+    compute_units=64,
+    device_type=DeviceType.DISCRETE,
+    short_name="NVIDIA",
+    # Very weak under contention (highest reversing-po-loc rates in
+    # Fig. 5b), but an isolated instance exposes nothing: SITE scores
+    # ~zero on weakening mutants here.
+    base_reorder=2e-6,
+    stress_weak_share=0.0,
+    interleave_gain=8.0,
+    suppresses_observer_witness=True,
+    max_reorder=0.45,
+    min_flush=0.2,
+    max_flush=0.95,
+    base_chunk=24.0,
+    stress_response=0.15,
+    contention_response=0.95,
+    contention_half_life=49152.0,
+    partial_sync_leak=0.15,
+    preferred_pattern=1,
+    preferred_line_exponent=6,
+    costs=CostModel(dispatch_overhead=8e-4, per_instance_cost=7e-8,
+                    stress_cost=4e-4),
+)
+
+AMD_RADEON_PRO = DeviceProfile(
+    vendor=Vendor.AMD,
+    chip="Radeon Pro 5500M",
+    compute_units=24,
+    device_type=DeviceType.DISCRETE,
+    short_name="AMD",
+    base_reorder=0.002,
+    stress_weak_share=0.7,
+    interleave_gain=1.2,
+    partial_sync_requires_stress=True,
+    max_reorder=0.3,
+    min_flush=0.3,
+    max_flush=0.9,
+    base_chunk=10.0,
+    stress_response=0.6,
+    contention_response=0.8,
+    contention_half_life=32768.0,
+    partial_sync_leak=0.25,
+    preferred_pattern=0,
+    preferred_line_exponent=4,
+    costs=CostModel(dispatch_overhead=1e-3, per_instance_cost=1.1e-7,
+                    stress_cost=5e-4),
+)
+
+INTEL_IRIS_PLUS = DeviceProfile(
+    vendor=Vendor.INTEL,
+    chip="Iris Plus Graphics",
+    compute_units=48,
+    device_type=DeviceType.INTEGRATED,
+    short_name="Intel",
+    # The one device where fine-grained interleaving shows up even
+    # without stress, and where single-instance stress is extremely
+    # effective (SITE outperforms PTE's random tuning, Sec. 5.2.2).
+    base_reorder=0.01,
+    stress_weak_share=1.0,
+    interleave_gain=0.5,
+    suppresses_observer_witness=True,
+    max_reorder=0.22,
+    min_flush=0.35,
+    max_flush=0.85,
+    base_chunk=3.0,
+    stress_response=0.95,
+    contention_response=0.45,
+    contention_half_life=65536.0,
+    partial_sync_leak=0.3,
+    preferred_pattern=2,
+    preferred_line_exponent=3,
+    costs=CostModel(dispatch_overhead=1.5e-3, per_instance_cost=2.5e-7,
+                    stress_cost=1e-3),
+)
+
+APPLE_M1 = DeviceProfile(
+    vendor=Vendor.APPLE,
+    chip="M1",
+    compute_units=128,
+    device_type=DeviceType.INTEGRATED,
+    short_name="M1",
+    # Weak behaviours exist but are the rarest of the four (lowest
+    # PTE rates in Fig. 5); an isolated instance exposes nothing.
+    base_reorder=1e-6,
+    stress_weak_share=0.005,
+    interleave_gain=0.15,
+    suppressed_mechanisms=(Mechanism.PARTIAL_SYNC,),
+    suppresses_observer_witness=True,
+    max_reorder=0.12,
+    min_flush=0.4,
+    max_flush=0.95,
+    base_chunk=16.0,
+    stress_response=0.25,
+    contention_response=0.7,
+    contention_half_life=65536.0,
+    partial_sync_leak=0.1,
+    preferred_pattern=3,
+    preferred_line_exponent=5,
+    costs=CostModel(dispatch_overhead=7e-4, per_instance_cost=8e-8,
+                    stress_cost=3e-4),
+)
+
+NVIDIA_KEPLER = DeviceProfile(
+    vendor=Vendor.NVIDIA,
+    chip="GeForce GTX 780 (Kepler)",
+    compute_units=12,
+    device_type=DeviceType.DISCRETE,
+    short_name="Kepler",
+    base_reorder=1e-5,
+    stress_weak_share=0.1,
+    interleave_gain=2.0,
+    max_reorder=0.35,
+    min_flush=0.25,
+    max_flush=0.9,
+    base_chunk=16.0,
+    stress_response=0.3,
+    contention_response=0.85,
+    contention_half_life=32768.0,
+    partial_sync_leak=0.2,
+    preferred_pattern=1,
+    preferred_line_exponent=5,
+    costs=CostModel(dispatch_overhead=1.2e-3, per_instance_cost=1.4e-7,
+                    stress_cost=6e-4),
+)
+
+STUDY_PROFILES: Tuple[DeviceProfile, ...] = (
+    NVIDIA_RTX_2080,
+    AMD_RADEON_PRO,
+    INTEL_IRIS_PLUS,
+    APPLE_M1,
+)
+
+ALL_PROFILES: Tuple[DeviceProfile, ...] = STUDY_PROFILES + (NVIDIA_KEPLER,)
+
+_BY_NAME: Dict[str, DeviceProfile] = {
+    profile.short_name.lower(): profile for profile in ALL_PROFILES
+}
+
+
+def profile_by_name(short_name: str) -> DeviceProfile:
+    """Look up a profile by its Table 3 short name (case-insensitive)."""
+    try:
+        return _BY_NAME[short_name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_BY_NAME))
+        raise DeviceError(
+            f"unknown device {short_name!r}; known: {known}"
+        ) from None

@@ -1,0 +1,48 @@
+"""Litmus tests: instruction IR, outcomes, oracle, and classic library.
+
+A litmus test is a small concurrent program plus a behaviour of
+interest (Sec. 2.2).  This package provides the syntactic side of the
+system: programs built from four instructions, observable outcomes,
+the enumeration-backed oracle that classifies them, a library of the
+classic tests the paper names, and WGSL shader generation matching the
+paper's WebGPU artifact.
+"""
+
+from repro.litmus.instructions import (
+    AtomicExchange,
+    AtomicLoad,
+    AtomicStore,
+    Fence,
+    Instruction,
+)
+from repro.litmus.oracle import TestOracle
+from repro.litmus.outcomes import (
+    Outcome,
+    OutcomeHistogram,
+    outcome_of_execution,
+)
+from repro.litmus.program import BehaviorSpec, LitmusTest
+from repro.litmus.wgsl import WgslGenerator, generate_wgsl
+from repro.litmus import extended, library, textfmt
+from repro.litmus.textfmt import format_test, parse as parse_litmus
+
+__all__ = [
+    "AtomicExchange",
+    "AtomicLoad",
+    "AtomicStore",
+    "BehaviorSpec",
+    "Fence",
+    "Instruction",
+    "LitmusTest",
+    "Outcome",
+    "OutcomeHistogram",
+    "TestOracle",
+    "WgslGenerator",
+    "extended",
+    "format_test",
+    "generate_wgsl",
+    "library",
+    "outcome_of_execution",
+    "parse_litmus",
+    "textfmt",
+]

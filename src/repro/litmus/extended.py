@@ -1,0 +1,215 @@
+"""Extended litmus classics beyond the paper's two-thread suite.
+
+The MC Mutants suite is built from two-thread cycles, but the
+methodology "applies generally to MCS testing" (Sec. 1.2); these
+multi-thread classics from the weak-memory literature (Alglave et al.,
+"Herding Cats") exercise the formal layer and the simulator on wider
+shapes:
+
+* **IRIW** — independent reads of independent writes: two readers
+  disagree about the order of two unrelated writes.  Allowed under
+  SC-per-location (it is only forbidden by multi-copy atomicity).
+* **WRC** — write-to-read causality: a write observed through a
+  middleman thread.
+* **ISA2** — a three-thread message-passing chain.
+* **CoRR3** — three program-ordered reads observing a coherence
+  zig-zag; disallowed by SC-per-location like CoRR.
+* **RWC** — read-to-write causality.
+* **Z6.3 / W+RWC**-style shapes are representable too; the ones here
+  are the set most often used to fingerprint memory models.
+
+Each test's target behaviour is oracle-verified in the test suite:
+the coherence variants are disallowed, the weak-memory variants
+allowed (SC-per-location says nothing across locations).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.litmus.instructions import AtomicLoad, AtomicStore, Fence
+from repro.litmus.program import BehaviorSpec, LitmusTest
+from repro.memory_model.events import Location, X, Y
+from repro.memory_model.models import (
+    REL_ACQ_SC_PER_LOCATION,
+    SC_PER_LOCATION,
+)
+
+Z = Location("z")
+
+
+def iriw() -> LitmusTest:
+    """Independent Reads of Independent Writes.
+
+    Readers 2 and 3 observe the writes to x and y in opposite orders.
+    Allowed under SC-per-location; forbidden only by models with
+    multi-copy atomicity (e.g. SC, x86-TSO).
+    """
+    return LitmusTest(
+        name="iriw",
+        threads=[
+            [AtomicStore(X, 1)],
+            [AtomicStore(Y, 2)],
+            [AtomicLoad(X, "r0"), AtomicLoad(Y, "r1")],
+            [AtomicLoad(Y, "r2"), AtomicLoad(X, "r3")],
+        ],
+        model=SC_PER_LOCATION,
+        target=BehaviorSpec(
+            reads={"r0": 1, "r1": 0, "r2": 2, "r3": 0}
+        ),
+        description="readers disagree about unrelated write order",
+    )
+
+
+def wrc() -> LitmusTest:
+    """Write-to-Read Causality.
+
+    Thread 1 reads x then writes y; thread 2 reads y then x.  The weak
+    outcome breaks the causal chain.  Allowed under SC-per-location.
+    """
+    return LitmusTest(
+        name="wrc",
+        threads=[
+            [AtomicStore(X, 1)],
+            [AtomicLoad(X, "r0"), AtomicStore(Y, 2)],
+            [AtomicLoad(Y, "r1"), AtomicLoad(X, "r2")],
+        ],
+        model=SC_PER_LOCATION,
+        target=BehaviorSpec(reads={"r0": 1, "r1": 2, "r2": 0}),
+        description="causality through a middleman thread",
+    )
+
+
+def wrc_relacq() -> LitmusTest:
+    """WRC with rel/acq fences on both consumer threads.
+
+    The fence chain transfers the causal order, so the weak outcome is
+    disallowed under rel-acq-SC-per-location.
+    """
+    return LitmusTest(
+        name="wrc_relacq",
+        threads=[
+            [AtomicStore(X, 1)],
+            [AtomicLoad(X, "r0"), Fence(), AtomicStore(Y, 2)],
+            [AtomicLoad(Y, "r1"), Fence(), AtomicLoad(X, "r2")],
+        ],
+        model=REL_ACQ_SC_PER_LOCATION,
+        target=BehaviorSpec(reads={"r0": 1, "r1": 2, "r2": 0}),
+        description="WRC with fenced consumers",
+    )
+
+
+def isa2() -> LitmusTest:
+    """A three-thread message-passing chain (ISA2 shape)."""
+    return LitmusTest(
+        name="isa2",
+        threads=[
+            [AtomicStore(X, 1), AtomicStore(Y, 2)],
+            [AtomicLoad(Y, "r0"), AtomicStore(Z, 3)],
+            [AtomicLoad(Z, "r1"), AtomicLoad(X, "r2")],
+        ],
+        model=SC_PER_LOCATION,
+        target=BehaviorSpec(reads={"r0": 2, "r1": 3, "r2": 0}),
+        description="three-hop message passing",
+    )
+
+
+def isa2_relacq() -> LitmusTest:
+    """ISA2 with a full rel/acq fence chain.
+
+    Perhaps surprisingly, the weak outcome stays *allowed*: the paper's
+    model adds exactly ``po ; sw ; po`` to happens-before — one
+    synchronization hop — whereas forbidding ISA2 needs *cumulative*
+    release/acquire (C++'s transitive ``(sb ∪ sw)+``).  The enumeration
+    oracle confirms this, which makes the test a nice probe of how the
+    simplified WebGPU model differs from C++.
+    """
+    return LitmusTest(
+        name="isa2_relacq",
+        threads=[
+            [AtomicStore(X, 1), Fence(), AtomicStore(Y, 2)],
+            [AtomicLoad(Y, "r0"), Fence(), AtomicStore(Z, 3)],
+            [AtomicLoad(Z, "r1"), Fence(), AtomicLoad(X, "r2")],
+        ],
+        model=REL_ACQ_SC_PER_LOCATION,
+        target=BehaviorSpec(reads={"r0": 2, "r1": 3, "r2": 0}),
+        description="fenced three-hop message passing",
+    )
+
+
+def corr3() -> LitmusTest:
+    """Three same-location reads observing a coherence zig-zag.
+
+    The middle read goes backwards in coherence order — disallowed by
+    SC-per-location, like CoRR but with a longer observation window.
+    """
+    return LitmusTest(
+        name="corr3",
+        threads=[
+            [
+                AtomicLoad(X, "r0"),
+                AtomicLoad(X, "r1"),
+                AtomicLoad(X, "r2"),
+            ],
+            [AtomicStore(X, 1), AtomicStore(X, 2)],
+        ],
+        model=SC_PER_LOCATION,
+        target=BehaviorSpec(reads={"r0": 2, "r1": 1, "r2": 2}),
+        description="three reads zig-zag through coherence order",
+    )
+
+
+def rwc() -> LitmusTest:
+    """Read-to-Write Causality.
+
+    Thread 1 observes x then reads y stale; thread 2 writes y then
+    reads x stale.  Allowed under SC-per-location.
+    """
+    return LitmusTest(
+        name="rwc",
+        threads=[
+            [AtomicStore(X, 1)],
+            [AtomicLoad(X, "r0"), AtomicLoad(Y, "r1")],
+            [AtomicStore(Y, 2), AtomicLoad(X, "r2")],
+        ],
+        model=SC_PER_LOCATION,
+        target=BehaviorSpec(reads={"r0": 1, "r1": 0, "r2": 0}),
+        description="read-to-write causality",
+    )
+
+
+_BUILDERS: Dict[str, Callable[[], LitmusTest]] = {
+    builder().name: builder
+    for builder in (
+        iriw,
+        wrc,
+        wrc_relacq,
+        isa2,
+        isa2_relacq,
+        corr3,
+        rwc,
+    )
+}
+
+#: Tests whose target behaviour is disallowed under their model.  Note
+#: isa2_relacq is *not* here: the paper's one-hop ``po;sw;po`` rule is
+#: not cumulative, so the fenced ISA2 weak outcome remains allowed.
+FORBIDDEN = ("wrc_relacq", "corr3")
+
+
+def test_names() -> List[str]:
+    return sorted(_BUILDERS)
+
+
+def by_name(name: str) -> LitmusTest:
+    try:
+        return _BUILDERS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown extended test {name!r}; known: "
+            f"{', '.join(test_names())}"
+        ) from None
+
+
+def all_tests() -> List[LitmusTest]:
+    return [builder() for builder in _BUILDERS.values()]

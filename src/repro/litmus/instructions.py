@@ -1,0 +1,104 @@
+"""The instruction set of litmus-test programs.
+
+Litmus tests in the paper's WebGPU subset use only four instructions
+(Sec. 2.3): atomic load, atomic store, atomic read-modify-write, and the
+release/acquire fence.  Each instruction knows how to produce the
+:class:`~repro.memory_model.events.Event` it generates when executed,
+which ties the syntactic program to the formal execution model.
+
+RMWs are concretized as atomic *exchange* (store a constant, return the
+old value) — the simplest unconditional RMW, matching how the paper's
+artifact instantiates RMW events with "a unique increasing value".
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.memory_model.events import Event, Location, fence, read, rmw, write
+
+
+class Instruction(abc.ABC):
+    """One instruction of a litmus-test thread."""
+
+    @abc.abstractmethod
+    def to_event(self, uid: int, thread: int, label: str = "") -> Event:
+        """The event this instruction contributes to an execution."""
+
+    @property
+    def is_memory_access(self) -> bool:
+        return not isinstance(self, Fence)
+
+    @property
+    def reads(self) -> bool:
+        """True if the instruction observes a value into a register."""
+        return isinstance(self, (AtomicLoad, AtomicExchange))
+
+    @property
+    def writes(self) -> bool:
+        """True if the instruction stores a value."""
+        return isinstance(self, (AtomicStore, AtomicExchange))
+
+    @abc.abstractmethod
+    def pretty(self) -> str:
+        """Source-like rendering, e.g. ``r0 = atomicLoad(x)``."""
+
+
+@dataclass(frozen=True)
+class AtomicLoad(Instruction):
+    """``register = atomicLoad(location)``"""
+
+    location: Location
+    register: str
+
+    def to_event(self, uid: int, thread: int, label: str = "") -> Event:
+        return read(uid, thread, self.location, label)
+
+    def pretty(self) -> str:
+        return f"{self.register} = atomicLoad({self.location})"
+
+
+@dataclass(frozen=True)
+class AtomicStore(Instruction):
+    """``atomicStore(location, value)``"""
+
+    location: Location
+    value: int
+
+    def to_event(self, uid: int, thread: int, label: str = "") -> Event:
+        return write(uid, thread, self.location, self.value, label)
+
+    def pretty(self) -> str:
+        return f"atomicStore({self.location}, {self.value})"
+
+
+@dataclass(frozen=True)
+class AtomicExchange(Instruction):
+    """``register = atomicExchange(location, value)`` — the RMW."""
+
+    location: Location
+    value: int
+    register: str
+
+    def to_event(self, uid: int, thread: int, label: str = "") -> Event:
+        return rmw(uid, thread, self.location, self.value, label)
+
+    def pretty(self) -> str:
+        return f"{self.register} = atomicExchange({self.location}, {self.value})"
+
+
+@dataclass(frozen=True)
+class Fence(Instruction):
+    """A release/acquire fence.
+
+    In the WGSL version of the paper's tests this is realised with a
+    ``storageBarrier()`` control barrier, whose pre-specification-change
+    semantics provided release/acquire ordering across workgroups.
+    """
+
+    def to_event(self, uid: int, thread: int, label: str = "") -> Event:
+        return fence(uid, thread, label)
+
+    def pretty(self) -> str:
+        return "storageBarrier()"

@@ -1,0 +1,326 @@
+"""Hand-written classic litmus tests.
+
+These named constructors mirror the tests the paper discusses by name:
+the coherence quartet (CoRR, CoWR, CoRW, CoWW), message passing with
+and without release/acquire fences (Fig. 1), load buffering, store
+buffering, S, R, 2+2W (via RMW synchronization, Sec. 3.3), and the
+MP-CO coherence test used to recreate the NVIDIA Kepler bug (Sec. 5.4).
+
+Each test carries a :class:`~repro.litmus.program.BehaviorSpec` naming
+its behaviour of interest; the systematic generator in
+:mod:`repro.mutation` produces a superset of these and is cross-checked
+against this library in the test suite.
+
+Register naming: ``r0``, ``r1``, ... in program order.  Stored values:
+unique increasing from 1.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.litmus.instructions import (
+    AtomicExchange,
+    AtomicLoad,
+    AtomicStore,
+    Fence,
+)
+from repro.litmus.program import BehaviorSpec, LitmusTest
+from repro.memory_model.events import X, Y
+from repro.memory_model.models import (
+    REL_ACQ_SC_PER_LOCATION,
+    SC_PER_LOCATION,
+)
+
+
+def corr() -> LitmusTest:
+    """Coherence of Read-Read (Fig. 1a).
+
+    Disallowed: the first read observes the new value while the second
+    observes the stale initial value.
+    """
+    return LitmusTest(
+        name="corr",
+        threads=[
+            [AtomicLoad(X, "r0"), AtomicLoad(X, "r1")],
+            [AtomicStore(X, 1)],
+        ],
+        model=SC_PER_LOCATION,
+        target=BehaviorSpec(reads={"r0": 1, "r1": 0}),
+        description="read-read coherence: reads must not go backwards",
+    )
+
+
+def cowr() -> LitmusTest:
+    """Coherence of Write-Read.
+
+    Disallowed: a thread reads the initial value after its own write.
+    """
+    return LitmusTest(
+        name="cowr",
+        threads=[
+            [AtomicStore(X, 1), AtomicLoad(X, "r0")],
+            [AtomicStore(X, 2)],
+        ],
+        model=SC_PER_LOCATION,
+        target=BehaviorSpec(reads={"r0": 0}, co=((2, 1),)),
+        description="write-read coherence: a read sees its own write",
+    )
+
+
+def corw() -> LitmusTest:
+    """Coherence of Read-Write.
+
+    Disallowed: a thread reads another thread's write, yet its own
+    po-later write ends up coherence-before that write.
+    """
+    return LitmusTest(
+        name="corw",
+        threads=[
+            [AtomicLoad(X, "r0"), AtomicStore(X, 1)],
+            [AtomicStore(X, 2)],
+        ],
+        model=SC_PER_LOCATION,
+        target=BehaviorSpec(reads={"r0": 2}, co=((1, 2),)),
+        description="read-write coherence",
+    )
+
+
+def coww() -> LitmusTest:
+    """Coherence of Write-Write, with an observer thread.
+
+    Disallowed: program-ordered writes reach memory out of order.  The
+    observer's two reads witness the coherence segment the final value
+    cannot (Sec. 3.1: "an observer thread is included for the special
+    case where all memory events are concretized as writes").
+    """
+    return LitmusTest(
+        name="coww",
+        threads=[
+            [AtomicStore(X, 1), AtomicStore(X, 2)],
+            [AtomicStore(X, 3)],
+            [AtomicLoad(X, "r0"), AtomicLoad(X, "r1")],
+        ],
+        model=SC_PER_LOCATION,
+        target=BehaviorSpec(reads={"r0": 2, "r1": 3}, co=((2, 3), (3, 1))),
+        observer_threads=[2],
+        description="write-write coherence witnessed by an observer",
+    )
+
+
+def mp() -> LitmusTest:
+    """Message passing without fences — the weak outcome is *allowed*.
+
+    This is the classic weak-memory behaviour stress testing tries to
+    surface; it is also what Mutator 3's drop-both-fences mutants check.
+    """
+    return LitmusTest(
+        name="mp",
+        threads=[
+            [AtomicStore(X, 1), AtomicStore(Y, 2)],
+            [AtomicLoad(Y, "r0"), AtomicLoad(X, "r1")],
+        ],
+        model=SC_PER_LOCATION,
+        target=BehaviorSpec(reads={"r0": 2, "r1": 0}),
+        description="message passing, no synchronization",
+    )
+
+
+def mp_relacq() -> LitmusTest:
+    """Message passing with release/acquire fences (Fig. 1b).
+
+    Disallowed under rel-acq-SC-per-location: the flag is observed but
+    the data is stale.  Observing this on AMD led to a driver fix and a
+    WebGPU specification change (Sec. 5.4).
+    """
+    return LitmusTest(
+        name="mp_relacq",
+        threads=[
+            [AtomicStore(X, 1), Fence(), AtomicStore(Y, 2)],
+            [AtomicLoad(Y, "r0"), Fence(), AtomicLoad(X, "r1")],
+        ],
+        model=REL_ACQ_SC_PER_LOCATION,
+        target=BehaviorSpec(reads={"r0": 2, "r1": 0}),
+        description="message passing with rel/acq fences",
+    )
+
+
+def lb() -> LitmusTest:
+    """Load buffering without fences — weak outcome allowed."""
+    return LitmusTest(
+        name="lb",
+        threads=[
+            [AtomicLoad(X, "r0"), AtomicStore(Y, 1)],
+            [AtomicLoad(Y, "r1"), AtomicStore(X, 2)],
+        ],
+        model=SC_PER_LOCATION,
+        target=BehaviorSpec(reads={"r0": 2, "r1": 1}),
+        description="load buffering, no synchronization",
+    )
+
+
+def lb_relacq() -> LitmusTest:
+    """Load buffering with fences — weak outcome disallowed."""
+    return LitmusTest(
+        name="lb_relacq",
+        threads=[
+            [AtomicLoad(X, "r0"), Fence(), AtomicStore(Y, 1)],
+            [AtomicLoad(Y, "r1"), Fence(), AtomicStore(X, 2)],
+        ],
+        model=REL_ACQ_SC_PER_LOCATION,
+        target=BehaviorSpec(reads={"r0": 2, "r1": 1}),
+        description="load buffering with rel/acq fences",
+    )
+
+
+def sb() -> LitmusTest:
+    """Store buffering without fences — weak outcome allowed."""
+    return LitmusTest(
+        name="sb",
+        threads=[
+            [AtomicStore(X, 1), AtomicLoad(Y, "r0")],
+            [AtomicStore(Y, 2), AtomicLoad(X, "r1")],
+        ],
+        model=SC_PER_LOCATION,
+        target=BehaviorSpec(reads={"r0": 0, "r1": 0}),
+        description="store buffering, no synchronization",
+    )
+
+
+def s_relacq() -> LitmusTest:
+    """The S test with fences — disallowed write-order inversion."""
+    return LitmusTest(
+        name="s_relacq",
+        threads=[
+            [AtomicStore(X, 1), Fence(), AtomicStore(Y, 2)],
+            [AtomicLoad(Y, "r0"), Fence(), AtomicStore(X, 3)],
+        ],
+        model=REL_ACQ_SC_PER_LOCATION,
+        target=BehaviorSpec(reads={"r0": 2}, co=((3, 1),)),
+        description="S: synchronized write ordered after a later write",
+    )
+
+
+def sb_relacq_rmw() -> LitmusTest:
+    """Store buffering made testable with rel/acq fences plus RMWs.
+
+    Plain fences cannot forbid SB (Sec. 3.3); replacing the
+    post-release write-side event with an RMW creates the
+    synchronization, mimicking a sequentially consistent fence.
+    """
+    return LitmusTest(
+        name="sb_relacq_rmw",
+        threads=[
+            [AtomicStore(X, 1), Fence(), AtomicExchange(Y, 2, "r0")],
+            [AtomicExchange(Y, 3, "r1"), Fence(), AtomicLoad(X, "r2")],
+        ],
+        model=REL_ACQ_SC_PER_LOCATION,
+        target=BehaviorSpec(reads={"r0": 0, "r1": 2, "r2": 0}),
+        description="store buffering via RMW synchronization",
+    )
+
+
+def r_relacq_rmw() -> LitmusTest:
+    """The R test via RMW synchronization."""
+    return LitmusTest(
+        name="r_relacq_rmw",
+        threads=[
+            [AtomicStore(X, 1), Fence(), AtomicStore(Y, 2)],
+            [AtomicExchange(Y, 3, "r0"), Fence(), AtomicLoad(X, "r1")],
+        ],
+        model=REL_ACQ_SC_PER_LOCATION,
+        target=BehaviorSpec(reads={"r0": 2, "r1": 0}),
+        description="R: write visible to RMW but data read stale",
+    )
+
+
+def two_plus_two_w_relacq_rmw() -> LitmusTest:
+    """2+2W via RMW synchronization."""
+    return LitmusTest(
+        name="2+2w_relacq_rmw",
+        threads=[
+            [AtomicStore(X, 1), Fence(), AtomicStore(Y, 2)],
+            [AtomicExchange(Y, 3, "r0"), Fence(), AtomicStore(X, 4)],
+        ],
+        model=REL_ACQ_SC_PER_LOCATION,
+        target=BehaviorSpec(reads={"r0": 2}, co=((2, 3), (4, 1))),
+        description="2+2W: both write pairs inverted",
+    )
+
+
+def mp_co() -> LitmusTest:
+    """Message-passing coherence (MP-CO, Sec. 5.4).
+
+    Single-location MP: a reader sees the second write and then the
+    first.  Violations recreate the NVIDIA Kepler coherence bug.
+    """
+    return LitmusTest(
+        name="mp_co",
+        threads=[
+            [AtomicStore(X, 1), AtomicStore(X, 2)],
+            [AtomicLoad(X, "r0"), AtomicLoad(X, "r1")],
+        ],
+        model=SC_PER_LOCATION,
+        target=BehaviorSpec(reads={"r0": 2, "r1": 1}),
+        description="single-location message passing (coherence)",
+    )
+
+
+def corr_rmw() -> LitmusTest:
+    """CoRR with the maximal RMW replacement (Sec. 3.1).
+
+    The second read and the remote write become RMWs; the first read
+    must stay a plain load or its write half would break the cycle.
+    """
+    return LitmusTest(
+        name="corr_rmw",
+        threads=[
+            [AtomicLoad(X, "r0"), AtomicExchange(X, 1, "r1")],
+            [AtomicExchange(X, 2, "r2")],
+        ],
+        model=SC_PER_LOCATION,
+        target=BehaviorSpec(reads={"r0": 2, "r1": 0}),
+        description="CoRR with maximal RMW substitution",
+    )
+
+
+_BUILDERS: Dict[str, Callable[[], LitmusTest]] = {
+    builder().name: builder
+    for builder in (
+        corr,
+        cowr,
+        corw,
+        coww,
+        mp,
+        mp_relacq,
+        lb,
+        lb_relacq,
+        sb,
+        s_relacq,
+        sb_relacq_rmw,
+        r_relacq_rmw,
+        two_plus_two_w_relacq_rmw,
+        mp_co,
+        corr_rmw,
+    )
+}
+
+
+def test_names() -> List[str]:
+    """Names of all library tests, sorted."""
+    return sorted(_BUILDERS)
+
+
+def by_name(name: str) -> LitmusTest:
+    """Construct a library test by name."""
+    try:
+        return _BUILDERS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown litmus test {name!r}; known: {', '.join(test_names())}"
+        ) from None
+
+
+def all_tests() -> List[LitmusTest]:
+    """Every library test, freshly constructed."""
+    return [builder() for builder in _BUILDERS.values()]

@@ -1,0 +1,132 @@
+"""Observable outcomes of litmus-test runs.
+
+An :class:`Outcome` is everything the testing harness can actually see
+after one instance of a test: the value each read landed in its
+register, and the final value of each memory location.  Candidate
+executions project onto outcomes via :func:`outcome_of_execution`; the
+oracle compares runtime outcomes against the projections of allowed
+executions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Tuple
+
+from repro.litmus.program import LitmusTest
+from repro.memory_model.events import Location
+from repro.memory_model.execution import Execution, INITIAL_VALUE
+
+Signature = Tuple[Tuple[Tuple[str, int], ...], Tuple[Tuple[str, int], ...]]
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """The observables of one executed test instance."""
+
+    reads: Mapping[str, int]
+    finals: Mapping[Location, int]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "reads", dict(self.reads))
+        object.__setattr__(self, "finals", dict(self.finals))
+
+    def signature(self) -> Signature:
+        """A canonical hashable form used for set membership tests."""
+        reads = tuple(sorted(self.reads.items()))
+        finals = tuple(
+            sorted((loc.name, value) for loc, value in self.finals.items())
+        )
+        return (reads, finals)
+
+    def describe(self) -> str:
+        parts = [f"{reg}={val}" for reg, val in sorted(self.reads.items())]
+        parts += [
+            f"*{name}={val}"
+            for name, val in sorted(
+                (loc.name, v) for loc, v in self.finals.items()
+            )
+        ]
+        return ", ".join(parts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Outcome):
+            return NotImplemented
+        return self.signature() == other.signature()
+
+    def __hash__(self) -> int:
+        return hash(self.signature())
+
+
+def outcome_of_execution(test: LitmusTest, execution: Execution) -> Outcome:
+    """Project a candidate execution onto its observable outcome."""
+    registers = test.register_events(execution)
+    reads = {
+        register: execution.observed_value(event)
+        for register, event in registers.items()
+    }
+    finals: Dict[Location, int] = {}
+    for location in test.locations:
+        order = execution.co_order(location)
+        if order:
+            final = order[-1].value
+            assert final is not None
+            finals[location] = final
+        else:
+            finals[location] = INITIAL_VALUE
+    return Outcome(reads=reads, finals=finals)
+
+
+class OutcomeHistogram:
+    """Counts of observed outcomes across many instances of one test."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[Outcome, int] = {}
+
+    def record(self, outcome: Outcome, count: int = 1) -> None:
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self._counts[outcome] = self._counts.get(outcome, 0) + count
+
+    def count(self, outcome: Outcome) -> int:
+        return self._counts.get(outcome, 0)
+
+    @property
+    def total(self) -> int:
+        return sum(self._counts.values())
+
+    def outcomes(self) -> Iterator[Tuple[Outcome, int]]:
+        """Outcomes and counts, most frequent first (then stable order)."""
+        return iter(
+            sorted(
+                self._counts.items(),
+                key=lambda item: (-item[1], item[0].signature()),
+            )
+        )
+
+    def merge(self, other: "OutcomeHistogram") -> "OutcomeHistogram":
+        merged = OutcomeHistogram()
+        for histogram in (self, other):
+            for outcome, count in histogram._counts.items():
+                merged.record(outcome, count)
+        return merged
+
+    def frequency(self, outcome: Outcome) -> float:
+        if self.total == 0:
+            return 0.0
+        return self.count(outcome) / self.total
+
+    def pretty(self, limit: int = 10) -> str:
+        lines: List[str] = []
+        for index, (outcome, count) in enumerate(self.outcomes()):
+            if index >= limit:
+                lines.append(f"  ... {len(self._counts) - limit} more")
+                break
+            lines.append(f"  {count:>8}  {outcome.describe()}")
+        return "\n".join(lines) if lines else "  <empty>"
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __repr__(self) -> str:
+        return f"OutcomeHistogram(total={self.total}, distinct={len(self)})"

@@ -1,0 +1,250 @@
+"""A textual litmus-test format, in the spirit of herdtools' ``.litmus``.
+
+Litmus tests are traditionally exchanged as small text files (the
+``litmus`` tool of Alglave et al., which the paper builds on, defined
+the de-facto format).  This module provides a WGSL-flavoured dialect
+so suites can be inspected, stored, and re-parsed:
+
+.. code-block:: none
+
+    WGSL corr
+    "read-read coherence: reads must not go backwards"
+    model sc-per-location
+    { }
+    thread 0:
+      r0 = atomicLoad(x);
+      r1 = atomicLoad(x);
+    thread 1:
+      atomicStore(x, 1);
+    exists (r0 == 1 /\\ r1 == 0)
+
+Grammar notes:
+
+* the ``exists`` clause lists read-register constraints and coherence
+  constraints (``co(1 < 2)``) joined by ``/\\`` — exactly the
+  information a :class:`~repro.litmus.program.BehaviorSpec` holds;
+* ``observer N`` lines flag observer threads;
+* the empty ``{ }`` initial-state block is kept for familiarity (all
+  memory is zero-initialised, as in the paper).
+
+``parse`` and ``format_test`` are inverses up to whitespace; the test
+suite round-trips the whole generated suite through them.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import MalformedProgramError
+from repro.litmus.instructions import (
+    AtomicExchange,
+    AtomicLoad,
+    AtomicStore,
+    Fence,
+    Instruction,
+)
+from repro.litmus.program import BehaviorSpec, LitmusTest
+from repro.memory_model.events import Location
+from repro.memory_model.models import model_by_name
+
+_HEADER = re.compile(r"^WGSL\s+(?P<name>\S+)\s*$")
+_THREAD = re.compile(r"^thread\s+(?P<index>\d+)\s*:\s*$")
+_OBSERVER = re.compile(r"^observer\s+(?P<index>\d+)\s*$")
+_MODEL = re.compile(r"^model\s+(?P<model>[\w\-]+)\s*$")
+_PLACEMENT = re.compile(r"^placement\s+(?P<groups>\d+(\s+\d+)*)\s*$")
+_LOAD = re.compile(
+    r"^(?P<register>\w+)\s*=\s*atomicLoad\((?P<location>\w+)\)\s*;?$"
+)
+_STORE = re.compile(
+    r"^atomicStore\((?P<location>\w+)\s*,\s*(?P<value>\d+)\)\s*;?$"
+)
+_EXCHANGE = re.compile(
+    r"^(?P<register>\w+)\s*=\s*atomicExchange\((?P<location>\w+)\s*,\s*"
+    r"(?P<value>\d+)\)\s*;?$"
+)
+_FENCE = re.compile(r"^storageBarrier\(\)\s*;?$")
+_WG_BARRIER = re.compile(r"^workgroupBarrier\(\)\s*;?$")
+_EXISTS = re.compile(r"^exists\s*\((?P<body>.*)\)\s*$")
+_READ_CONSTRAINT = re.compile(r"^(?P<register>\w+)\s*==\s*(?P<value>\d+)$")
+_CO_CONSTRAINT = re.compile(
+    r"^co\(\s*(?P<earlier>\d+)\s*<\s*(?P<later>\d+)\s*\)$"
+)
+
+
+def format_test(test: LitmusTest) -> str:
+    """Render a litmus test in the textual format."""
+    lines: List[str] = [f"WGSL {test.name}"]
+    if test.description:
+        lines.append(f'"{test.description}"')
+    lines.append(f"model {test.model.name}")
+    placement = getattr(test.model, "placement", None)
+    if placement is not None:
+        groups = " ".join(str(g) for g in placement.workgroups)
+        lines.append(f"placement {groups}")
+    lines.append("{ }")
+    for index, thread in enumerate(test.threads):
+        lines.append(f"thread {index}:")
+        for instruction in thread:
+            lines.append(f"  {instruction.pretty()};")
+    for index in sorted(test.observer_threads):
+        lines.append(f"observer {index}")
+    if test.target is not None:
+        constraints = [
+            f"{register} == {value}"
+            for register, value in sorted(test.target.reads.items())
+        ]
+        constraints += [
+            f"co({earlier} < {later})"
+            for earlier, later in test.target.co
+        ]
+        joined = " /\\ ".join(constraints)
+        lines.append(f"exists ({joined})")
+    return "\n".join(lines) + "\n"
+
+
+def _parse_instruction(line: str) -> Instruction:
+    match = _LOAD.match(line)
+    if match:
+        return AtomicLoad(
+            Location(match["location"]), match["register"]
+        )
+    match = _STORE.match(line)
+    if match:
+        return AtomicStore(
+            Location(match["location"]), int(match["value"])
+        )
+    match = _EXCHANGE.match(line)
+    if match:
+        return AtomicExchange(
+            Location(match["location"]),
+            int(match["value"]),
+            match["register"],
+        )
+    if _FENCE.match(line):
+        return Fence()
+    if _WG_BARRIER.match(line):
+        # Imported lazily: repro.scopes depends on repro.litmus, so a
+        # module-level import here would be circular.
+        from repro.scopes.instructions import ControlBarrier
+
+        return ControlBarrier()
+    raise MalformedProgramError(f"cannot parse instruction: {line!r}")
+
+
+def _parse_exists(body: str) -> BehaviorSpec:
+    reads: Dict[str, int] = {}
+    co: List[Tuple[int, int]] = []
+    body = body.strip()
+    if not body:
+        return BehaviorSpec()
+    for raw in re.split(r"/\\", body):
+        clause = raw.strip()
+        match = _READ_CONSTRAINT.match(clause)
+        if match:
+            reads[match["register"]] = int(match["value"])
+            continue
+        match = _CO_CONSTRAINT.match(clause)
+        if match:
+            co.append((int(match["earlier"]), int(match["later"])))
+            continue
+        raise MalformedProgramError(
+            f"cannot parse exists clause: {clause!r}"
+        )
+    return BehaviorSpec(reads=reads, co=tuple(co))
+
+
+def parse(text: str) -> LitmusTest:
+    """Parse the textual format back into a :class:`LitmusTest`.
+
+    Raises:
+        MalformedProgramError: On any syntax or structural problem.
+    """
+    name: Optional[str] = None
+    description = ""
+    model = None
+    model_name: Optional[str] = None
+    placement_groups: Optional[List[int]] = None
+    threads: List[List[Instruction]] = []
+    observers: List[int] = []
+    target: Optional[BehaviorSpec] = None
+    current: Optional[List[Instruction]] = None
+
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line == "{ }":
+            continue
+        header = _HEADER.match(line)
+        if header:
+            name = header["name"]
+            continue
+        if line.startswith('"') and line.endswith('"') and len(line) >= 2:
+            description = line[1:-1]
+            continue
+        model_match = _MODEL.match(line)
+        if model_match:
+            model_name = model_match["model"]
+            if model_name != "scoped-rel-acq-sc-per-location":
+                try:
+                    model = model_by_name(model_name)
+                except KeyError as error:
+                    raise MalformedProgramError(str(error))
+            continue
+        placement_match = _PLACEMENT.match(line)
+        if placement_match:
+            placement_groups = [
+                int(group)
+                for group in placement_match["groups"].split()
+            ]
+            continue
+        thread_match = _THREAD.match(line)
+        if thread_match:
+            index = int(thread_match["index"])
+            if index != len(threads):
+                raise MalformedProgramError(
+                    f"thread {index} out of order (expected "
+                    f"{len(threads)})"
+                )
+            current = []
+            threads.append(current)
+            continue
+        observer_match = _OBSERVER.match(line)
+        if observer_match:
+            observers.append(int(observer_match["index"]))
+            current = None
+            continue
+        exists_match = _EXISTS.match(line)
+        if exists_match:
+            target = _parse_exists(exists_match["body"])
+            current = None
+            continue
+        if current is None:
+            raise MalformedProgramError(
+                f"instruction outside a thread block: {line!r}"
+            )
+        current.append(_parse_instruction(line))
+
+    if name is None:
+        raise MalformedProgramError("missing 'WGSL <name>' header")
+    if model_name == "scoped-rel-acq-sc-per-location":
+        if placement_groups is None:
+            raise MalformedProgramError(
+                "scoped model requires a 'placement ...' line"
+            )
+        # Imported lazily: repro.scopes depends on repro.litmus.
+        from repro.scopes.model import scoped_model
+        from repro.scopes.placement import Placement
+
+        model = scoped_model(threads, Placement(placement_groups))
+    if model is None:
+        raise MalformedProgramError("missing 'model <name>' line")
+    if not threads:
+        raise MalformedProgramError("no thread blocks found")
+    return LitmusTest(
+        name=name,
+        threads=threads,
+        model=model,
+        target=target,
+        observer_threads=observers,
+        description=description,
+    )

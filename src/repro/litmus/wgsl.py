@@ -1,0 +1,220 @@
+"""WGSL shader-text generation for litmus tests.
+
+The paper's harness dispatches WebGPU compute shaders written in WGSL
+(Sec. 2.3).  This module renders any :class:`~repro.litmus.program.LitmusTest`
+into the shader the harness would run, following the structure of the
+paper's artifact (the ``webgpu-litmus`` page):
+
+* one storage buffer of atomics for test locations,
+* one storage buffer for read results,
+* a shuffled-ids buffer so thread-to-test assignment is indirected,
+* per-thread instruction blocks selected by the permuted instance id.
+
+The simulator interprets the litmus IR directly, so this generator
+exists to preserve the artifact's real interface — examples export the
+shaders, and tests validate their structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.litmus.instructions import (
+    AtomicExchange,
+    AtomicLoad,
+    AtomicStore,
+    Fence,
+    Instruction,
+)
+from repro.litmus.program import LitmusTest
+
+_HEADER = """\
+// Auto-generated WGSL litmus shader: {name}
+// model: {model}
+
+struct TestLocations {{
+  value: array<atomic<u32>>
+}};
+
+struct ReadResults {{
+  value: array<u32>
+}};
+
+struct ShuffledIds {{
+  value: array<u32>
+}};
+
+struct StressParams {{
+  do_barrier: u32,
+  mem_stress: u32,
+  mem_stress_iterations: u32,
+  mem_stress_pattern: u32,
+  pre_stress: u32,
+  pre_stress_iterations: u32,
+  pre_stress_pattern: u32,
+  permute_first: u32,
+  permute_second: u32,
+  testing_workgroups: u32,
+}};
+
+@group(0) @binding(0) var<storage, read_write> test_locations : TestLocations;
+@group(0) @binding(1) var<storage, read_write> results : ReadResults;
+@group(0) @binding(2) var<storage, read_write> shuffled_workgroups : ShuffledIds;
+@group(0) @binding(3) var<storage, read_write> scratchpad : TestLocations;
+@group(0) @binding(4) var<uniform> stress_params : StressParams;
+"""
+
+_PERMUTE_FN = """
+fn permute_id(id: u32, factor: u32, mask: u32) -> u32 {
+  return (id * factor) % mask;
+}
+
+fn stripe_workgroup(workgroup_id: u32, local_id: u32) -> u32 {
+  return (workgroup_id + 1u + local_id % (stress_params.testing_workgroups - 1u)) % stress_params.testing_workgroups;
+}
+"""
+
+_STRESS_FN = """
+fn do_stress(iterations: u32, pattern: u32, workgroup_id: u32) {
+  for (var i: u32 = 0u; i < iterations; i = i + 1u) {
+    switch (pattern) {
+      case 0u: {
+        atomicStore(&scratchpad.value[workgroup_id], i);
+        atomicStore(&scratchpad.value[workgroup_id], i + 1u);
+      }
+      case 1u: {
+        atomicStore(&scratchpad.value[workgroup_id], i);
+        let tmp1 = atomicLoad(&scratchpad.value[workgroup_id]);
+      }
+      case 2u: {
+        let tmp1 = atomicLoad(&scratchpad.value[workgroup_id]);
+        atomicStore(&scratchpad.value[workgroup_id], i);
+      }
+      default: {
+        let tmp1 = atomicLoad(&scratchpad.value[workgroup_id]);
+        let tmp2 = atomicLoad(&scratchpad.value[workgroup_id]);
+      }
+    }
+  }
+}
+"""
+
+
+class WgslGenerator:
+    """Render litmus tests as WGSL compute shaders."""
+
+    def __init__(self, workgroup_size: int = 256) -> None:
+        if workgroup_size <= 0:
+            raise ValueError("workgroup_size must be positive")
+        self.workgroup_size = workgroup_size
+
+    # -- per-instruction lowering ----------------------------------------
+
+    def _location_expr(self, test: LitmusTest, location_name: str) -> str:
+        index = [loc.name for loc in test.locations].index(location_name)
+        if index == 0:
+            return "x_loc"
+        return f"{location_name}_loc"
+
+    def _lower(
+        self, test: LitmusTest, instruction: Instruction, registers: Dict[str, int]
+    ) -> str:
+        if isinstance(instruction, AtomicLoad):
+            slot = registers[instruction.register]
+            loc = self._location_expr(test, instruction.location.name)
+            return (
+                f"results.value[instance * {len(registers)}u + {slot}u] = "
+                f"atomicLoad(&test_locations.value[{loc}]);"
+            )
+        if isinstance(instruction, AtomicStore):
+            loc = self._location_expr(test, instruction.location.name)
+            return (
+                f"atomicStore(&test_locations.value[{loc}], "
+                f"{instruction.value}u);"
+            )
+        if isinstance(instruction, AtomicExchange):
+            slot = registers[instruction.register]
+            loc = self._location_expr(test, instruction.location.name)
+            return (
+                f"results.value[instance * {len(registers)}u + {slot}u] = "
+                f"atomicExchange(&test_locations.value[{loc}], "
+                f"{instruction.value}u);"
+            )
+        if isinstance(instruction, Fence):
+            # Polymorphic: scoped barriers (repro.scopes) render as
+            # workgroupBarrier(); the plain fence as storageBarrier().
+            return instruction.pretty() + ";"
+        raise TypeError(f"unknown instruction {instruction!r}")
+
+    # -- whole-shader generation -----------------------------------------
+
+    def generate(self, test: LitmusTest) -> str:
+        """The WGSL compute shader for ``test``."""
+        registers = {name: i for i, name in enumerate(test.registers)}
+        lines: List[str] = [
+            _HEADER.format(name=test.name, model=test.model),
+            _PERMUTE_FN,
+            _STRESS_FN,
+            f"@compute @workgroup_size({self.workgroup_size})",
+            "fn main(@builtin(workgroup_id) wgid : vec3<u32>,",
+            "        @builtin(local_invocation_id) lid : vec3<u32>) {",
+            "  let shuffled = shuffled_workgroups.value[wgid.x];",
+            "  if (shuffled < stress_params.testing_workgroups) {",
+            f"    let global = shuffled * {self.workgroup_size}u + lid.x;",
+            "    let total = stress_params.testing_workgroups * "
+            f"{self.workgroup_size}u;",
+            "    let instance = permute_id(global, "
+            "stress_params.permute_first, total);",
+            "    if (stress_params.pre_stress == 1u) {",
+            "      do_stress(stress_params.pre_stress_iterations, "
+            "stress_params.pre_stress_pattern, wgid.x);",
+            "    }",
+            "    if (stress_params.do_barrier == 1u) {",
+            "      storageBarrier();",
+            "    }",
+        ]
+        location_names = [loc.name for loc in test.locations]
+        stride = len(location_names)
+        for index, name in enumerate(location_names):
+            if index == 0:
+                lines.append(
+                    f"    let x_loc = instance * {stride}u;"
+                )
+            else:
+                lines.append(
+                    f"    let {name}_loc = permute_id(instance, "
+                    f"stress_params.permute_second, total) * {stride}u "
+                    f"+ {index}u;"
+                )
+        for thread_index in test.testing_threads:
+            keyword = "if" if thread_index == 0 else "else if"
+            lines.append(
+                f"    {keyword} (global % {len(test.testing_threads)}u == "
+                f"{thread_index}u) {{"
+            )
+            for instruction in test.threads[thread_index]:
+                lines.append(
+                    "      " + self._lower(test, instruction, registers)
+                )
+            lines.append("    }")
+        for observer_index in sorted(test.observer_threads):
+            lines.append(f"    // observer thread {observer_index}")
+            lines.append("    else {")
+            for instruction in test.threads[observer_index]:
+                lines.append(
+                    "      " + self._lower(test, instruction, registers)
+                )
+            lines.append("    }")
+        lines += [
+            "  } else if (stress_params.mem_stress == 1u) {",
+            "    do_stress(stress_params.mem_stress_iterations, "
+            "stress_params.mem_stress_pattern, wgid.x);",
+            "  }",
+            "}",
+        ]
+        return "\n".join(lines) + "\n"
+
+
+def generate_wgsl(test: LitmusTest, workgroup_size: int = 256) -> str:
+    """Convenience wrapper around :class:`WgslGenerator`."""
+    return WgslGenerator(workgroup_size).generate(test)

@@ -1,0 +1,79 @@
+"""Formal memory-consistency substrate (events, relations, models).
+
+This package implements Sec. 2 of the paper: candidate executions as
+events plus relations, the derived relations of Table 1, and the three
+memory models (SC, SC-per-location, rel-acq-SC-per-location) as
+happens-before builders, together with exhaustive candidate-execution
+enumeration used as a ground-truth oracle.
+"""
+
+from repro.memory_model.events import (
+    Event,
+    EventKind,
+    Location,
+    X,
+    Y,
+    fence,
+    read,
+    rmw,
+    write,
+)
+from repro.memory_model.execution import INITIAL_VALUE, Execution
+from repro.memory_model.models import (
+    ALL_MODELS,
+    MemoryModel,
+    REL_ACQ_SC_PER_LOCATION,
+    SC,
+    SC_PER_LOCATION,
+    RelAcqSCPerLocation,
+    SCPerLocation,
+    SequentialConsistency,
+    model_by_name,
+)
+from repro.memory_model.relations import EMPTY, Relation, from_total_order
+from repro.memory_model.witness import (
+    explain_sc,
+    reads_latest,
+    respects_program_order,
+    sc_linearization,
+)
+from repro.memory_model.enumeration import (
+    allowed_executions,
+    count_executions,
+    disallowed_executions,
+    enumerate_executions,
+)
+
+__all__ = [
+    "ALL_MODELS",
+    "EMPTY",
+    "Event",
+    "EventKind",
+    "Execution",
+    "INITIAL_VALUE",
+    "Location",
+    "MemoryModel",
+    "REL_ACQ_SC_PER_LOCATION",
+    "Relation",
+    "RelAcqSCPerLocation",
+    "SC",
+    "SC_PER_LOCATION",
+    "SCPerLocation",
+    "SequentialConsistency",
+    "X",
+    "Y",
+    "allowed_executions",
+    "count_executions",
+    "disallowed_executions",
+    "enumerate_executions",
+    "explain_sc",
+    "fence",
+    "from_total_order",
+    "model_by_name",
+    "read",
+    "reads_latest",
+    "respects_program_order",
+    "rmw",
+    "sc_linearization",
+    "write",
+]

@@ -1,0 +1,157 @@
+"""Exhaustive enumeration of candidate executions.
+
+Given the per-thread event skeletons of a small program, this module
+enumerates every structurally valid candidate execution: all choices of
+``rf`` (each read observes some same-location write, or the initial
+value) crossed with all choices of ``co`` (a permutation of the writes
+to each location), subject to RMW atomicity.
+
+Litmus programs have a handful of events, so exhaustive enumeration is
+cheap, and it gives us a ground-truth oracle: the set of *allowed*
+observable outcomes of a test under a memory model is exactly the image
+of the allowed candidate executions.  The testing oracle
+(:mod:`repro.litmus.oracle`) is built on this.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.memory_model.events import Event, Location
+from repro.memory_model.execution import Execution
+from repro.memory_model.models import MemoryModel
+from repro.memory_model.relations import Relation
+
+Threads = Sequence[Sequence[Event]]
+
+
+def _writes_by_location(threads: Threads) -> Dict[Location, List[Event]]:
+    result: Dict[Location, List[Event]] = {}
+    for thread in threads:
+        for event in thread:
+            if event.is_write:
+                assert event.location is not None
+                result.setdefault(event.location, []).append(event)
+    return result
+
+
+def _read_choices(threads: Threads) -> List[Tuple[Event, List[Optional[Event]]]]:
+    """For each reading event, the candidate rf sources (None = initial)."""
+    writes = _writes_by_location(threads)
+    choices: List[Tuple[Event, List[Optional[Event]]]] = []
+    for thread in threads:
+        for event in thread:
+            if not event.is_read:
+                continue
+            assert event.location is not None
+            sources: List[Optional[Event]] = [None]
+            for write in writes.get(event.location, ()):
+                if write == event:
+                    # An RMW never reads from its own write half.
+                    continue
+                sources.append(write)
+            choices.append((event, sources))
+    return choices
+
+
+def _co_orders(threads: Threads) -> Iterator[Relation]:
+    """All per-location total coherence orders, as one relation each."""
+    writes = _writes_by_location(threads)
+    per_location: List[List[Relation]] = []
+    for location in sorted(writes, key=lambda loc: loc.name):
+        orders: List[Relation] = []
+        for permutation in itertools.permutations(writes[location]):
+            pairs = [
+                (permutation[i], permutation[j])
+                for i in range(len(permutation))
+                for j in range(i + 1, len(permutation))
+            ]
+            orders.append(Relation(pairs))
+        per_location.append(orders)
+    if not per_location:
+        yield Relation()
+        return
+    for combination in itertools.product(*per_location):
+        merged = Relation()
+        for relation in combination:
+            merged = merged | relation
+        yield merged
+
+
+def _rmw_atomic(execution: Execution) -> bool:
+    """RMW atomicity: nothing is coherence-between an RMW and its source.
+
+    The read half and write half of an RMW are indivisible, so the write
+    it reads from (or the initial state) must be its immediate
+    coherence predecessor.
+    """
+    for thread in execution.threads:
+        for event in thread:
+            if not (event.is_read and event.is_write):
+                continue
+            source = execution.rf_source(event)
+            assert event.location is not None
+            if source is not None and (source, event) not in execution.co:
+                # The RMW's write half must follow its rf source in co.
+                return False
+            for other in execution.writes_by_location()[event.location]:
+                if other in (event, source):
+                    continue
+                after_source = source is None or (source, other) in execution.co
+                before_rmw = (other, event) in execution.co
+                if after_source and before_rmw:
+                    return False
+    return True
+
+
+def enumerate_executions(threads: Threads) -> Iterator[Execution]:
+    """Yield every structurally valid candidate execution of ``threads``."""
+    read_choices = _read_choices(threads)
+    readers = [event for event, _ in read_choices]
+    source_lists = [sources for _, sources in read_choices]
+    co_orders = list(_co_orders(threads))
+    if not source_lists:
+        source_products: Iterator[Tuple[Optional[Event], ...]] = iter([()])
+    else:
+        source_products = itertools.product(*source_lists)
+    for sources in source_products:
+        rf = Relation(
+            (write, reader)
+            for reader, write in zip(readers, sources)
+            if write is not None
+        )
+        for co in co_orders:
+            execution = Execution(threads, rf=rf, co=co)
+            if _rmw_atomic(execution):
+                yield execution
+
+
+def allowed_executions(
+    threads: Threads, model: MemoryModel
+) -> Iterator[Execution]:
+    """Yield the candidate executions that ``model`` allows."""
+    for execution in enumerate_executions(threads):
+        if model.allows(execution):
+            yield execution
+
+
+def disallowed_executions(
+    threads: Threads, model: MemoryModel
+) -> Iterator[Execution]:
+    """Yield the candidate executions that ``model`` forbids."""
+    for execution in enumerate_executions(threads):
+        if not model.allows(execution):
+            yield execution
+
+
+def count_executions(threads: Threads, model: MemoryModel) -> Tuple[int, int]:
+    """Return ``(allowed, disallowed)`` candidate-execution counts."""
+    allowed = 0
+    disallowed = 0
+    for execution in enumerate_executions(threads):
+        if model.allows(execution):
+            allowed += 1
+        else:
+            disallowed += 1
+    return allowed, disallowed

@@ -1,0 +1,136 @@
+"""Memory events: the vocabulary of candidate executions.
+
+An execution (Sec. 2.1 of the paper, Table 1) is a set of *events* —
+atomic reads, atomic writes, atomic read-modify-writes, and
+release/acquire fences — plus relations over them.  This module defines
+the event objects; relations live in :mod:`repro.memory_model.relations`
+and complete executions in :mod:`repro.memory_model.execution`.
+
+Events are immutable and hashable so they can be used freely as members
+of relation pairs and dictionary keys.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class EventKind(enum.Enum):
+    """The four event kinds of the paper's simplified WebGPU model."""
+
+    READ = "R"
+    WRITE = "W"
+    RMW = "RMW"
+    FENCE = "F"
+
+    @property
+    def reads(self) -> bool:
+        """True if the event observes a value (reads or RMWs)."""
+        return self in (EventKind.READ, EventKind.RMW)
+
+    @property
+    def writes(self) -> bool:
+        """True if the event produces a value (writes or RMWs)."""
+        return self in (EventKind.WRITE, EventKind.RMW)
+
+    @property
+    def accesses_memory(self) -> bool:
+        """True for any event that targets a memory location."""
+        return self is not EventKind.FENCE
+
+
+@dataclass(frozen=True, order=True)
+class Location:
+    """A named atomic memory location (e.g. ``x`` or ``y``).
+
+    Locations compare and hash by name, so two ``Location("x")`` objects
+    are interchangeable.
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+# Conventional locations used throughout the litmus library.
+X = Location("x")
+Y = Location("y")
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """One memory or fence event of a candidate execution.
+
+    Attributes:
+        uid: Unique id within its execution; also used as a stable sort
+            key so event ordering is deterministic.
+        kind: One of :class:`EventKind`.
+        thread: Index of the issuing thread.
+        location: Target location for memory events, ``None`` for fences.
+        value: For writes, the stored value; for RMWs, the value written
+            by the write half.  ``None`` for reads and fences.
+        label: Optional human-readable name (``"a"``, ``"b"``, ...) used
+            when rendering executions; does not affect identity.
+    """
+
+    uid: int
+    kind: EventKind
+    thread: int
+    location: Optional[Location] = None
+    value: Optional[int] = None
+    label: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.kind.accesses_memory and self.location is None:
+            raise ValueError(f"{self.kind.value} event requires a location")
+        if self.kind is EventKind.FENCE and self.location is not None:
+            raise ValueError("fence events must not carry a location")
+        if self.kind.writes and self.value is None:
+            raise ValueError(f"{self.kind.value} event requires a value")
+        if self.kind is EventKind.READ and self.value is not None:
+            raise ValueError("read events must not carry a stored value")
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind.reads
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind.writes
+
+    @property
+    def is_fence(self) -> bool:
+        return self.kind is EventKind.FENCE
+
+    def pretty(self) -> str:
+        """Render the event the way the paper draws execution nodes."""
+        name = self.label or f"e{self.uid}"
+        if self.kind is EventKind.FENCE:
+            return f"{name}: F(rel/acq) @t{self.thread}"
+        body = f"{self.kind.value} {self.location}"
+        if self.value is not None:
+            body += f"={self.value}"
+        return f"{name}: {body} @t{self.thread}"
+
+
+def read(uid: int, thread: int, location: Location, label: str = "") -> Event:
+    """Convenience constructor for an atomic read event."""
+    return Event(uid, EventKind.READ, thread, location, None, label)
+
+
+def write(uid: int, thread: int, location: Location, value: int, label: str = "") -> Event:
+    """Convenience constructor for an atomic write event."""
+    return Event(uid, EventKind.WRITE, thread, location, value, label)
+
+
+def rmw(uid: int, thread: int, location: Location, value: int, label: str = "") -> Event:
+    """Convenience constructor for an atomic read-modify-write event."""
+    return Event(uid, EventKind.RMW, thread, location, value, label)
+
+
+def fence(uid: int, thread: int, label: str = "") -> Event:
+    """Convenience constructor for a release/acquire fence event."""
+    return Event(uid, EventKind.FENCE, thread, None, None, label)

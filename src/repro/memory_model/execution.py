@@ -1,0 +1,257 @@
+"""Candidate executions: events plus primitive and derived relations.
+
+A candidate execution fixes the non-deterministic choices of one run of
+a concurrent program: which write each read observed (``rf``) and the
+global visibility order of same-location writes (``co``).  Everything
+else the paper uses — ``po-loc``, ``fr``, ``com``, ``sw`` — is *derived*
+here exactly as defined in Table 1 of the paper.
+
+Whether a candidate execution is *allowed* is a question for a
+:class:`repro.memory_model.models.MemoryModel`, which builds a
+happens-before relation from these pieces and checks it for cycles.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import MalformedExecutionError
+from repro.memory_model.events import Event, Location
+from repro.memory_model.relations import Relation, from_total_order
+
+INITIAL_VALUE = 0
+"""All memory is initialised to zero (Fig. 1 of the paper)."""
+
+
+class Execution:
+    """One candidate execution of a small concurrent program.
+
+    Args:
+        threads: Per-thread event sequences in program order.  Thread
+            indices of the events must match their position in this
+            sequence.
+        rf: Reads-from edges, each from a write/RMW to a read/RMW on the
+            same location.  A read with no incoming ``rf`` edge observed
+            the initial value (zero).
+        co: Coherence edges.  Must form a strict total order over the
+            writes/RMWs of each location (transitivity is completed
+            automatically, so supplying adjacent pairs is enough).
+
+    Raises:
+        MalformedExecutionError: If any structural invariant is broken.
+    """
+
+    def __init__(
+        self,
+        threads: Sequence[Sequence[Event]],
+        rf: Relation = Relation(),
+        co: Relation = Relation(),
+    ) -> None:
+        self.threads: Tuple[Tuple[Event, ...], ...] = tuple(
+            tuple(thread) for thread in threads
+        )
+        self.rf = rf
+        self.co = co.transitive_closure()
+        self._validate()
+
+    # -- structural validation ------------------------------------------
+
+    def _validate(self) -> None:
+        seen_uids: Set[int] = set()
+        for index, thread in enumerate(self.threads):
+            for event in thread:
+                if event.thread != index:
+                    raise MalformedExecutionError(
+                        f"event {event.pretty()} placed in thread {index}"
+                    )
+                if event.uid in seen_uids:
+                    raise MalformedExecutionError(
+                        f"duplicate event uid {event.uid}"
+                    )
+                seen_uids.add(event.uid)
+
+        members = set(self.events)
+        for relation, name in ((self.rf, "rf"), (self.co, "co")):
+            for a, b in relation:
+                if a not in members or b not in members:
+                    raise MalformedExecutionError(
+                        f"{name} edge references event outside the execution"
+                    )
+
+        for w, r in self.rf:
+            if not w.is_write:
+                raise MalformedExecutionError(
+                    f"rf source {w.pretty()} is not a write"
+                )
+            if not r.is_read:
+                raise MalformedExecutionError(
+                    f"rf target {r.pretty()} is not a read"
+                )
+            if w.location != r.location:
+                raise MalformedExecutionError(
+                    f"rf edge crosses locations: {w.pretty()} -> {r.pretty()}"
+                )
+        reads_with_sources: Set[Event] = set()
+        for _, r in self.rf:
+            if r in reads_with_sources:
+                raise MalformedExecutionError(
+                    f"read {r.pretty()} has multiple rf sources"
+                )
+            reads_with_sources.add(r)
+
+        for a, b in self.co:
+            if not (a.is_write and b.is_write):
+                raise MalformedExecutionError("co relates non-writes")
+            if a.location != b.location:
+                raise MalformedExecutionError("co edge crosses locations")
+        if not self.co.is_acyclic():
+            raise MalformedExecutionError("co contains a cycle")
+        for location, writes in self.writes_by_location().items():
+            if len(writes) > 1 and not self.co.is_total_over(writes):
+                raise MalformedExecutionError(
+                    f"co is not total over writes to {location}"
+                )
+
+    # -- event accessors -------------------------------------------------
+
+    @cached_property
+    def events(self) -> Tuple[Event, ...]:
+        return tuple(event for thread in self.threads for event in thread)
+
+    @cached_property
+    def memory_events(self) -> Tuple[Event, ...]:
+        return tuple(e for e in self.events if not e.is_fence)
+
+    @cached_property
+    def locations(self) -> Tuple[Location, ...]:
+        seen: List[Location] = []
+        for event in self.memory_events:
+            assert event.location is not None
+            if event.location not in seen:
+                seen.append(event.location)
+        return tuple(seen)
+
+    def writes_by_location(self) -> Dict[Location, List[Event]]:
+        result: Dict[Location, List[Event]] = {}
+        for event in self.memory_events:
+            if event.is_write:
+                assert event.location is not None
+                result.setdefault(event.location, []).append(event)
+        return result
+
+    def reads(self) -> Tuple[Event, ...]:
+        return tuple(e for e in self.memory_events if e.is_read)
+
+    def rf_source(self, read_event: Event) -> Optional[Event]:
+        """The write a read observed, or ``None`` for the initial value."""
+        for w, r in self.rf:
+            if r == read_event:
+                return w
+        return None
+
+    def observed_value(self, read_event: Event) -> int:
+        """The value the given read (or RMW read-half) observed."""
+        source = self.rf_source(read_event)
+        if source is None:
+            return INITIAL_VALUE
+        assert source.value is not None
+        return source.value
+
+    def co_order(self, location: Location) -> List[Event]:
+        """Writes to ``location`` sorted by coherence order."""
+        writes = self.writes_by_location().get(location, [])
+        return sorted(
+            writes,
+            key=lambda w: sum(1 for other in writes if (other, w) in self.co),
+        )
+
+    # -- derived relations (Table 1) --------------------------------------
+
+    @cached_property
+    def po(self) -> Relation:
+        result = Relation()
+        for thread in self.threads:
+            result = result | from_total_order(thread)
+        return result
+
+    @cached_property
+    def po_loc(self) -> Relation:
+        return self.po.restrict(
+            lambda a, b: (
+                not a.is_fence
+                and not b.is_fence
+                and a.location == b.location
+            )
+        )
+
+    @cached_property
+    def fr(self) -> Relation:
+        """from-read: ``r`` observed a write co-earlier than ``w``.
+
+        A read of the initial value is from-read before *every* write to
+        its location, because the initial state precedes all writes in
+        coherence order.
+        """
+        pairs: Set[Tuple[Event, Event]] = set()
+        writes = self.writes_by_location()
+        for read_event in self.reads():
+            assert read_event.location is not None
+            source = self.rf_source(read_event)
+            for write_event in writes.get(read_event.location, ()):
+                if write_event == read_event:
+                    continue
+                if source is None or (source, write_event) in self.co:
+                    if write_event != source:
+                        pairs.add((read_event, write_event))
+        return Relation(pairs)
+
+    @cached_property
+    def com(self) -> Relation:
+        return self.rf | self.co | self.fr
+
+    @cached_property
+    def sw(self) -> Relation:
+        """synchronizes-with between release/acquire fences.
+
+        ``(f_r, f_a)`` is in ``sw`` iff the fences are in different
+        threads, some write ``w`` follows ``f_r`` in po, some read ``r``
+        precedes ``f_a`` in po, and ``r`` reads from ``w``.
+        """
+        fences = [e for e in self.events if e.is_fence]
+        pairs: Set[Tuple[Event, Event]] = set()
+        for f_release in fences:
+            for f_acquire in fences:
+                if f_release.thread == f_acquire.thread:
+                    continue
+                for w, r in self.rf:
+                    if (f_release, w) in self.po and (r, f_acquire) in self.po:
+                        pairs.add((f_release, f_acquire))
+        return Relation(pairs)
+
+    @cached_property
+    def po_sw_po(self) -> Relation:
+        """The release/acquire happens-before contribution ``po ; sw ; po``."""
+        return self.po.compose(self.sw).compose(self.po)
+
+    # -- rendering ---------------------------------------------------------
+
+    def pretty(self) -> str:
+        lines: List[str] = []
+        for index, thread in enumerate(self.threads):
+            lines.append(f"thread {index}:")
+            for event in thread:
+                lines.append(f"  {event.pretty()}")
+        for name, relation in (("rf", self.rf), ("co", self.co)):
+            for a, b in relation:
+                lines.append(
+                    f"{name}: {a.label or a.uid} -> {b.label or b.uid}"
+                )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        n_events = len(self.events)
+        return (
+            f"Execution(threads={len(self.threads)}, events={n_events}, "
+            f"rf={len(self.rf)}, co={len(self.co)})"
+        )

@@ -1,0 +1,111 @@
+"""Memory consistency models as happens-before builders.
+
+Sec. 2.1 of the paper defines three models by instantiating the
+happens-before relation ``hb``:
+
+* **Sequential consistency (SC)**: ``hb = po ∪ com``.
+* **SC-per-location (coherence)**: ``hb = po-loc ∪ com``.
+* **rel-acq-SC-per-location** (the paper's WebGPU model): SC-per-location
+  plus the release/acquire fence rule ``po ; sw ; po``.
+
+A candidate execution is *allowed* by a model iff its ``hb`` is acyclic.
+The reads-see-latest-write property is already encoded in the derived
+``fr`` relation (a stale read produces an ``fr`` edge that closes a
+cycle), which is the standard axiomatic formulation from Alglave et al.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional
+
+from repro.memory_model.events import Event
+from repro.memory_model.execution import Execution
+from repro.memory_model.relations import Relation
+
+
+class MemoryModel(abc.ABC):
+    """A memory consistency specification over candidate executions."""
+
+    #: Short identifier used in reports and test ids.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def happens_before(self, execution: Execution) -> Relation:
+        """The model's happens-before contribution for ``execution``.
+
+        The returned relation need not be transitively closed; only its
+        cycles matter for legality.
+        """
+
+    def allows(self, execution: Execution) -> bool:
+        """True iff ``execution`` is legal under this model."""
+        return self.happens_before(execution).is_acyclic()
+
+    def violation_cycle(self, execution: Execution) -> Optional[List[Event]]:
+        """A witness ``hb`` cycle when the execution is disallowed.
+
+        Returns ``None`` for allowed executions.  Used to render
+        explanations like the paper's
+        ``b --fr--> c --rf--> a --po-loc--> b``.
+        """
+        return self.happens_before(execution).find_cycle()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class SequentialConsistency(MemoryModel):
+    """Lamport's SC: a total order respecting full program order."""
+
+    name = "sc"
+
+    def happens_before(self, execution: Execution) -> Relation:
+        return execution.po | execution.com
+
+
+class SCPerLocation(MemoryModel):
+    """Coherence: program order is only enforced per location.
+
+    This is the baseline every language in the paper provides, and the
+    current WebGPU inter-workgroup model after the specification change
+    the paper triggered.
+    """
+
+    name = "sc-per-location"
+
+    def happens_before(self, execution: Execution) -> Relation:
+        return execution.po_loc | execution.com
+
+
+class RelAcqSCPerLocation(MemoryModel):
+    """SC-per-location plus release/acquire fence synchronization.
+
+    Adds ``po ; sw ; po`` to happens-before, so events before a release
+    fence happen before events after an acquire fence once the fences
+    synchronize.  This is the WebGPU model the paper tests (Sec. 2.3),
+    before the post-bug-report weakening.
+    """
+
+    name = "rel-acq-sc-per-location"
+
+    def happens_before(self, execution: Execution) -> Relation:
+        return execution.po_loc | execution.com | execution.po_sw_po
+
+
+SC = SequentialConsistency()
+SC_PER_LOCATION = SCPerLocation()
+REL_ACQ_SC_PER_LOCATION = RelAcqSCPerLocation()
+
+ALL_MODELS = (SC, SC_PER_LOCATION, REL_ACQ_SC_PER_LOCATION)
+
+
+def model_by_name(name: str) -> MemoryModel:
+    """Look up one of the built-in models by its ``name`` string."""
+    for model in ALL_MODELS:
+        if model.name == name:
+            return model
+    raise KeyError(f"unknown memory model: {name!r}")

@@ -1,0 +1,225 @@
+"""A small relation algebra over events.
+
+The paper reasons about executions with binary relations (``po``, ``rf``,
+``co``, ``fr``, ``sw``, ``hb``; Table 1) and their compositions — e.g.
+the release/acquire contribution to happens-before is ``po ; sw ; po``.
+This module implements exactly the operators that reasoning needs:
+union, intersection, composition (``;``), restriction, inverse,
+transitive closure, acyclicity checking, and cycle extraction.
+
+Relations are immutable; every operator returns a new
+:class:`Relation`.  Pairs are stored as a frozenset of ``(Event, Event)``
+tuples, which keeps equality and hashing structural.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.memory_model.events import Event
+
+Pair = Tuple[Event, Event]
+
+
+class Relation:
+    """An immutable binary relation over :class:`Event` objects."""
+
+    __slots__ = ("_pairs",)
+
+    def __init__(self, pairs: Iterable[Pair] = ()) -> None:
+        self._pairs: FrozenSet[Pair] = frozenset(pairs)
+
+    # -- basic protocol ------------------------------------------------
+
+    @property
+    def pairs(self) -> FrozenSet[Pair]:
+        return self._pairs
+
+    def __contains__(self, pair: Pair) -> bool:
+        return pair in self._pairs
+
+    def __iter__(self) -> Iterator[Pair]:
+        # Deterministic iteration order keeps downstream algorithms and
+        # error messages reproducible.
+        return iter(sorted(self._pairs, key=lambda p: (p[0].uid, p[1].uid)))
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __bool__(self) -> bool:
+        return bool(self._pairs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self._pairs == other._pairs
+
+    def __hash__(self) -> int:
+        return hash(self._pairs)
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"({a.label or a.uid}->{b.label or b.uid})" for a, b in self)
+        return f"Relation({{{body}}})"
+
+    # -- algebra -------------------------------------------------------
+
+    def union(self, *others: "Relation") -> "Relation":
+        pairs: Set[Pair] = set(self._pairs)
+        for other in others:
+            pairs.update(other._pairs)
+        return Relation(pairs)
+
+    __or__ = union
+
+    def intersection(self, other: "Relation") -> "Relation":
+        return Relation(self._pairs & other._pairs)
+
+    __and__ = intersection
+
+    def difference(self, other: "Relation") -> "Relation":
+        return Relation(self._pairs - other._pairs)
+
+    __sub__ = difference
+
+    def compose(self, other: "Relation") -> "Relation":
+        """Relational composition ``self ; other``.
+
+        ``(a, c)`` is in the result iff there is a ``b`` with
+        ``(a, b) in self`` and ``(b, c) in other``.
+        """
+        by_source: Dict[Event, List[Event]] = {}
+        for b, c in other._pairs:
+            by_source.setdefault(b, []).append(c)
+        pairs = {
+            (a, c)
+            for a, b in self._pairs
+            for c in by_source.get(b, ())
+        }
+        return Relation(pairs)
+
+    def inverse(self) -> "Relation":
+        return Relation((b, a) for a, b in self._pairs)
+
+    def restrict(self, predicate: Callable[[Event, Event], bool]) -> "Relation":
+        """Keep only pairs satisfying ``predicate(source, target)``."""
+        return Relation((a, b) for a, b in self._pairs if predicate(a, b))
+
+    def sources(self) -> Set[Event]:
+        return {a for a, _ in self._pairs}
+
+    def targets(self) -> Set[Event]:
+        return {b for _, b in self._pairs}
+
+    def events(self) -> Set[Event]:
+        return self.sources() | self.targets()
+
+    def successors(self, event: Event) -> Set[Event]:
+        return {b for a, b in self._pairs if a == event}
+
+    def predecessors(self, event: Event) -> Set[Event]:
+        return {a for a, b in self._pairs if b == event}
+
+    # -- closure and cycles --------------------------------------------
+
+    def transitive_closure(self) -> "Relation":
+        """The least transitive relation containing ``self``.
+
+        Uses iterated squaring on adjacency sets; executions here are
+        tiny (a handful of events) so asymptotics are irrelevant, but
+        the implementation is still O(V * E) per round.
+        """
+        adjacency: Dict[Event, Set[Event]] = {}
+        for a, b in self._pairs:
+            adjacency.setdefault(a, set()).add(b)
+        changed = True
+        while changed:
+            changed = False
+            for a, succs in adjacency.items():
+                additions: Set[Event] = set()
+                for b in succs:
+                    additions |= adjacency.get(b, set()) - succs
+                if additions:
+                    succs |= additions
+                    changed = True
+        return Relation((a, b) for a, succs in adjacency.items() for b in succs)
+
+    def is_acyclic(self) -> bool:
+        """True iff the relation, viewed as a digraph, has no cycle."""
+        return self.find_cycle() is None
+
+    def find_cycle(self) -> Optional[List[Event]]:
+        """Return one cycle as an event list (first == repeated), or None.
+
+        Depth-first search with an explicit stack and colouring; the
+        returned list is ``[e0, e1, ..., e0]`` following relation edges.
+        """
+        adjacency: Dict[Event, List[Event]] = {}
+        for a, b in self:
+            adjacency.setdefault(a, []).append(b)
+        white = set(adjacency)
+        grey: List[Event] = []
+        grey_set: Set[Event] = set()
+        black: Set[Event] = set()
+
+        def visit(start: Event) -> Optional[List[Event]]:
+            stack: List[Tuple[Event, Iterator[Event]]] = [
+                (start, iter(adjacency.get(start, ())))
+            ]
+            grey.append(start)
+            grey_set.add(start)
+            while stack:
+                node, children = stack[-1]
+                advanced = False
+                for child in children:
+                    if child in black:
+                        continue
+                    if child in grey_set:
+                        idx = grey.index(child)
+                        return grey[idx:] + [child]
+                    grey.append(child)
+                    grey_set.add(child)
+                    stack.append((child, iter(adjacency.get(child, ()))))
+                    advanced = True
+                    break
+                if not advanced:
+                    stack.pop()
+                    grey.pop()
+                    grey_set.discard(node)
+                    black.add(node)
+            return None
+
+        for root in sorted(white, key=lambda e: e.uid):
+            if root in black:
+                continue
+            cycle = visit(root)
+            if cycle is not None:
+                return cycle
+        return None
+
+    def is_total_over(self, events: Iterable[Event]) -> bool:
+        """True iff every distinct pair from ``events`` is related one way.
+
+        Used to validate that coherence (``co``) is a total order per
+        location, and that an SC witness orders all events.
+        """
+        items = list(events)
+        for i, a in enumerate(items):
+            for b in items[i + 1:]:
+                forward = (a, b) in self._pairs
+                backward = (b, a) in self._pairs
+                if forward == backward:  # neither, or both
+                    return False
+        return True
+
+
+def from_total_order(events: Iterable[Event]) -> Relation:
+    """Build the strict total-order relation induced by a sequence."""
+    ordered = list(events)
+    return Relation(
+        (ordered[i], ordered[j])
+        for i in range(len(ordered))
+        for j in range(i + 1, len(ordered))
+    )
+
+
+EMPTY = Relation()

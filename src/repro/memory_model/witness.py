@@ -1,0 +1,115 @@
+"""Sequential-consistency witnesses: turning acyclicity into an order.
+
+Lamport's definition of SC asks for a *total order* of all memory
+events that respects program order and in which every read sees the
+latest prior write.  The axiomatic check used everywhere else in this
+library (``acyclic(po ∪ com)``) is equivalent; this module makes the
+equivalence constructive by extracting the witness order — useful for
+explaining *why* an outcome is SC ("here is the interleaving") in
+examples, debugging, and documentation.
+
+The correctness argument, which the property tests exercise: take any
+topological order of ``po ∪ com``.  If a read ``r`` observed write
+``w`` but some same-location write ``w'`` sat between them in the
+order, then either ``w' co-after w`` — but then ``fr(r, w')`` places
+``r`` before ``w'``, contradiction — or ``w' co-before w`` — but then
+``co(w', w)`` places ``w'`` before ``w``.  So reads always see the
+latest prior write.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.memory_model.events import Event
+from repro.memory_model.execution import Execution
+from repro.memory_model.relations import Relation
+
+
+def _topological_order(
+    events: List[Event], relation: Relation
+) -> Optional[List[Event]]:
+    """Kahn's algorithm; None when the relation is cyclic.
+
+    Ties break by event uid, so the witness is deterministic.
+    """
+    indegree: Dict[Event, int] = {event: 0 for event in events}
+    successors: Dict[Event, List[Event]] = {event: [] for event in events}
+    for source, target in relation:
+        if source in indegree and target in indegree:
+            indegree[target] += 1
+            successors[source].append(target)
+    ready = sorted(
+        (event for event, degree in indegree.items() if degree == 0),
+        key=lambda event: event.uid,
+    )
+    order: List[Event] = []
+    while ready:
+        event = ready.pop(0)
+        order.append(event)
+        inserted = False
+        for successor in successors[event]:
+            indegree[successor] -= 1
+            if indegree[successor] == 0:
+                ready.append(successor)
+                inserted = True
+        if inserted:
+            ready.sort(key=lambda e: e.uid)
+    if len(order) != len(events):
+        return None
+    return order
+
+
+def sc_linearization(execution: Execution) -> Optional[List[Event]]:
+    """A Lamport witness order for an SC execution, or ``None``.
+
+    Returns a total order over *all* events (fences included, ordered
+    by program order) such that per-thread program order is respected
+    and every read observes the latest same-location write before it.
+    ``None`` exactly when the execution is not sequentially consistent.
+    """
+    events = list(execution.events)
+    order = _topological_order(events, execution.po | execution.com)
+    return order
+
+
+def reads_latest(execution: Execution, order: List[Event]) -> bool:
+    """Check the Lamport condition against a candidate witness order."""
+    position = {event: index for index, event in enumerate(order)}
+    for read_event in execution.reads():
+        source = execution.rf_source(read_event)
+        latest: Optional[Event] = None
+        for event in order:
+            if position[event] >= position[read_event]:
+                break
+            if (
+                event.is_write
+                and event.location == read_event.location
+                and event != read_event
+            ):
+                latest = event
+        if latest != source:
+            return False
+    return True
+
+
+def respects_program_order(
+    execution: Execution, order: List[Event]
+) -> bool:
+    position = {event: index for index, event in enumerate(order)}
+    return all(
+        position[first] < position[second]
+        for first, second in execution.po
+    )
+
+
+def explain_sc(execution: Execution) -> str:
+    """A human-readable account: the witness order, or the blocking cycle."""
+    order = sc_linearization(execution)
+    if order is None:
+        cycle = (execution.po | execution.com).find_cycle()
+        assert cycle is not None
+        labels = " -> ".join(event.label or f"e{event.uid}" for event in cycle)
+        return f"not SC: cycle {labels}"
+    labels = ", ".join(event.label or f"e{event.uid}" for event in order)
+    return f"SC witness order: {labels}"

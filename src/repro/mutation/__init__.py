@@ -1,0 +1,66 @@
+"""MC Mutants: the paper's core contribution (Sec. 3).
+
+Mutation testing for memory consistency specifications: abstract
+happens-before cycle templates, three mutators that disrupt one
+syntactic edge each (``po-loc`` reversal, ``po-loc`` weakening, ``sw``
+weakening), and the machinery that instantiates and machine-verifies
+the 20 conformance tests and 32 mutants of Table 2.
+"""
+
+from repro.mutation.templates import (
+    ALL_TEMPLATES,
+    AbstractEvent,
+    AccessKind,
+    ComEdge,
+    CycleTemplate,
+    EdgeRefinement,
+    REVERSING_PO_LOC,
+    WEAKENING_PO_LOC,
+    WEAKENING_SW,
+    canonical_assignments,
+)
+from repro.mutation.mutators import (
+    ALL_MUTATORS,
+    MutationPair,
+    Mutator,
+    MutatorKind,
+    ReversingPoLocMutator,
+    WeakeningPoLocMutator,
+    WeakeningSwMutator,
+)
+from repro.mutation.pruning import (
+    PruneReport,
+    observability_matrix,
+    observable_fraction,
+    observable_on,
+    prune_for_device,
+)
+from repro.mutation.suite import MutationSuite, build_suite, default_suite
+
+__all__ = [
+    "ALL_MUTATORS",
+    "ALL_TEMPLATES",
+    "AbstractEvent",
+    "AccessKind",
+    "ComEdge",
+    "CycleTemplate",
+    "EdgeRefinement",
+    "MutationPair",
+    "MutationSuite",
+    "PruneReport",
+    "Mutator",
+    "MutatorKind",
+    "REVERSING_PO_LOC",
+    "ReversingPoLocMutator",
+    "WEAKENING_PO_LOC",
+    "WEAKENING_SW",
+    "WeakeningPoLocMutator",
+    "WeakeningSwMutator",
+    "build_suite",
+    "canonical_assignments",
+    "default_suite",
+    "observability_matrix",
+    "observable_fraction",
+    "observable_on",
+    "prune_for_device",
+]

@@ -1,0 +1,408 @@
+"""The three mutators of Sec. 3 and their edge disruptors.
+
+Each mutator pairs a conformance-test template instantiation with the
+mutants produced by disrupting one syntactic edge of its cycle:
+
+* :class:`ReversingPoLocMutator` swaps the two same-location accesses
+  of thread 0 (Sec. 3.1) — 8 conformance tests, 8 mutants.
+* :class:`WeakeningPoLocMutator` moves the inner two accesses to a
+  second location, weakening ``po-loc`` to ``po`` (Sec. 3.2) —
+  6 conformance tests, 6 mutants.
+* :class:`WeakeningSwMutator` removes one or both fences, weakening
+  ``sw`` (Sec. 3.3) — 6 conformance tests, 18 mutants.
+
+Every generated test is verified against the enumeration oracle: the
+conformance target must be disallowed, each mutant target allowed.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ReproError
+from repro.litmus.instructions import AtomicLoad, Fence, Instruction
+from repro.litmus.program import LitmusTest
+from repro.mutation.generator import (
+    OBSERVER_REGISTERS,
+    ConcreteEvent,
+    build_spec,
+    build_threads,
+    concretize,
+    kind_name,
+    needs_observer,
+    observer_location,
+    verify_test,
+)
+from repro.mutation.templates import (
+    AccessKind,
+    CycleTemplate,
+    REVERSING_PO_LOC,
+    WEAKENING_PO_LOC,
+    WEAKENING_SW,
+    canonical_assignments,
+)
+
+
+class MutatorKind(enum.Enum):
+    """Identifies which mutator produced a test (Table 2 rows)."""
+
+    REVERSING_PO_LOC = "reversing po-loc"
+    WEAKENING_PO_LOC = "weakening po-loc"
+    WEAKENING_SW = "weakening sw"
+
+
+@dataclass(frozen=True)
+class MutationPair:
+    """A conformance test together with its mutants."""
+
+    mutator: MutatorKind
+    conformance: LitmusTest
+    mutants: Tuple[LitmusTest, ...]
+    alias: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "mutants", tuple(self.mutants))
+
+
+def _attach_observer(
+    threads: List[List[Instruction]],
+    events: Sequence[ConcreteEvent],
+) -> Tuple[List[List[Instruction]], List[int]]:
+    """Append the observer thread for all-writes instantiations."""
+    if not needs_observer(events):
+        return threads, []
+    location = observer_location(events)
+    threads = threads + [
+        [
+            AtomicLoad(location, OBSERVER_REGISTERS[0]),
+            AtomicLoad(location, OBSERVER_REGISTERS[1]),
+        ]
+    ]
+    return threads, [len(threads) - 1]
+
+
+class Mutator(abc.ABC):
+    """Generates conformance tests and mutants from one template."""
+
+    kind: MutatorKind
+    template: CycleTemplate
+
+    @abc.abstractmethod
+    def generate(self) -> List[MutationPair]:
+        """All verified (conformance, mutants) pairs for this mutator."""
+
+    # -- shared assembly ---------------------------------------------------
+
+    def _make_test(
+        self,
+        kinds: Dict[str, AccessKind],
+        promotions: Set[str],
+        name: str,
+        threads: List[List[Instruction]],
+        events: Sequence[ConcreteEvent],
+        description: str,
+        expect_allowed: bool,
+    ) -> LitmusTest:
+        threads, observers = _attach_observer(threads, events)
+        test = LitmusTest(
+            name=name,
+            threads=threads,
+            model=self.template.model,
+            target=build_spec(self.template, events),
+            observer_threads=observers,
+            description=description,
+        )
+        verify_test(test, expect_allowed=expect_allowed)
+        return test
+
+
+class ReversingPoLocMutator(Mutator):
+    """Mutator 1: reverse ``po-loc`` on the three-event cycle."""
+
+    kind = MutatorKind.REVERSING_PO_LOC
+    template = REVERSING_PO_LOC
+
+    ALIASES = {
+        "rr_w": "CoRR",
+        "rw_w": "CoRW",
+        "wr_w": "CoWR",
+        "ww_w": "CoWW",
+    }
+
+    def _assignments(self) -> List[Dict[str, AccessKind]]:
+        """All kind maps with ``c`` a write (Sec. 3.1: the lone event of
+        thread 1 must write for the com edges to exist)."""
+        result = []
+        for kinds in canonical_assignments(self.template):
+            if kinds["c"].writes:
+                result.append(kinds)
+        return result
+
+    def _promotable(self, kinds: Dict[str, AccessKind]) -> Set[str]:
+        """Events whose RMW promotion cannot interfere with the cycle.
+
+        A read may gain a trailing write only if no cycle event follows
+        it in po-loc; a write may gain a leading read only if no cycle
+        event precedes it in po-loc (Sec. 3.1's CoRR discussion).
+        """
+        result: Set[str] = set()
+        for event in self.template.events:
+            siblings = [
+                other
+                for other in self.template.events
+                if other.thread == event.thread
+                and other.location == event.location
+                and other.name != event.name
+            ]
+            if kinds[event.name].reads:
+                if not any(other.slot > event.slot for other in siblings):
+                    result.add(event.name)
+            else:
+                if not any(other.slot < event.slot for other in siblings):
+                    result.add(event.name)
+        return result
+
+    def _swap_thread0(
+        self, threads: List[List[Instruction]]
+    ) -> List[List[Instruction]]:
+        """The edge disruptor: swap a and b in program order."""
+        swapped = [list(thread) for thread in threads]
+        swapped[0] = list(reversed(swapped[0]))
+        return swapped
+
+    def _build_pair(
+        self, kinds: Dict[str, AccessKind], promotions: Set[str], alias: str
+    ) -> MutationPair:
+        events = concretize(self.template, kinds, promotions)
+        name = kind_name(self.template, kinds, promotions)
+        threads = build_threads(self.template, events)
+        conformance = self._make_test(
+            kinds,
+            promotions,
+            name,
+            threads,
+            events,
+            description=f"{alias}: po-loc ordered accesses vs. a remote write",
+            expect_allowed=False,
+        )
+        mutant = self._make_test(
+            kinds,
+            promotions,
+            f"{name}_mut",
+            self._swap_thread0(threads),
+            events,
+            description=f"{alias} mutant: thread 0 accesses reversed",
+            expect_allowed=True,
+        )
+        return MutationPair(self.kind, conformance, (mutant,), alias)
+
+    def generate(self) -> List[MutationPair]:
+        pairs: List[MutationPair] = []
+        for kinds in self._assignments():
+            alias = self.ALIASES[self.template.kind_signature(kinds)]
+            pairs.append(self._build_pair(kinds, set(), alias))
+            rmw_pair = self._rmw_variant(kinds, alias)
+            if rmw_pair is not None:
+                pairs.append(rmw_pair)
+        return pairs
+
+    def _rmw_variant(
+        self, kinds: Dict[str, AccessKind], alias: str
+    ) -> Optional[MutationPair]:
+        """The maximal verified RMW variant (Sec. 3.1).
+
+        Tries promotion sets from largest to smallest and returns the
+        first whose conformance test and mutant both verify; only the
+        maximal one is included in the suite, per the paper.
+        """
+        promotable = self._promotable(kinds)
+        candidates = sorted(
+            (
+                set(subset)
+                for size in range(len(promotable), 0, -1)
+                for subset in itertools.combinations(sorted(promotable), size)
+            ),
+            key=lambda s: (-len(s), tuple(sorted(s))),
+        )
+        for promotions in candidates:
+            try:
+                return self._build_pair(kinds, promotions, f"{alias}+RMW")
+            except ReproError:
+                continue
+        return None
+
+
+class WeakeningPoLocMutator(Mutator):
+    """Mutator 2: weaken ``po-loc`` to ``po`` on the four-event cycle."""
+
+    kind = MutatorKind.WEAKENING_PO_LOC
+    template = WEAKENING_PO_LOC
+
+    ALIASES = {
+        "rr_ww": "MP-CO",
+        "rw_rw": "LB-CO",
+        "rw_ww": "S-CO",
+        "wr_ww": "R-CO",
+        "wr_wr": "SB-CO",
+        "ww_ww": "2+2W-CO",
+    }
+
+    RELOCATED = ("b", "c")
+
+    def _relocate(
+        self, events: Sequence[ConcreteEvent]
+    ) -> List[ConcreteEvent]:
+        """The edge disruptor: move b and c to a second location."""
+        relocated = []
+        for event in events:
+            if event.name in self.RELOCATED:
+                relocated.append(
+                    ConcreteEvent(
+                        name=event.name,
+                        thread=event.thread,
+                        slot=event.slot,
+                        location="y",
+                        base_kind=event.base_kind,
+                        promoted=event.promoted,
+                        value=event.value,
+                        register=event.register,
+                    )
+                )
+            else:
+                relocated.append(event)
+        return relocated
+
+    def generate(self) -> List[MutationPair]:
+        pairs: List[MutationPair] = []
+        for kinds in canonical_assignments(self.template):
+            signature = self.template.kind_signature(kinds)
+            alias = self.ALIASES.get(signature, signature)
+            events = concretize(self.template, kinds)
+            name = kind_name(self.template, kinds, set())
+            conformance = self._make_test(
+                kinds,
+                set(),
+                name,
+                build_threads(self.template, events),
+                events,
+                description=f"{alias}: four accesses to one location",
+                expect_allowed=False,
+            )
+            mutant_events = self._relocate(events)
+            mutant = self._make_test(
+                kinds,
+                set(),
+                f"{name}_mut",
+                build_threads(self.template, mutant_events),
+                events,  # observer decision follows the conformance shape
+                description=f"{alias} mutant: inner accesses moved to y",
+                expect_allowed=True,
+            )
+            pairs.append(MutationPair(self.kind, conformance, (mutant,), alias))
+        return pairs
+
+
+class WeakeningSwMutator(Mutator):
+    """Mutator 3: weaken ``sw`` by removing fences."""
+
+    kind = MutatorKind.WEAKENING_SW
+    template = WEAKENING_SW
+
+    ALIASES = {
+        "ww_rr": "MP",
+        "rw_rw": "LB",
+        "ww_rw": "S",
+        "wu_ur": "SB",
+        "ww_ur": "R",
+        "ww_uw": "2+2W",
+    }
+
+    FENCE_DROPS = (
+        ("f0", frozenset({0})),
+        ("f1", frozenset({1})),
+        ("f01", frozenset({0, 1})),
+    )
+
+    def _promotions(self, kinds: Dict[str, AccessKind]) -> Set[str]:
+        """Forced promotions: the synchronization edge b→c must be an
+        rf edge, so b must write and c must read (Sec. 3.3)."""
+        promotions: Set[str] = set()
+        if kinds["b"].reads:
+            promotions.add("b")
+        if kinds["c"].writes:
+            promotions.add("c")
+        return promotions
+
+    def _promotion_cost(self, kinds: Dict[str, AccessKind]) -> int:
+        return len(self._promotions(kinds))
+
+    def _drop_fences(
+        self, threads: List[List[Instruction]], dropped: frozenset
+    ) -> List[List[Instruction]]:
+        """The edge disruptor: elide the fence of the given threads."""
+        result = []
+        for index, thread in enumerate(threads):
+            if index in dropped:
+                result.append(
+                    [i for i in thread if not isinstance(i, Fence)]
+                )
+            else:
+                result.append(list(thread))
+        return result
+
+    def generate(self) -> List[MutationPair]:
+        pairs: List[MutationPair] = []
+        assignments = canonical_assignments(
+            self.template, promotions_needed=self._promotion_cost
+        )
+        for kinds in assignments:
+            promotions = self._promotions(kinds)
+            events = concretize(self.template, kinds, promotions)
+            name = kind_name(self.template, kinds, promotions)
+            alias = self.ALIASES.get(
+                kind_name(self.template, kinds, promotions)[
+                    len(self.template.name) + 1:
+                ],
+                name,
+            )
+            threads = build_threads(self.template, events)
+            conformance = self._make_test(
+                kinds,
+                promotions,
+                name,
+                threads,
+                events,
+                description=f"{alias}: weak behaviour fenced out",
+                expect_allowed=False,
+            )
+            mutants: List[LitmusTest] = []
+            for suffix, dropped in self.FENCE_DROPS:
+                mutants.append(
+                    self._make_test(
+                        kinds,
+                        promotions,
+                        f"{name}_mut_{suffix}",
+                        self._drop_fences(threads, dropped),
+                        events,
+                        description=(
+                            f"{alias} mutant: fence(s) {sorted(dropped)} "
+                            f"removed"
+                        ),
+                        expect_allowed=True,
+                    )
+                )
+            pairs.append(
+                MutationPair(self.kind, conformance, tuple(mutants), alias)
+            )
+        return pairs
+
+
+ALL_MUTATORS = (
+    ReversingPoLocMutator,
+    WeakeningPoLocMutator,
+    WeakeningSwMutator,
+)

@@ -1,0 +1,140 @@
+"""Pruning unobservable mutants (Sec. 3.4).
+
+"If the mutant behaviour is not observable on the testing platform,
+then MC Mutants will be unable to evaluate the testing environment
+with respect to the given mutant ... the mutation tests should be
+pruned.  That is, each mutant test m should be analyzed under a
+precise model of the expected observed behavior of the implementation."
+
+Our precise model of each implementation is the device profile itself:
+a mutant behaviour is observable on a device iff the batch model gives
+it a positive probability under maximal pressure.  The canonical
+example from the paper is C++-on-x86, where the language allows far
+more than the hardware exhibits; our analogue is the M1 profile, which
+never exhibits partial-synchronization weakness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.gpu.batch import BatchModel
+from repro.gpu.device import Device
+from repro.gpu.profiles import ExecutionTuning
+from repro.litmus.program import LitmusTest
+from repro.mutation.mutators import MutationPair
+from repro.mutation.suite import MutationSuite
+
+#: The most permissive tuning a device can reach: if a behaviour has
+#: zero probability here, no testing environment can ever observe it.
+MAXIMAL_PRESSURE = ExecutionTuning(
+    reorder_probability=1.0,
+    flush_probability=0.05,
+    chunk_mean=1.0,
+    contention=1.0,
+    stress=1.0,
+)
+
+
+def observable_on(device: Device, mutant: LitmusTest) -> bool:
+    """Can any testing environment observe this mutant on this device?"""
+    model = BatchModel(device.profile, device.bugs)
+    return model.instance_probability(mutant, MAXIMAL_PRESSURE) > 0.0
+
+
+@dataclass(frozen=True)
+class PruneReport:
+    """The outcome of pruning one suite against one device."""
+
+    device_name: str
+    kept: Tuple[str, ...]
+    pruned: Tuple[str, ...]
+
+    @property
+    def observable_fraction(self) -> float:
+        total = len(self.kept) + len(self.pruned)
+        if total == 0:
+            return 0.0
+        return len(self.kept) / total
+
+    def describe(self) -> str:
+        lines = [
+            f"pruning for {self.device_name}: {len(self.kept)} kept, "
+            f"{len(self.pruned)} pruned "
+            f"({self.observable_fraction:.1%} observable)"
+        ]
+        for name in self.pruned:
+            lines.append(f"  pruned: {name}")
+        return "\n".join(lines)
+
+
+def prune_for_device(
+    suite: MutationSuite, device: Device
+) -> Tuple[MutationSuite, PruneReport]:
+    """Drop mutants whose behaviour the device can never exhibit.
+
+    Conformance tests are kept as long as at least one of their mutants
+    survives (a conformance test with no evaluable mutant cannot have
+    its environment validated, so it is pruned with them).
+    """
+    kept_pairs: List[MutationPair] = []
+    kept_names: List[str] = []
+    pruned_names: List[str] = []
+    for pair in suite.pairs:
+        surviving = tuple(
+            mutant
+            for mutant in pair.mutants
+            if observable_on(device, mutant)
+        )
+        pruned_names.extend(
+            mutant.name
+            for mutant in pair.mutants
+            if mutant not in surviving
+        )
+        kept_names.extend(mutant.name for mutant in surviving)
+        if surviving:
+            kept_pairs.append(
+                MutationPair(
+                    mutator=pair.mutator,
+                    conformance=pair.conformance,
+                    mutants=surviving,
+                    alias=pair.alias,
+                )
+            )
+    report = PruneReport(
+        device_name=device.name,
+        kept=tuple(kept_names),
+        pruned=tuple(pruned_names),
+    )
+    return MutationSuite(pairs=tuple(kept_pairs)), report
+
+
+def observability_matrix(
+    suite: MutationSuite, devices: Sequence[Device]
+) -> Dict[str, Dict[str, bool]]:
+    """``matrix[mutant][device] = observable`` for the whole study.
+
+    The fraction of ``True`` cells is the paper's Sec. 3.4 statistic
+    (83.6% in their study).
+    """
+    matrix: Dict[str, Dict[str, bool]] = {}
+    for _, mutant in suite.mutant_pairs():
+        matrix[mutant.name] = {
+            device.name: observable_on(device, mutant)
+            for device in devices
+        }
+    return matrix
+
+
+def observable_fraction(
+    suite: MutationSuite, devices: Sequence[Device]
+) -> float:
+    """The fraction of (mutant, device) pairs that are observable."""
+    matrix = observability_matrix(suite, devices)
+    cells = [
+        value for row in matrix.values() for value in row.values()
+    ]
+    if not cells:
+        return 0.0
+    return sum(cells) / len(cells)

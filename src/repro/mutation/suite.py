@@ -1,0 +1,117 @@
+"""The MC Mutants test suite: 20 conformance tests, 32 mutants.
+
+:func:`build_suite` runs all three mutators and packages the verified
+results, reproducing Table 2 of the paper:
+
+==================  =================  =======
+Mutator             Conformance tests  Mutants
+==================  =================  =======
+Reversing po-loc                    8        8
+Weakening po-loc                    6        6
+Weakening sw                        6       18
+Combined                           20       32
+==================  =================  =======
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Iterator, List, Tuple
+
+from repro.litmus.program import LitmusTest
+from repro.mutation.mutators import (
+    ALL_MUTATORS,
+    MutationPair,
+    MutatorKind,
+)
+
+
+@dataclass(frozen=True)
+class MutationSuite:
+    """All mutation pairs, with convenience accessors."""
+
+    pairs: Tuple[MutationPair, ...]
+
+    # -- accessors ---------------------------------------------------------
+
+    def by_mutator(self, kind: MutatorKind) -> List[MutationPair]:
+        return [pair for pair in self.pairs if pair.mutator == kind]
+
+    @property
+    def conformance_tests(self) -> List[LitmusTest]:
+        return [pair.conformance for pair in self.pairs]
+
+    @property
+    def mutants(self) -> List[LitmusTest]:
+        return [
+            mutant for pair in self.pairs for mutant in pair.mutants
+        ]
+
+    def mutant_pairs(self) -> Iterator[Tuple[MutationPair, LitmusTest]]:
+        """Yield ``(pair, mutant)`` for every mutant in the suite."""
+        for pair in self.pairs:
+            for mutant in pair.mutants:
+                yield pair, mutant
+
+    def mutator_of(self, test_name: str) -> MutatorKind:
+        for pair in self.pairs:
+            if pair.conformance.name == test_name:
+                return pair.mutator
+            for mutant in pair.mutants:
+                if mutant.name == test_name:
+                    return pair.mutator
+        raise KeyError(f"test {test_name!r} is not in the suite")
+
+    def find(self, test_name: str) -> LitmusTest:
+        for pair in self.pairs:
+            if pair.conformance.name == test_name:
+                return pair.conformance
+            for mutant in pair.mutants:
+                if mutant.name == test_name:
+                    return mutant
+        raise KeyError(f"test {test_name!r} is not in the suite")
+
+    def pair_of_mutant(self, mutant_name: str) -> MutationPair:
+        for pair in self.pairs:
+            for mutant in pair.mutants:
+                if mutant.name == mutant_name:
+                    return pair
+        raise KeyError(f"mutant {mutant_name!r} is not in the suite")
+
+    def find_by_alias(self, alias: str) -> MutationPair:
+        for pair in self.pairs:
+            if pair.alias.lower() == alias.lower():
+                return pair
+        raise KeyError(f"no pair with alias {alias!r}")
+
+    # -- Table 2 -------------------------------------------------------------
+
+    def counts(self) -> Dict[MutatorKind, Tuple[int, int]]:
+        """Per-mutator ``(conformance, mutant)`` counts."""
+        result: Dict[MutatorKind, Tuple[int, int]] = {}
+        for kind in MutatorKind:
+            pairs = self.by_mutator(kind)
+            result[kind] = (
+                len(pairs),
+                sum(len(pair.mutants) for pair in pairs),
+            )
+        return result
+
+    def combined_counts(self) -> Tuple[int, int]:
+        return len(self.conformance_tests), len(self.mutants)
+
+
+def build_suite() -> MutationSuite:
+    """Generate and verify the full suite (deterministic)."""
+    pairs: List[MutationPair] = []
+    for mutator_class in ALL_MUTATORS:
+        pairs.extend(mutator_class().generate())
+    return MutationSuite(pairs=tuple(pairs))
+
+
+@lru_cache(maxsize=1)
+def default_suite() -> MutationSuite:
+    """A cached shared suite — generation is deterministic, so one
+    instance serves the whole process."""
+    return build_suite()

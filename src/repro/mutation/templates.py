@@ -1,0 +1,277 @@
+"""Abstract happens-before cycle templates (Fig. 3 of the paper).
+
+A template fixes the *shape* of a disallowed candidate execution: how
+many events each thread has, which locations they touch, where fences
+sit, and which pairs are connected by ``com`` edges in the cycle.
+Instantiating a template means choosing a concrete access kind (read or
+write, possibly promoted to RMW) for every abstract memory event.
+
+The three templates here correspond to the paper's three mutators:
+
+* ``REVERSING_PO_LOC`` — three events, two threads, one location
+  (Fig. 3a).
+* ``WEAKENING_PO_LOC`` — four events, two threads, one location
+  (Fig. 3b).
+* ``WEAKENING_SW`` — four events, two threads, two locations, with a
+  release/acquire fence in the middle of each thread (Fig. 3c).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from repro.memory_model.models import (
+    MemoryModel,
+    REL_ACQ_SC_PER_LOCATION,
+    SC_PER_LOCATION,
+)
+
+
+class AccessKind(str, enum.Enum):
+    """Base access kind of an abstract event before RMW promotion."""
+
+    READ = "r"
+    WRITE = "w"
+
+    @property
+    def reads(self) -> bool:
+        return self is AccessKind.READ
+
+    @property
+    def writes(self) -> bool:
+        return self is AccessKind.WRITE
+
+
+class EdgeRefinement(str, enum.Enum):
+    """Which constituent of ``com`` a cycle edge is refined into."""
+
+    RF = "rf"
+    FR = "fr"
+    CO = "co"
+
+
+@dataclass(frozen=True)
+class AbstractEvent:
+    """One abstract memory event (``m[x]`` in Fig. 3)."""
+
+    name: str
+    thread: int
+    slot: int
+    location: str
+
+
+@dataclass(frozen=True)
+class ComEdge:
+    """A ``com`` edge of the cycle, from one abstract event to another."""
+
+    source: str
+    target: str
+
+
+@dataclass(frozen=True)
+class CycleTemplate:
+    """An abstract happens-before cycle.
+
+    Attributes:
+        name: Mutator prefix used in generated test names.
+        title: The paper's name for the mutator.
+        events: Abstract memory events, in (thread, slot) order.
+        com_edges: The cross-thread communication edges of the cycle.
+        fenced: Whether a rel/acq fence separates each thread's events.
+        model: Memory model under which the cycle is disallowed.
+        forced_rf_edge: Index into ``com_edges`` of an edge that *must*
+            refine to ``rf`` (the synchronization edge of the weakening
+            ``sw`` template); ``None`` when refinement follows kinds.
+    """
+
+    name: str
+    title: str
+    events: Tuple[AbstractEvent, ...]
+    com_edges: Tuple[ComEdge, ...]
+    fenced: bool
+    model: MemoryModel
+    forced_rf_edge: int = -1
+
+    def event(self, name: str) -> AbstractEvent:
+        for candidate in self.events:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(name)
+
+    @property
+    def thread_count(self) -> int:
+        return 1 + max(event.thread for event in self.events)
+
+    def thread_events(self, thread: int) -> List[AbstractEvent]:
+        return sorted(
+            (e for e in self.events if e.thread == thread),
+            key=lambda e: e.slot,
+        )
+
+    # -- kind assignments -------------------------------------------------
+
+    def kind_assignments(self) -> Iterator[Dict[str, AccessKind]]:
+        """All kind maps, unfiltered."""
+        names = [event.name for event in self.events]
+        for kinds in itertools.product(AccessKind, repeat=len(names)):
+            yield dict(zip(names, kinds))
+
+    def edge_refinement(
+        self, edge_index: int, kinds: Dict[str, AccessKind]
+    ) -> EdgeRefinement:
+        """Refine a com edge given base kinds.
+
+        Raises:
+            ValueError: If neither endpoint writes (``com`` needs a
+                write) and the edge is not the forced-rf edge.
+        """
+        if edge_index == self.forced_rf_edge:
+            return EdgeRefinement.RF
+        edge = self.com_edges[edge_index]
+        source = kinds[edge.source]
+        target = kinds[edge.target]
+        if source.writes and target.writes:
+            return EdgeRefinement.CO
+        if source.writes and target.reads:
+            return EdgeRefinement.RF
+        if source.reads and target.writes:
+            return EdgeRefinement.FR
+        raise ValueError(
+            f"com edge {edge.source}->{edge.target} has no write endpoint"
+        )
+
+    def is_valid_assignment(self, kinds: Dict[str, AccessKind]) -> bool:
+        """A kind map is valid iff every com edge could really be a com
+        edge *before* any RMW promotion: each needs a write endpoint
+        (``com = rf ∪ co ∪ fr`` always involves a write).  Promotion
+        (e.g. to satisfy the forced rf edge of the weakening-``sw``
+        template) may strengthen accesses but never rescues an edge
+        between two plain reads."""
+        for edge in self.com_edges:
+            if not (kinds[edge.source].writes or kinds[edge.target].writes):
+                return False
+        try:
+            for index in range(len(self.com_edges)):
+                self.edge_refinement(index, kinds)
+        except ValueError:
+            return False
+        return True
+
+    def kind_signature(self, kinds: Dict[str, AccessKind]) -> str:
+        """Compact per-thread kind string, e.g. ``"rr_w"``."""
+        parts = []
+        for thread in range(self.thread_count):
+            parts.append(
+                "".join(kinds[e.name].value for e in self.thread_events(thread))
+            )
+        return "_".join(parts)
+
+
+def _symmetric_image(
+    template: CycleTemplate, kinds: Dict[str, AccessKind]
+) -> Dict[str, AccessKind]:
+    """The kind map after swapping the template's two threads.
+
+    Only meaningful for the symmetric four-event templates, where
+    swapping threads maps event ``a``→``c``, ``b``→``d`` and vice
+    versa (and, for the two-location template, also swaps locations —
+    which leaves the kind structure unchanged).
+    """
+    mapping = {"a": "c", "b": "d", "c": "a", "d": "b"}
+    return {mapping[name]: kind for name, kind in kinds.items()}
+
+
+def canonical_assignments(
+    template: CycleTemplate,
+    promotions_needed=None,
+) -> List[Dict[str, AccessKind]]:
+    """Valid kind maps, deduplicated under thread-swap symmetry.
+
+    Args:
+        template: A four-event two-thread template (the three-event
+            template has no symmetry and is returned as-is).
+        promotions_needed: Optional callable mapping a kind map to the
+            number of RMW promotions it requires; used to pick the
+            representative needing the fewest promotions (the paper
+            prefers plain loads/stores where possible), with the kind
+            signature as tie-break.
+
+    Returns:
+        One representative per equivalence class, in deterministic
+        (kind-signature) order.
+    """
+    valid = [
+        kinds
+        for kinds in template.kind_assignments()
+        if template.is_valid_assignment(kinds)
+    ]
+    if template.thread_count != 2 or len(template.events) != 4:
+        return sorted(valid, key=template.kind_signature)
+
+    def preference(kinds: Dict[str, AccessKind]) -> Tuple[int, str]:
+        cost = promotions_needed(kinds) if promotions_needed else 0
+        return (cost, template.kind_signature(kinds))
+
+    chosen: Dict[str, Dict[str, AccessKind]] = {}
+    for kinds in valid:
+        image = _symmetric_image(template, kinds)
+        class_key = min(
+            template.kind_signature(kinds), template.kind_signature(image)
+        )
+        candidates = [kinds]
+        if template.is_valid_assignment(image):
+            candidates.append(image)
+        best = min(candidates, key=preference)
+        if class_key not in chosen or preference(best) < preference(
+            chosen[class_key]
+        ):
+            chosen[class_key] = best
+    return sorted(chosen.values(), key=template.kind_signature)
+
+
+REVERSING_PO_LOC = CycleTemplate(
+    name="rev_poloc",
+    title="Reversing po-loc",
+    events=(
+        AbstractEvent("a", 0, 0, "x"),
+        AbstractEvent("b", 0, 1, "x"),
+        AbstractEvent("c", 1, 0, "x"),
+    ),
+    com_edges=(ComEdge("b", "c"), ComEdge("c", "a")),
+    fenced=False,
+    model=SC_PER_LOCATION,
+)
+
+WEAKENING_PO_LOC = CycleTemplate(
+    name="weak_poloc",
+    title="Weakening po-loc",
+    events=(
+        AbstractEvent("a", 0, 0, "x"),
+        AbstractEvent("b", 0, 1, "x"),
+        AbstractEvent("c", 1, 0, "x"),
+        AbstractEvent("d", 1, 1, "x"),
+    ),
+    com_edges=(ComEdge("b", "c"), ComEdge("d", "a")),
+    fenced=False,
+    model=SC_PER_LOCATION,
+)
+
+WEAKENING_SW = CycleTemplate(
+    name="weak_sw",
+    title="Weakening sw",
+    events=(
+        AbstractEvent("a", 0, 0, "x"),
+        AbstractEvent("b", 0, 1, "y"),
+        AbstractEvent("c", 1, 0, "y"),
+        AbstractEvent("d", 1, 1, "x"),
+    ),
+    com_edges=(ComEdge("b", "c"), ComEdge("d", "a")),
+    fenced=True,
+    model=REL_ACQ_SC_PER_LOCATION,
+    forced_rf_edge=0,
+)
+
+ALL_TEMPLATES = (REVERSING_PO_LOC, WEAKENING_PO_LOC, WEAKENING_SW)

@@ -1,0 +1,59 @@
+"""Scoped synchronization instructions.
+
+WGSL has two control barriers: ``workgroupBarrier()`` (synchronizes a
+workgroup) and ``storageBarrier()`` (the one the paper's tests use,
+which pre-specification-change provided release/acquire ordering
+across workgroups).  The core instruction set models the latter as
+:class:`~repro.litmus.instructions.Fence`; this module adds the scoped
+barrier.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.litmus.instructions import Fence, Instruction
+from repro.memory_model.events import Event, fence
+
+
+class BarrierScope(enum.Enum):
+    """How far a control barrier's ordering reaches."""
+
+    WORKGROUP = "workgroup"
+    STORAGE = "storage"
+
+
+@dataclass(frozen=True)
+class ControlBarrier(Fence):
+    """``workgroupBarrier()`` / ``storageBarrier()`` with explicit scope.
+
+    Subclasses :class:`Fence` so every core component (program
+    validation, the reorder pass, mutators) treats it as a fence; the
+    *scope* is a property of the program text, so the scoped memory
+    model reads it from the instruction table (by event uid) rather
+    than from the event.
+    """
+
+    scope: BarrierScope = BarrierScope.WORKGROUP
+
+    def to_event(self, uid: int, thread: int, label: str = "") -> Event:
+        return fence(uid, thread, label)
+
+    def pretty(self) -> str:
+        if self.scope is BarrierScope.WORKGROUP:
+            return "workgroupBarrier()"
+        return "storageBarrier()"
+
+
+def scope_of(instruction: Instruction) -> BarrierScope:
+    """The synchronization scope of a fence-like instruction.
+
+    Plain :class:`Fence` instructions are storage-scoped (the paper's
+    setting); :class:`ControlBarrier` carries its own scope.
+    """
+    if isinstance(instruction, ControlBarrier):
+        return instruction.scope
+    if isinstance(instruction, Fence):
+        return BarrierScope.STORAGE
+    raise TypeError(f"{instruction!r} is not a barrier instruction")

@@ -1,0 +1,114 @@
+"""The scoped rel-acq-SC-per-location memory model.
+
+Extends the paper's model with scope-sensitive synchronization: a pair
+of fences only synchronizes when their combined scope covers the
+distance between the threads.
+
+* two storage-scope barriers synchronize regardless of placement
+  (the pre-change WebGPU semantics the paper tests);
+* if either barrier is workgroup-scoped, synchronization requires the
+  two threads to share a workgroup;
+* everything else (coherence, ``po-loc``, ``com``) is unchanged.
+
+The model binds a :class:`~repro.scopes.placement.Placement` and the
+program's barrier-scope table, so it is constructed *per test* by
+:func:`scoped_model` / :func:`scoped_test`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.litmus.instructions import Fence, Instruction
+from repro.litmus.program import BehaviorSpec, LitmusTest
+from repro.memory_model.execution import Execution
+from repro.memory_model.models import MemoryModel
+from repro.memory_model.relations import Relation
+from repro.scopes.instructions import BarrierScope, ControlBarrier, scope_of
+from repro.scopes.placement import Placement
+
+
+def scope_table(
+    threads: Sequence[Sequence[Instruction]],
+) -> Dict[int, BarrierScope]:
+    """Barrier scope by event uid (uid = global instruction index)."""
+    table: Dict[int, BarrierScope] = {}
+    uid = 0
+    for thread in threads:
+        for instruction in thread:
+            if isinstance(instruction, (Fence, ControlBarrier)):
+                table[uid] = scope_of(instruction)
+            uid += 1
+    return table
+
+
+class ScopedRelAcqSCPerLocation(MemoryModel):
+    """rel-acq-SC-per-location with scope-filtered synchronization."""
+
+    name = "scoped-rel-acq-sc-per-location"
+
+    def __init__(
+        self,
+        placement: Placement,
+        scopes: Dict[int, BarrierScope],
+    ) -> None:
+        self.placement = placement
+        self.scopes = scopes
+
+    def _synchronizes(self, release_uid: int, acquire_uid: int,
+                      release_thread: int, acquire_thread: int) -> bool:
+        release_scope = self.scopes.get(release_uid)
+        acquire_scope = self.scopes.get(acquire_uid)
+        if release_scope is None or acquire_scope is None:
+            return False
+        if (
+            release_scope is BarrierScope.STORAGE
+            and acquire_scope is BarrierScope.STORAGE
+        ):
+            return True
+        return self.placement.same_workgroup(
+            release_thread, acquire_thread
+        )
+
+    def happens_before(self, execution: Execution) -> Relation:
+        scoped_sw = execution.sw.restrict(
+            lambda release, acquire: self._synchronizes(
+                release.uid, acquire.uid, release.thread, acquire.thread
+            )
+        )
+        po_sw_po = execution.po.compose(scoped_sw).compose(execution.po)
+        return execution.po_loc | execution.com | po_sw_po
+
+    def __repr__(self) -> str:
+        return (
+            f"ScopedRelAcqSCPerLocation(placement="
+            f"{self.placement.describe()!r})"
+        )
+
+
+def scoped_model(
+    threads: Sequence[Sequence[Instruction]],
+    placement: Placement,
+) -> ScopedRelAcqSCPerLocation:
+    return ScopedRelAcqSCPerLocation(
+        placement=placement, scopes=scope_table(threads)
+    )
+
+
+def scoped_test(
+    name: str,
+    threads: Sequence[Sequence[Instruction]],
+    placement: Placement,
+    target: Optional[BehaviorSpec] = None,
+    observer_threads: Sequence[int] = (),
+    description: str = "",
+) -> LitmusTest:
+    """Build a litmus test whose model knows its thread placement."""
+    return LitmusTest(
+        name=name,
+        threads=threads,
+        model=scoped_model(threads, placement),
+        target=target,
+        observer_threads=observer_threads,
+        description=description or f"placement: {placement.describe()}",
+    )

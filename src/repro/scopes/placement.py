@@ -1,0 +1,72 @@
+"""Thread-to-workgroup placement for scoped testing.
+
+The paper restricts itself to inter-workgroup threads (Sec. 1.2) and
+names the full execution hierarchy as future work.  This experimental
+package takes the first step: litmus threads are *placed* into
+workgroups, and synchronization strength depends on whether the
+communicating threads share one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import MalformedProgramError
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Which workgroup each litmus thread runs in.
+
+    ``workgroups[i]`` is the workgroup id of thread ``i``.
+    """
+
+    workgroups: Tuple[int, ...]
+
+    def __init__(self, workgroups) -> None:
+        object.__setattr__(self, "workgroups", tuple(workgroups))
+        if not self.workgroups:
+            raise MalformedProgramError("placement needs threads")
+        if any(group < 0 for group in self.workgroups):
+            raise MalformedProgramError("workgroup ids must be >= 0")
+
+    @property
+    def thread_count(self) -> int:
+        return len(self.workgroups)
+
+    def workgroup_of(self, thread: int) -> int:
+        try:
+            return self.workgroups[thread]
+        except IndexError:
+            raise MalformedProgramError(
+                f"thread {thread} has no placement"
+            ) from None
+
+    def same_workgroup(self, first: int, second: int) -> bool:
+        return self.workgroup_of(first) == self.workgroup_of(second)
+
+    def peers(self, thread: int) -> Tuple[int, ...]:
+        """All threads (including ``thread``) in its workgroup."""
+        group = self.workgroup_of(thread)
+        return tuple(
+            index
+            for index, other in enumerate(self.workgroups)
+            if other == group
+        )
+
+    @classmethod
+    def all_separate(cls, thread_count: int) -> "Placement":
+        """The paper's setting: every thread in its own workgroup."""
+        return cls(range(thread_count))
+
+    @classmethod
+    def all_together(cls, thread_count: int) -> "Placement":
+        """Every thread in one workgroup (intra-workgroup testing)."""
+        return cls([0] * thread_count)
+
+    def describe(self) -> str:
+        return ", ".join(
+            f"t{index}@wg{group}"
+            for index, group in enumerate(self.workgroups)
+        )

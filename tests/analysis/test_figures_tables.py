@@ -1,0 +1,177 @@
+"""Tests for figure/table builders and reporting."""
+
+import pytest
+
+from repro.analysis import (
+    Figure6,
+    ascii_table,
+    figure5,
+    figure6,
+    render_figure5_rates,
+    render_figure5_scores,
+    render_figure6,
+    render_table2,
+    render_table3,
+    score_cell,
+    score_matrix,
+)
+from repro.env import EnvironmentKind, tuning_run
+from repro.errors import AnalysisError
+from repro.gpu import study_devices
+from repro.mutation import MutatorKind, default_suite
+
+SUITE = default_suite()
+DEVICES = study_devices()
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {
+        kind: tuning_run(
+            kind, DEVICES, SUITE.mutants, environment_count=10, seed=7
+        )
+        for kind in EnvironmentKind
+    }
+
+
+class TestScoreAggregation:
+    def test_cell_totals(self, results):
+        cell = score_cell(results[EnvironmentKind.PTE], SUITE)
+        assert cell.total == 32 * 4
+        assert 0 <= cell.killed <= cell.total
+        assert cell.mutation_score == pytest.approx(
+            cell.killed / cell.total
+        )
+
+    def test_per_device_cell(self, results):
+        cell = score_cell(
+            results[EnvironmentKind.PTE], SUITE, device_names=["AMD"]
+        )
+        assert cell.total == 32
+
+    def test_per_mutator_cell(self, results):
+        cell = score_cell(
+            results[EnvironmentKind.PTE],
+            SUITE,
+            mutator=MutatorKind.REVERSING_PO_LOC,
+        )
+        assert cell.total == 8 * 4
+
+    def test_matrix_structure(self, results):
+        matrix = score_matrix(results[EnvironmentKind.PTE], SUITE)
+        assert set(matrix) == {
+            "reversing po-loc",
+            "weakening po-loc",
+            "weakening sw",
+            "combined",
+        }
+        assert set(matrix["combined"]) == {
+            "NVIDIA", "AMD", "Intel", "M1", "all",
+        }
+
+
+class TestFigure5:
+    def test_headline_shapes(self, results):
+        """The core Sec. 5.2 findings hold in the generated figure."""
+        figure = figure5(results, SUITE)
+        assert figure.score(EnvironmentKind.PTE) > figure.score(
+            EnvironmentKind.SITE
+        )
+        assert figure.score(EnvironmentKind.SITE) > figure.score(
+            EnvironmentKind.SITE_BASELINE
+        )
+        assert figure.rate(EnvironmentKind.PTE) > 500 * figure.rate(
+            EnvironmentKind.SITE
+        )
+
+    def test_reversing_fastest_mutator(self, results):
+        figure = figure5(results, SUITE)
+        assert figure.rate(
+            EnvironmentKind.PTE, "reversing po-loc"
+        ) > figure.rate(EnvironmentKind.PTE, "weakening sw")
+
+    def test_rows_shape(self, results):
+        figure = figure5(results, SUITE)
+        rows = figure.score_rows()
+        assert len(rows) == 4
+        assert len(rows[0]) == 6  # kind + 4 devices + all
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            figure5({}, SUITE)
+
+
+class TestFigure6:
+    def test_monotone_in_budget(self, results):
+        figure = figure6(
+            {EnvironmentKind.PTE: results[EnvironmentKind.PTE]},
+            budgets=(0.25, 4.0, 64.0),
+            targets=(0.95,),
+        )
+        series = figure.series(EnvironmentKind.PTE, 0.95)
+        scores = [score for _, score in series]
+        assert scores == sorted(scores)
+
+    def test_stricter_target_not_better(self, results):
+        figure = figure6(
+            {EnvironmentKind.PTE: results[EnvironmentKind.PTE]},
+            budgets=(4.0,),
+            targets=(0.95, 0.99999),
+        )
+        assert figure.score_at(
+            EnvironmentKind.PTE, 0.99999, 4.0
+        ) <= figure.score_at(EnvironmentKind.PTE, 0.95, 4.0)
+
+    def test_pte_beats_site_at_tight_budget(self, results):
+        """Fig. 6's key claim: SITE collapses at small budgets."""
+        figure = figure6(
+            {
+                EnvironmentKind.PTE: results[EnvironmentKind.PTE],
+                EnvironmentKind.SITE: results[EnvironmentKind.SITE],
+            },
+            budgets=(1.0 / 64,),
+            targets=(0.95,),
+        )
+        assert figure.score_at(
+            EnvironmentKind.PTE, 0.95, 1.0 / 64
+        ) > figure.score_at(EnvironmentKind.SITE, 0.95, 1.0 / 64)
+
+    def test_missing_point_raises(self):
+        figure = Figure6(points=())
+        with pytest.raises(AnalysisError):
+            figure.score_at(EnvironmentKind.PTE, 0.95, 1.0)
+
+
+class TestRendering:
+    def test_ascii_table_alignment(self):
+        text = ascii_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1
+
+    def test_ascii_table_validation(self):
+        with pytest.raises(AnalysisError):
+            ascii_table([], [])
+        with pytest.raises(AnalysisError):
+            ascii_table(["a"], [["1", "2"]])
+
+    def test_table2_counts(self):
+        text = render_table2(SUITE)
+        assert "Combined" in text
+        assert "20" in text and "32" in text
+
+    def test_table3_roster(self):
+        text = render_table3()
+        assert "GeForce RTX 2080" in text
+        assert "M1" in text
+        assert "128" in text
+
+    def test_figure_renderings(self, results):
+        figure = figure5(results, SUITE)
+        assert "mutation scores" in render_figure5_scores(figure)
+        assert "death rates" in render_figure5_rates(figure)
+        small = figure6(
+            {EnvironmentKind.PTE: results[EnvironmentKind.PTE]},
+            budgets=(4.0,),
+            targets=(0.95,),
+        )
+        assert "Figure 6" in render_figure6(small)

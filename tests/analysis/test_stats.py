@@ -1,0 +1,118 @@
+"""Tests for the statistics module."""
+
+import math
+
+import pytest
+
+from hypothesis import given, strategies as st
+
+from repro.analysis import (
+    correlate,
+    correlation_p_value,
+    correlation_t_statistic,
+    pearson_correlation,
+)
+from repro.errors import AnalysisError
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson_correlation([1, 2, 3], [2, 4, 6]) == pytest.approx(
+            1.0
+        )
+
+    def test_perfect_negative(self):
+        assert pearson_correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(
+            -1.0
+        )
+
+    def test_uncorrelated(self):
+        r = pearson_correlation([1, 2, 3, 4], [1, -1, 1, -1])
+        assert abs(r) < 0.5
+
+    def test_matches_scipy(self):
+        from scipy import stats
+
+        x = [0.3, 1.2, 5.0, 2.2, 0.9, 4.4]
+        y = [0.1, 1.9, 4.2, 2.9, 1.4, 3.3]
+        ours = pearson_correlation(x, y)
+        theirs = stats.pearsonr(x, y).statistic
+        assert ours == pytest.approx(theirs)
+
+    def test_length_mismatch(self):
+        with pytest.raises(AnalysisError, match="lengths"):
+            pearson_correlation([1, 2], [1])
+
+    def test_too_few_points(self):
+        with pytest.raises(AnalysisError, match="two points"):
+            pearson_correlation([1], [1])
+
+    def test_zero_variance(self):
+        with pytest.raises(AnalysisError, match="variance"):
+            pearson_correlation([1, 1, 1], [1, 2, 3])
+
+    @given(
+        st.lists(
+            st.floats(-100, 100), min_size=3, max_size=30
+        ).filter(lambda xs: max(xs) - min(xs) > 1e-6)
+    )
+    def test_self_correlation_is_one(self, xs):
+        assert pearson_correlation(xs, xs) == pytest.approx(1.0)
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(-50, 50), st.floats(-50, 50)),
+            min_size=3,
+            max_size=30,
+        )
+    )
+    def test_bounded_and_symmetric(self, pairs):
+        xs = [p[0] for p in pairs]
+        ys = [p[1] for p in pairs]
+        try:
+            forward = pearson_correlation(xs, ys)
+        except AnalysisError:
+            return
+        assert -1.0 - 1e-9 <= forward <= 1.0 + 1e-9
+        assert forward == pytest.approx(pearson_correlation(ys, xs))
+
+
+class TestSignificance:
+    def test_t_statistic(self):
+        # r=0.5, n=27 -> t = 0.5*sqrt(25/0.75) ≈ 2.887
+        assert correlation_t_statistic(0.5, 27) == pytest.approx(
+            2.8868, abs=1e-3
+        )
+
+    def test_perfect_correlation_infinite_t(self):
+        assert math.isinf(correlation_t_statistic(1.0, 10))
+        assert correlation_p_value(1.0, 10) == 0.0
+
+    def test_paper_significance_claim(self):
+        """PCC .89 over 150 environments is overwhelmingly significant
+        (the paper quotes < 1e-6 %, i.e. < 1e-8)."""
+        assert correlation_p_value(0.89, 150) < 1e-8
+
+    def test_weak_correlation_not_significant(self):
+        assert correlation_p_value(0.1, 10) > 0.5
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            correlation_t_statistic(0.5, 2)
+        with pytest.raises(AnalysisError):
+            correlation_t_statistic(1.5, 10)
+
+
+class TestCorrelationResult:
+    def test_correlate(self):
+        result = correlate([1.0, 2.0, 3.0], [1.1, 2.2, 2.9])
+        assert result.n == 3
+        assert result.r > 0.99
+
+    def test_very_strong_threshold(self):
+        result = correlate([1.0, 2.0, 3.0], [2.0, 4.0, 6.0])
+        assert result.very_strong
+
+    def test_describe(self):
+        result = correlate([1.0, 2.0, 3.0], [2.0, 4.0, 6.0])
+        assert "very strong" in result.describe()

@@ -1,0 +1,72 @@
+"""Tests for CTS curation."""
+
+import pytest
+
+from repro.confidence import TARGET_MAX, curate
+from repro.env import EnvironmentKind, tuning_run
+from repro.errors import AnalysisError
+from repro.gpu import study_devices
+from repro.mutation import default_suite
+
+SUITE = default_suite()
+
+
+@pytest.fixture(scope="module")
+def tuned():
+    return tuning_run(
+        EnvironmentKind.PTE,
+        study_devices(),
+        SUITE.mutants,
+        environment_count=12,
+        seed=6,
+    )
+
+
+@pytest.fixture(scope="module")
+def plan(tuned):
+    return curate(SUITE, tuned, TARGET_MAX, budget_seconds=4.0)
+
+
+class TestCuration:
+    def test_one_entry_per_conformance_test(self, plan):
+        assert len(plan.entries) == 20
+        names = {entry.conformance_name for entry in plan.entries}
+        assert names == {t.name for t in SUITE.conformance_tests}
+
+    def test_mutant_belongs_to_pair(self, plan):
+        for entry in plan.entries:
+            pair = SUITE.pair_of_mutant(entry.mutant_name)
+            assert pair.conformance.name == entry.conformance_name
+
+    def test_total_budget(self, plan):
+        assert plan.total_budget_seconds == pytest.approx(80.0)
+
+    def test_most_tests_scheduled(self, plan):
+        assert len(plan.scheduled()) >= 15
+
+    def test_total_reproducibility_per_device(self, plan, tuned):
+        for device in tuned.device_names:
+            total = plan.total_reproducibility(device)
+            assert 0.0 <= total <= 1.0
+
+    def test_worst_case_bounded_by_per_device(self, plan, tuned):
+        worst = plan.worst_case_total()
+        for device in tuned.device_names:
+            assert worst <= plan.total_reproducibility(device) + 1e-12
+
+    def test_describe(self, plan):
+        text = plan.describe()
+        assert "CTS plan" in text
+        assert "rev_poloc_rr_w" in text
+
+    def test_bigger_budget_not_worse(self, tuned):
+        tight = curate(SUITE, tuned, 0.95, budget_seconds=0.25)
+        roomy = curate(SUITE, tuned, 0.95, budget_seconds=64.0)
+        assert len(roomy.scheduled()) >= len(tight.scheduled())
+
+    def test_empty_result_rejected(self, tuned):
+        from repro.env.tuning import TuningResult
+
+        empty = TuningResult(kind=EnvironmentKind.PTE, runs=[])
+        with pytest.raises(AnalysisError, match="empty"):
+            curate(SUITE, empty, 0.95, 4.0)

@@ -1,0 +1,195 @@
+"""Tests for Algorithm 1 (environment merging)."""
+
+import math
+
+import pytest
+
+from repro.confidence import (
+    merge_environments,
+    merge_suite,
+    reproducible_pairs,
+    tuning_rate_function,
+)
+from repro.env import (
+    EnvironmentKind,
+    random_environments,
+    tuning_run,
+)
+from repro.errors import AnalysisError
+from repro.gpu import make_device, study_devices
+from repro.mutation import default_suite
+
+SUITE = default_suite()
+DEVICES = ["A", "B", "C"]
+ENVS = random_environments(EnvironmentKind.PTE, 4, seed=11)
+
+
+def rate_table(table):
+    """rate(test, device, env) backed by {(device, env_key): rate}."""
+
+    def rate(test_name, device, environment):
+        return table.get((device, environment.env_key), 0.0)
+
+    return rate
+
+
+class TestMergeEnvironments:
+    def test_picks_env_with_most_devices_at_ceiling(self):
+        # ceiling for r=0.95, b=4s is 0.75/s.
+        table = {
+            ("A", 0): 1.0, ("B", 0): 1.0, ("C", 0): 0.1,
+            ("A", 1): 1.0, ("B", 1): 0.1, ("C", 1): 0.1,
+        }
+        decision = merge_environments(
+            "t", ENVS, DEVICES, rate_table(table), 0.95, 4.0
+        )
+        assert decision.environment is ENVS[0]
+        assert decision.devices_at_ceiling == 2
+
+    def test_tie_breaks_on_min_nonzero_rate(self):
+        table = {
+            ("A", 0): 1.0, ("B", 0): 0.01,
+            ("A", 1): 1.0, ("B", 1): 0.5,
+        }
+        decision = merge_environments(
+            "t", ENVS[:2], ["A", "B"], rate_table(table), 0.95, 4.0
+        )
+        # Both reach the ceiling on A only; env 1 has the higher
+        # minimum non-zero rate (0.5 > 0.01).
+        assert decision.environment is ENVS[1]
+        assert decision.min_nonzero_rate == pytest.approx(0.5)
+
+    def test_zero_rates_excluded_from_minimum(self):
+        table = {("A", 0): 1.0, ("B", 0): 0.0}
+        decision = merge_environments(
+            "t", ENVS[:1], ["A", "B"], rate_table(table), 0.95, 4.0
+        )
+        assert decision.min_nonzero_rate == pytest.approx(1.0)
+
+    def test_no_environment_reaches_ceiling(self):
+        table = {("A", 0): 0.01, ("A", 1): 0.02}
+        decision = merge_environments(
+            "t", ENVS[:2], ["A"], rate_table(table), 0.95, 4.0
+        )
+        assert decision.environment is None
+        assert decision.devices_at_ceiling == 0
+
+    def test_stability_property(self):
+        """Paper: if the chosen environment meets the ceiling on ALL
+        devices, relaxing the target or growing the budget keeps it."""
+        table = {
+            ("A", 0): 5.0, ("B", 0): 4.0,
+            ("A", 1): 9.0, ("B", 1): 0.5,
+        }
+        strict = merge_environments(
+            "t", ENVS[:2], ["A", "B"], rate_table(table), 0.95, 4.0
+        )
+        assert strict.environment is ENVS[0]
+        assert strict.devices_at_ceiling == 2
+        relaxed = merge_environments(
+            "t", ENVS[:2], ["A", "B"], rate_table(table), 0.90, 16.0
+        )
+        assert relaxed.environment is strict.environment
+
+    def test_validation(self):
+        rate = rate_table({})
+        with pytest.raises(AnalysisError):
+            merge_environments("t", ENVS, DEVICES, rate, 1.5, 4.0)
+        with pytest.raises(AnalysisError):
+            merge_environments("t", ENVS, DEVICES, rate, 0.95, 0.0)
+
+    def test_reproducibility_accessor(self):
+        table = {("A", 0): 1.0}
+        decision = merge_environments(
+            "t", ENVS[:1], ["A"], rate_table(table), 0.95, 4.0
+        )
+        assert decision.reproducibility("A", 3.0) == pytest.approx(
+            1 - math.exp(-3.0)
+        )
+        assert decision.reproducibility("missing", 3.0) == 0.0
+
+
+class TestMergeSuiteIntegration:
+    @pytest.fixture(scope="class")
+    def tuned(self):
+        return tuning_run(
+            EnvironmentKind.PTE,
+            study_devices(),
+            SUITE.mutants,
+            environment_count=12,
+            seed=4,
+        )
+
+    def test_merge_suite_covers_all_tests(self, tuned):
+        decisions = merge_suite(tuned, tuned.test_names, 0.95, 4.0)
+        assert len(decisions) == len(tuned.test_names)
+        chosen = [d for d in decisions if d.environment is not None]
+        assert len(chosen) > len(decisions) // 2
+
+    def test_rate_function_adapter(self, tuned):
+        rate = tuning_rate_function(tuned)
+        environment = tuned.environments[0]
+        name = tuned.test_names[0]
+        assert rate(name, "AMD", environment) == tuned.rate(
+            name, "AMD", environment.env_key
+        )
+
+    def test_reproducible_pairs_monotone_in_budget(self, tuned):
+        decisions = merge_suite(tuned, tuned.test_names, 0.95, 1.0)
+        smaller = reproducible_pairs(decisions, 0.95, 1.0 / 64, 4)
+        larger = reproducible_pairs(decisions, 0.95, 64.0, 4)
+        assert 0.0 <= smaller <= larger <= 1.0
+
+    def test_reproducible_pairs_validation(self):
+        with pytest.raises(AnalysisError):
+            reproducible_pairs([], 0.95, 1.0, 0)
+
+    def test_reproducible_pairs_empty(self):
+        assert reproducible_pairs([], 0.95, 1.0, 4) == 0.0
+
+
+class TestStabilityProperty:
+    """The paper's stability claim, property-tested: when the chosen
+    environment meets the ceiling on ALL devices, any run with a laxer
+    target (r' <= r) and larger budget (t' >= t) chooses the same
+    environment."""
+
+    from hypothesis import given, strategies as st
+
+    @given(
+        rates=st.lists(
+            st.tuples(
+                st.floats(0.0, 50.0),  # rate on device A
+                st.floats(0.0, 50.0),  # rate on device B
+            ),
+            min_size=2,
+            max_size=4,
+        ),
+        target=st.floats(0.5, 0.999),
+        budget=st.floats(0.5, 16.0),
+        laxer=st.floats(0.1, 1.0),
+        larger=st.floats(1.0, 8.0),
+    )
+    def test_stable_under_relaxation(
+        self, rates, target, budget, laxer, larger
+    ):
+        from repro.confidence import ceiling_rate
+
+        table = {}
+        for env_key, (rate_a, rate_b) in enumerate(rates):
+            table[("A", env_key)] = rate_a
+            table[("B", env_key)] = rate_b
+        environments = ENVS[: len(rates)]
+        strict = merge_environments(
+            "t", environments, ["A", "B"], rate_table(table),
+            target, budget,
+        )
+        ceiling = ceiling_rate(target, budget)
+        if strict.environment is None or strict.devices_at_ceiling < 2:
+            return  # stability only promised at full coverage
+        relaxed_target = max(0.01, target * laxer)
+        relaxed = merge_environments(
+            "t", environments, ["A", "B"], rate_table(table),
+            relaxed_target, budget * larger,
+        )
+        assert relaxed.environment is strict.environment

@@ -1,0 +1,136 @@
+"""Tests for reproducibility math (Sec. 4.2)."""
+
+import math
+
+import pytest
+
+from hypothesis import given, strategies as st
+
+from repro.confidence import (
+    TARGET_FLOOR,
+    TARGET_MAX,
+    ceiling_rate,
+    expected_runs_until_clean,
+    reproducibility_score,
+    required_kills,
+    score_at_budget,
+    total_reproducibility,
+)
+from repro.errors import AnalysisError
+
+
+class TestPaperNumbers:
+    def test_three_kills_is_95_percent(self):
+        """Sec. 4.2: x = 3 gives a 95% reproducibility score."""
+        assert reproducibility_score(3) == pytest.approx(0.95, abs=0.005)
+
+    def test_required_kills_for_95(self):
+        assert required_kills(0.95) == 3
+
+    def test_required_kills_for_99999(self):
+        """99.999% corresponds to killing the mutant 12 times."""
+        assert required_kills(TARGET_MAX) == 12
+
+    def test_total_reproducibility_20_tests_at_95(self):
+        """Sec. 4.2: 0.95^20 ≈ 35.8%."""
+        assert total_reproducibility(0.95, 20) == pytest.approx(
+            0.358, abs=0.001
+        )
+
+    def test_total_reproducibility_20_tests_at_99999(self):
+        """Sec. 4.2: 99.999% per test → 99.98% total."""
+        assert total_reproducibility(TARGET_MAX, 20) == pytest.approx(
+            0.9998, abs=0.0001
+        )
+
+    def test_expected_runs_at_low_total(self):
+        """The CTS would need ~3 runs on average at 35.8% total."""
+        assert expected_runs_until_clean(0.358) == pytest.approx(
+            2.79, abs=0.01
+        )
+
+    def test_one_kill_in_budget_example(self):
+        """Sec. 4.2's example: 1 kill/second and a 3-second budget give
+        a 95% score."""
+        assert score_at_budget(1.0, 3.0) == pytest.approx(0.95, abs=0.005)
+
+
+class TestCeilingRate:
+    def test_definition(self):
+        assert ceiling_rate(0.95, 4.0) == pytest.approx(3 / 4)
+
+    def test_larger_budget_lower_ceiling(self):
+        assert ceiling_rate(0.95, 64.0) < ceiling_rate(0.95, 1.0)
+
+    def test_stricter_target_higher_ceiling(self):
+        assert ceiling_rate(TARGET_MAX, 4.0) > ceiling_rate(
+            TARGET_FLOOR, 4.0
+        )
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            ceiling_rate(0.95, 0.0)
+
+
+class TestValidation:
+    def test_negative_kills(self):
+        with pytest.raises(AnalysisError):
+            reproducibility_score(-1)
+
+    def test_score_bounds(self):
+        with pytest.raises(AnalysisError):
+            required_kills(1.0)
+        with pytest.raises(AnalysisError):
+            required_kills(-0.1)
+
+    def test_total_validation(self):
+        with pytest.raises(AnalysisError):
+            total_reproducibility(1.2, 5)
+        with pytest.raises(AnalysisError):
+            total_reproducibility(0.9, -1)
+
+    def test_score_at_budget_validation(self):
+        with pytest.raises(AnalysisError):
+            score_at_budget(-1.0, 1.0)
+        with pytest.raises(AnalysisError):
+            score_at_budget(1.0, 0.0)
+
+    def test_expected_runs_validation(self):
+        with pytest.raises(AnalysisError):
+            expected_runs_until_clean(0.0)
+
+
+class TestProperties:
+    @given(st.integers(0, 200))
+    def test_score_in_unit_interval(self, kills):
+        # 1 - e^-x saturates to exactly 1.0 in floating point for
+        # large x, so the upper bound is inclusive.
+        assert 0.0 <= reproducibility_score(kills) <= 1.0
+
+    @given(st.integers(0, 30))
+    def test_score_monotone(self, kills):
+        lower = reproducibility_score(kills)
+        higher = reproducibility_score(kills + 1)
+        assert higher >= lower
+        if lower < 1.0:
+            assert higher > lower
+
+    @given(st.floats(0.01, 0.999999))
+    def test_required_kills_inverts_score(self, target):
+        kills = required_kills(target)
+        assert reproducibility_score(kills) >= target
+        if kills > 0:
+            assert reproducibility_score(kills - 1) < target
+
+    @given(st.floats(0.0, 1000.0), st.floats(0.001, 1000.0))
+    def test_score_at_budget_bounds(self, rate, budget):
+        assert 0.0 <= score_at_budget(rate, budget) <= 1.0
+
+    @given(
+        st.floats(0.5, 0.999999),
+        st.integers(1, 100),
+    )
+    def test_total_decreases_with_tests(self, score, count):
+        assert total_reproducibility(
+            score, count + 1
+        ) <= total_reproducibility(score, count)

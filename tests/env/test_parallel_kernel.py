@@ -1,0 +1,165 @@
+"""Tests for the operational PTE iteration (Fig. 4 executed)."""
+
+import numpy as np
+import pytest
+
+from repro.env import EnvironmentKind, pte_baseline, random_environments
+from repro.env.parallel_kernel import (
+    ParallelIteration,
+    run_parallel_iteration,
+)
+from repro.errors import EnvironmentError_
+from repro.gpu import ExecutionTuning, make_device
+from repro.litmus import TestOracle, library
+from repro.mutation import default_suite
+
+SUITE = default_suite()
+RELAXED = ExecutionTuning(0.25, 0.4, 1.5, 0.8)
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+def iteration(test, instances=64, **kwargs):
+    return ParallelIteration(
+        test=test, instance_count=instances, tuning=RELAXED, **kwargs
+    )
+
+
+class TestAssignment:
+    def test_every_role_covered_exactly_once(self):
+        run = iteration(library.mp(), instances=128)
+        assignments = run.assignments()
+        for role in range(run.role_count()):
+            covered = sorted(a[role] for a in assignments)
+            assert covered == list(range(128))
+
+    def test_first_role_is_native_thread(self):
+        run = iteration(library.mp(), instances=32)
+        for thread, roles in enumerate(run.assignments()):
+            assert roles[0] == thread
+
+    def test_roles_match_thread_count(self):
+        run = iteration(library.coww(), instances=32)
+        assert run.role_count() == 3  # two writers + observer
+
+    def test_locations_disjoint_across_instances(self):
+        run = iteration(library.mp(), instances=64)
+        seen = set()
+        for instance in range(64):
+            for arena in run._locations_for(instance).values():
+                assert arena not in seen, arena
+                seen.add(arena)
+
+    def test_minimum_instances(self):
+        with pytest.raises(EnvironmentError_):
+            iteration(library.mp(), instances=1)
+
+
+class TestExecution:
+    def test_one_outcome_per_instance(self):
+        outcomes = iteration(library.mp(), instances=64).run(rng())
+        assert len(outcomes) == 64
+
+    def test_outcomes_cover_registers_and_locations(self):
+        outcomes = iteration(library.sb(), instances=16).run(rng())
+        test = library.sb()
+        for outcome in outcomes:
+            assert set(outcome.reads) == set(test.registers)
+            assert set(outcome.finals) == set(test.locations)
+
+    @pytest.mark.parametrize(
+        "name", ["mp", "sb", "lb", "corr", "coww", "mp_relacq",
+                 "sb_relacq_rmw"]
+    )
+    def test_all_instance_outcomes_legal(self, name):
+        """The soundness property survives massive sharing: every
+        per-instance outcome is explained by an allowed execution."""
+        test = library.by_name(name)
+        oracle = TestOracle(test)
+        outcomes = iteration(test, instances=96).run(
+            rng(hash(name) % 2**32)
+        )
+        for outcome in outcomes:
+            assert not oracle.is_violation(outcome), outcome.describe()
+
+    def test_weak_outcomes_appear(self):
+        """Parallel instances expose weak behaviour — the point of PTE."""
+        test = library.sb()
+        oracle = TestOracle(test)
+        kills = 0
+        for seed in range(6):
+            outcomes = iteration(test, instances=96).run(rng(seed))
+            kills += sum(oracle.matches_target(o) for o in outcomes)
+        assert kills > 0
+
+    def test_mutant_killable_in_parallel(self):
+        mutant = SUITE.find("rev_poloc_rr_w_mut")
+        oracle = TestOracle(mutant)
+        kills = 0
+        for seed in range(6):
+            outcomes = iteration(mutant, instances=96).run(rng(seed))
+            kills += sum(oracle.matches_target(o) for o in outcomes)
+        assert kills > 0
+
+    def test_stress_threads_do_not_break_soundness(self):
+        test = library.mp_relacq()
+        oracle = TestOracle(test)
+        run = iteration(
+            test, instances=48, stress_threads=16, stress_ops=32
+        )
+        for outcome in run.run(rng(3)):
+            assert not oracle.is_violation(outcome)
+
+    def test_deterministic_given_seed(self):
+        test = library.mp()
+        first = iteration(test, instances=32).run(rng(7))
+        second = iteration(test, instances=32).run(rng(7))
+        assert first == second
+
+    def test_fence_dropping_bug_visible_in_parallel(self):
+        """The AMD bug produces real violations inside a PTE iteration."""
+        from repro.gpu import AMD_MP_RELACQ, BugSet
+
+        test = library.mp_relacq()
+        oracle = TestOracle(test)
+        run = ParallelIteration(
+            test=test,
+            instance_count=96,
+            tuning=RELAXED,
+            bugs=BugSet([AMD_MP_RELACQ]),
+        )
+        violations = 0
+        for seed in range(6):
+            violations += sum(
+                oracle.is_violation(o) for o in run.run(rng(seed))
+            )
+        assert violations > 0
+
+
+class TestDeviceWrapper:
+    def test_run_parallel_iteration(self):
+        device = make_device("amd")
+        outcomes = run_parallel_iteration(
+            device,
+            library.mp(),
+            pte_baseline(),
+            rng(1),
+            instance_count=64,
+        )
+        assert len(outcomes) == 64
+
+    def test_stress_threads_derived_from_environment(self):
+        device = make_device("amd")
+        (environment,) = [
+            env
+            for env in random_environments(EnvironmentKind.PTE, 20, seed=3)
+            if env.parameters.mem_stress_pct > 0
+            and env.parameters.max_workgroups
+            > env.parameters.testing_workgroups
+        ][:1]
+        outcomes = run_parallel_iteration(
+            device, library.sb(), environment, rng(2), instance_count=48
+        )
+        assert len(outcomes) == 48

@@ -1,0 +1,187 @@
+"""Tests for stress parameters and testing environments."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.env import (
+    DEFAULT_ITERATIONS,
+    EnvironmentKind,
+    EnvironmentParameters,
+    STRESS_PATTERNS,
+    pte_baseline,
+    random_environment,
+    random_environments,
+    random_parameters,
+    site_baseline,
+)
+from repro.errors import EnvironmentError_
+from repro.gpu import profile_by_name
+from repro.litmus import library
+
+
+class TestParameterValidation:
+    def test_defaults_valid(self):
+        EnvironmentParameters()
+
+    def test_seventeen_parameters(self):
+        """Prior work defines exactly 17 tunable parameters."""
+        assert EnvironmentParameters().parameter_count == 17
+
+    def test_testing_workgroups_bounded(self):
+        with pytest.raises(EnvironmentError_):
+            EnvironmentParameters(testing_workgroups=64, max_workgroups=32)
+
+    def test_percentages_bounded(self):
+        with pytest.raises(EnvironmentError_):
+            EnvironmentParameters(shuffle_pct=101)
+
+    def test_patterns_bounded(self):
+        with pytest.raises(EnvironmentError_):
+            EnvironmentParameters(mem_stress_pattern=4)
+        assert len(STRESS_PATTERNS) == 4
+
+    def test_power_of_two_fields(self):
+        with pytest.raises(EnvironmentError_):
+            EnvironmentParameters(stress_line_size=24)
+
+    def test_derived_views(self):
+        params = EnvironmentParameters(
+            testing_workgroups=4, max_workgroups=16, workgroup_size=64,
+            stress_line_size=32,
+        )
+        assert params.testing_threads == 256
+        assert params.stress_workgroup_fraction == pytest.approx(0.75)
+        assert params.stress_line_exponent == 5
+
+    def test_describe_lists_everything(self):
+        text = EnvironmentParameters().describe()
+        for field in dataclasses.fields(EnvironmentParameters):
+            assert field.name in text
+
+
+class TestRandomParameters:
+    def test_parallel_shape(self):
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            params = random_parameters(rng, parallel=True)
+            assert params.testing_workgroups >= 16
+            assert params.workgroup_size in (64, 128, 256)
+
+    def test_site_shape(self):
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            params = random_parameters(rng, parallel=False)
+            assert params.testing_workgroups == 2
+            assert params.workgroup_size == 1
+
+    def test_reproducible(self):
+        first = random_parameters(np.random.default_rng(7), parallel=True)
+        second = random_parameters(np.random.default_rng(7), parallel=True)
+        assert first == second
+
+
+class TestPresets:
+    def test_site_baseline_matches_sec51(self):
+        env = site_baseline()
+        assert env.kind is EnvironmentKind.SITE_BASELINE
+        assert env.parameters.max_workgroups == 32
+        assert env.parameters.mem_stress_pct == 0
+        assert env.iterations() == 300
+
+    def test_pte_baseline_matches_sec51(self):
+        env = pte_baseline()
+        assert env.parameters.testing_workgroups == 1024
+        assert env.parameters.workgroup_size == 256
+        assert env.iterations() == 100
+
+    def test_default_iteration_budgets(self):
+        assert DEFAULT_ITERATIONS[EnvironmentKind.SITE] == 300
+        assert DEFAULT_ITERATIONS[EnvironmentKind.PTE] == 100
+
+
+class TestEnvironmentBehaviour:
+    def test_instances_per_iteration(self):
+        test = library.mp()
+        assert site_baseline().instances_per_iteration(test) == 1
+        assert (
+            pte_baseline().instances_per_iteration(test) == 1024 * 256
+        )
+
+    def test_random_environment_kinds(self):
+        rng = np.random.default_rng(1)
+        env = random_environment(EnvironmentKind.PTE, rng, env_key=3)
+        assert env.kind is EnvironmentKind.PTE
+        assert env.env_key == 3
+        assert "PTE#3" == env.name
+
+    def test_baseline_kinds_not_random(self):
+        rng = np.random.default_rng(1)
+        with pytest.raises(EnvironmentError_):
+            random_environment(EnvironmentKind.PTE_BASELINE, rng, 0)
+
+    def test_random_environments_reproducible(self):
+        first = random_environments(EnvironmentKind.PTE, 5, seed=3)
+        second = random_environments(EnvironmentKind.PTE, 5, seed=3)
+        assert [e.parameters for e in first] == [
+            e.parameters for e in second
+        ]
+        assert [e.env_key for e in first] == [0, 1, 2, 3, 4]
+
+    def test_workload_translation(self):
+        profile = profile_by_name("amd")
+        test = library.mp()
+        baseline_workload = pte_baseline().workload(profile, test)
+        assert baseline_workload.mem_stress == 0.0
+        assert baseline_workload.instances_in_flight == 1024 * 256
+
+    def test_stressed_workload_nonzero(self):
+        profile = profile_by_name("amd")
+        test = library.mp()
+        envs = random_environments(EnvironmentKind.PTE, 40, seed=5)
+        stresses = [
+            env.workload(profile, test).mem_stress for env in envs
+        ]
+        assert any(stress > 0 for stress in stresses)
+
+    def test_pattern_affinity_device_specific(self):
+        test = library.mp()
+        envs = random_environments(EnvironmentKind.SITE, 20, seed=9)
+        amd = profile_by_name("amd")
+        nvidia = profile_by_name("nvidia")
+        affinities = {
+            (env.env_key, profile.short_name): env.workload(
+                profile, test
+            ).pattern_affinity
+            for env in envs
+            for profile in (amd, nvidia)
+        }
+        # The same environment scores differently on different devices
+        # for at least some draws (different hidden optima).
+        differs = any(
+            affinities[(env.env_key, "AMD")]
+            != affinities[(env.env_key, "NVIDIA")]
+            for env in envs
+        )
+        assert differs
+
+    def test_permutations_valid(self):
+        test = library.mp()
+        for env in random_environments(EnvironmentKind.PTE, 10, seed=2):
+            permutation = env.instance_permutation(test)
+            assert sorted(permutation.apply_all()) == list(
+                range(permutation.size)
+            )
+
+    def test_iteration_seconds_scale_with_instances(self):
+        from repro.gpu import make_device
+
+        device = make_device("amd")
+        test = library.mp()
+        assert pte_baseline().iteration_seconds(
+            device, test
+        ) > site_baseline().iteration_seconds(device, test)
+
+    def test_describe(self):
+        assert "testing_workgroups" in site_baseline().describe()

@@ -1,0 +1,146 @@
+"""Tests for the co-prime parallel permutation (Sec. 4.1)."""
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.env import (
+    InstanceAssignment,
+    ParallelPermutation,
+    assign_instances,
+    coprime_to,
+    is_coprime,
+    naive_neighbor_assignment,
+    stripe_workgroup,
+    verify_assignment_covers,
+)
+from repro.errors import EnvironmentError_
+
+
+class TestCoprimality:
+    def test_is_coprime(self):
+        assert is_coprime(8, 3)
+        assert not is_coprime(8, 6)
+        assert is_coprime(7, 1)
+
+    def test_coprime_to_snaps_upward(self):
+        assert coprime_to(8, 6) == 7
+        assert coprime_to(8, 3) == 3
+
+    def test_coprime_to_handles_small(self):
+        assert coprime_to(10, 0) == 1
+
+    def test_coprime_to_validates(self):
+        with pytest.raises(EnvironmentError_):
+            coprime_to(0, 3)
+
+
+class TestParallelPermutation:
+    def test_formula(self):
+        permutation = ParallelPermutation(size=8, factor=3)
+        assert permutation(0) == 0
+        assert permutation(1) == 3
+        assert permutation(5) == 7
+
+    def test_is_bijection(self):
+        permutation = ParallelPermutation(size=256, factor=419)
+        assert sorted(permutation.apply_all()) == list(range(256))
+
+    def test_rejects_non_coprime(self):
+        with pytest.raises(EnvironmentError_, match="co-prime"):
+            ParallelPermutation(size=8, factor=6)
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(EnvironmentError_):
+            ParallelPermutation(size=0, factor=1)
+        with pytest.raises(EnvironmentError_):
+            ParallelPermutation(size=8, factor=0)
+
+    def test_degenerate_detection(self):
+        assert ParallelPermutation(8, 1).is_degenerate
+        assert ParallelPermutation(8, 7).is_degenerate  # n -> -n
+        assert not ParallelPermutation(8, 3).is_degenerate
+
+    @given(
+        size=st.integers(2, 512),
+        factor=st.integers(1, 10_000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_always_bijection_property(self, size, factor):
+        permutation = ParallelPermutation(size, coprime_to(size, factor))
+        values = permutation.apply_all()
+        assert sorted(values) == list(range(size))
+
+
+class TestInstanceAssignment:
+    def test_every_role_covered(self):
+        assignments = assign_instances(256, factor=419, roles=2)
+        assert verify_assignment_covers(assignments, roles=2)
+
+    def test_three_role_coverage(self):
+        assignments = assign_instances(64, factor=13, roles=3)
+        assert verify_assignment_covers(assignments, roles=3)
+
+    def test_first_role_is_native_id(self):
+        assignments = assign_instances(16, factor=5)
+        for assignment in assignments:
+            assert assignment.roles[0] == assignment.thread
+
+    def test_partner_not_adjacent(self):
+        """The permuted partner differs from the n+1 neighbour for
+        non-degenerate factors."""
+        assignments = assign_instances(256, factor=419)
+        neighbours = sum(
+            assignment.roles[1] == (assignment.thread + 1) % 256
+            for assignment in assignments
+        )
+        assert neighbours <= 2
+
+    def test_factor_snapped_to_coprime(self):
+        # 256 is a power of two; an even factor must be repaired.
+        assignments = assign_instances(256, factor=100)
+        assert verify_assignment_covers(assignments, roles=2)
+
+    def test_roles_validation(self):
+        with pytest.raises(EnvironmentError_):
+            assign_instances(8, 3, roles=0)
+
+    def test_incomplete_coverage_detected(self):
+        broken = [
+            InstanceAssignment(thread=0, roles=(0, 0)),
+            InstanceAssignment(thread=1, roles=(1, 1)),
+        ]
+        assert verify_assignment_covers(broken, roles=2)
+        broken[1] = InstanceAssignment(thread=1, roles=(0, 1))
+        assert not verify_assignment_covers(broken, roles=2)
+
+
+class TestNaiveNeighbor:
+    def test_mapping(self):
+        assert naive_neighbor_assignment(4) == [1, 2, 3, 0]
+
+    def test_validation(self):
+        with pytest.raises(EnvironmentError_):
+            naive_neighbor_assignment(0)
+
+
+class TestStriping:
+    def test_single_workgroup(self):
+        assert stripe_workgroup(0, 0, 1) == 0
+
+    def test_two_workgroups_alternate(self):
+        assert stripe_workgroup(0, 0, 2) == 1
+        assert stripe_workgroup(1, 0, 2) == 0
+
+    def test_three_workgroups_all_distinct(self):
+        for workgroup in range(3):
+            partners = {
+                stripe_workgroup(workgroup, position, 3)
+                for position in range(2)
+            }
+            assert workgroup not in partners
+            assert len(partners) == 2
+
+    def test_validation(self):
+        with pytest.raises(EnvironmentError_):
+            stripe_workgroup(0, 0, 0)

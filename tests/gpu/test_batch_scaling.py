@@ -1,0 +1,90 @@
+"""Tests for the batch model's scaling laws (dilution, focus, jitter)."""
+
+import pytest
+
+from hypothesis import given, strategies as st
+
+from repro.gpu import ExecutionTuning, Workload, make_device
+from repro.gpu.batch import (
+    INSTANCE_DILUTION_SCALE,
+    instance_dilution,
+    stress_focus,
+)
+from repro.litmus import library
+from repro.mutation import default_suite
+
+SUITE = default_suite()
+
+
+class TestInstanceDilution:
+    def test_single_instance_undiluted(self):
+        assert instance_dilution(1) == pytest.approx(1.0, abs=1e-4)
+
+    def test_monotone_decreasing(self):
+        values = [instance_dilution(n) for n in (1, 100, 10_000, 262_144)]
+        assert values == sorted(values, reverse=True)
+
+    def test_effective_instances_still_grow(self):
+        """Dilution never inverts the benefit of more instances: the
+        per-iteration expected kills N * dilution(N) keep growing."""
+        effective = [
+            n * instance_dilution(n)
+            for n in (1, 64, 4096, 65_536, 262_144)
+        ]
+        assert effective == sorted(effective)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            instance_dilution(0)
+
+    @given(st.integers(1, 10**7))
+    def test_bounded(self, n):
+        assert 0.0 < instance_dilution(n) <= 1.0
+
+
+class TestStressFocus:
+    def test_no_stress_no_focus(self):
+        assert stress_focus(0.0, 1) == 1.0
+
+    def test_single_instance_max_focus(self):
+        assert stress_focus(1.0, 1) == pytest.approx(5.0)
+
+    def test_focus_fades_with_parallelism(self):
+        assert stress_focus(1.0, 262_144) < 1.05
+
+    @given(st.floats(0.0, 1.0), st.integers(1, 10**6))
+    def test_at_least_one(self, stress, instances):
+        assert stress_focus(stress, instances) >= 1.0
+
+
+class TestEndToEndScaling:
+    def test_kills_per_iteration_grow_with_instances(self):
+        """More parallel instances always mean more expected kills per
+        iteration, despite per-instance dilution."""
+        device = make_device("nvidia")
+        mutant = library.mp()
+        expected = []
+        for n in (256, 4096, 65_536, 262_144):
+            workload = Workload(
+                instances_in_flight=n, location_spread=0.9
+            )
+            probability = device.instance_probability(mutant, workload)
+            expected.append(probability * n)
+        assert expected == sorted(expected)
+
+    def test_site_stress_focus_visible(self):
+        """A fully stressed single instance beats its unstressed self
+        by more than the knob movement alone (the focus bonus)."""
+        device = make_device("intel")
+        mutant = library.mp()
+        quiet = device.instance_probability(mutant, Workload())
+        stressed = device.instance_probability(
+            mutant,
+            Workload(mem_stress=1.0, pattern_affinity=1.0),
+        )
+        assert stressed > 5 * quiet
+
+    def test_dilution_scale_constant_sane(self):
+        # Guards against accidental edits: the scale sits in the
+        # thousands (PTE instance counts), not single digits.
+        assert 1_000 <= INSTANCE_DILUTION_SCALE <= 1_000_000

@@ -1,0 +1,157 @@
+"""Tests for the injectable bug models (Sec. 1.1 / 5.4)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceError
+from repro.gpu import (
+    ALL_BUGS,
+    AMD_MP_RELACQ,
+    BugKind,
+    BugModel,
+    BugSet,
+    ExecutionTuning,
+    INTEL_CORR,
+    NO_BUGS,
+    NVIDIA_KEPLER_MP_CO,
+    Vendor,
+    Workload,
+    bug_by_kind,
+    make_device,
+)
+from repro.litmus import TestOracle, library
+from repro.mutation import default_suite
+
+SUITE = default_suite()
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+HOT = Workload(
+    instances_in_flight=50_000,
+    mem_stress=0.9,
+    pre_stress=0.5,
+    pattern_affinity=0.9,
+    location_spread=0.9,
+)
+
+
+def violation_count(device, test, n=500, seed=1):
+    oracle = TestOracle(test)
+    generator = rng(seed)
+    return sum(
+        oracle.is_violation(device.run_instance(test, HOT, generator))
+        for _ in range(n)
+    )
+
+
+class TestBugModels:
+    def test_three_historical_bugs(self):
+        assert {bug.kind for bug in ALL_BUGS} == set(BugKind)
+
+    def test_bug_by_kind(self):
+        assert bug_by_kind(BugKind.INTEL_CORR) is INTEL_CORR
+
+    def test_amd_bug_drops_fences(self):
+        assert AMD_MP_RELACQ.drops_fences
+        assert not INTEL_CORR.drops_fences
+
+    def test_intel_bug_swap_probability(self):
+        assert INTEL_CORR.load_load_swap_probability() > 0.0
+        assert AMD_MP_RELACQ.load_load_swap_probability() == 0.0
+
+    def test_kepler_stale_scales_with_contention(self):
+        quiet = ExecutionTuning(0.01, 0.9, 8.0, 0.0)
+        loud = ExecutionTuning(0.2, 0.4, 2.0, 1.0)
+        assert NVIDIA_KEPLER_MP_CO.stale_read_probability(
+            loud
+        ) > NVIDIA_KEPLER_MP_CO.stale_read_probability(quiet)
+
+    def test_validation(self):
+        with pytest.raises(DeviceError):
+            BugModel(
+                kind=BugKind.INTEL_CORR,
+                vendor=Vendor.INTEL,
+                swap_probability=1.5,
+            )
+
+
+class TestBugSet:
+    def test_empty(self):
+        assert len(NO_BUGS) == 0
+        assert not NO_BUGS.drops_fences
+
+    def test_contains(self):
+        bugs = BugSet([INTEL_CORR])
+        assert BugKind.INTEL_CORR in bugs
+        assert BugKind.AMD_MP_RELACQ not in bugs
+
+    def test_duplicate_kinds_rejected(self):
+        with pytest.raises(DeviceError, match="duplicate"):
+            BugSet([INTEL_CORR, INTEL_CORR])
+
+    def test_aggregation(self):
+        bugs = BugSet([INTEL_CORR, NVIDIA_KEPLER_MP_CO])
+        assert bugs.load_load_swap_probability() > 0.0
+        assert bugs.stale_depth() == NVIDIA_KEPLER_MP_CO.stale_depth
+
+
+class TestBugObservations:
+    """Each historical bug reveals itself on exactly the paper's test."""
+
+    def test_intel_corr_bug_violates_corr(self):
+        device = make_device("intel", buggy=True)
+        assert violation_count(device, library.corr()) > 5
+
+    def test_amd_bug_violates_mp_relacq(self):
+        device = make_device("amd", buggy=True)
+        assert violation_count(device, library.mp_relacq()) > 5
+
+    def test_kepler_bug_violates_mp_co(self):
+        device = make_device("kepler", buggy=True)
+        assert violation_count(device, library.mp_co(), n=1500) > 3
+
+    def test_bug_free_devices_never_violate(self):
+        for name in ("nvidia", "amd", "intel", "m1"):
+            device = make_device(name)
+            assert violation_count(device, library.corr(), n=200) == 0
+            assert violation_count(device, library.mp_relacq(), n=200) == 0
+
+    def test_amd_bug_does_not_affect_unfenced_tests(self):
+        """The fence-dropping bug only matters where fences exist: the
+        coherence tests stay clean."""
+        device = make_device("amd", buggy=True)
+        assert violation_count(device, library.corr(), n=300) == 0
+
+    def test_intel_bug_does_not_affect_fence_tests(self):
+        device = make_device("intel", buggy=True)
+        assert violation_count(device, library.mp_relacq(), n=300) == 0
+
+    def test_bug_rate_tracks_mutant_kill_rate(self):
+        """The mechanistic core of Table 4: environments that kill the
+        reversing-po-loc mutant also reveal the Intel CoRR bug."""
+        device = make_device("intel", buggy=True)
+        mutant = SUITE.find("rev_poloc_rr_w_mut")
+        mutant_oracle = TestOracle(mutant)
+        corr_test = library.corr()
+
+        quiet = Workload()
+        generator = rng(3)
+        quiet_kills = sum(
+            mutant_oracle.matches_target(
+                device.run_instance(mutant, quiet, generator)
+            )
+            for _ in range(300)
+        )
+        quiet_bugs = violation_count(device, corr_test, n=300, seed=3)
+        hot_kills = sum(
+            mutant_oracle.matches_target(
+                device.run_instance(mutant, HOT, generator)
+            )
+            for _ in range(300)
+        )
+        hot_bugs = violation_count(device, corr_test, n=300, seed=4)
+        assert hot_kills > quiet_kills
+        assert hot_bugs >= quiet_bugs

@@ -1,0 +1,99 @@
+"""Tests for the Device facade."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceError
+from repro.gpu import (
+    BugKind,
+    Device,
+    Workload,
+    historical_bugs,
+    make_device,
+    profile_by_name,
+    study_devices,
+)
+from repro.litmus import library
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestConstruction:
+    def test_make_device(self):
+        device = make_device("AMD")
+        assert device.name == "AMD"
+        assert len(device.bugs) == 0
+
+    def test_buggy_devices_carry_historical_bugs(self):
+        assert BugKind.INTEL_CORR in make_device("intel", buggy=True).bugs
+        assert (
+            BugKind.AMD_MP_RELACQ in make_device("amd", buggy=True).bugs
+        )
+        assert (
+            BugKind.NVIDIA_KEPLER_MP_CO
+            in make_device("kepler", buggy=True).bugs
+        )
+
+    def test_clean_vendors_have_no_historical_bugs(self):
+        assert historical_bugs(profile_by_name("nvidia")) == ()
+        assert historical_bugs(profile_by_name("m1")) == ()
+
+    def test_study_devices_roster(self):
+        devices = study_devices()
+        assert [d.name for d in devices] == ["NVIDIA", "AMD", "Intel", "M1"]
+
+    def test_describe(self):
+        text = make_device("intel", buggy=True).describe()
+        assert "Iris Plus" in text
+        assert "intel-corr" in text
+
+
+class TestExecutionPaths:
+    def test_run_instances_count(self):
+        device = make_device("amd")
+        outcomes = device.run_instances(
+            library.mp(), Workload(), 5, rng()
+        )
+        assert len(outcomes) == 5
+
+    def test_run_instances_negative(self):
+        device = make_device("amd")
+        with pytest.raises(DeviceError):
+            device.run_instances(library.mp(), Workload(), -1, rng())
+
+    def test_instance_probability_uses_workload(self):
+        device = make_device("nvidia")
+        mutant = library.mp()
+        quiet = device.instance_probability(mutant, Workload())
+        loud = device.instance_probability(
+            mutant,
+            Workload(instances_in_flight=262144, mem_stress=1.0,
+                     pattern_affinity=1.0, location_spread=1.0),
+        )
+        assert loud > quiet
+
+    def test_sample_iteration_kills(self):
+        device = make_device("nvidia")
+        workload = Workload(instances_in_flight=100_000)
+        kills = device.sample_iteration_kills(
+            library.mp(), workload, 10, rng(1)
+        )
+        assert kills.shape == (10,)
+        assert kills.sum() > 0
+
+    def test_iteration_seconds(self):
+        device = make_device("amd")
+        assert device.iteration_seconds(1) < device.iteration_seconds(
+            100_000
+        )
+
+    def test_env_key_changes_probability(self):
+        device = make_device("amd")
+        workload = Workload(instances_in_flight=10_000, mem_stress=0.5)
+        first = device.instance_probability(library.mp(), workload, env_key=1)
+        second = device.instance_probability(
+            library.mp(), workload, env_key=2
+        )
+        assert first != second

@@ -1,0 +1,201 @@
+"""Tests for device profiles, workloads, tuning, and the cost model."""
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.gpu import (
+    ALL_PROFILES,
+    CostModel,
+    DeviceType,
+    STUDY_PROFILES,
+    Vendor,
+    Workload,
+    profile_by_name,
+)
+
+
+class TestTable3Roster:
+    """The device roster reproduces Table 3 of the paper."""
+
+    def test_four_study_devices(self):
+        assert len(STUDY_PROFILES) == 4
+
+    def test_vendors(self):
+        assert [p.vendor for p in STUDY_PROFILES] == [
+            Vendor.NVIDIA,
+            Vendor.AMD,
+            Vendor.INTEL,
+            Vendor.APPLE,
+        ]
+
+    def test_compute_units(self):
+        assert {p.short_name: p.compute_units for p in STUDY_PROFILES} == {
+            "NVIDIA": 64,
+            "AMD": 24,
+            "Intel": 48,
+            "M1": 128,
+        }
+
+    def test_device_types(self):
+        by_name = {p.short_name: p.device_type for p in STUDY_PROFILES}
+        assert by_name["NVIDIA"] is DeviceType.DISCRETE
+        assert by_name["AMD"] is DeviceType.DISCRETE
+        assert by_name["Intel"] is DeviceType.INTEGRATED
+        assert by_name["M1"] is DeviceType.INTEGRATED
+
+    def test_kepler_extra_device(self):
+        assert len(ALL_PROFILES) == 5
+        assert profile_by_name("kepler").vendor is Vendor.NVIDIA
+
+    def test_lookup_case_insensitive(self):
+        assert profile_by_name("m1").short_name == "M1"
+
+    def test_lookup_unknown(self):
+        with pytest.raises(DeviceError, match="unknown device"):
+            profile_by_name("voodoo2")
+
+
+class TestWorkloadValidation:
+    def test_defaults(self):
+        workload = Workload()
+        assert workload.instances_in_flight == 1
+        assert workload.mem_stress == 0.0
+
+    def test_instances_positive(self):
+        with pytest.raises(DeviceError):
+            Workload(instances_in_flight=0)
+
+    def test_ranges_checked(self):
+        with pytest.raises(DeviceError):
+            Workload(mem_stress=1.5)
+        with pytest.raises(DeviceError):
+            Workload(pattern_affinity=-0.1)
+
+
+class TestContention:
+    def test_single_instance_no_contention(self):
+        for profile in STUDY_PROFILES:
+            assert profile.contention_level(1) == 0.0
+
+    def test_contention_monotone(self):
+        profile = profile_by_name("nvidia")
+        levels = [profile.contention_level(n) for n in (1, 64, 4096, 262144)]
+        assert levels == sorted(levels)
+        assert levels[-1] > 0.8
+
+    def test_contention_bounded(self):
+        profile = profile_by_name("m1")
+        assert 0.0 <= profile.contention_level(10**9) < 1.0
+
+
+class TestTuningMapping:
+    def quiet(self):
+        return Workload()
+
+    def loud(self):
+        return Workload(
+            instances_in_flight=262144,
+            mem_stress=1.0,
+            pre_stress=1.0,
+            pattern_affinity=1.0,
+            location_spread=1.0,
+        )
+
+    @pytest.mark.parametrize("profile", STUDY_PROFILES, ids=str)
+    def test_pressure_increases_reorder(self, profile):
+        assert (
+            profile.tuning(self.loud()).reorder_probability
+            > profile.tuning(self.quiet()).reorder_probability
+        )
+
+    @pytest.mark.parametrize("profile", STUDY_PROFILES, ids=str)
+    def test_pressure_decreases_flush(self, profile):
+        assert (
+            profile.tuning(self.loud()).flush_probability
+            < profile.tuning(self.quiet()).flush_probability
+        )
+
+    @pytest.mark.parametrize("profile", STUDY_PROFILES, ids=str)
+    def test_pressure_refines_chunks(self, profile):
+        assert (
+            profile.tuning(self.loud()).chunk_mean
+            < profile.tuning(self.quiet()).chunk_mean
+        )
+
+    @pytest.mark.parametrize("profile", STUDY_PROFILES, ids=str)
+    def test_quiet_baseline_matches_base_knobs(self, profile):
+        tuning = profile.tuning(self.quiet())
+        assert tuning.reorder_probability == pytest.approx(
+            profile.base_reorder
+        )
+        assert tuning.chunk_mean == pytest.approx(profile.base_chunk)
+
+    def test_pattern_affinity_scales_stress(self):
+        profile = profile_by_name("intel")
+        good = Workload(mem_stress=1.0, pattern_affinity=1.0)
+        bad = Workload(mem_stress=1.0, pattern_affinity=0.0)
+        assert (
+            profile.tuning(good).reorder_probability
+            > profile.tuning(bad).reorder_probability
+        )
+
+    def test_intel_stress_dominant(self):
+        """Intel responds more to stress than to parallelism — the
+        property behind SITE outperforming PTE there (Sec. 5.2.2)."""
+        profile = profile_by_name("intel")
+        stressed = profile.tuning(
+            Workload(mem_stress=1.0, pattern_affinity=1.0)
+        )
+        parallel = profile.tuning(Workload(instances_in_flight=262144))
+        assert stressed.contention > parallel.contention
+
+    @pytest.mark.parametrize("name", ["nvidia", "m1"])
+    def test_quiet_single_instance_nearly_strong(self, name):
+        """NVIDIA and M1 expose almost nothing for isolated instances
+        (SITE kills no weakening po-loc mutants there, Fig. 5c)."""
+        tuning = profile_by_name(name).tuning(self.quiet())
+        assert tuning.reorder_probability < 0.001
+
+
+class TestPatternAffinity:
+    def test_perfect_match_scores_high(self):
+        profile = profile_by_name("amd")
+        score = profile.pattern_affinity(
+            profile.preferred_pattern, profile.preferred_line_exponent
+        )
+        assert score == pytest.approx(1.0)
+
+    def test_mismatch_scores_lower(self):
+        profile = profile_by_name("amd")
+        score = profile.pattern_affinity(
+            (profile.preferred_pattern + 1) % 4,
+            profile.preferred_line_exponent + 5,
+        )
+        assert score < 0.5
+
+    def test_score_in_unit_interval(self):
+        profile = profile_by_name("nvidia")
+        for pattern in range(4):
+            for exponent in range(0, 10):
+                assert 0.0 <= profile.pattern_affinity(pattern, exponent) <= 1.0
+
+
+class TestCostModel:
+    def test_dispatch_overhead_amortised(self):
+        costs = CostModel(dispatch_overhead=1e-3, per_instance_cost=1e-8,
+                          stress_cost=0.0)
+        single = costs.iteration_seconds(1)
+        parallel = costs.iteration_seconds(100_000)
+        # 100k instances cost far less than 100k single dispatches.
+        assert parallel < 100_000 * single / 100
+
+    def test_stress_adds_cost(self):
+        costs = CostModel(1e-3, 1e-8, 5e-4)
+        assert costs.iteration_seconds(1, 1.0) > costs.iteration_seconds(1)
+
+    def test_validation(self):
+        costs = CostModel(1e-3, 1e-8, 0.0)
+        with pytest.raises(DeviceError):
+            costs.iteration_seconds(-1)
+        with pytest.raises(DeviceError):
+            costs.iteration_seconds(1, 2.0)

@@ -1,0 +1,99 @@
+"""Tests for the extended (multi-thread) litmus classics."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import ExecutionTuning, run_instance
+from repro.litmus import TestOracle, extended, generate_wgsl
+from repro.memory_model import SC
+
+RELAXED = ExecutionTuning(0.3, 0.4, 1.5, 0.8)
+
+
+class TestLegality:
+    @pytest.mark.parametrize("name", extended.test_names())
+    def test_expected_legality(self, name):
+        test = extended.by_name(name)
+        oracle = TestOracle(test)
+        assert oracle.target_allowed() == (
+            name not in extended.FORBIDDEN
+        ), name
+
+    def test_iriw_forbidden_under_sc(self):
+        """IRIW's weak outcome is an SC violation (no total order can
+        satisfy both readers) even though coherence allows it."""
+        test = extended.iriw()
+        sc_test = test.with_threads(test.threads, name="iriw_sc")
+        object.__setattr__(sc_test, "model", SC)
+        assert not TestOracle(sc_test).target_allowed()
+
+    def test_isa2_relacq_documents_non_cumulativity(self):
+        """The paper's one-hop po;sw;po rule does not forbid fenced
+        ISA2 — unlike C++'s cumulative release/acquire."""
+        oracle = TestOracle(extended.isa2_relacq())
+        assert oracle.target_allowed()
+
+    def test_wrc_relacq_forbidden(self):
+        """One synchronization hop *is* enough for WRC."""
+        oracle = TestOracle(extended.wrc_relacq())
+        assert not oracle.target_allowed()
+
+
+class TestLibraryInterface:
+    def test_names_unique_and_sorted(self):
+        names = extended.test_names()
+        assert names == sorted(names)
+        assert len(names) == len(set(names))
+
+    def test_by_name_roundtrip(self):
+        for name in extended.test_names():
+            assert extended.by_name(name).name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown"):
+            extended.by_name("nope")
+
+    def test_thread_counts(self):
+        assert extended.iriw().thread_count == 4
+        assert extended.wrc().thread_count == 3
+        assert extended.corr3().thread_count == 2
+
+    def test_wgsl_generation_scales(self):
+        for test in extended.all_tests():
+            shader = generate_wgsl(test)
+            assert test.name in shader
+
+
+class TestSimulatorSoundness:
+    """The executor stays sound on 3- and 4-thread programs too."""
+
+    @pytest.mark.parametrize("name", extended.test_names())
+    def test_no_violations_on_clean_device(self, name):
+        test = extended.by_name(name)
+        oracle = TestOracle(test)
+        rng = np.random.default_rng(hash(name) % 2**32)
+        for _ in range(150):
+            outcome = run_instance(test, RELAXED, rng)
+            assert not oracle.is_violation(outcome), outcome.describe()
+
+    def test_iriw_weakness_observable(self):
+        """The simulator can actually produce the IRIW weak outcome
+        (store buffers make the writes reach readers at different
+        times)."""
+        test = extended.iriw()
+        oracle = TestOracle(test)
+        rng = np.random.default_rng(9)
+        kills = sum(
+            oracle.matches_target(run_instance(test, RELAXED, rng))
+            for _ in range(4000)
+        )
+        assert kills > 0
+
+    def test_corr3_never_observed(self):
+        test = extended.corr3()
+        oracle = TestOracle(test)
+        rng = np.random.default_rng(10)
+        for _ in range(500):
+            assert not oracle.matches_target(
+                run_instance(test, RELAXED, rng)
+            )

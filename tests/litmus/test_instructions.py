@@ -1,0 +1,76 @@
+"""Unit tests for the litmus instruction IR."""
+
+from repro.litmus import AtomicExchange, AtomicLoad, AtomicStore, Fence
+from repro.memory_model import EventKind, X, Y
+
+
+class TestClassification:
+    def test_load_reads_only(self):
+        instruction = AtomicLoad(X, "r0")
+        assert instruction.reads
+        assert not instruction.writes
+        assert instruction.is_memory_access
+
+    def test_store_writes_only(self):
+        instruction = AtomicStore(X, 1)
+        assert instruction.writes
+        assert not instruction.reads
+
+    def test_exchange_reads_and_writes(self):
+        instruction = AtomicExchange(X, 1, "r0")
+        assert instruction.reads
+        assert instruction.writes
+
+    def test_fence_neither(self):
+        instruction = Fence()
+        assert not instruction.reads
+        assert not instruction.writes
+        assert not instruction.is_memory_access
+
+
+class TestEventGeneration:
+    def test_load_event(self):
+        event = AtomicLoad(X, "r0").to_event(3, 1, "a")
+        assert event.kind is EventKind.READ
+        assert event.uid == 3
+        assert event.thread == 1
+        assert event.location == X
+        assert event.label == "a"
+
+    def test_store_event(self):
+        event = AtomicStore(Y, 7).to_event(0, 0)
+        assert event.kind is EventKind.WRITE
+        assert event.value == 7
+
+    def test_exchange_event(self):
+        event = AtomicExchange(X, 5, "r1").to_event(2, 0)
+        assert event.kind is EventKind.RMW
+        assert event.value == 5
+
+    def test_fence_event(self):
+        event = Fence().to_event(1, 0)
+        assert event.kind is EventKind.FENCE
+
+
+class TestPretty:
+    def test_load(self):
+        assert AtomicLoad(X, "r0").pretty() == "r0 = atomicLoad(x)"
+
+    def test_store(self):
+        assert AtomicStore(Y, 3).pretty() == "atomicStore(y, 3)"
+
+    def test_exchange(self):
+        assert (
+            AtomicExchange(X, 2, "r1").pretty()
+            == "r1 = atomicExchange(x, 2)"
+        )
+
+    def test_fence(self):
+        assert Fence().pretty() == "storageBarrier()"
+
+
+class TestValueSemantics:
+    def test_instructions_hashable_and_equal(self):
+        assert AtomicLoad(X, "r0") == AtomicLoad(X, "r0")
+        assert AtomicStore(X, 1) != AtomicStore(X, 2)
+        assert len({Fence(), Fence()}) == 1

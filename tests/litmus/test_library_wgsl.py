@@ -1,0 +1,112 @@
+"""Tests for the classic test library and WGSL generation."""
+
+import pytest
+
+from repro.litmus import generate_wgsl, library, WgslGenerator
+from repro.memory_model import (
+    REL_ACQ_SC_PER_LOCATION,
+    SC_PER_LOCATION,
+)
+
+
+class TestLibrary:
+    def test_names_unique(self):
+        names = library.test_names()
+        assert len(names) == len(set(names))
+
+    def test_by_name_roundtrip(self):
+        for name in library.test_names():
+            assert library.by_name(name).name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown"):
+            library.by_name("nope")
+
+    def test_all_tests_fresh_instances(self):
+        first = library.all_tests()
+        second = library.all_tests()
+        assert [t.name for t in first] == [t.name for t in second]
+
+    def test_relacq_tests_use_fences(self):
+        for test in library.all_tests():
+            if test.model is REL_ACQ_SC_PER_LOCATION:
+                assert test.uses_fences, test.name
+
+    def test_coherence_tests_single_location(self):
+        for name in ("corr", "cowr", "corw", "coww", "mp_co", "corr_rmw"):
+            test = library.by_name(name)
+            assert len(test.locations) == 1, name
+
+    def test_weak_memory_tests_two_locations(self):
+        for name in ("mp", "lb", "sb", "mp_relacq"):
+            test = library.by_name(name)
+            assert len(test.locations) == 2, name
+
+    def test_values_globally_unique(self):
+        for test in library.all_tests():
+            values = [
+                instruction.value
+                for _, _, instruction in test.instructions()
+                if instruction.writes
+            ]
+            assert len(values) == len(set(values)), test.name
+
+    def test_fig1_tests_present(self):
+        """The paper's two bug-revealing tests exist with the right shape."""
+        corr = library.by_name("corr")
+        assert corr.model is SC_PER_LOCATION
+        assert corr.target.reads == {"r0": 1, "r1": 0}
+        mp_relacq = library.by_name("mp_relacq")
+        assert mp_relacq.model is REL_ACQ_SC_PER_LOCATION
+        assert mp_relacq.target.reads == {"r0": 2, "r1": 0}
+
+
+class TestWgslGeneration:
+    def test_contains_entry_point(self):
+        shader = generate_wgsl(library.corr())
+        assert "@compute @workgroup_size(256)" in shader
+        assert "fn main(" in shader
+
+    def test_atomic_ops_lowered(self):
+        shader = generate_wgsl(library.mp_relacq())
+        assert "atomicStore(&test_locations.value[x_loc], 1u);" in shader
+        assert "atomicLoad(&test_locations.value[y_loc])" in shader
+        assert "storageBarrier();" in shader
+
+    def test_rmw_lowered_to_exchange(self):
+        shader = generate_wgsl(library.corr_rmw())
+        assert "atomicExchange(" in shader
+
+    def test_register_slots_disjoint(self):
+        test = library.sb_relacq_rmw()
+        shader = generate_wgsl(test)
+        for slot in range(len(test.registers)):
+            assert f"+ {slot}u]" in shader
+
+    def test_observer_thread_rendered(self):
+        shader = generate_wgsl(library.coww())
+        assert "observer thread 2" in shader
+
+    def test_workgroup_size_configurable(self):
+        shader = WgslGenerator(workgroup_size=64).generate(library.mp())
+        assert "@workgroup_size(64)" in shader
+
+    def test_invalid_workgroup_size(self):
+        with pytest.raises(ValueError):
+            WgslGenerator(workgroup_size=0)
+
+    def test_stress_and_permutation_plumbing(self):
+        shader = generate_wgsl(library.mp())
+        assert "permute_id" in shader
+        assert "do_stress" in shader
+        assert "stress_params" in shader
+
+    def test_second_location_permuted(self):
+        shader = generate_wgsl(library.mp())
+        assert "let y_loc = permute_id(instance" in shader
+
+    def test_all_library_tests_generate(self):
+        for test in library.all_tests():
+            shader = generate_wgsl(test)
+            assert shader.endswith("\n")
+            assert test.name in shader

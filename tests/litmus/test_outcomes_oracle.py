@@ -1,0 +1,213 @@
+"""Tests for outcome projection, histograms, and the oracle."""
+
+import pytest
+
+from repro.errors import WitnessError
+from repro.litmus import (
+    AtomicLoad,
+    AtomicStore,
+    BehaviorSpec,
+    LitmusTest,
+    Outcome,
+    OutcomeHistogram,
+    TestOracle,
+    library,
+    outcome_of_execution,
+)
+from repro.memory_model import (
+    SC_PER_LOCATION,
+    X,
+    Y,
+    allowed_executions,
+    enumerate_executions,
+)
+
+
+def outcomes_of(test):
+    return [
+        outcome_of_execution(test, execution)
+        for execution in enumerate_executions(test.event_threads())
+    ]
+
+
+class TestOutcomeProjection:
+    def test_corr_outcomes(self):
+        test = library.corr()
+        signatures = {o.signature() for o in outcomes_of(test)}
+        # Four rf combinations; final x is always 1 (single write).
+        assert len(signatures) == 4
+        for (reads, finals) in signatures:
+            assert dict(finals) == {"x": 1}
+
+    def test_final_value_reflects_co_order(self):
+        test = library.cowr()
+        finals = {o.finals[X] for o in outcomes_of(test)}
+        assert finals == {1, 2}
+
+    def test_location_without_writes_is_initial(self):
+        test = LitmusTest(
+            "read_only", [[AtomicLoad(X, "r0")]]
+        )
+        (outcome,) = set(outcomes_of(test))
+        assert outcome.finals[X] == 0
+
+    def test_signature_canonical(self):
+        outcome_a = Outcome(reads={"r1": 0, "r0": 1}, finals={X: 1})
+        outcome_b = Outcome(reads={"r0": 1, "r1": 0}, finals={X: 1})
+        assert outcome_a == outcome_b
+        assert hash(outcome_a) == hash(outcome_b)
+
+    def test_describe(self):
+        outcome = Outcome(reads={"r0": 1}, finals={X: 2})
+        assert outcome.describe() == "r0=1, *x=2"
+
+
+class TestOutcomeHistogram:
+    def test_record_and_count(self):
+        histogram = OutcomeHistogram()
+        outcome = Outcome(reads={"r0": 1}, finals={X: 1})
+        histogram.record(outcome)
+        histogram.record(outcome, 4)
+        assert histogram.count(outcome) == 5
+        assert histogram.total == 5
+
+    def test_negative_count_rejected(self):
+        histogram = OutcomeHistogram()
+        with pytest.raises(ValueError):
+            histogram.record(Outcome(reads={}, finals={}), -1)
+
+    def test_frequency(self):
+        histogram = OutcomeHistogram()
+        common = Outcome(reads={"r0": 0}, finals={X: 1})
+        rare = Outcome(reads={"r0": 1}, finals={X: 1})
+        histogram.record(common, 9)
+        histogram.record(rare, 1)
+        assert histogram.frequency(rare) == pytest.approx(0.1)
+
+    def test_frequency_empty(self):
+        histogram = OutcomeHistogram()
+        assert histogram.frequency(Outcome(reads={}, finals={})) == 0.0
+
+    def test_outcomes_sorted_by_count(self):
+        histogram = OutcomeHistogram()
+        first = Outcome(reads={"r0": 0}, finals={X: 1})
+        second = Outcome(reads={"r0": 1}, finals={X: 1})
+        histogram.record(first, 2)
+        histogram.record(second, 5)
+        ordered = list(histogram.outcomes())
+        assert ordered[0][0] == second
+
+    def test_merge(self):
+        left = OutcomeHistogram()
+        right = OutcomeHistogram()
+        outcome = Outcome(reads={}, finals={X: 1})
+        left.record(outcome, 2)
+        right.record(outcome, 3)
+        assert left.merge(right).count(outcome) == 5
+
+    def test_pretty_truncates(self):
+        histogram = OutcomeHistogram()
+        for value in range(5):
+            histogram.record(Outcome(reads={"r0": value}, finals={}), 1)
+        text = histogram.pretty(limit=2)
+        assert "more" in text
+
+
+class TestOracleClassification:
+    def test_corr_target_is_disallowed(self):
+        oracle = TestOracle(library.corr())
+        assert not oracle.target_allowed()
+
+    def test_weak_mp_target_is_allowed(self):
+        oracle = TestOracle(library.mp())
+        assert oracle.target_allowed()
+
+    def test_violation_detection(self):
+        test = library.corr()
+        oracle = TestOracle(test)
+        weak = Outcome(reads={"r0": 1, "r1": 0}, finals={X: 1})
+        assert oracle.is_violation(weak)
+        fine = Outcome(reads={"r0": 0, "r1": 0}, finals={X: 1})
+        assert not oracle.is_violation(fine)
+
+    def test_allowed_outcomes_never_flag(self):
+        for test in library.all_tests():
+            oracle = TestOracle(test)
+            for execution in allowed_executions(
+                test.event_threads(), test.model
+            ):
+                outcome = outcome_of_execution(test, execution)
+                assert not oracle.is_violation(outcome), test.name
+
+    def test_target_witness_roundtrip(self):
+        """Every library target has at least one witnessing execution
+        whose outcome the oracle recognises as the target."""
+        for test in library.all_tests():
+            oracle = TestOracle(test)
+            assert oracle.witness_executions, test.name
+            for execution in oracle.witness_executions:
+                outcome = outcome_of_execution(test, execution)
+                assert oracle.matches_target(outcome), test.name
+
+    def test_matches_target_rejects_other_outcomes(self):
+        oracle = TestOracle(library.corr())
+        assert not oracle.matches_target(
+            Outcome(reads={"r0": 1, "r1": 1}, finals={X: 1})
+        )
+
+    def test_is_interesting_superset(self):
+        oracle = TestOracle(library.mp())
+        weak = Outcome(reads={"r0": 2, "r1": 0}, finals={X: 1, Y: 2})
+        assert oracle.matches_target(weak)
+        assert oracle.is_interesting(weak)
+
+    def test_no_target_raises(self):
+        test = LitmusTest("plain", [[AtomicLoad(X, "r0")]])
+        oracle = TestOracle(test)
+        with pytest.raises(WitnessError, match="target"):
+            oracle.target_allowed()
+
+    def test_unrealisable_target_raises(self):
+        test = LitmusTest(
+            "impossible",
+            [[AtomicLoad(X, "r0")], [AtomicStore(X, 1)]],
+            target=BehaviorSpec(reads={"r0": 99}),
+        )
+        with pytest.raises(WitnessError, match="realises"):
+            TestOracle(test)
+
+    def test_describe(self):
+        text = TestOracle(library.corr()).describe()
+        assert "DISALLOWED" in text
+
+    def test_coww_needs_observer(self):
+        """Without the observer thread the CoWW target is ambiguous."""
+        bare = LitmusTest(
+            "coww_bare",
+            [
+                [AtomicStore(X, 1), AtomicStore(X, 2)],
+                [AtomicStore(X, 3)],
+            ],
+            model=SC_PER_LOCATION,
+            target=BehaviorSpec(co=((2, 3), (3, 1))),
+        )
+        # final x == 1 is also produced by the (3,2,1) coherence order,
+        # which does not contain the 2 < 3 edge... but that execution is
+        # itself disallowed, so the witness survives; what must hold is
+        # that the observer version has at least as many witnesses.
+        with_observer = TestOracle(library.coww())
+        bare_oracle = TestOracle(bare)
+        assert len(with_observer.target_signatures) >= len(
+            bare_oracle.target_signatures
+        )
+
+
+class TestOracleLibrarySweep:
+    @pytest.mark.parametrize(
+        "name", library.test_names()
+    )
+    def test_expected_legality(self, name):
+        test = library.by_name(name)
+        oracle = TestOracle(test)
+        weak_allowed_tests = {"mp", "lb", "sb"}
+        assert oracle.target_allowed() == (name in weak_allowed_tests)

@@ -1,0 +1,164 @@
+"""Tests for LitmusTest programs and BehaviorSpec matching."""
+
+import pytest
+
+from repro.errors import MalformedProgramError
+from repro.litmus import (
+    AtomicExchange,
+    AtomicLoad,
+    AtomicStore,
+    BehaviorSpec,
+    Fence,
+    LitmusTest,
+    library,
+)
+from repro.memory_model import (
+    Relation,
+    SC_PER_LOCATION,
+    X,
+    Y,
+    enumerate_executions,
+)
+
+
+class TestValidation:
+    def test_requires_threads(self):
+        with pytest.raises(MalformedProgramError, match="threads"):
+            LitmusTest("empty", [])
+
+    def test_zero_value_rejected(self):
+        with pytest.raises(MalformedProgramError, match="non-zero"):
+            LitmusTest("bad", [[AtomicStore(X, 0)]])
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(MalformedProgramError, match="duplicate"):
+            LitmusTest(
+                "bad", [[AtomicStore(X, 1)], [AtomicStore(Y, 1)]]
+            )
+
+    def test_duplicate_registers_rejected(self):
+        with pytest.raises(MalformedProgramError, match="register"):
+            LitmusTest(
+                "bad",
+                [[AtomicLoad(X, "r0")], [AtomicLoad(Y, "r0")]],
+            )
+
+    def test_observer_index_range_checked(self):
+        with pytest.raises(MalformedProgramError, match="range"):
+            LitmusTest(
+                "bad",
+                [[AtomicLoad(X, "r0")]],
+                observer_threads=[5],
+            )
+
+    def test_observer_must_not_write(self):
+        with pytest.raises(MalformedProgramError, match="observer"):
+            LitmusTest(
+                "bad",
+                [[AtomicLoad(X, "r0")], [AtomicStore(X, 1)]],
+                observer_threads=[1],
+            )
+
+
+class TestStructure:
+    def test_testing_threads_exclude_observers(self):
+        test = library.coww()
+        assert test.testing_threads == (0, 1)
+        assert test.observer_threads == {2}
+
+    def test_locations_in_first_use_order(self):
+        test = library.mp()
+        assert [loc.name for loc in test.locations] == ["x", "y"]
+
+    def test_registers_in_program_order(self):
+        test = library.sb_relacq_rmw()
+        assert test.registers == ("r0", "r1", "r2")
+
+    def test_uses_fences(self):
+        assert library.mp_relacq().uses_fences
+        assert not library.mp().uses_fences
+
+    def test_instructions_iterator(self):
+        test = library.corr()
+        triples = list(test.instructions())
+        assert len(triples) == 3
+        assert triples[0][:2] == (0, 0)
+        assert triples[2][:2] == (1, 0)
+
+    def test_event_threads_uids_sequential(self):
+        threads = library.mp_relacq().event_threads()
+        uids = [event.uid for thread in threads for event in thread]
+        assert uids == list(range(6))
+
+    def test_event_threads_labels_alphabetic(self):
+        threads = library.corr().event_threads()
+        labels = [event.label for thread in threads for event in thread]
+        assert labels == ["a", "b", "c"]
+
+    def test_pretty_renders_instructions(self):
+        text = library.mp_relacq().pretty()
+        assert "storageBarrier()" in text
+        assert "atomicStore(x, 1)" in text
+        assert "target:" in text
+
+
+class TestTransformHelpers:
+    def test_with_threads_preserves_model_and_target(self):
+        original = library.corr()
+        swapped = original.with_threads(
+            [list(reversed(original.threads[0])), original.threads[1]],
+            name="corr_mutant",
+        )
+        assert swapped.name == "corr_mutant"
+        assert swapped.model is original.model
+        assert swapped.target == original.target
+
+    def test_with_target_replaces_spec(self):
+        spec = BehaviorSpec(reads={"r0": 0})
+        renamed = library.corr().with_target(spec)
+        assert renamed.target == spec
+
+
+class TestBehaviorSpec:
+    def test_read_match(self):
+        test = library.corr()
+        threads = test.event_threads()
+        executions = list(enumerate_executions(threads))
+        matches = [
+            e for e in executions if test.target.matches(test, e)
+        ]
+        assert len(matches) == 1
+        (execution,) = matches
+        registers = test.register_events(execution)
+        assert execution.observed_value(registers["r0"]) == 1
+        assert execution.observed_value(registers["r1"]) == 0
+
+    def test_co_match(self):
+        test = library.cowr()
+        matches = [
+            e
+            for e in enumerate_executions(test.event_threads())
+            if test.target.matches(test, e)
+        ]
+        for execution in matches:
+            order = [w.value for w in execution.co_order(X)]
+            assert order.index(2) < order.index(1)
+
+    def test_unknown_register_rejected(self):
+        test = library.corr()
+        spec = BehaviorSpec(reads={"r9": 1})
+        execution = next(iter(enumerate_executions(test.event_threads())))
+        with pytest.raises(MalformedProgramError, match="register"):
+            spec.matches(test, execution)
+
+    def test_unknown_value_rejected(self):
+        test = library.cowr()
+        spec = BehaviorSpec(co=((7, 8),))
+        execution = next(iter(enumerate_executions(test.event_threads())))
+        with pytest.raises(MalformedProgramError, match="write value"):
+            spec.matches(test, execution)
+
+    def test_describe(self):
+        spec = BehaviorSpec(reads={"r0": 1}, co=((1, 2),))
+        assert spec.describe() == "r0==1 && co:1<2"
+        assert BehaviorSpec().describe() == "<any>"

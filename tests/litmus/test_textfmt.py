@@ -1,0 +1,135 @@
+"""Tests for the textual litmus format (parse/format round-trips)."""
+
+import pytest
+
+from repro.errors import MalformedProgramError
+from repro.litmus import extended, library
+from repro.litmus.textfmt import format_test, parse
+from repro.mutation import default_suite
+
+SUITE = default_suite()
+
+
+class TestFormat:
+    def test_corr_rendering(self):
+        text = format_test(library.corr())
+        assert "WGSL corr" in text
+        assert "model sc-per-location" in text
+        assert "thread 0:" in text
+        assert "r0 = atomicLoad(x);" in text
+        assert "exists (r0 == 1 /\\ r1 == 0)" in text
+
+    def test_observer_line(self):
+        text = format_test(library.coww())
+        assert "observer 2" in text
+
+    def test_co_constraint_rendering(self):
+        text = format_test(library.cowr())
+        assert "co(2 < 1)" in text
+
+    def test_fence_rendering(self):
+        text = format_test(library.mp_relacq())
+        assert "storageBarrier();" in text
+
+
+class TestParse:
+    def test_minimal(self):
+        test = parse(
+            """
+            WGSL tiny
+            model sc-per-location
+            { }
+            thread 0:
+              r0 = atomicLoad(x);
+            thread 1:
+              atomicStore(x, 1);
+            exists (r0 == 1)
+            """
+        )
+        assert test.name == "tiny"
+        assert test.thread_count == 2
+        assert test.target.reads == {"r0": 1}
+
+    def test_exchange_and_fence(self):
+        test = parse(
+            """
+            WGSL rmw
+            model rel-acq-sc-per-location
+            thread 0:
+              atomicStore(x, 1);
+              storageBarrier();
+              r0 = atomicExchange(y, 2);
+            exists (r0 == 0)
+            """
+        )
+        assert test.uses_fences
+        assert test.registers == ("r0",)
+
+    def test_missing_header(self):
+        with pytest.raises(MalformedProgramError, match="header"):
+            parse("model sc-per-location\nthread 0:\n  atomicStore(x, 1);")
+
+    def test_missing_model(self):
+        with pytest.raises(MalformedProgramError, match="model"):
+            parse("WGSL t\nthread 0:\n  atomicStore(x, 1);")
+
+    def test_unknown_model(self):
+        with pytest.raises(MalformedProgramError, match="unknown"):
+            parse("WGSL t\nmodel tso\nthread 0:\n  atomicStore(x, 1);")
+
+    def test_instruction_outside_thread(self):
+        with pytest.raises(MalformedProgramError, match="outside"):
+            parse("WGSL t\nmodel sc\natomicStore(x, 1);")
+
+    def test_bad_instruction(self):
+        with pytest.raises(MalformedProgramError, match="instruction"):
+            parse(
+                "WGSL t\nmodel sc\nthread 0:\n  atomicAdd(x, 1);"
+            )
+
+    def test_threads_out_of_order(self):
+        with pytest.raises(MalformedProgramError, match="order"):
+            parse(
+                "WGSL t\nmodel sc\nthread 1:\n  atomicStore(x, 1);"
+            )
+
+    def test_bad_exists_clause(self):
+        with pytest.raises(MalformedProgramError, match="exists"):
+            parse(
+                "WGSL t\nmodel sc\nthread 0:\n  atomicStore(x, 1);\n"
+                "exists (x != 1)"
+            )
+
+    def test_no_threads(self):
+        with pytest.raises(MalformedProgramError, match="thread"):
+            parse("WGSL t\nmodel sc\n")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", library.test_names())
+    def test_library_round_trip(self, name):
+        original = library.by_name(name)
+        parsed = parse(format_test(original))
+        assert parsed.name == original.name
+        assert parsed.threads == original.threads
+        assert parsed.model is original.model
+        assert parsed.target == original.target
+        assert parsed.observer_threads == original.observer_threads
+        assert parsed.description == original.description
+
+    @pytest.mark.parametrize("name", extended.test_names())
+    def test_extended_round_trip(self, name):
+        original = extended.by_name(name)
+        parsed = parse(format_test(original))
+        assert parsed.threads == original.threads
+        assert parsed.target == original.target
+
+    def test_whole_suite_round_trips(self):
+        for pair in SUITE.pairs:
+            for test in (pair.conformance, *pair.mutants):
+                parsed = parse(format_test(test))
+                assert parsed.threads == test.threads, test.name
+                assert parsed.target == test.target, test.name
+                assert (
+                    parsed.observer_threads == test.observer_threads
+                ), test.name

@@ -1,0 +1,180 @@
+"""Tests for exhaustive candidate-execution enumeration."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.memory_model import (
+    REL_ACQ_SC_PER_LOCATION,
+    SC,
+    SC_PER_LOCATION,
+    X,
+    Y,
+    allowed_executions,
+    count_executions,
+    disallowed_executions,
+    enumerate_executions,
+    fence,
+    read,
+    rmw,
+    write,
+)
+
+
+def corr_threads():
+    return [
+        [read(0, 0, X, "a"), read(1, 0, X, "b")],
+        [write(2, 1, X, 1, "c")],
+    ]
+
+
+def mp_threads(with_fences=True):
+    uid = iter(range(10))
+    t0 = [write(next(uid), 0, X, 1, "a")]
+    t1 = []
+    if with_fences:
+        t0.append(fence(next(uid), 0))
+    t0.append(write(next(uid), 0, Y, 1, "b"))
+    t1.append(read(next(uid), 1, Y, "c"))
+    if with_fences:
+        t1.append(fence(next(uid), 1))
+    t1.append(read(next(uid), 1, X, "d"))
+    return [t0, t1]
+
+
+class TestEnumerationCounts:
+    def test_corr_has_four_candidates(self):
+        assert len(list(enumerate_executions(corr_threads()))) == 4
+
+    def test_corr_split(self):
+        assert count_executions(corr_threads(), SC_PER_LOCATION) == (3, 1)
+
+    def test_mp_relacq_split(self):
+        assert count_executions(mp_threads(True), REL_ACQ_SC_PER_LOCATION) == (3, 1)
+
+    def test_mp_no_fence_all_allowed_under_relacq(self):
+        assert count_executions(mp_threads(False), REL_ACQ_SC_PER_LOCATION) == (4, 0)
+
+    def test_mp_sc_split(self):
+        # Under SC the weak outcome is forbidden even without fences.
+        assert count_executions(mp_threads(False), SC) == (3, 1)
+
+    def test_two_writes_two_co_orders(self):
+        threads = [[write(0, 0, X, 1)], [write(1, 1, X, 2)]]
+        assert len(list(enumerate_executions(threads))) == 2
+
+    def test_three_writes_six_co_orders(self):
+        threads = [
+            [write(0, 0, X, 1), write(1, 0, X, 2)],
+            [write(2, 1, X, 3)],
+        ]
+        assert len(list(enumerate_executions(threads))) == 6
+
+    def test_coww_disallowed_count(self):
+        # co orders violating po-loc w1 < w2: those with 2 before 1.
+        threads = [
+            [write(0, 0, X, 1), write(1, 0, X, 2)],
+            [write(2, 1, X, 3)],
+        ]
+        allowed, disallowed = count_executions(threads, SC_PER_LOCATION)
+        assert (allowed, disallowed) == (3, 3)
+
+    def test_empty_program(self):
+        assert len(list(enumerate_executions([[]]))) == 1
+
+
+class TestRMWAtomicity:
+    def test_rmw_never_reads_own_write(self):
+        threads = [[rmw(0, 0, X, 1)]]
+        executions = list(enumerate_executions(threads))
+        assert len(executions) == 1
+        assert executions[0].rf_source(executions[0].events[0]) is None
+
+    def test_rmw_source_immediately_precedes(self):
+        # Two RMWs on x: each reads the other's write or the initial
+        # value, but never with a write in between.
+        m1 = rmw(0, 0, X, 1)
+        m2 = rmw(1, 1, X, 2)
+        executions = list(enumerate_executions([[m1], [m2]]))
+        # Valid: (init->m1, m1->m2), (init->m2, m2->m1).  The two
+        # "both read initial" cases are excluded by atomicity.
+        assert len(executions) == 2
+        for execution in executions:
+            first = execution.co_order(X)[0]
+            assert execution.rf_source(first) is None
+
+    def test_rmw_chain_totally_determined(self):
+        # Three RMWs: atomicity forces rf to follow co exactly.
+        rmws = [rmw(i, i, X, i + 1) for i in range(3)]
+        executions = list(enumerate_executions([[m] for m in rmws]))
+        assert len(executions) == 6  # 3! co orders, rf forced
+
+
+class TestFiltering:
+    def test_allowed_plus_disallowed_is_total(self):
+        threads = corr_threads()
+        total = len(list(enumerate_executions(threads)))
+        allowed = len(list(allowed_executions(threads, SC_PER_LOCATION)))
+        disallowed = len(list(disallowed_executions(threads, SC_PER_LOCATION)))
+        assert allowed + disallowed == total
+
+    def test_sc_allows_subset_of_coherence(self):
+        threads = mp_threads(False)
+        sc_allowed = {
+            (e.rf, e.co) for e in allowed_executions(threads, SC)
+        }
+        coherence_allowed = {
+            (e.rf, e.co) for e in allowed_executions(threads, SC_PER_LOCATION)
+        }
+        assert sc_allowed <= coherence_allowed
+
+
+# -- property tests over randomly-shaped small programs ------------------
+
+
+@st.composite
+def small_threads(draw):
+    """Random 2-thread programs over x/y with reads and writes."""
+    uid = iter(range(100))
+    value = iter(range(1, 100))
+    threads = []
+    for thread_index in range(2):
+        length = draw(st.integers(min_value=1, max_value=2))
+        thread = []
+        for _ in range(length):
+            kind = draw(st.sampled_from(["r", "w"]))
+            location = draw(st.sampled_from([X, Y]))
+            if kind == "r":
+                thread.append(read(next(uid), thread_index, location))
+            else:
+                thread.append(
+                    write(next(uid), thread_index, location, next(value))
+                )
+        threads.append(thread)
+    return threads
+
+
+class TestEnumerationProperties:
+    @given(small_threads())
+    @settings(max_examples=40, deadline=None)
+    def test_models_form_hierarchy(self, threads):
+        """SC ⊆ rel-acq-SC-per-loc ⊆ SC-per-loc on every program."""
+        for execution in enumerate_executions(threads):
+            if SC.allows(execution):
+                assert REL_ACQ_SC_PER_LOCATION.allows(execution)
+            if REL_ACQ_SC_PER_LOCATION.allows(execution):
+                assert SC_PER_LOCATION.allows(execution)
+
+    @given(small_threads())
+    @settings(max_examples=40, deadline=None)
+    def test_some_execution_is_sc(self, threads):
+        """Every program has at least one SC execution (run it serially)."""
+        assert any(
+            SC.allows(execution)
+            for execution in enumerate_executions(threads)
+        )
+
+    @given(small_threads())
+    @settings(max_examples=30, deadline=None)
+    def test_enumeration_is_deterministic(self, threads):
+        first = [(e.rf, e.co) for e in enumerate_executions(threads)]
+        second = [(e.rf, e.co) for e in enumerate_executions(threads)]
+        assert first == second

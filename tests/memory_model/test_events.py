@@ -1,0 +1,129 @@
+"""Unit tests for event construction and invariants."""
+
+import pytest
+
+from repro.memory_model import (
+    Event,
+    EventKind,
+    Location,
+    X,
+    Y,
+    fence,
+    read,
+    rmw,
+    write,
+)
+
+
+class TestEventKind:
+    def test_read_reads(self):
+        assert EventKind.READ.reads
+        assert not EventKind.READ.writes
+
+    def test_write_writes(self):
+        assert EventKind.WRITE.writes
+        assert not EventKind.WRITE.reads
+
+    def test_rmw_reads_and_writes(self):
+        assert EventKind.RMW.reads
+        assert EventKind.RMW.writes
+
+    def test_fence_neither_reads_nor_writes(self):
+        assert not EventKind.FENCE.reads
+        assert not EventKind.FENCE.writes
+
+    def test_fence_does_not_access_memory(self):
+        assert not EventKind.FENCE.accesses_memory
+
+    def test_memory_kinds_access_memory(self):
+        for kind in (EventKind.READ, EventKind.WRITE, EventKind.RMW):
+            assert kind.accesses_memory
+
+
+class TestLocation:
+    def test_equality_by_name(self):
+        assert Location("x") == X
+        assert Location("y") == Y
+        assert X != Y
+
+    def test_hashable(self):
+        assert len({Location("x"), X, Y}) == 2
+
+    def test_str(self):
+        assert str(X) == "x"
+
+    def test_ordering(self):
+        assert X < Y
+
+
+class TestEventConstruction:
+    def test_read_constructor(self):
+        event = read(0, 1, X, "a")
+        assert event.kind is EventKind.READ
+        assert event.thread == 1
+        assert event.location == X
+        assert event.value is None
+        assert event.label == "a"
+
+    def test_write_constructor(self):
+        event = write(3, 0, Y, 7)
+        assert event.kind is EventKind.WRITE
+        assert event.value == 7
+
+    def test_rmw_constructor(self):
+        event = rmw(2, 1, X, 5)
+        assert event.is_read and event.is_write
+
+    def test_fence_constructor(self):
+        event = fence(4, 0)
+        assert event.is_fence
+        assert event.location is None
+
+    def test_memory_event_requires_location(self):
+        with pytest.raises(ValueError, match="location"):
+            Event(0, EventKind.READ, 0)
+
+    def test_fence_rejects_location(self):
+        with pytest.raises(ValueError, match="fence"):
+            Event(0, EventKind.FENCE, 0, X)
+
+    def test_write_requires_value(self):
+        with pytest.raises(ValueError, match="value"):
+            Event(0, EventKind.WRITE, 0, X)
+
+    def test_rmw_requires_value(self):
+        with pytest.raises(ValueError, match="value"):
+            Event(0, EventKind.RMW, 0, X)
+
+    def test_read_rejects_value(self):
+        with pytest.raises(ValueError, match="read"):
+            Event(0, EventKind.READ, 0, X, 1)
+
+
+class TestEventIdentity:
+    def test_label_does_not_affect_equality(self):
+        assert read(0, 0, X, "a") == read(0, 0, X, "b")
+
+    def test_distinct_uids_distinct_events(self):
+        assert read(0, 0, X) != read(1, 0, X)
+
+    def test_hashable(self):
+        events = {read(0, 0, X), read(0, 0, X, "alias"), write(1, 0, X, 1)}
+        assert len(events) == 2
+
+    def test_ordering_by_uid(self):
+        assert read(0, 1, Y) < write(1, 0, X, 1)
+
+
+class TestPretty:
+    def test_read_pretty(self):
+        assert read(0, 1, X, "a").pretty() == "a: R x @t1"
+
+    def test_write_pretty(self):
+        assert write(2, 0, Y, 3, "c").pretty() == "c: W y=3 @t0"
+
+    def test_fence_pretty(self):
+        assert "F(rel/acq)" in fence(1, 0, "f").pretty()
+
+    def test_unlabelled_uses_uid(self):
+        assert read(7, 0, X).pretty().startswith("e7:")

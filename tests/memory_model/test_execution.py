@@ -1,0 +1,252 @@
+"""Tests for candidate executions and their derived relations."""
+
+import pytest
+
+from repro.errors import MalformedExecutionError
+from repro.memory_model import (
+    Execution,
+    INITIAL_VALUE,
+    Relation,
+    X,
+    Y,
+    fence,
+    read,
+    rmw,
+    write,
+)
+
+
+def corr_execution(first_reads_new=True, second_reads_new=False):
+    """A CoRR-shaped execution with selectable rf edges."""
+    a = read(0, 0, X, "a")
+    b = read(1, 0, X, "b")
+    c = write(2, 1, X, 1, "c")
+    rf_pairs = []
+    if first_reads_new:
+        rf_pairs.append((c, a))
+    if second_reads_new:
+        rf_pairs.append((c, b))
+    return Execution([[a, b], [c]], rf=Relation(rf_pairs)), (a, b, c)
+
+
+class TestValidation:
+    def test_wrong_thread_index_rejected(self):
+        a = read(0, 1, X)
+        with pytest.raises(MalformedExecutionError, match="thread"):
+            Execution([[a]])
+
+    def test_duplicate_uid_rejected(self):
+        with pytest.raises(MalformedExecutionError, match="duplicate"):
+            Execution([[read(0, 0, X), read(0, 0, Y)]])
+
+    def test_rf_source_must_write(self):
+        a = read(0, 0, X)
+        b = read(1, 1, X)
+        with pytest.raises(MalformedExecutionError, match="not a write"):
+            Execution([[a], [b]], rf=Relation([(a, b)]))
+
+    def test_rf_target_must_read(self):
+        w1 = write(0, 0, X, 1)
+        w2 = write(1, 1, X, 2)
+        with pytest.raises(MalformedExecutionError, match="not a read"):
+            Execution([[w1], [w2]], rf=Relation([(w1, w2)]))
+
+    def test_rf_same_location_required(self):
+        w = write(0, 0, X, 1)
+        r = read(1, 1, Y)
+        with pytest.raises(MalformedExecutionError, match="locations"):
+            Execution([[w], [r]], rf=Relation([(w, r)]))
+
+    def test_read_single_rf_source(self):
+        w1 = write(0, 0, X, 1)
+        w2 = write(1, 0, X, 2)
+        r = read(2, 1, X)
+        with pytest.raises(MalformedExecutionError, match="multiple"):
+            Execution(
+                [[w1, w2], [r]],
+                rf=Relation([(w1, r), (w2, r)]),
+                co=Relation([(w1, w2)]),
+            )
+
+    def test_co_must_relate_writes(self):
+        w = write(0, 0, X, 1)
+        r = read(1, 1, X)
+        with pytest.raises(MalformedExecutionError, match="non-writes"):
+            Execution([[w], [r]], co=Relation([(w, r)]))
+
+    def test_co_same_location_required(self):
+        w1 = write(0, 0, X, 1)
+        w2 = write(1, 1, Y, 2)
+        with pytest.raises(MalformedExecutionError, match="locations"):
+            Execution([[w1], [w2]], co=Relation([(w1, w2)]))
+
+    def test_co_cycle_rejected(self):
+        w1 = write(0, 0, X, 1)
+        w2 = write(1, 1, X, 2)
+        with pytest.raises(MalformedExecutionError, match="cycle|total"):
+            Execution([[w1], [w2]], co=Relation([(w1, w2), (w2, w1)]))
+
+    def test_co_must_be_total_per_location(self):
+        w1 = write(0, 0, X, 1)
+        w2 = write(1, 1, X, 2)
+        with pytest.raises(MalformedExecutionError, match="total"):
+            Execution([[w1], [w2]])
+
+    def test_rf_event_must_belong(self):
+        w = write(0, 0, X, 1)
+        r = read(1, 1, X)
+        stray = write(9, 0, X, 9)
+        with pytest.raises(MalformedExecutionError, match="outside"):
+            Execution([[w], [r]], rf=Relation([(stray, r)]))
+
+    def test_co_transitivity_completed(self):
+        w1 = write(0, 0, X, 1)
+        w2 = write(1, 0, X, 2)
+        w3 = write(2, 1, X, 3)
+        execution = Execution(
+            [[w1, w2], [w3]], co=Relation([(w1, w2), (w2, w3)])
+        )
+        assert (w1, w3) in execution.co
+
+
+class TestDerivedRelations:
+    def test_po_orders_within_thread(self):
+        execution, (a, b, c) = corr_execution()
+        assert (a, b) in execution.po
+        assert (a, c) not in execution.po
+
+    def test_po_loc_excludes_cross_location(self):
+        a = read(0, 0, X)
+        b = read(1, 0, Y)
+        execution = Execution([[a, b]])
+        assert (a, b) in execution.po
+        assert (a, b) not in execution.po_loc
+
+    def test_po_loc_excludes_fences(self):
+        a = write(0, 0, X, 1)
+        f = fence(1, 0)
+        b = write(2, 0, X, 2)
+        execution = Execution([[a, f, b]], co=Relation([(a, b)]))
+        assert (a, b) in execution.po_loc
+        assert (a, f) not in execution.po_loc
+
+    def test_fr_from_initial_read(self):
+        execution, (a, b, c) = corr_execution(first_reads_new=True)
+        # b reads the initial value, so b is from-read before c.
+        assert (b, c) in execution.fr
+        # a reads from c, so a is not fr-before c.
+        assert (a, c) not in execution.fr
+
+    def test_fr_from_stale_write(self):
+        w1 = write(0, 0, X, 1)
+        w2 = write(1, 0, X, 2)
+        r = read(2, 1, X)
+        execution = Execution(
+            [[w1, w2], [r]], rf=Relation([(w1, r)]), co=Relation([(w1, w2)])
+        )
+        assert (r, w2) in execution.fr
+
+    def test_com_is_union(self):
+        execution, _ = corr_execution()
+        assert execution.com == execution.rf | execution.co | execution.fr
+
+    def test_observed_value_initial(self):
+        execution, (a, b, c) = corr_execution()
+        assert execution.observed_value(b) == INITIAL_VALUE
+
+    def test_observed_value_from_write(self):
+        execution, (a, b, c) = corr_execution()
+        assert execution.observed_value(a) == 1
+
+    def test_co_order_sorted(self):
+        w1 = write(0, 0, X, 1)
+        w2 = write(1, 0, X, 2)
+        w3 = write(2, 1, X, 3)
+        execution = Execution(
+            [[w1, w2], [w3]], co=Relation([(w3, w1), (w1, w2)])
+        )
+        assert [w.value for w in execution.co_order(X)] == [3, 1, 2]
+
+
+class TestSynchronizesWith:
+    def make_mp(self, with_rf=True):
+        a = write(0, 0, X, 1, "a")
+        f_rel = fence(1, 0, "fr")
+        b = write(2, 0, Y, 1, "b")
+        c = read(3, 1, Y, "c")
+        f_acq = fence(4, 1, "fa")
+        d = read(5, 1, X, "d")
+        rf = Relation([(b, c)]) if with_rf else Relation()
+        execution = Execution([[a, f_rel, b], [c, f_acq, d]], rf=rf)
+        return execution, (a, f_rel, b, c, f_acq, d)
+
+    def test_sw_present_when_flag_read(self):
+        execution, (a, f_rel, b, c, f_acq, d) = self.make_mp(with_rf=True)
+        assert (f_rel, f_acq) in execution.sw
+
+    def test_sw_absent_without_rf(self):
+        execution, (a, f_rel, b, c, f_acq, d) = self.make_mp(with_rf=False)
+        assert not execution.sw
+
+    def test_sw_requires_different_threads(self):
+        w = write(0, 0, X, 1)
+        f1 = fence(1, 0)
+        f2 = fence(2, 0)
+        r = read(3, 0, X)
+        execution = Execution([[f1, w, r, f2]], rf=Relation([(w, r)]))
+        assert not execution.sw
+
+    def test_po_sw_po_links_data_events(self):
+        execution, (a, f_rel, b, c, f_acq, d) = self.make_mp(with_rf=True)
+        assert (a, d) in execution.po_sw_po
+
+    def test_sw_requires_write_after_release(self):
+        # Write is *before* the fence, so no synchronization.
+        a = write(0, 0, Y, 1, "a")
+        f_rel = fence(1, 0)
+        c = read(2, 1, Y, "c")
+        f_acq = fence(3, 1)
+        execution = Execution([[a, f_rel], [c, f_acq]], rf=Relation([(a, c)]))
+        assert not execution.sw
+
+    def test_sw_requires_read_before_acquire(self):
+        a = write(0, 0, Y, 1, "a")
+        f_rel = fence(1, 0)
+        b = write(2, 0, Y, 2, "b")
+        f_acq = fence(3, 1)
+        c = read(4, 1, Y, "c")
+        execution = Execution(
+            [[a, f_rel, b], [f_acq, c]],
+            rf=Relation([(b, c)]),
+            co=Relation([(a, b)]),
+        )
+        assert not execution.sw
+
+
+class TestAccessors:
+    def test_events_flattened_in_order(self):
+        execution, (a, b, c) = corr_execution()
+        assert execution.events == (a, b, c)
+
+    def test_locations_deduplicated(self):
+        a = read(0, 0, X)
+        b = read(1, 0, Y)
+        c = read(2, 0, X)
+        execution = Execution([[a, b, c]])
+        assert execution.locations == (X, Y)
+
+    def test_rmw_counts_as_read_and_write(self):
+        m = rmw(0, 0, X, 5)
+        execution = Execution([[m]])
+        assert m in execution.reads()
+        assert m in execution.writes_by_location()[X]
+
+    def test_pretty_mentions_relations(self):
+        execution, _ = corr_execution()
+        text = execution.pretty()
+        assert "thread 0:" in text
+        assert "rf" in text
+
+    def test_repr(self):
+        execution, _ = corr_execution()
+        assert "Execution(" in repr(execution)

@@ -1,0 +1,143 @@
+"""Tests for the three memory consistency models (Sec. 2.1)."""
+
+import pytest
+
+from repro.memory_model import (
+    Execution,
+    REL_ACQ_SC_PER_LOCATION,
+    Relation,
+    SC,
+    SC_PER_LOCATION,
+    X,
+    Y,
+    fence,
+    model_by_name,
+    read,
+    write,
+)
+
+
+def corr(first_value, second_value):
+    """CoRR candidate execution where the two reads see given values."""
+    a = read(0, 0, X, "a")
+    b = read(1, 0, X, "b")
+    c = write(2, 1, X, 1, "c")
+    rf = []
+    if first_value == 1:
+        rf.append((c, a))
+    if second_value == 1:
+        rf.append((c, b))
+    return Execution([[a, b], [c]], rf=Relation(rf))
+
+
+def mp(with_fences, flag_value, data_value):
+    """Message-passing execution, optionally with rel/acq fences."""
+    uid = iter(range(10))
+    t0 = [write(next(uid), 0, X, 1, "a")]
+    if with_fences:
+        t0.append(fence(next(uid), 0, "f0"))
+    t0.append(write(next(uid), 0, Y, 1, "b"))
+    t1 = [read(next(uid), 1, Y, "c")]
+    if with_fences:
+        t1.append(fence(next(uid), 1, "f1"))
+    t1.append(read(next(uid), 1, X, "d"))
+    rf = []
+    if flag_value == 1:
+        rf.append((t0[-1], t1[0]))
+    if data_value == 1:
+        rf.append((t0[0], t1[-1]))
+    return Execution([t0, t1], rf=Relation(rf))
+
+
+class TestSCPerLocation:
+    def test_corr_stale_second_read_disallowed(self):
+        assert not SC_PER_LOCATION.allows(corr(1, 0))
+
+    def test_corr_other_outcomes_allowed(self):
+        for first, second in ((0, 0), (0, 1), (1, 1)):
+            assert SC_PER_LOCATION.allows(corr(first, second))
+
+    def test_violation_cycle_matches_paper(self):
+        # The paper's Fig. 2a cycle: b -fr-> c -rf-> a -po-loc-> b.
+        cycle = SC_PER_LOCATION.violation_cycle(corr(1, 0))
+        assert cycle is not None
+        labels = {event.label for event in cycle}
+        assert labels == {"a", "b", "c"}
+
+    def test_no_cycle_for_allowed(self):
+        assert SC_PER_LOCATION.violation_cycle(corr(1, 1)) is None
+
+    def test_mp_weak_behavior_allowed_without_fences(self):
+        # flag=1, data=0 is the weak MP outcome; legal under coherence.
+        assert SC_PER_LOCATION.allows(mp(False, 1, 0))
+
+    def test_mp_weak_behavior_allowed_even_with_fences(self):
+        # Plain SC-per-location ignores fences (the post-change WebGPU
+        # model): the weak outcome remains allowed.
+        assert SC_PER_LOCATION.allows(mp(True, 1, 0))
+
+
+class TestRelAcqSCPerLocation:
+    def test_mp_weak_disallowed_with_fences(self):
+        assert not REL_ACQ_SC_PER_LOCATION.allows(mp(True, 1, 0))
+
+    def test_mp_weak_allowed_without_fences(self):
+        assert REL_ACQ_SC_PER_LOCATION.allows(mp(False, 1, 0))
+
+    def test_mp_strong_outcomes_allowed_with_fences(self):
+        for flag, data in ((0, 0), (0, 1), (1, 1)):
+            assert REL_ACQ_SC_PER_LOCATION.allows(mp(True, flag, data))
+
+    def test_subsumes_sc_per_location(self):
+        # Anything rel-acq allows, plain coherence allows too.
+        for first, second in ((0, 0), (0, 1), (1, 0), (1, 1)):
+            execution = corr(first, second)
+            if REL_ACQ_SC_PER_LOCATION.allows(execution):
+                assert SC_PER_LOCATION.allows(execution)
+
+
+class TestSequentialConsistency:
+    def test_mp_weak_disallowed_even_without_fences(self):
+        assert not SC.allows(mp(False, 1, 0))
+
+    def test_sb_weak_disallowed(self):
+        # Store buffering: both threads read stale values.
+        a = write(0, 0, X, 1, "a")
+        b = read(1, 0, Y, "b")
+        c = write(2, 1, Y, 1, "c")
+        d = read(3, 1, X, "d")
+        execution = Execution([[a, b], [c, d]])  # both reads see 0
+        assert not SC.allows(execution)
+        # ... but SC-per-location has no complaint.
+        assert SC_PER_LOCATION.allows(execution)
+
+    def test_sc_strictest(self):
+        for first, second in ((0, 0), (0, 1), (1, 0), (1, 1)):
+            execution = corr(first, second)
+            if SC.allows(execution):
+                assert SC_PER_LOCATION.allows(execution)
+
+    def test_interleaving_outcome_allowed(self):
+        # Reversed-read CoRR outcome b=0, a=1 is SC with order b, c, a.
+        b = read(0, 0, X, "b")
+        a = read(1, 0, X, "a")
+        c = write(2, 1, X, 1, "c")
+        execution = Execution([[b, a], [c]], rf=Relation([(c, a)]))
+        assert SC.allows(execution)
+
+
+class TestLookup:
+    def test_model_by_name(self):
+        assert model_by_name("sc") is SC
+        assert model_by_name("sc-per-location") is SC_PER_LOCATION
+        assert (
+            model_by_name("rel-acq-sc-per-location")
+            is REL_ACQ_SC_PER_LOCATION
+        )
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            model_by_name("tso")
+
+    def test_str(self):
+        assert str(SC) == "sc"

@@ -1,0 +1,183 @@
+"""Unit and property tests for the relation algebra."""
+
+from hypothesis import given, strategies as st
+
+from repro.memory_model import Relation, X, from_total_order, read, write
+
+
+def events(n):
+    """n distinct read events for use as abstract graph nodes."""
+    return [read(i, 0, X, f"e{i}") for i in range(n)]
+
+
+class TestBasicProtocol:
+    def test_empty(self):
+        relation = Relation()
+        assert len(relation) == 0
+        assert not relation
+
+    def test_contains(self):
+        a, b = events(2)
+        relation = Relation([(a, b)])
+        assert (a, b) in relation
+        assert (b, a) not in relation
+
+    def test_equality_structural(self):
+        a, b = events(2)
+        assert Relation([(a, b)]) == Relation([(a, b)])
+        assert Relation([(a, b)]) != Relation([(b, a)])
+
+    def test_iteration_deterministic(self):
+        a, b, c = events(3)
+        relation = Relation([(c, a), (a, b), (b, c)])
+        assert list(relation) == list(relation)
+
+    def test_hashable(self):
+        a, b = events(2)
+        assert len({Relation([(a, b)]), Relation([(a, b)])}) == 1
+
+
+class TestAlgebra:
+    def test_union(self):
+        a, b, c = events(3)
+        left = Relation([(a, b)])
+        right = Relation([(b, c)])
+        assert (left | right) == Relation([(a, b), (b, c)])
+
+    def test_intersection(self):
+        a, b, c = events(3)
+        left = Relation([(a, b), (b, c)])
+        right = Relation([(b, c), (c, a)])
+        assert (left & right) == Relation([(b, c)])
+
+    def test_difference(self):
+        a, b, c = events(3)
+        left = Relation([(a, b), (b, c)])
+        assert (left - Relation([(a, b)])) == Relation([(b, c)])
+
+    def test_compose(self):
+        a, b, c = events(3)
+        left = Relation([(a, b)])
+        right = Relation([(b, c)])
+        assert left.compose(right) == Relation([(a, c)])
+
+    def test_compose_no_match(self):
+        a, b, c = events(3)
+        assert not Relation([(a, b)]).compose(Relation([(a, c)]))
+
+    def test_inverse(self):
+        a, b = events(2)
+        assert Relation([(a, b)]).inverse() == Relation([(b, a)])
+
+    def test_restrict(self):
+        a, b, c = events(3)
+        relation = Relation([(a, b), (b, c)])
+        restricted = relation.restrict(lambda s, t: s == a)
+        assert restricted == Relation([(a, b)])
+
+    def test_successors_predecessors(self):
+        a, b, c = events(3)
+        relation = Relation([(a, b), (a, c)])
+        assert relation.successors(a) == {b, c}
+        assert relation.predecessors(b) == {a}
+
+
+class TestClosureAndCycles:
+    def test_transitive_closure_chain(self):
+        a, b, c = events(3)
+        closure = Relation([(a, b), (b, c)]).transitive_closure()
+        assert (a, c) in closure
+
+    def test_closure_idempotent(self):
+        a, b, c = events(3)
+        relation = Relation([(a, b), (b, c), (c, a)])
+        once = relation.transitive_closure()
+        assert once.transitive_closure() == once
+
+    def test_acyclic_chain(self):
+        a, b, c = events(3)
+        assert Relation([(a, b), (b, c)]).is_acyclic()
+
+    def test_cycle_detected(self):
+        a, b, c = events(3)
+        relation = Relation([(a, b), (b, c), (c, a)])
+        assert not relation.is_acyclic()
+
+    def test_self_loop_is_cycle(self):
+        a = events(1)[0]
+        assert not Relation([(a, a)]).is_acyclic()
+
+    def test_find_cycle_returns_closed_walk(self):
+        a, b, c = events(3)
+        relation = Relation([(a, b), (b, c), (c, a)])
+        cycle = relation.find_cycle()
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+        for source, target in zip(cycle, cycle[1:]):
+            assert (source, target) in relation
+
+    def test_find_cycle_none_when_acyclic(self):
+        a, b = events(2)
+        assert Relation([(a, b)]).find_cycle() is None
+
+    def test_total_order_construction(self):
+        a, b, c = events(3)
+        order = from_total_order([a, b, c])
+        assert order == Relation([(a, b), (a, c), (b, c)])
+        assert order.is_total_over([a, b, c])
+
+    def test_partial_order_not_total(self):
+        a, b, c = events(3)
+        assert not Relation([(a, b)]).is_total_over([a, b, c])
+
+    def test_symmetric_pair_not_total(self):
+        a, b = events(2)
+        assert not Relation([(a, b), (b, a)]).is_total_over([a, b])
+
+
+# -- property-based tests ------------------------------------------------
+
+NODES = events(6)
+pair_strategy = st.tuples(st.sampled_from(NODES), st.sampled_from(NODES))
+relation_strategy = st.builds(
+    Relation, st.lists(pair_strategy, max_size=15)
+)
+
+
+class TestProperties:
+    @given(relation_strategy, relation_strategy)
+    def test_union_commutative(self, left, right):
+        assert (left | right) == (right | left)
+
+    @given(relation_strategy, relation_strategy, relation_strategy)
+    def test_compose_associative(self, r1, r2, r3):
+        assert r1.compose(r2).compose(r3) == r1.compose(r2.compose(r3))
+
+    @given(relation_strategy)
+    def test_inverse_involution(self, relation):
+        assert relation.inverse().inverse() == relation
+
+    @given(relation_strategy)
+    def test_closure_contains_original(self, relation):
+        closure = relation.transitive_closure()
+        assert relation.pairs <= closure.pairs
+
+    @given(relation_strategy)
+    def test_closure_transitive(self, relation):
+        closure = relation.transitive_closure()
+        for a, b in closure:
+            for c, d in closure:
+                if b == c:
+                    assert (a, d) in closure
+
+    @given(relation_strategy)
+    def test_acyclicity_matches_closure_irreflexivity(self, relation):
+        closure = relation.transitive_closure()
+        has_self_loop = any(a == b for a, b in closure)
+        assert relation.is_acyclic() == (not has_self_loop)
+
+    @given(st.permutations(NODES))
+    def test_total_orders_are_acyclic_and_total(self, ordering):
+        order = from_total_order(ordering)
+        assert order.is_acyclic()
+        assert order.is_total_over(ordering)

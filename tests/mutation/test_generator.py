@@ -1,0 +1,167 @@
+"""Tests for template concretization and spec derivation."""
+
+import pytest
+
+from repro.errors import MutationError
+from repro.litmus import AtomicExchange, AtomicLoad, AtomicStore, Fence
+from repro.mutation import AccessKind, REVERSING_PO_LOC, WEAKENING_SW
+from repro.mutation.generator import (
+    assemble_test,
+    build_spec,
+    build_threads,
+    concretize,
+    kind_name,
+    needs_observer,
+    observer_location,
+    verify_test,
+)
+
+
+def kinds(**mapping):
+    return {name: AccessKind(value) for name, value in mapping.items()}
+
+
+class TestConcretize:
+    def test_values_increase_in_program_order(self):
+        events = concretize(
+            REVERSING_PO_LOC, kinds(a="w", b="w", c="w")
+        )
+        assert [e.value for e in events] == [1, 2, 3]
+
+    def test_registers_in_program_order(self):
+        events = concretize(
+            REVERSING_PO_LOC, kinds(a="r", b="r", c="w")
+        )
+        assert [e.register for e in events] == ["r0", "r1", None]
+
+    def test_promoted_event_has_both(self):
+        events = concretize(
+            REVERSING_PO_LOC, kinds(a="r", b="r", c="w"), {"b", "c"}
+        )
+        by_name = {e.name: e for e in events}
+        assert by_name["b"].value is not None
+        assert by_name["b"].register is not None
+        assert by_name["b"].kind_char() == "u"
+
+    def test_instruction_lowering(self):
+        events = concretize(
+            REVERSING_PO_LOC, kinds(a="r", b="w", c="w"), {"c"}
+        )
+        instructions = [e.to_instruction() for e in events]
+        assert isinstance(instructions[0], AtomicLoad)
+        assert isinstance(instructions[1], AtomicStore)
+        assert isinstance(instructions[2], AtomicExchange)
+
+
+class TestBuildSpec:
+    def test_corr_spec(self):
+        events = concretize(REVERSING_PO_LOC, kinds(a="r", b="r", c="w"))
+        spec = build_spec(REVERSING_PO_LOC, events)
+        assert spec.reads == {"r0": 1, "r1": 0}
+        assert spec.co == ()
+
+    def test_coww_spec(self):
+        events = concretize(REVERSING_PO_LOC, kinds(a="w", b="w", c="w"))
+        spec = build_spec(REVERSING_PO_LOC, events)
+        assert spec.reads == {}
+        assert set(spec.co) == {(2, 3), (3, 1)}
+
+    def test_fr_after_rf_produces_co(self):
+        # weak_sw S shape: d reads x from nothing; the fr edge with an
+        # already-pinned register becomes a co constraint instead.
+        events = concretize(
+            WEAKENING_SW, kinds(a="w", b="w", c="r", d="w")
+        )
+        spec = build_spec(WEAKENING_SW, events)
+        # c reads b's value (forced rf), d->a refines to co.
+        assert spec.reads == {"r0": 2}
+        assert spec.co == ((3, 1),)
+
+
+class TestBuildThreads:
+    def test_fences_inserted_between_events(self):
+        events = concretize(
+            WEAKENING_SW, kinds(a="w", b="w", c="r", d="r")
+        )
+        threads = build_threads(WEAKENING_SW, events)
+        assert isinstance(threads[0][1], Fence)
+        assert isinstance(threads[1][1], Fence)
+        assert len(threads[0]) == 3
+
+    def test_no_fences_for_unfenced_template(self):
+        events = concretize(REVERSING_PO_LOC, kinds(a="r", b="r", c="w"))
+        threads = build_threads(REVERSING_PO_LOC, events)
+        assert all(
+            not isinstance(i, Fence) for thread in threads for i in thread
+        )
+
+
+class TestObserverPolicy:
+    def test_all_writes_needs_observer(self):
+        events = concretize(REVERSING_PO_LOC, kinds(a="w", b="w", c="w"))
+        assert needs_observer(events)
+
+    def test_any_read_no_observer(self):
+        events = concretize(REVERSING_PO_LOC, kinds(a="r", b="w", c="w"))
+        assert not needs_observer(events)
+
+    def test_promoted_event_counts_as_reader(self):
+        events = concretize(
+            REVERSING_PO_LOC, kinds(a="w", b="w", c="w"), {"c"}
+        )
+        assert not needs_observer(events)
+
+    def test_observer_location_is_busiest(self):
+        events = concretize(
+            WEAKENING_SW, kinds(a="w", b="w", c="w", d="w"), {"c"}
+        )
+        # x has writes a and d; y has b and c: tie broken by name.
+        assert observer_location(events).name == "x"
+
+
+class TestAssembleAndVerify:
+    def test_assemble_conformance(self):
+        test = assemble_test(
+            REVERSING_PO_LOC,
+            kinds(a="r", b="r", c="w"),
+            set(),
+            name="corr_generated",
+        )
+        oracle = verify_test(test, expect_allowed=False)
+        assert not oracle.target_allowed()
+
+    def test_assemble_all_writes_gets_observer(self):
+        test = assemble_test(
+            REVERSING_PO_LOC,
+            kinds(a="w", b="w", c="w"),
+            set(),
+            name="coww_generated",
+        )
+        assert test.observer_threads == {3 - 1}
+        assert test.registers == ("obs0", "obs1")
+
+    def test_verify_rejects_wrong_expectation(self):
+        test = assemble_test(
+            REVERSING_PO_LOC,
+            kinds(a="r", b="r", c="w"),
+            set(),
+            name="corr_generated",
+        )
+        with pytest.raises(MutationError, match="allowed"):
+            verify_test(test, expect_allowed=True)
+
+
+class TestKindName:
+    def test_plain(self):
+        assert (
+            kind_name(REVERSING_PO_LOC, kinds(a="r", b="r", c="w"), set())
+            == "rev_poloc_rr_w"
+        )
+
+    def test_promoted(self):
+        assert (
+            kind_name(
+                REVERSING_PO_LOC, kinds(a="r", b="r", c="w"), {"b", "c"}
+            )
+            == "rev_poloc_ru_u"
+        )

@@ -1,0 +1,76 @@
+"""Tests for Sec. 3.4 mutant pruning."""
+
+import pytest
+
+from repro.gpu import make_device, study_devices
+from repro.mutation import MutatorKind, default_suite
+from repro.mutation.pruning import (
+    observability_matrix,
+    observable_fraction,
+    observable_on,
+    prune_for_device,
+)
+
+SUITE = default_suite()
+
+
+class TestObservability:
+    def test_amd_observes_everything(self):
+        device = make_device("amd")
+        for _, mutant in SUITE.mutant_pairs():
+            assert observable_on(device, mutant), mutant.name
+
+    def test_m1_misses_partial_sync(self):
+        device = make_device("m1")
+        pair = SUITE.find_by_alias("MP")
+        drop_one = next(m for m in pair.mutants if m.uses_fences)
+        drop_both = next(m for m in pair.mutants if not m.uses_fences)
+        assert not observable_on(device, drop_one)
+        assert observable_on(device, drop_both)
+
+    def test_nvidia_misses_observer_witness(self):
+        device = make_device("nvidia")
+        coww_mutant = SUITE.find("rev_poloc_ww_w_mut")
+        assert not observable_on(device, coww_mutant)
+
+    def test_study_fraction_matches_paper_ballpark(self):
+        """Paper Sec. 3.4: 83.6% of mutant behaviours observable."""
+        fraction = observable_fraction(SUITE, study_devices())
+        assert 0.75 <= fraction <= 0.95
+
+
+class TestPruneForDevice:
+    def test_amd_prunes_nothing(self):
+        pruned_suite, report = prune_for_device(SUITE, make_device("amd"))
+        assert not report.pruned
+        assert pruned_suite.combined_counts() == (20, 32)
+
+    def test_m1_prunes_partial_sync_mutants(self):
+        pruned_suite, report = prune_for_device(SUITE, make_device("m1"))
+        assert len(report.pruned) >= 12
+        for name in report.pruned:
+            mutant = SUITE.find(name)
+            # Everything pruned is either a fenced sw mutant or an
+            # observer-witnessed all-writes mutant.
+            assert mutant.uses_fences or mutant.observer_threads
+
+    def test_pairs_survive_if_any_mutant_does(self):
+        pruned_suite, _ = prune_for_device(SUITE, make_device("m1"))
+        # Every weakening-sw pair keeps its drop-both mutant.
+        sw_pairs = pruned_suite.by_mutator(MutatorKind.WEAKENING_SW)
+        assert len(sw_pairs) == 6
+        for pair in sw_pairs:
+            assert len(pair.mutants) == 1
+            assert not pair.mutants[0].uses_fences
+
+    def test_report_accounting(self):
+        _, report = prune_for_device(SUITE, make_device("m1"))
+        assert len(report.kept) + len(report.pruned) == 32
+        assert 0.0 < report.observable_fraction < 1.0
+        assert "pruned:" in report.describe()
+
+    def test_matrix_shape(self):
+        matrix = observability_matrix(SUITE, study_devices())
+        assert len(matrix) == 32
+        for row in matrix.values():
+            assert set(row) == {"NVIDIA", "AMD", "Intel", "M1"}

@@ -1,0 +1,184 @@
+"""Tests for the full MC Mutants suite (Table 2 reproduction)."""
+
+import pytest
+
+from repro.litmus import Fence, TestOracle
+from repro.memory_model import SC
+from repro.mutation import (
+    MutatorKind,
+    ReversingPoLocMutator,
+    WeakeningPoLocMutator,
+    WeakeningSwMutator,
+    default_suite,
+)
+
+SUITE = default_suite()
+
+
+class TestTable2Counts:
+    def test_reversing_poloc_counts(self):
+        assert SUITE.counts()[MutatorKind.REVERSING_PO_LOC] == (8, 8)
+
+    def test_weakening_poloc_counts(self):
+        assert SUITE.counts()[MutatorKind.WEAKENING_PO_LOC] == (6, 6)
+
+    def test_weakening_sw_counts(self):
+        assert SUITE.counts()[MutatorKind.WEAKENING_SW] == (6, 18)
+
+    def test_combined_counts(self):
+        assert SUITE.combined_counts() == (20, 32)
+
+    def test_names_unique(self):
+        names = [t.name for t in SUITE.conformance_tests] + [
+            t.name for t in SUITE.mutants
+        ]
+        assert len(names) == len(set(names))
+
+
+class TestSuiteVerification:
+    """The methodology's core invariants, re-checked from scratch."""
+
+    @pytest.mark.parametrize(
+        "test", SUITE.conformance_tests, ids=lambda t: t.name
+    )
+    def test_conformance_targets_disallowed(self, test):
+        oracle = TestOracle(test)
+        assert not oracle.target_allowed()
+        assert oracle.target_signatures
+
+    @pytest.mark.parametrize("test", SUITE.mutants, ids=lambda t: t.name)
+    def test_mutant_targets_allowed(self, test):
+        oracle = TestOracle(test)
+        assert oracle.target_allowed()
+        assert oracle.target_signatures
+
+    @pytest.mark.parametrize(
+        "pair", SUITE.pairs, ids=lambda p: p.conformance.name
+    )
+    def test_mutant_shares_conformance_spec(self, pair):
+        """Mutation rewrites syntax but preserves the behaviour spec —
+        the mutant checks the *same* behaviour, now allowed."""
+        for mutant in pair.mutants:
+            assert mutant.target == pair.conformance.target
+
+    @pytest.mark.parametrize(
+        "pair",
+        SUITE.by_mutator(MutatorKind.REVERSING_PO_LOC),
+        ids=lambda p: p.conformance.name,
+    )
+    def test_reversing_poloc_mutants_sc_allowed(self, pair):
+        """Sec. 3.1: these mutant behaviours are allowed even under SC."""
+        for mutant in pair.mutants:
+            sc_test = mutant.with_threads(
+                mutant.threads, name=mutant.name + "_sc"
+            )
+            object.__setattr__(sc_test, "model", SC)
+            oracle = TestOracle(sc_test)
+            assert oracle.target_allowed()
+
+
+class TestMutatorStructure:
+    def test_reversing_poloc_swaps_thread0(self):
+        pair = SUITE.find_by_alias("CoRR")
+        conformance_t0 = pair.conformance.threads[0]
+        mutant_t0 = pair.mutants[0].threads[0]
+        assert list(mutant_t0) == list(reversed(conformance_t0))
+
+    def test_weakening_poloc_relocates_to_y(self):
+        pair = SUITE.find_by_alias("MP-CO")
+        conformance_locs = {
+            loc.name for loc in pair.conformance.locations
+        }
+        mutant_locs = {loc.name for loc in pair.mutants[0].locations}
+        assert conformance_locs == {"x"}
+        assert mutant_locs == {"x", "y"}
+
+    def test_weakening_sw_drops_fences(self):
+        pair = SUITE.find_by_alias("MP")
+        assert pair.conformance.uses_fences
+
+        def fence_count(test, thread):
+            return sum(
+                isinstance(i, Fence) for i in test.threads[thread]
+            )
+
+        drop_f0, drop_f1, drop_both = pair.mutants
+        assert fence_count(drop_f0, 0) == 0
+        assert fence_count(drop_f0, 1) == 1
+        assert fence_count(drop_f1, 0) == 1
+        assert fence_count(drop_f1, 1) == 0
+        assert fence_count(drop_both, 0) == 0
+        assert fence_count(drop_both, 1) == 0
+
+    def test_all_write_tests_have_observers(self):
+        for alias in ("CoWW", "2+2W-CO"):
+            pair = SUITE.find_by_alias(alias)
+            assert pair.conformance.observer_threads
+            for mutant in pair.mutants:
+                assert mutant.observer_threads
+
+    def test_rmw_variants_exist_for_each_coherence_test(self):
+        aliases = {pair.alias for pair in SUITE.pairs}
+        for base in ("CoRR", "CoRW", "CoWR", "CoWW"):
+            assert f"{base}+RMW" in aliases
+
+    def test_classic_weak_tests_present(self):
+        aliases = {pair.alias for pair in SUITE.pairs}
+        assert {"MP", "LB", "S", "SB", "R", "2+2W"} <= aliases
+
+    def test_mp_matches_fig1b(self):
+        """The generated MP conformance test is Fig. 1b's MP-relacq."""
+        test = SUITE.find_by_alias("MP").conformance
+        rendering = test.pretty()
+        assert "atomicStore(x, 1)" in rendering
+        assert "storageBarrier()" in rendering
+        assert "atomicStore(y, 2)" in rendering
+        assert test.target.reads == {"r0": 2, "r1": 0}
+
+
+class TestSuiteAccessors:
+    def test_mutator_of(self):
+        assert (
+            SUITE.mutator_of("rev_poloc_rr_w")
+            is MutatorKind.REVERSING_PO_LOC
+        )
+        assert (
+            SUITE.mutator_of("weak_sw_ww_rr_mut_f01")
+            is MutatorKind.WEAKENING_SW
+        )
+
+    def test_mutator_of_unknown(self):
+        with pytest.raises(KeyError):
+            SUITE.mutator_of("nope")
+
+    def test_find(self):
+        assert SUITE.find("rev_poloc_rr_w").name == "rev_poloc_rr_w"
+
+    def test_pair_of_mutant(self):
+        pair = SUITE.pair_of_mutant("rev_poloc_rr_w_mut")
+        assert pair.conformance.name == "rev_poloc_rr_w"
+
+    def test_mutant_pairs_iteration(self):
+        pairs = list(SUITE.mutant_pairs())
+        assert len(pairs) == 32
+
+    def test_find_by_alias_case_insensitive(self):
+        assert SUITE.find_by_alias("corr").conformance.name == "rev_poloc_rr_w"
+
+    def test_default_suite_cached(self):
+        assert default_suite() is SUITE
+
+
+class TestGeneratorsIndividually:
+    def test_reversing_poloc_generates_eight(self):
+        pairs = ReversingPoLocMutator().generate()
+        assert len(pairs) == 8
+
+    def test_weakening_poloc_generates_six(self):
+        pairs = WeakeningPoLocMutator().generate()
+        assert len(pairs) == 6
+
+    def test_weakening_sw_generates_six_pairs_of_three(self):
+        pairs = WeakeningSwMutator().generate()
+        assert len(pairs) == 6
+        assert all(len(pair.mutants) == 3 for pair in pairs)

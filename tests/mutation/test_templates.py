@@ -1,0 +1,165 @@
+"""Tests for abstract cycle templates and kind enumeration."""
+
+import pytest
+
+from repro.memory_model import REL_ACQ_SC_PER_LOCATION, SC_PER_LOCATION
+from repro.mutation import (
+    AccessKind,
+    EdgeRefinement,
+    REVERSING_PO_LOC,
+    WEAKENING_PO_LOC,
+    WEAKENING_SW,
+    canonical_assignments,
+)
+
+
+class TestTemplateShapes:
+    def test_reversing_poloc_shape(self):
+        template = REVERSING_PO_LOC
+        assert len(template.events) == 3
+        assert template.thread_count == 2
+        assert not template.fenced
+        assert template.model is SC_PER_LOCATION
+        assert {e.location for e in template.events} == {"x"}
+
+    def test_weakening_poloc_shape(self):
+        template = WEAKENING_PO_LOC
+        assert len(template.events) == 4
+        assert {e.location for e in template.events} == {"x"}
+        assert template.model is SC_PER_LOCATION
+
+    def test_weakening_sw_shape(self):
+        template = WEAKENING_SW
+        assert template.fenced
+        assert template.model is REL_ACQ_SC_PER_LOCATION
+        locations = {e.name: e.location for e in template.events}
+        assert locations == {"a": "x", "b": "y", "c": "y", "d": "x"}
+
+    def test_event_lookup(self):
+        assert REVERSING_PO_LOC.event("a").thread == 0
+        with pytest.raises(KeyError):
+            REVERSING_PO_LOC.event("z")
+
+    def test_thread_events_sorted_by_slot(self):
+        events = WEAKENING_PO_LOC.thread_events(1)
+        assert [e.name for e in events] == ["c", "d"]
+
+
+class TestRefinement:
+    def kinds(self, **mapping):
+        return {
+            name: AccessKind(value) for name, value in mapping.items()
+        }
+
+    def test_write_read_is_rf(self):
+        kinds = self.kinds(a="r", b="r", c="w")
+        # edge 1 is c -> a: write to read.
+        assert (
+            REVERSING_PO_LOC.edge_refinement(1, kinds) is EdgeRefinement.RF
+        )
+
+    def test_read_write_is_fr(self):
+        kinds = self.kinds(a="r", b="r", c="w")
+        # edge 0 is b -> c: read to write.
+        assert (
+            REVERSING_PO_LOC.edge_refinement(0, kinds) is EdgeRefinement.FR
+        )
+
+    def test_write_write_is_co(self):
+        kinds = self.kinds(a="w", b="w", c="w")
+        assert (
+            REVERSING_PO_LOC.edge_refinement(0, kinds) is EdgeRefinement.CO
+        )
+
+    def test_read_read_invalid(self):
+        kinds = self.kinds(a="w", b="r", c="r")
+        with pytest.raises(ValueError, match="write"):
+            REVERSING_PO_LOC.edge_refinement(0, kinds)
+
+    def test_forced_rf_edge(self):
+        # b -> c of the sw template is rf even for write-write kinds.
+        kinds = self.kinds(a="w", b="w", c="w", d="w")
+        assert (
+            WEAKENING_SW.edge_refinement(0, kinds) is EdgeRefinement.RF
+        )
+
+    def test_validity_requires_write_on_every_edge(self):
+        kinds = self.kinds(a="r", b="r", c="r", d="w")
+        # edge b->c has no write even though the sw template could
+        # promote b; base kinds rule.
+        assert not WEAKENING_SW.is_valid_assignment(kinds)
+
+    def test_kind_signature(self):
+        kinds = self.kinds(a="r", b="w", c="w")
+        assert REVERSING_PO_LOC.kind_signature(kinds) == "rw_w"
+
+
+class TestCanonicalAssignments:
+    def test_reversing_poloc_all_valid(self):
+        # 3 events; both edges need a write: (b,c) and (c,a).
+        assignments = canonical_assignments(REVERSING_PO_LOC)
+        signatures = {
+            REVERSING_PO_LOC.kind_signature(kinds) for kinds in assignments
+        }
+        # c=w gives 4; c=r forces a=w and b=w, giving 1 more.
+        assert "rr_w" in signatures
+        assert "ww_w" in signatures
+        assert "rr_r" not in signatures
+
+    def test_weakening_poloc_six_classes(self):
+        assignments = canonical_assignments(WEAKENING_PO_LOC)
+        signatures = sorted(
+            WEAKENING_PO_LOC.kind_signature(kinds) for kinds in assignments
+        )
+        assert signatures == [
+            "rr_ww",
+            "rw_rw",
+            "rw_ww",
+            "wr_wr",
+            "wr_ww",
+            "ww_ww",
+        ]
+
+    def test_weakening_sw_six_classes(self):
+        def cost(kinds):
+            total = 0
+            if kinds["b"].reads:
+                total += 1
+            if kinds["c"].writes:
+                total += 1
+            return total
+
+        assignments = canonical_assignments(
+            WEAKENING_SW, promotions_needed=cost
+        )
+        signatures = sorted(
+            WEAKENING_SW.kind_signature(kinds) for kinds in assignments
+        )
+        assert signatures == [
+            "rw_rw",  # LB
+            "wr_wr",  # SB
+            "ww_rr",  # MP
+            "ww_rw",  # S
+            "ww_wr",  # R
+            "ww_ww",  # 2+2W
+        ]
+
+    def test_deduplication_under_symmetry(self):
+        assignments = canonical_assignments(WEAKENING_PO_LOC)
+        signatures = {
+            WEAKENING_PO_LOC.kind_signature(kinds) for kinds in assignments
+        }
+        # ww_rr is the thread-swap of rr_ww and must not appear.
+        assert "ww_rr" not in signatures
+        assert "rr_ww" in signatures
+
+    def test_deterministic(self):
+        first = [
+            WEAKENING_SW.kind_signature(k)
+            for k in canonical_assignments(WEAKENING_SW)
+        ]
+        second = [
+            WEAKENING_SW.kind_signature(k)
+            for k in canonical_assignments(WEAKENING_SW)
+        ]
+        assert first == second

@@ -1,0 +1,199 @@
+"""Tests for the command-line interface."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def stats_dir(tmp_path_factory):
+    """A stats directory with small PTE and SITE tuning results."""
+    directory = tmp_path_factory.mktemp("stats")
+    for kind in ("PTE", "SITE"):
+        code = main(
+            [
+                "tune",
+                "--kind", kind,
+                "--envs", "5",
+                "--seed", "1",
+                "--out", str(directory / f"{kind.lower()}.json"),
+            ]
+        )
+        assert code == 0
+    return directory
+
+
+class TestBasicCommands:
+    def test_devices(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "GeForce RTX 2080" in out
+
+    def test_suite(self, capsys):
+        assert main(["suite"]) == 0
+        out = capsys.readouterr().out
+        assert "Combined" in out
+        assert "20" in out
+
+    def test_suite_list(self, capsys):
+        assert main(["suite", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "rev_poloc_rr_w_mut" in out
+        assert "CoRR" in out
+
+    def test_show_by_suite_name(self, capsys):
+        assert main(["show", "rev_poloc_rr_w"]) == 0
+        assert "atomicLoad(x)" in capsys.readouterr().out
+
+    def test_show_by_alias(self, capsys):
+        assert main(["show", "MP"]) == 0
+        assert "storageBarrier" in capsys.readouterr().out
+
+    def test_show_library_test(self, capsys):
+        assert main(["show", "mp_relacq"]) == 0
+        assert "rel-acq" in capsys.readouterr().out
+
+    def test_show_extended_test(self, capsys):
+        assert main(["show", "iriw"]) == 0
+        assert "thread 3" in capsys.readouterr().out
+
+    def test_show_wgsl(self, capsys):
+        assert main(["show", "corr", "--wgsl"]) == 0
+        assert "@compute" in capsys.readouterr().out
+
+    def test_show_unknown(self, capsys):
+        assert main(["show", "not_a_test"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestTuneAndAnalyze:
+    def test_tune_writes_json(self, stats_dir):
+        payload = json.loads((stats_dir / "pte.json").read_text())
+        assert payload["kind"] == "PTE"
+        assert payload["runs"]
+
+    def test_mutation_score_action(self, stats_dir, capsys):
+        assert main(
+            [
+                "analyze",
+                "--action", "mutation-score",
+                "--stats-path", str(stats_dir / "pte.json"),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "combined" in out
+        assert "reversing po-loc" in out
+
+    def test_merge_action(self, stats_dir, capsys):
+        assert main(
+            [
+                "analyze",
+                "--action", "merge",
+                "--stats-path", str(stats_dir / "pte.json"),
+                "--rep", "95",
+                "--budget", "4",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "reproducible" in out
+
+    def test_merge_requires_stats(self, capsys):
+        assert main(["analyze", "--action", "merge"]) == 1
+        assert "stats-path" in capsys.readouterr().err
+
+    def test_invalid_rep(self, stats_dir, capsys):
+        assert main(
+            [
+                "analyze",
+                "--action", "merge",
+                "--stats-path", str(stats_dir / "pte.json"),
+                "--rep", "150",
+            ]
+        ) == 1
+        assert "percentage" in capsys.readouterr().err
+
+    def test_correlation_action(self, capsys):
+        assert main(
+            ["analyze", "--action", "correlation", "--envs", "8"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "PCC" in out
+        assert "Intel" in out
+
+    def test_missing_stats_file(self, capsys):
+        assert main(
+            [
+                "analyze",
+                "--action", "mutation-score",
+                "--stats-path", "/nonexistent/never.json",
+            ]
+        ) == 1
+
+
+class TestFiguresAndCts:
+    def test_figures(self, stats_dir, capsys):
+        assert main(["figures", "--stats-dir", str(stats_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "Figure 6" in out
+
+    def test_figures_empty_dir(self, tmp_path, capsys):
+        assert main(["figures", "--stats-dir", str(tmp_path)]) == 1
+        assert "no <kind>.json" in capsys.readouterr().err
+
+    def test_cts(self, stats_dir, capsys):
+        assert main(
+            [
+                "cts",
+                "--stats-path", str(stats_dir / "pte.json"),
+                "--rep", "99.999",
+                "--budget", "4",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "CTS plan" in out
+        assert "total reproducibility" in out
+
+
+class TestRunAndLitmusCommands:
+    def test_show_litmus_format(self, capsys):
+        assert main(["show", "mp_relacq", "--litmus"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("WGSL mp_relacq")
+        assert "exists (r0 == 2 /\\ r1 == 0)" in out
+
+    def test_run_clean_device_no_violations(self, capsys):
+        assert main(
+            ["run", "corr", "--device", "intel", "--instances", "200"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "MCS violations: 0" in out
+
+    def test_run_buggy_device_shows_violations(self, capsys):
+        assert main(
+            [
+                "run", "mp_relacq",
+                "--device", "amd",
+                "--buggy", "--stress",
+                "--instances", "500",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "amd-mp-relacq" in out
+        violations = int(out.rsplit("MCS violations:", 1)[1])
+        assert violations > 0
+
+    def test_run_histogram_printed(self, capsys):
+        assert main(
+            ["run", "sb", "--device", "amd", "--stress",
+             "--instances", "300"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "r0=" in out
+
+    def test_run_unknown_device(self, capsys):
+        assert main(["run", "corr", "--device", "voodoo"]) == 1
+        assert "unknown device" in capsys.readouterr().err

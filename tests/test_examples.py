@@ -1,0 +1,54 @@
+"""Smoke tests: every example script runs end to end.
+
+Examples are documentation that executes; these tests keep them from
+rotting. Each runs as a subprocess with the repository's interpreter
+and must exit cleanly; heavyweight ones get smaller CLI arguments.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: Per-example extra argv (keep test runtime bounded).
+ARGUMENTS = {
+    "correlation_study.py": ["12"],
+}
+
+EXPECTED_OUTPUT = {
+    "quickstart.py": "Reproducibility of this run",
+    "bug_hunt.py": "the moral",
+    "cts_curation.py": "CTS plan",
+    "correlation_study.py": "PCC",
+    "wgsl_export.py": "wrote 52 shaders",
+    "parallel_iteration.py": "zero MCS violations",
+    "regression_watch.py": "pruning per device",
+    "scoped_testing.py": "workgroupBarrier",
+}
+
+
+def example_names():
+    return sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+class TestExamples:
+    def test_all_examples_covered(self):
+        """Every example has an expected-output marker registered."""
+        assert set(example_names()) == set(EXPECTED_OUTPUT)
+
+    @pytest.mark.parametrize("name", example_names())
+    def test_example_runs(self, name, tmp_path):
+        arguments = list(ARGUMENTS.get(name, []))
+        if name == "wgsl_export.py":
+            arguments = [str(tmp_path / "shaders")]
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / name), *arguments],
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        assert result.returncode == 0, result.stderr[-2000:]
+        assert EXPECTED_OUTPUT[name] in result.stdout
