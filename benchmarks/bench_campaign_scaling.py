@@ -1,0 +1,80 @@
+"""Throughput scaling of the sharded campaign executor.
+
+Runs one reduced-scale campaign grid at 1, 2, and 4 workers and
+reports units/second for each, plus the speedup over the serial
+in-process path.  On multi-core hardware the 4-worker run should
+clear the serial path comfortably (the acceptance bar is 2.5×); on a
+single-core container the numbers still print, and the benchmark
+instead asserts what must hold everywhere: every worker count
+produces byte-identical results.
+"""
+
+import json
+import os
+import time
+
+from repro.analysis.serialize import result_to_dict
+from repro.campaign import CampaignSpec, ExecutorConfig, run_campaign
+from repro.mutation import default_suite
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _scaling_spec(suite):
+    return CampaignSpec(
+        name="bench-scaling",
+        kinds=("PTE", "SITE"),
+        device_names=("NVIDIA", "AMD", "Intel", "M1"),
+        test_names=tuple(mutant.name for mutant in suite.mutants),
+        environment_count=12,
+        seed=42,
+    )
+
+
+def _stats_bytes(outcome):
+    return {
+        kind.name: json.dumps(result_to_dict(result), sort_keys=True)
+        for kind, result in outcome.results.items()
+    }
+
+
+def test_campaign_scaling(suite):
+    spec = _scaling_spec(suite)
+    total_units = spec.unit_count()
+    throughput = {}
+    reference = None
+    for workers in WORKER_COUNTS:
+        started = time.perf_counter()
+        outcome = run_campaign(
+            spec,
+            config=ExecutorConfig(
+                workers=workers, shard_size=128, retry_backoff=0.0
+            ),
+        )
+        elapsed = time.perf_counter() - started
+        throughput[workers] = total_units / elapsed
+        stats = _stats_bytes(outcome)
+        if reference is None:
+            reference = stats
+        else:
+            assert stats == reference, (
+                f"{workers}-worker campaign diverged from serial"
+            )
+
+    print(f"\ncampaign scaling over {total_units} units:")
+    for workers, units_per_second in throughput.items():
+        speedup = units_per_second / throughput[WORKER_COUNTS[0]]
+        print(
+            f"  {workers} worker(s): {units_per_second:,.0f} units/s "
+            f"({speedup:.2f}x vs serial)"
+        )
+
+    cores = os.cpu_count() or 1
+    if cores >= 4:
+        # The acceptance bar only applies where the hardware exists.
+        assert throughput[4] >= 2.5 * throughput[1], (
+            f"4-worker throughput {throughput[4]:,.0f}/s did not "
+            f"reach 2.5x serial {throughput[1]:,.0f}/s on "
+            f"{cores} cores"
+        )
+    assert all(value > 0 for value in throughput.values())

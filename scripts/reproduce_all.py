@@ -6,14 +6,22 @@ correlation study) and writes everything to a results directory:
 
 .. code-block:: bash
 
-    python scripts/reproduce_all.py [results_dir]
+    python scripts/reproduce_all.py [results_dir] [--workers N]
+
+The four tuning families execute as one sharded, journaled campaign
+(``repro.campaign``): ``--workers N`` fans the 19k+ work units out
+over N processes, the journal at ``results_dir/campaign.jsonl``
+checkpoints every completed unit, and re-running after a crash (or a
+Ctrl-C) resumes exactly where it stopped.  Results are identical for
+any worker count.
 
 Outputs: rendered tables/figures as .txt, the raw tuning statistics as
-JSON (re-analysable with ``python -m repro analyze``), and a summary
-with the headline paper-vs-measured comparisons.  Fully deterministic.
+JSON (re-analysable with ``python -m repro analyze``), the campaign
+telemetry report, and a summary with the headline paper-vs-measured
+comparisons.  Fully deterministic.
 """
 
-import sys
+import argparse
 import time
 from pathlib import Path
 
@@ -28,18 +36,37 @@ from repro import (
     render_table2,
     render_table3,
     render_table4,
-    study_devices,
     table4,
-    tuning_run,
 )
 from repro.analysis import save_result
+from repro.campaign import ExecutorConfig, paper_spec, run_campaign
 
 SEED = 42
 ENVIRONMENTS = 150
 
 
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        description="regenerate every table and figure"
+    )
+    parser.add_argument(
+        "results_dir", nargs="?", default="results", type=Path
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="campaign worker processes (default: os.cpu_count())",
+    )
+    parser.add_argument(
+        "--envs", type=int, default=ENVIRONMENTS,
+        help="environments per tuning family (paper: 150)",
+    )
+    parser.add_argument("--seed", type=int, default=SEED)
+    return parser.parse_args()
+
+
 def main() -> None:
-    out = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("results")
+    args = parse_args()
+    out = args.results_dir
     out.mkdir(parents=True, exist_ok=True)
     started = time.time()
 
@@ -49,17 +76,24 @@ def main() -> None:
     (out / "table3.txt").write_text(render_table3() + "\n")
 
     print("[2/5] tuning the four environment families (Sec. 5.1) ...")
-    devices = study_devices()
-    results = {}
-    for kind in EnvironmentKind:
-        results[kind] = tuning_run(
-            kind, devices, suite.mutants,
-            environment_count=ENVIRONMENTS, seed=SEED,
-        )
-        save_result(
-            results[kind], out / f"{kind.name.lower()}.json"
-        )
-        print(f"      {kind.value}: {len(results[kind].runs)} runs")
+    spec = paper_spec(
+        tuple(mutant.name for mutant in suite.mutants),
+        environment_count=args.envs,
+        seed=args.seed,
+    )
+    outcome = run_campaign(
+        spec,
+        journal_path=out / "campaign.jsonl",
+        config=ExecutorConfig(
+            workers=args.workers, progress_interval=5.0
+        ),
+        log=print,
+    )
+    (out / "campaign_report.txt").write_text(outcome.report() + "\n")
+    results = outcome.results
+    for kind, result in results.items():
+        save_result(result, out / f"{kind.name.lower()}.json")
+        print(f"      {kind.value}: {len(result.runs)} runs")
 
     print("[3/5] aggregating Figure 5 ...")
     fig5 = figure5(results, suite)
@@ -95,7 +129,7 @@ def main() -> None:
 
     print("[5/5] running the Table 4 correlation study ...")
     correlation_rows = table4(
-        environment_count=ENVIRONMENTS, iterations=100, seed=0
+        environment_count=args.envs, iterations=100, seed=0
     )
     (out / "table4.txt").write_text(render_table4(correlation_rows) + "\n")
 
@@ -122,6 +156,10 @@ def main() -> None:
             )
             + "  (paper .996/.967/.893)",
             "",
+            f"campaign: {outcome.metrics.units_done} units executed, "
+            f"{outcome.metrics.resumed_units} resumed, "
+            f"{len(outcome.metrics.workers)} worker(s), "
+            f"{outcome.metrics.units_per_second:.0f} units/s",
             f"total wall time: {time.time() - started:.1f}s",
         ]
     )

@@ -32,6 +32,9 @@ Subpackages:
   curation (Sec. 4.2).
 * :mod:`repro.analysis` — statistics, Figure 5/6 and Table 2/3/4
   builders, reporting, JSON persistence (Sec. 5).
+* :mod:`repro.campaign` — sharded parallel campaign orchestration:
+  declarative work-unit grids, a multiprocessing executor with retry
+  and timeouts, JSONL checkpoint/resume journals, run telemetry.
 """
 
 from repro.confidence import (
@@ -84,6 +87,16 @@ from repro.mutation import (
     build_suite,
     default_suite,
 )
+from repro.campaign import (
+    CampaignSpec,
+    ExecutorConfig,
+    campaign_status,
+    paper_spec,
+    resume_campaign,
+    run_campaign,
+    smoke_spec,
+    verify_order_independence,
+)
 from repro.analysis import (
     figure5,
     figure6,
@@ -100,10 +113,12 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BehaviorSpec",
+    "CampaignSpec",
     "Device",
     "EnvironmentKind",
     "EnvironmentParameters",
     "Execution",
+    "ExecutorConfig",
     "LitmusTest",
     "MemoryModel",
     "MutationSuite",
@@ -121,6 +136,7 @@ __all__ = [
     "TuningResult",
     "Workload",
     "build_suite",
+    "campaign_status",
     "ceiling_rate",
     "curate",
     "default_suite",
@@ -131,6 +147,7 @@ __all__ = [
     "make_device",
     "merge_environments",
     "merge_suite",
+    "paper_spec",
     "pte_baseline",
     "random_environments",
     "render_figure5_rates",
@@ -141,9 +158,13 @@ __all__ = [
     "render_table4",
     "reproducibility_score",
     "required_kills",
+    "resume_campaign",
+    "run_campaign",
     "site_baseline",
+    "smoke_spec",
     "study_devices",
     "table4",
     "total_reproducibility",
     "tuning_run",
+    "verify_order_independence",
 ]

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.analysis.stats import CorrelationResult, correlate
 from repro.env.environment import EnvironmentKind, random_environments
-from repro.env.runner import Runner
+from repro.env.runner import Runner, stable_name_hash
 from repro.errors import AnalysisError
 from repro.gpu.device import Device, make_device
 from repro.mutation.suite import MutationSuite, default_suite
@@ -70,7 +70,7 @@ def _kill_vector(
     kills = []
     for environment in environments:
         rng = np.random.default_rng(
-            (seed, environment.env_key, hash(test.name) & 0xFFFFFF)
+            (seed, environment.env_key, stable_name_hash(test.name))
         )
         kills.append(runner.run(device, test, environment, rng).kills)
     return kills

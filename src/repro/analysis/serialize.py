@@ -70,6 +70,59 @@ def run_from_dict(payload: Dict[str, Any]) -> TestRun:
         raise AnalysisError(f"malformed run payload: missing {error}")
 
 
+def tagged_run_to_dict(kind: EnvironmentKind, run: TestRun) -> Dict[str, Any]:
+    """A run record that also names its tuning family.
+
+    Campaign journals interleave runs from several kinds in one JSONL
+    stream, so each record carries its kind (plain ``result_to_dict``
+    files store the kind once, at the top level).
+    """
+    payload = run_to_dict(run)
+    payload["kind"] = kind.value
+    return payload
+
+
+def tagged_run_from_dict(
+    payload: Dict[str, Any]
+) -> "tuple[EnvironmentKind, TestRun]":
+    try:
+        kind = EnvironmentKind(payload["kind"])
+    except (KeyError, ValueError) as error:
+        raise AnalysisError(f"malformed tagged run payload: {error}")
+    return kind, run_from_dict(payload)
+
+
+def jsonl_line(payload: Dict[str, Any]) -> str:
+    """One compact JSONL record (no newline)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def iter_jsonl(
+    path: Union[str, Path], tolerate_truncated_tail: bool = True
+) -> "list[Dict[str, Any]]":
+    """Parse a JSONL file, optionally forgiving a torn final line.
+
+    A process killed mid-append leaves at most one incomplete trailing
+    line; checkpoint recovery treats that as "the last record was never
+    written" rather than as corruption.  An unparsable line anywhere
+    else is a real error.
+    """
+    records: "list[Dict[str, Any]]" = []
+    lines = Path(path).read_text().splitlines()
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as error:
+            if tolerate_truncated_tail and number == len(lines):
+                break
+            raise AnalysisError(
+                f"invalid JSONL in {path} at line {number}: {error}"
+            )
+    return records
+
+
 def result_to_dict(result: TuningResult) -> Dict[str, Any]:
     return {
         "version": FORMAT_VERSION,

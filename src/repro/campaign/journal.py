@@ -1,0 +1,181 @@
+"""The campaign journal: an append-only JSONL checkpoint store.
+
+Every completed work unit is appended as one self-contained JSONL
+record the moment its result reaches the scheduler, so a killed
+campaign loses at most the in-flight units.  Resuming re-reads the
+journal, skips every recorded unit, and continues; resuming a finished
+campaign is a no-op.  The first line is a header binding the journal
+to its spec fingerprint — resuming against a different grid is an
+error, not silent corruption.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Set, TextIO, Union
+
+from repro.analysis.serialize import (
+    iter_jsonl,
+    jsonl_line,
+    tagged_run_from_dict,
+    tagged_run_to_dict,
+)
+from repro.env.environment import EnvironmentKind
+from repro.env.runner import TestRun
+from repro.campaign.spec import CampaignError, CampaignSpec, UnitKey, WorkUnit
+
+JOURNAL_VERSION = 1
+
+
+@dataclass
+class JournalRecord:
+    """One completed unit as recovered from disk."""
+
+    index: int
+    key: UnitKey
+    kind: EnvironmentKind
+    run: TestRun
+    elapsed: float
+    attempts: int
+
+
+class CampaignJournal:
+    """Append-only JSONL store of completed work units."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._handle: Optional[TextIO] = None
+
+    # -- creation / recovery ----------------------------------------------
+
+    @classmethod
+    def create(
+        cls, path: Union[str, Path], spec: CampaignSpec
+    ) -> "CampaignJournal":
+        """Start a journal for ``spec``, or adopt a compatible one.
+
+        An existing journal is reused iff its header fingerprint
+        matches the spec — that is what makes ``campaign run`` safely
+        re-runnable and ``resume`` exact.
+        """
+        journal = cls(path)
+        if journal.path.exists() and journal.path.stat().st_size > 0:
+            existing = journal.load_spec()
+            if existing.fingerprint() != spec.fingerprint():
+                raise CampaignError(
+                    f"journal {journal.path} belongs to campaign "
+                    f"{existing.name!r} (fingerprint "
+                    f"{existing.fingerprint()}); refusing to mix it "
+                    f"with {spec.name!r} ({spec.fingerprint()})"
+                )
+            return journal
+        journal.path.parent.mkdir(parents=True, exist_ok=True)
+        header = {
+            "type": "header",
+            "version": JOURNAL_VERSION,
+            "fingerprint": spec.fingerprint(),
+            "spec": spec.to_dict(),
+        }
+        with open(journal.path, "w") as handle:
+            handle.write(jsonl_line(header) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        return journal
+
+    def _records_raw(self) -> List[Dict[str, Any]]:
+        if not self.path.exists():
+            raise CampaignError(f"no journal at {self.path}")
+        records = iter_jsonl(self.path, tolerate_truncated_tail=True)
+        if not records or records[0].get("type") != "header":
+            raise CampaignError(f"{self.path} has no campaign header")
+        version = records[0].get("version")
+        if version != JOURNAL_VERSION:
+            raise CampaignError(
+                f"unsupported journal version: {version!r}"
+            )
+        return records
+
+    def load_spec(self) -> CampaignSpec:
+        """The spec this journal was opened for."""
+        return CampaignSpec.from_dict(self._records_raw()[0]["spec"])
+
+    def load_records(self) -> List[JournalRecord]:
+        """Every completed unit on disk (torn tail line ignored)."""
+        records: List[JournalRecord] = []
+        for payload in self._records_raw()[1:]:
+            if payload.get("type") != "unit":
+                continue
+            try:
+                kind, run = tagged_run_from_dict(payload["run"])
+                records.append(
+                    JournalRecord(
+                        index=payload["index"],
+                        key=tuple(payload["unit"]),  # type: ignore[arg-type]
+                        kind=kind,
+                        run=run,
+                        elapsed=payload.get("elapsed", 0.0),
+                        attempts=payload.get("attempts", 1),
+                    )
+                )
+            except KeyError as error:
+                raise CampaignError(
+                    f"malformed journal record in {self.path}: "
+                    f"missing {error}"
+                )
+        return records
+
+    def completed_keys(self) -> Set[UnitKey]:
+        return {record.key for record in self.load_records()}
+
+    # -- appending ---------------------------------------------------------
+
+    def repair(self) -> None:
+        """Truncate the torn trailing record a crash may have left.
+
+        A record is only considered written once its newline landed;
+        appending after a partial write would otherwise splice two
+        records into one corrupt line.
+        """
+        if not self.path.exists():
+            return
+        data = self.path.read_bytes()
+        if not data or data.endswith(b"\n"):
+            return
+        last_newline = data.rfind(b"\n")
+        with open(self.path, "wb") as handle:
+            handle.write(data[: last_newline + 1])
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def append(
+        self, unit: WorkUnit, run: TestRun, elapsed: float, attempts: int
+    ) -> None:
+        """Durably record one completed unit (flushed per record)."""
+        payload = {
+            "type": "unit",
+            "index": unit.index,
+            "unit": list(unit.key),
+            "run": tagged_run_to_dict(unit.kind, run),
+            "elapsed": round(elapsed, 6),
+            "attempts": attempts,
+        }
+        if self._handle is None:
+            self.repair()
+            self._handle = open(self.path, "a")
+        self._handle.write(jsonl_line(payload) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

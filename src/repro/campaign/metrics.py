@@ -1,0 +1,176 @@
+"""Campaign telemetry: per-worker counters and the end-of-run report.
+
+Workers report, with every unit result, how long the unit took and
+what it did to the oracle cache; the scheduler folds those into
+per-worker and campaign-wide counters.  The output is a structured
+end-of-run report (and optional periodic progress lines) answering
+the questions a campaign operator actually asks: how far along, how
+fast, how much did memoization save, did anything retry or fail.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.report import ascii_table
+
+
+@dataclass
+class WorkerCounters:
+    """What one worker process did over the campaign."""
+
+    worker_id: str
+    units_done: int = 0
+    retries: int = 0
+    oracle_hits: int = 0
+    oracle_misses: int = 0
+    wall_seconds: float = 0.0
+    sim_seconds: float = 0.0
+
+    def observe(
+        self,
+        elapsed: float,
+        sim_seconds: float,
+        oracle_hits: int,
+        oracle_misses: int,
+    ) -> None:
+        self.units_done += 1
+        self.wall_seconds += elapsed
+        self.sim_seconds += sim_seconds
+        self.oracle_hits += oracle_hits
+        self.oracle_misses += oracle_misses
+
+
+@dataclass
+class CampaignMetrics:
+    """Campaign-wide counters, aggregated from worker reports."""
+
+    total_units: int = 0
+    resumed_units: int = 0
+    units_done: int = 0
+    units_failed: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    shards: int = 0
+    serial_fallback: bool = False
+    workers: Dict[str, WorkerCounters] = field(default_factory=dict)
+    started_at: float = field(default_factory=time.monotonic)
+    finished_at: Optional[float] = None
+
+    # -- recording ---------------------------------------------------------
+
+    def worker(self, worker_id: str) -> WorkerCounters:
+        counters = self.workers.get(worker_id)
+        if counters is None:
+            counters = WorkerCounters(worker_id=worker_id)
+            self.workers[worker_id] = counters
+        return counters
+
+    def observe_unit(
+        self,
+        worker_id: str,
+        elapsed: float,
+        sim_seconds: float,
+        oracle_hits: int,
+        oracle_misses: int,
+    ) -> None:
+        self.units_done += 1
+        self.worker(worker_id).observe(
+            elapsed, sim_seconds, oracle_hits, oracle_misses
+        )
+
+    def observe_retry(self, worker_id: str, timed_out: bool) -> None:
+        self.retries += 1
+        if timed_out:
+            self.timeouts += 1
+        self.worker(worker_id).retries += 1
+
+    def finish(self) -> None:
+        self.finished_at = time.monotonic()
+
+    # -- derived -----------------------------------------------------------
+
+    @property
+    def wall_seconds(self) -> float:
+        end = (
+            self.finished_at
+            if self.finished_at is not None
+            else time.monotonic()
+        )
+        return end - self.started_at
+
+    @property
+    def oracle_hits(self) -> int:
+        return sum(w.oracle_hits for w in self.workers.values())
+
+    @property
+    def oracle_misses(self) -> int:
+        return sum(w.oracle_misses for w in self.workers.values())
+
+    @property
+    def sim_seconds(self) -> float:
+        return sum(w.sim_seconds for w in self.workers.values())
+
+    @property
+    def units_per_second(self) -> float:
+        wall = self.wall_seconds
+        return self.units_done / wall if wall > 0 else 0.0
+
+    def progress_line(self) -> str:
+        done = self.resumed_units + self.units_done
+        total = max(self.total_units, 1)
+        return (
+            f"[campaign] {done}/{self.total_units} units "
+            f"({100.0 * done / total:.1f}%), "
+            f"{self.units_per_second:.0f} units/s, "
+            f"{self.retries} retries, "
+            f"{len(self.workers)} worker(s)"
+        )
+
+    def report(self) -> str:
+        """The structured end-of-run report."""
+        lookups = self.oracle_hits + self.oracle_misses
+        hit_rate = self.oracle_hits / lookups if lookups else 0.0
+        mode = "serial (fallback)" if self.serial_fallback else "sharded"
+        lines = [
+            f"campaign execution: {mode}, "
+            f"{len(self.workers)} worker(s)",
+            f"units: {self.units_done} executed + "
+            f"{self.resumed_units} resumed from journal "
+            f"/ {self.total_units} total"
+            + (f" ({self.units_failed} FAILED)"
+               if self.units_failed else ""),
+            f"shards: {self.shards}, retries: {self.retries} "
+            f"({self.timeouts} timeouts)",
+            f"oracle cache: {self.oracle_hits} hits / "
+            f"{self.oracle_misses} misses ({hit_rate:.1%} hit rate)",
+            f"wall time: {self.wall_seconds:.2f}s "
+            f"({self.units_per_second:.0f} units/s); "
+            f"simulated device time: {self.sim_seconds:,.1f}s",
+        ]
+        if self.workers:
+            rows: List[List[str]] = []
+            for worker_id in sorted(self.workers):
+                counters = self.workers[worker_id]
+                rows.append(
+                    [
+                        counters.worker_id,
+                        str(counters.units_done),
+                        str(counters.retries),
+                        f"{counters.oracle_hits}/"
+                        f"{counters.oracle_misses}",
+                        f"{counters.wall_seconds:.2f}",
+                    ]
+                )
+            lines.append("")
+            lines.append(
+                ascii_table(
+                    ["worker", "units", "retries", "oracle h/m",
+                     "busy (s)"],
+                    rows,
+                    title="per-worker telemetry",
+                )
+            )
+        return "\n".join(lines)

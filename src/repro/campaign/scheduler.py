@@ -1,0 +1,492 @@
+"""The sharded campaign executor.
+
+Partitions a spec's pending work units into shards, runs them on a
+``multiprocessing`` pool (``workers`` defaults to ``os.cpu_count()``),
+journals every completed unit the moment it arrives, and retries
+transient per-unit failures with exponential backoff.  When the pool
+cannot start — or dies mid-campaign — execution degrades gracefully to
+the serial in-process path, which shares the exact per-unit code, so a
+campaign always completes with identical numbers, just slower.
+
+Determinism contract: unit results depend only on (campaign seed, unit
+key) — never on shard boundaries, completion order, or worker count —
+and assembly orders runs canonically, so a 1-worker and an N-worker
+run of the same spec produce byte-identical results.
+:func:`verify_order_independence` asserts exactly that.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.analysis.serialize import run_from_dict
+from repro.env.environment import EnvironmentKind
+from repro.env.runner import TestRun
+from repro.env.tuning import TuningResult
+from repro.campaign.journal import CampaignJournal, JournalRecord
+from repro.campaign.metrics import CampaignMetrics
+from repro.campaign.spec import CampaignError, CampaignSpec, WorkUnit
+from repro.campaign.worker import (
+    FaultPlan,
+    UnitOutcome,
+    build_state,
+    execute_shard,
+    execute_unit,
+    initialize_worker,
+)
+
+Log = Callable[[str], None]
+
+
+@dataclass(frozen=True)
+class ExecutorConfig:
+    """Knobs of the sharded executor."""
+
+    #: Worker processes; ``None`` means ``os.cpu_count()``.
+    workers: Optional[int] = None
+    #: Units per pool task; amortises dispatch over sub-ms units.
+    shard_size: int = 64
+    #: Soft per-unit deadline enforced inside the worker (seconds).
+    unit_timeout: Optional[float] = 30.0
+    #: Retries per unit before the failure becomes permanent.
+    max_retries: int = 2
+    #: Base of the exponential retry backoff (seconds).
+    retry_backoff: float = 0.05
+    #: Emit a progress line at most this often (seconds); None = off.
+    progress_interval: Optional[float] = None
+    #: Testing hook: deterministic transient-failure injection.
+    fault_plan: Optional[FaultPlan] = None
+    #: Skip the pool entirely (also used as the degradation target).
+    force_serial: bool = False
+
+    def effective_workers(self) -> int:
+        if self.workers is not None:
+            if self.workers < 1:
+                raise CampaignError("workers must be >= 1")
+            return self.workers
+        return max(1, os.cpu_count() or 1)
+
+
+@dataclass
+class CampaignOutcome:
+    """Everything a finished campaign produced."""
+
+    spec: CampaignSpec
+    results: Dict[EnvironmentKind, TuningResult]
+    metrics: CampaignMetrics
+    failed: List[Tuple[int, str]] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        return not self.failed
+
+    def report(self) -> str:
+        return self.metrics.report()
+
+
+@dataclass
+class _Completed:
+    unit: WorkUnit
+    run: TestRun
+    attempts: int
+
+
+class CampaignScheduler:
+    """Drives one campaign from spec to assembled results."""
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        journal: Optional[CampaignJournal] = None,
+        config: Optional[ExecutorConfig] = None,
+        log: Optional[Log] = None,
+    ) -> None:
+        self.spec = spec
+        self.journal = journal
+        self.config = config or ExecutorConfig()
+        self.log = log or (lambda message: None)
+        self.metrics = CampaignMetrics()
+        self._completed: Dict[int, _Completed] = {}
+        self._attempts: Dict[int, int] = {}
+        self._failed: Dict[int, str] = {}
+        self._last_progress = 0.0
+
+    # -- public ------------------------------------------------------------
+
+    def run(self) -> CampaignOutcome:
+        units = self.spec.units()
+        self.metrics.total_units = len(units)
+        pending = self._load_checkpoint(units)
+        if not pending:
+            self.log(
+                f"[campaign] {self.spec.name}: nothing to do "
+                f"({len(units)} units already journaled)"
+            )
+        else:
+            self.log(
+                f"[campaign] {self.spec.name}: {len(pending)} of "
+                f"{len(units)} units pending"
+            )
+            try:
+                if (
+                    self.config.force_serial
+                    or self.config.effective_workers() == 1
+                ):
+                    self.metrics.serial_fallback = (
+                        self.config.force_serial
+                    )
+                    self._run_serial(units, pending)
+                else:
+                    self._run_pool(units, pending)
+            finally:
+                if self.journal is not None:
+                    self.journal.close()
+        self.metrics.finish()
+        outcome = CampaignOutcome(
+            spec=self.spec,
+            results=self._assemble(),
+            metrics=self.metrics,
+            failed=sorted(self._failed.items()),
+        )
+        if outcome.failed:
+            raise CampaignFailure(outcome)
+        return outcome
+
+    # -- checkpoint --------------------------------------------------------
+
+    def _load_checkpoint(self, units: List[WorkUnit]) -> List[int]:
+        done_keys = set()
+        if self.journal is not None:
+            by_key = {unit.key: unit for unit in units}
+            for record in self.journal.load_records():
+                unit = by_key.get(record.key)
+                if unit is None or unit.index in self._completed:
+                    continue  # stale or duplicated record: ignore
+                self._completed[unit.index] = _Completed(
+                    unit=unit, run=record.run, attempts=record.attempts
+                )
+                done_keys.add(record.key)
+        self.metrics.resumed_units = len(self._completed)
+        return [
+            unit.index for unit in units if unit.key not in done_keys
+        ]
+
+    # -- execution paths ---------------------------------------------------
+
+    def _shards(self, indices: List[int]) -> List[List[int]]:
+        size = max(1, self.config.shard_size)
+        return [
+            indices[start:start + size]
+            for start in range(0, len(indices), size)
+        ]
+
+    def _run_serial(
+        self, units: List[WorkUnit], pending: List[int]
+    ) -> None:
+        state = build_state(self.spec, self.config.fault_plan)
+        queue = list(pending)
+        while queue:
+            index = queue.pop(0)
+            outcome = execute_unit(
+                state, index, self.config.unit_timeout
+            )
+            retry = self._absorb(units, outcome)
+            if retry is not None:
+                self._backoff(retry)
+                queue.append(retry)
+            self._progress()
+
+    def _run_pool(
+        self, units: List[WorkUnit], pending: List[int]
+    ) -> None:
+        workers = self.config.effective_workers()
+        fault_payload = (
+            self.config.fault_plan.to_payload()
+            if self.config.fault_plan is not None
+            else None
+        )
+        try:
+            executor = ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=initialize_worker,
+                initargs=(self.spec.to_dict(), fault_payload),
+            )
+        except Exception as error:  # pool cannot start: degrade
+            self.log(
+                f"[campaign] worker pool unavailable ({error}); "
+                f"degrading to serial execution"
+            )
+            self.metrics.serial_fallback = True
+            self._run_serial(units, pending)
+            return
+        try:
+            with executor:
+                queue = list(pending)
+                while queue:
+                    retries: List[int] = []
+                    shards = self._shards(queue)
+                    self.metrics.shards += len(shards)
+                    futures = [
+                        executor.submit(
+                            execute_shard,
+                            shard,
+                            self.config.unit_timeout,
+                        )
+                        for shard in shards
+                    ]
+                    for future, shard in zip(futures, shards):
+                        watchdog = self._watchdog_seconds(len(shard))
+                        outcomes = future.result(timeout=watchdog)
+                        for outcome in outcomes:
+                            retry = self._absorb(units, outcome)
+                            if retry is not None:
+                                retries.append(retry)
+                            self._progress()
+                    if retries:
+                        self._backoff(retries[0])
+                    queue = retries
+        except Exception as error:
+            # A broken pool (killed worker, unpicklable state, watchdog
+            # expiry) must not lose the campaign: finish what is left
+            # serially.  Everything already journaled stays done.
+            self.log(
+                f"[campaign] worker pool failed mid-run ({error}); "
+                f"finishing remaining units serially"
+            )
+            self.metrics.serial_fallback = True
+            remaining = [
+                unit.index
+                for unit in units
+                if unit.index not in self._completed
+                and unit.index not in self._failed
+            ]
+            self._run_serial(units, remaining)
+
+    def _watchdog_seconds(self, shard_len: int) -> Optional[float]:
+        """Shard-level backstop above the in-worker unit deadline."""
+        if self.config.unit_timeout is None:
+            return None
+        return self.config.unit_timeout * shard_len + 60.0
+
+    # -- absorption / retry ------------------------------------------------
+
+    def _absorb(
+        self, units: List[WorkUnit], outcome: UnitOutcome
+    ) -> Optional[int]:
+        """Record one outcome; return the index iff it should retry."""
+        index = outcome.index
+        attempts = self._attempts.get(index, 0) + 1
+        self._attempts[index] = attempts
+        if outcome.ok:
+            unit = units[index]
+            run = run_from_dict(outcome.run)
+            self._completed[index] = _Completed(
+                unit=unit, run=run, attempts=attempts
+            )
+            if self.journal is not None:
+                self.journal.append(
+                    unit, run, outcome.elapsed, attempts
+                )
+            self.metrics.observe_unit(
+                outcome.worker_id,
+                elapsed=outcome.elapsed,
+                sim_seconds=run.seconds,
+                oracle_hits=outcome.oracle_hits,
+                oracle_misses=outcome.oracle_misses,
+            )
+            return None
+        if attempts <= self.config.max_retries:
+            self.metrics.observe_retry(
+                outcome.worker_id, timed_out=outcome.timed_out
+            )
+            self.log(
+                f"[campaign] unit {index} attempt {attempts} failed "
+                f"({outcome.error}); retrying"
+            )
+            return index
+        self._failed[index] = outcome.error or "unknown error"
+        self.metrics.units_failed += 1
+        self.log(
+            f"[campaign] unit {index} failed permanently after "
+            f"{attempts} attempts: {outcome.error}"
+        )
+        return None
+
+    def _backoff(self, index: int) -> None:
+        if self.config.retry_backoff <= 0:
+            return
+        exponent = max(0, self._attempts.get(index, 1) - 1)
+        time.sleep(self.config.retry_backoff * (2.0 ** exponent))
+
+    def _progress(self) -> None:
+        interval = self.config.progress_interval
+        if interval is None:
+            return
+        now = time.monotonic()
+        if now - self._last_progress >= interval:
+            self._last_progress = now
+            self.log(self.metrics.progress_line())
+
+    # -- assembly ----------------------------------------------------------
+
+    def _assemble(self) -> Dict[EnvironmentKind, TuningResult]:
+        """Group completed runs into per-kind results, in unit order.
+
+        Canonical ordering is what makes assembly independent of
+        completion order: the runs list matches what the serial
+        ``tuning_run`` path produces for the same seed.
+        """
+        by_kind: Dict[EnvironmentKind, List[Tuple[int, TestRun]]] = {}
+        for index, completed in self._completed.items():
+            by_kind.setdefault(completed.unit.kind, []).append(
+                (index, completed.run)
+            )
+        results: Dict[EnvironmentKind, TuningResult] = {}
+        for kind in self.spec.kind_members:
+            pairs = sorted(by_kind.get(kind, []))
+            if not pairs:
+                continue
+            results[kind] = TuningResult(
+                kind=kind, runs=[run for _, run in pairs]
+            )
+        return results
+
+
+class CampaignFailure(CampaignError):
+    """Units failed permanently; successes remain journaled."""
+
+    def __init__(self, outcome: CampaignOutcome) -> None:
+        self.outcome = outcome
+        preview = ", ".join(
+            f"#{index}: {error}" for index, error in outcome.failed[:3]
+        )
+        super().__init__(
+            f"{len(outcome.failed)} unit(s) failed permanently "
+            f"({preview}); completed units are journaled — fix and "
+            f"resume"
+        )
+
+
+# -- top-level entry points ----------------------------------------------------
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    journal_path: Optional[Union[str, Path]] = None,
+    config: Optional[ExecutorConfig] = None,
+    log: Optional[Log] = None,
+) -> CampaignOutcome:
+    """Run (or resume) a campaign; journaling is on iff a path is given."""
+    journal = (
+        CampaignJournal.create(journal_path, spec)
+        if journal_path is not None
+        else None
+    )
+    return CampaignScheduler(spec, journal, config, log).run()
+
+
+def resume_campaign(
+    journal_path: Union[str, Path],
+    config: Optional[ExecutorConfig] = None,
+    log: Optional[Log] = None,
+) -> CampaignOutcome:
+    """Continue a journaled campaign using the spec in its header."""
+    journal = CampaignJournal(Path(journal_path))
+    spec = journal.load_spec()
+    return CampaignScheduler(spec, journal, config, log).run()
+
+
+@dataclass(frozen=True)
+class CampaignStatus:
+    """A read-only view of a journal for ``campaign status``."""
+
+    spec: CampaignSpec
+    total_units: int
+    done_units: int
+    per_kind: Dict[str, Tuple[int, int]]  # kind -> (done, total)
+
+    @property
+    def complete(self) -> bool:
+        return self.done_units >= self.total_units
+
+    def describe(self) -> str:
+        lines = [
+            f"campaign {self.spec.name!r} "
+            f"(fingerprint {self.spec.fingerprint()}): "
+            f"{self.done_units}/{self.total_units} units done"
+            + (" — complete" if self.complete else ""),
+        ]
+        for kind_name, (done, total) in self.per_kind.items():
+            lines.append(f"  {kind_name:>13}: {done}/{total}")
+        return "\n".join(lines)
+
+
+def campaign_status(
+    journal_path: Union[str, Path]
+) -> CampaignStatus:
+    journal = CampaignJournal(Path(journal_path))
+    spec = journal.load_spec()
+    units = spec.units()
+    records: List[JournalRecord] = journal.load_records()
+    done_keys = {record.key for record in records}
+    per_kind: Dict[str, Tuple[int, int]] = {}
+    for kind in spec.kind_members:
+        kind_units = [u for u in units if u.kind is kind]
+        done = sum(1 for u in kind_units if u.key in done_keys)
+        per_kind[kind.name] = (done, len(kind_units))
+    return CampaignStatus(
+        spec=spec,
+        total_units=len(units),
+        done_units=sum(done for done, _ in per_kind.values()),
+        per_kind=per_kind,
+    )
+
+
+def verify_order_independence(
+    spec: CampaignSpec,
+    workers: int = 2,
+    log: Optional[Log] = None,
+) -> None:
+    """Assert a 1-worker and an N-worker run agree unit-for-unit.
+
+    This is the executable form of the determinism contract; it raises
+    :class:`CampaignError` on the first diverging unit.
+    """
+    serial = CampaignScheduler(
+        spec, config=ExecutorConfig(workers=1), log=log
+    ).run()
+    parallel = CampaignScheduler(
+        spec, config=ExecutorConfig(workers=workers), log=log
+    ).run()
+    for kind, serial_result in serial.results.items():
+        parallel_result = parallel.results.get(kind)
+        if parallel_result is None:
+            raise CampaignError(
+                f"parallel run is missing kind {kind.name}"
+            )
+        if serial_result.runs != parallel_result.runs:
+            for left, right in zip(
+                serial_result.runs, parallel_result.runs
+            ):
+                if left != right:
+                    raise CampaignError(
+                        f"order-independence violated for "
+                        f"{left.test_name} on {left.device_name} in "
+                        f"{left.environment.name}: serial "
+                        f"kills={left.kills} vs parallel "
+                        f"kills={right.kills}"
+                    )
+            raise CampaignError(
+                f"order-independence violated for kind {kind.name}"
+            )
+    if log is not None:
+        log(
+            f"[campaign] determinism verified: 1-worker and "
+            f"{workers}-worker runs identical "
+            f"({spec.unit_count()} units)"
+        )

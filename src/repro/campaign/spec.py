@@ -1,0 +1,221 @@
+"""Campaign specifications: the declarative form of an evaluation.
+
+A :class:`CampaignSpec` names a grid of (test × device × environment ×
+iterations) work units — the paper's evaluation is one such grid: 150
+environments × 4 tuning families × 32 mutants × 4 devices.  The spec
+is pure data: environments are regenerated from (kind, count, seed),
+devices and tests are referenced by name, and every work unit derives
+its RNG stream from the campaign seed and its own stable key
+(:func:`repro.env.runner.unit_seed_sequence`).  That makes a spec
+compact enough to embed in a journal header, and makes results
+independent of execution order and worker count.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.env.environment import EnvironmentKind, TestingEnvironment
+from repro.env.runner import unit_seed_sequence
+from repro.env.tuning import environments_for
+from repro.errors import ReproError
+
+SPEC_VERSION = 1
+
+#: Identifies one work unit across processes and resumed campaigns.
+UnitKey = Tuple[str, int, str, str]  # (kind name, env_key, device, test)
+
+
+class CampaignError(ReproError):
+    """Raised for malformed specs, journals, or failed campaigns."""
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One (kind, environment, device, test) cell of the campaign grid."""
+
+    index: int
+    kind: EnvironmentKind
+    env_key: int
+    device_name: str
+    test_name: str
+
+    @property
+    def key(self) -> UnitKey:
+        return (self.kind.name, self.env_key, self.device_name,
+                self.test_name)
+
+    def seed_sequence(self, campaign_seed: int) -> np.random.SeedSequence:
+        return unit_seed_sequence(
+            campaign_seed, self.env_key, self.device_name, self.test_name
+        )
+
+    def rng(self, campaign_seed: int) -> np.random.Generator:
+        return np.random.default_rng(self.seed_sequence(campaign_seed))
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A deterministic grid of work units plus execution knobs.
+
+    The unit order matches :meth:`Runner.run_matrix` (environments
+    outermost, then devices, then tests, one block per kind), so a
+    campaign assembled in unit order is byte-identical to the serial
+    tuning path for the same seed.
+    """
+
+    name: str = "campaign"
+    kinds: Tuple[str, ...] = tuple(kind.name for kind in EnvironmentKind)
+    device_names: Tuple[str, ...] = ("NVIDIA", "AMD", "Intel", "M1")
+    test_names: Tuple[str, ...] = ()
+    environment_count: int = 150
+    seed: int = 0
+    iterations_override: Optional[int] = None
+    mode: str = "analytic"
+    buggy: bool = False
+    max_operational_instances: int = 64
+    _kind_members: Tuple[EnvironmentKind, ...] = field(
+        init=False, repr=False, compare=False, default=()
+    )
+
+    def __post_init__(self) -> None:
+        if not self.kinds:
+            raise CampaignError("a campaign needs at least one kind")
+        if not self.device_names:
+            raise CampaignError("a campaign needs at least one device")
+        if not self.test_names:
+            raise CampaignError("a campaign needs at least one test")
+        if self.environment_count < 0:
+            raise CampaignError("environment_count must be non-negative")
+        if self.mode not in ("analytic", "operational"):
+            raise CampaignError(
+                f"mode must be 'analytic' or 'operational', "
+                f"got {self.mode!r}"
+            )
+        try:
+            members = tuple(EnvironmentKind[name] for name in self.kinds)
+        except KeyError as error:
+            raise CampaignError(f"unknown environment kind: {error}")
+        object.__setattr__(self, "_kind_members", members)
+
+    # -- the grid ---------------------------------------------------------
+
+    @property
+    def kind_members(self) -> Tuple[EnvironmentKind, ...]:
+        return self._kind_members
+
+    def environments(self, kind: EnvironmentKind) -> List[TestingEnvironment]:
+        """The (regenerated, deterministic) environments of one kind."""
+        return environments_for(kind, self.environment_count, self.seed)
+
+    def units(self) -> List[WorkUnit]:
+        """Every work unit, in canonical (serial-path) order."""
+        units: List[WorkUnit] = []
+        for kind in self.kind_members:
+            for environment in self.environments(kind):
+                for device_name in self.device_names:
+                    for test_name in self.test_names:
+                        units.append(
+                            WorkUnit(
+                                index=len(units),
+                                kind=kind,
+                                env_key=environment.env_key,
+                                device_name=device_name,
+                                test_name=test_name,
+                            )
+                        )
+        return units
+
+    def unit_count(self) -> int:
+        per_kind = len(self.device_names) * len(self.test_names)
+        total = 0
+        for kind in self.kind_members:
+            envs = 1 if not kind.stressed else self.environment_count
+            total += envs * per_kind
+        return total
+
+    # -- identity ---------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": SPEC_VERSION,
+            "name": self.name,
+            "kinds": list(self.kinds),
+            "device_names": list(self.device_names),
+            "test_names": list(self.test_names),
+            "environment_count": self.environment_count,
+            "seed": self.seed,
+            "iterations_override": self.iterations_override,
+            "mode": self.mode,
+            "buggy": self.buggy,
+            "max_operational_instances": self.max_operational_instances,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "CampaignSpec":
+        version = payload.get("version")
+        if version != SPEC_VERSION:
+            raise CampaignError(
+                f"unsupported campaign spec version: {version!r}"
+            )
+        try:
+            return cls(
+                name=payload["name"],
+                kinds=tuple(payload["kinds"]),
+                device_names=tuple(payload["device_names"]),
+                test_names=tuple(payload["test_names"]),
+                environment_count=payload["environment_count"],
+                seed=payload["seed"],
+                iterations_override=payload["iterations_override"],
+                mode=payload["mode"],
+                buggy=payload.get("buggy", False),
+                max_operational_instances=payload.get(
+                    "max_operational_instances", 64
+                ),
+            )
+        except KeyError as error:
+            raise CampaignError(f"malformed campaign spec: missing {error}")
+
+    def fingerprint(self) -> str:
+        """A stable identity for resume-compatibility checks."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def paper_spec(
+    test_names: Sequence[str],
+    environment_count: int = 150,
+    seed: int = 42,
+    kinds: Optional[Sequence[str]] = None,
+    device_names: Optional[Sequence[str]] = None,
+    name: str = "reproduce-all",
+) -> CampaignSpec:
+    """The full Sec. 5.1 evaluation grid (scaled by arguments)."""
+    return CampaignSpec(
+        name=name,
+        kinds=tuple(kinds) if kinds else tuple(
+            kind.name for kind in EnvironmentKind
+        ),
+        device_names=tuple(device_names) if device_names
+        else ("NVIDIA", "AMD", "Intel", "M1"),
+        test_names=tuple(test_names),
+        environment_count=environment_count,
+        seed=seed,
+    )
+
+
+def smoke_spec(test_names: Sequence[str], seed: int = 0) -> CampaignSpec:
+    """A seconds-scale spec for CI smoke runs (`campaign run --smoke`)."""
+    return CampaignSpec(
+        name="smoke",
+        kinds=("SITE_BASELINE", "PTE"),
+        device_names=("AMD", "Intel"),
+        test_names=tuple(test_names[:4]),
+        environment_count=3,
+        seed=seed,
+    )

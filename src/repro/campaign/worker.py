@@ -1,0 +1,270 @@
+"""Worker-side execution of campaign work units.
+
+Each worker process is initialised once per campaign (suite built,
+devices and environments materialised from the spec) and then executes
+*shards* — batches of unit indices — returning picklable per-unit
+outcomes.  Per-unit work runs under a soft deadline (SIGALRM where
+available), and a transient failure in one unit never discards the
+rest of its shard: the scheduler retries exactly the failed unit.
+
+The same module drives serial execution: the scheduler's in-process
+fallback calls :func:`initialize_worker` / :func:`execute_shard`
+directly, so both paths share one code path per unit.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.analysis.serialize import run_to_dict
+from repro.env.environment import TestingEnvironment
+from repro.env.runner import Runner, oracle_cache_stats
+from repro.errors import ReproError
+from repro.gpu.device import Device, make_device
+from repro.campaign.spec import CampaignError, CampaignSpec, WorkUnit
+
+
+class UnitTimeout(ReproError):
+    """A work unit exceeded its per-unit deadline."""
+
+
+class TransientWorkerError(ReproError):
+    """An injected or transient failure; the scheduler may retry."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Deterministic failure injection for retry/backoff testing.
+
+    Units in ``unit_indices`` fail with :class:`TransientWorkerError`
+    on their first ``failures`` attempts.  Attempt counts live in
+    ``marker_dir`` files so they are consistent across worker
+    processes (a retry may land on a different worker).
+    """
+
+    unit_indices: Tuple[int, ...]
+    failures: int
+    marker_dir: str
+
+    def should_fail(self, index: int) -> bool:
+        if index not in self.unit_indices:
+            return False
+        marker = Path(self.marker_dir) / f"unit-{index}.attempts"
+        attempts = (
+            int(marker.read_text()) if marker.exists() else 0
+        )
+        marker.write_text(str(attempts + 1))
+        return attempts < self.failures
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "unit_indices": list(self.unit_indices),
+            "failures": self.failures,
+            "marker_dir": self.marker_dir,
+        }
+
+    @classmethod
+    def from_payload(
+        cls, payload: Optional[Dict[str, Any]]
+    ) -> Optional["FaultPlan"]:
+        if payload is None:
+            return None
+        return cls(
+            unit_indices=tuple(payload["unit_indices"]),
+            failures=payload["failures"],
+            marker_dir=payload["marker_dir"],
+        )
+
+
+@dataclass
+class UnitOutcome:
+    """The picklable result of one unit attempt."""
+
+    index: int
+    worker_id: str
+    elapsed: float
+    run: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    timed_out: bool = False
+    oracle_hits: int = 0
+    oracle_misses: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.run is not None
+
+
+@dataclass
+class WorkerState:
+    """Everything a worker needs, materialised once from the spec."""
+
+    spec: CampaignSpec
+    runner: Runner
+    devices: Dict[str, Device]
+    tests: Dict[str, Any]
+    environments: Dict[Tuple[str, int], TestingEnvironment]
+    units: List[WorkUnit]
+    fault_plan: Optional[FaultPlan] = None
+    worker_id: str = field(
+        default_factory=lambda: f"pid-{os.getpid()}"
+    )
+
+
+_STATE: Optional[WorkerState] = None
+
+
+def _resolve_test(name: str):
+    """Resolve a test name like the CLI does: suite, library, extended."""
+    from repro.litmus import extended, library
+    from repro.mutation import default_suite
+
+    suite = default_suite()
+    try:
+        return suite.find(name)
+    except KeyError:
+        pass
+    try:
+        return library.by_name(name)
+    except KeyError:
+        pass
+    try:
+        return extended.by_name(name)
+    except KeyError:
+        raise CampaignError(f"unknown test in campaign spec: {name!r}")
+
+
+def build_state(
+    spec: CampaignSpec, fault_plan: Optional[FaultPlan] = None
+) -> WorkerState:
+    """Materialise devices, tests, and environments for one process."""
+    runner = Runner(
+        mode=spec.mode,
+        max_operational_instances=spec.max_operational_instances,
+        iterations_override=spec.iterations_override,
+    )
+    devices = {
+        name: make_device(name, buggy=spec.buggy)
+        for name in spec.device_names
+    }
+    tests = {name: _resolve_test(name) for name in spec.test_names}
+    environments: Dict[Tuple[str, int], TestingEnvironment] = {}
+    for kind in spec.kind_members:
+        for environment in spec.environments(kind):
+            environments[(kind.name, environment.env_key)] = environment
+    return WorkerState(
+        spec=spec,
+        runner=runner,
+        devices=devices,
+        tests=tests,
+        environments=environments,
+        units=spec.units(),
+        fault_plan=fault_plan,
+    )
+
+
+def initialize_worker(
+    spec_payload: Dict[str, Any],
+    fault_payload: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Process-pool initializer: build this worker's state once."""
+    global _STATE
+    _STATE = build_state(
+        CampaignSpec.from_dict(spec_payload),
+        FaultPlan.from_payload(fault_payload),
+    )
+
+
+@contextmanager
+def _deadline(seconds: Optional[float]) -> Iterator[None]:
+    """A soft per-unit deadline via SIGALRM, where the platform has it.
+
+    Workers are single-threaded processes, so an interval timer in the
+    worker is the cheapest preemption we can get; on platforms without
+    SIGALRM the deadline degrades to "no timeout" and the scheduler's
+    shard-level watchdog still applies.
+    """
+    usable = (
+        seconds is not None
+        and seconds > 0
+        and hasattr(signal, "SIGALRM")
+    )
+    if not usable:
+        yield
+        return
+
+    def _on_alarm(signum: int, frame: object) -> None:
+        raise UnitTimeout(f"unit exceeded {seconds:.3f}s deadline")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def execute_unit(
+    state: WorkerState,
+    index: int,
+    timeout: Optional[float] = None,
+) -> UnitOutcome:
+    """Run one work unit, returning a picklable outcome (never raises)."""
+    started = time.perf_counter()
+    before = oracle_cache_stats()
+    try:
+        unit = state.units[index]
+        if state.fault_plan is not None and state.fault_plan.should_fail(
+            index
+        ):
+            raise TransientWorkerError(
+                f"injected transient failure for unit {index}"
+            )
+        with _deadline(timeout):
+            run = state.runner.run(
+                state.devices[unit.device_name],
+                state.tests[unit.test_name],
+                state.environments[(unit.kind.name, unit.env_key)],
+                unit.rng(state.spec.seed),
+            )
+        after = oracle_cache_stats()
+        return UnitOutcome(
+            index=index,
+            worker_id=state.worker_id,
+            elapsed=time.perf_counter() - started,
+            run=run_to_dict(run),
+            oracle_hits=after.hits - before.hits,
+            oracle_misses=after.misses - before.misses,
+        )
+    except UnitTimeout as error:
+        return UnitOutcome(
+            index=index,
+            worker_id=state.worker_id,
+            elapsed=time.perf_counter() - started,
+            error=str(error),
+            timed_out=True,
+        )
+    except Exception as error:  # transient or real: scheduler decides
+        return UnitOutcome(
+            index=index,
+            worker_id=state.worker_id,
+            elapsed=time.perf_counter() - started,
+            error=f"{type(error).__name__}: {error}",
+        )
+
+
+def execute_shard(
+    indices: Sequence[int], timeout: Optional[float] = None
+) -> List[UnitOutcome]:
+    """Pool task entry point: run a shard in this worker's state."""
+    if _STATE is None:
+        raise CampaignError(
+            "worker used before initialize_worker() ran"
+        )
+    return [execute_unit(_STATE, index, timeout) for index in indices]

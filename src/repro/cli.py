@@ -16,13 +16,18 @@ side the artifact ran in a browser:
     python -m repro analyze --action correlation --envs 80
     python -m repro figures --stats-dir statsdir  # Fig. 5 + Fig. 6
     python -m repro cts --stats-path pte.json --rep 99.999 --budget 4
+    python -m repro campaign run --out camp --workers 4
+    python -m repro campaign status --out camp
+    python -m repro campaign resume --out camp
 
-All commands are deterministic given ``--seed``.
+All commands are deterministic given ``--seed``; campaigns are
+additionally independent of worker count and resumable mid-run.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import Dict, Optional, Sequence
@@ -139,6 +144,68 @@ def _parser() -> argparse.ArgumentParser:
     cts.add_argument("--budget", type=float, default=4.0)
 
     commands.add_parser("devices", help="print Table 3")
+
+    campaign = commands.add_parser(
+        "campaign",
+        help="sharded parallel campaigns with checkpoint/resume",
+    )
+    campaign_commands = campaign.add_subparsers(
+        dest="campaign_command", required=True
+    )
+
+    def _executor_flags(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--workers", type=int, default=None,
+            help="worker processes (default: os.cpu_count())",
+        )
+        sub.add_argument("--shard-size", type=int, default=64)
+        sub.add_argument(
+            "--timeout", type=float, default=30.0,
+            help="per-unit soft deadline in seconds",
+        )
+        sub.add_argument(
+            "--retries", type=int, default=2,
+            help="retries per unit before permanent failure",
+        )
+        sub.add_argument(
+            "--serial", action="store_true",
+            help="skip the worker pool entirely",
+        )
+
+    campaign_run = campaign_commands.add_parser(
+        "run", help="run (or continue) a campaign into a directory"
+    )
+    campaign_run.add_argument(
+        "--out", required=True,
+        help="campaign directory (journal, per-kind stats, report)",
+    )
+    campaign_run.add_argument(
+        "--kinds", nargs="*", default=None,
+        choices=[kind.name for kind in EnvironmentKind],
+    )
+    campaign_run.add_argument("--envs", type=int, default=150)
+    campaign_run.add_argument("--seed", type=int, default=42)
+    campaign_run.add_argument("--devices", nargs="*", default=None)
+    campaign_run.add_argument(
+        "--smoke", action="store_true",
+        help="seconds-scale grid for CI smoke runs",
+    )
+    campaign_run.add_argument(
+        "--verify-determinism", action="store_true",
+        help="also assert 1-worker == N-worker results",
+    )
+    _executor_flags(campaign_run)
+
+    campaign_resume = campaign_commands.add_parser(
+        "resume", help="continue a journaled campaign"
+    )
+    campaign_resume.add_argument("--out", required=True)
+    _executor_flags(campaign_resume)
+
+    campaign_status_cmd = campaign_commands.add_parser(
+        "status", help="progress of a journaled campaign"
+    )
+    campaign_status_cmd.add_argument("--out", required=True)
     return parser
 
 
@@ -356,6 +423,76 @@ def _cmd_devices(_: argparse.Namespace) -> int:
     return 0
 
 
+def _executor_config(args: argparse.Namespace):
+    from repro.campaign import ExecutorConfig
+
+    return ExecutorConfig(
+        workers=args.workers,
+        shard_size=args.shard_size,
+        unit_timeout=args.timeout,
+        max_retries=args.retries,
+        force_serial=args.serial,
+        progress_interval=2.0,
+    )
+
+
+def _finish_campaign(outcome, out_dir: Path) -> None:
+    """Write per-kind stats and the telemetry report next to the journal."""
+    for kind, result in outcome.results.items():
+        save_result(result, out_dir / f"{kind.name.lower()}.json")
+    report = outcome.report()
+    (out_dir / "report.txt").write_text(report + "\n")
+    print(report)
+    print(f"stats + report written to {out_dir}/")
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.campaign import (
+        campaign_status,
+        resume_campaign,
+        run_campaign,
+        smoke_spec,
+        paper_spec,
+        verify_order_independence,
+    )
+
+    out_dir = Path(args.out)
+    journal_path = out_dir / "journal.jsonl"
+    if args.campaign_command == "status":
+        print(campaign_status(journal_path).describe())
+        return 0
+    if args.campaign_command == "resume":
+        outcome = resume_campaign(
+            journal_path, config=_executor_config(args), log=print
+        )
+        _finish_campaign(outcome, out_dir)
+        return 0
+    # run
+    suite = default_suite()
+    mutant_names = tuple(mutant.name for mutant in suite.mutants)
+    if args.smoke:
+        spec = smoke_spec(mutant_names, seed=args.seed)
+    else:
+        spec = paper_spec(
+            mutant_names,
+            environment_count=args.envs,
+            seed=args.seed,
+            kinds=args.kinds,
+            device_names=args.devices,
+        )
+    out_dir.mkdir(parents=True, exist_ok=True)
+    config = _executor_config(args)
+    outcome = run_campaign(
+        spec, journal_path=journal_path, config=config, log=print
+    )
+    if args.verify_determinism:
+        verify_order_independence(
+            spec, workers=max(2, config.effective_workers()), log=print
+        )
+    _finish_campaign(outcome, out_dir)
+    return 0
+
+
 _HANDLERS = {
     "suite": _cmd_suite,
     "show": _cmd_show,
@@ -365,6 +502,7 @@ _HANDLERS = {
     "figures": _cmd_figures,
     "cts": _cmd_cts,
     "devices": _cmd_devices,
+    "campaign": _cmd_campaign,
 }
 
 
@@ -376,6 +514,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except (ReproError, KeyError, FileNotFoundError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # Downstream pipe closed early (e.g. `... | head`); exit
+        # quietly without a traceback.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -36,7 +36,18 @@ from repro.env.parallel_kernel import (
     ParallelIteration,
     run_parallel_iteration,
 )
-from repro.env.runner import Runner, TestRun, oracle_for
+from repro.env.runner import (
+    OracleCacheStats,
+    Runner,
+    TestRun,
+    oracle_cache_stats,
+    oracle_for,
+    reset_oracle_cache,
+    stable_name_hash,
+    structural_test_key,
+    unit_rng,
+    unit_seed_sequence,
+)
 from repro.env.search import (
     EvolutionarySearch,
     RandomSearch,
@@ -56,6 +67,7 @@ __all__ = [
     "EnvironmentParameters",
     "EvolutionarySearch",
     "InstanceAssignment",
+    "OracleCacheStats",
     "ParallelIteration",
     "ParallelPermutation",
     "RandomSearch",
@@ -72,16 +84,22 @@ __all__ = [
     "mean_rate_objective",
     "min_rate_objective",
     "naive_neighbor_assignment",
+    "oracle_cache_stats",
     "oracle_for",
     "pte_baseline",
     "pte_baseline_parameters",
     "random_environment",
     "random_environments",
     "random_parameters",
+    "reset_oracle_cache",
     "run_parallel_iteration",
     "site_baseline",
     "site_baseline_parameters",
+    "stable_name_hash",
     "stripe_workgroup",
+    "structural_test_key",
     "tuning_run",
+    "unit_rng",
+    "unit_seed_sequence",
     "verify_assignment_covers",
 ]

@@ -17,8 +17,11 @@ Two execution modes share this interface:
 
 from __future__ import annotations
 
+import hashlib
+import zlib
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -28,17 +31,142 @@ from repro.gpu.device import Device
 from repro.litmus.oracle import TestOracle
 from repro.litmus.program import LitmusTest
 
-_ORACLES: Dict[str, TestOracle] = {}
+
+def structural_test_key(test: LitmusTest) -> str:
+    """A stable structural hash of a test.
+
+    Two structurally identical tests (same instructions, values,
+    threads) share a key across processes and interpreter runs —
+    unlike ``hash()``, which is randomised per process.
+    """
+    return hashlib.sha256(test.pretty().encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class OracleCacheStats:
+    """Counters for the process-wide oracle cache."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    maxsize: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class OracleCache:
+    """Bounded LRU cache of :class:`TestOracle` keyed structurally.
+
+    Oracle construction enumerates candidate executions, so it is by
+    far the most expensive per-test step; memoizing it is what makes
+    operational campaigns affordable.  The cache is bounded so a
+    campaign over an unbounded stream of generated tests cannot grow
+    process memory without limit, and counts hits/misses/evictions so
+    the campaign telemetry layer can report memoization wins.
+    """
+
+    def __init__(self, maxsize: int = 512) -> None:
+        if maxsize < 1:
+            raise EnvironmentError_("oracle cache maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[str, TestOracle]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, test: LitmusTest) -> TestOracle:
+        key = structural_test_key(test)
+        oracle = self._entries.get(key)
+        if oracle is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return oracle
+        self.misses += 1
+        oracle = TestOracle(test)
+        self._entries[key] = oracle
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return oracle
+
+    def stats(self) -> OracleCacheStats:
+        return OracleCacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            size=len(self._entries),
+            maxsize=self.maxsize,
+        )
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+
+_ORACLE_CACHE = OracleCache()
 
 
 def oracle_for(test: LitmusTest) -> TestOracle:
     """Process-wide oracle cache (oracle construction enumerates)."""
-    key = test.pretty()
-    oracle = _ORACLES.get(key)
-    if oracle is None:
-        oracle = TestOracle(test)
-        _ORACLES[key] = oracle
-    return oracle
+    return _ORACLE_CACHE.get(test)
+
+
+def oracle_cache_stats() -> OracleCacheStats:
+    """Current hit/miss/eviction counters of the oracle cache."""
+    return _ORACLE_CACHE.stats()
+
+
+def reset_oracle_cache(maxsize: Optional[int] = None) -> None:
+    """Empty the oracle cache (and optionally rebound it)."""
+    global _ORACLE_CACHE
+    if maxsize is not None:
+        _ORACLE_CACHE = OracleCache(maxsize=maxsize)
+    else:
+        _ORACLE_CACHE.clear()
+
+
+# -- deterministic per-unit seeding -------------------------------------------
+
+
+def stable_name_hash(name: str) -> int:
+    """A process-stable 32-bit hash of a name (CRC32, not ``hash``)."""
+    return zlib.crc32(name.encode("utf-8")) & 0xFFFFFFFF
+
+
+def unit_seed_sequence(
+    seed: int, env_key: int, device_name: str, test_name: str
+) -> np.random.SeedSequence:
+    """The RNG root for one (environment, device, test) work unit.
+
+    Spawn-style derivation from the campaign seed and the unit's
+    stable key: every unit gets an independent stream that does not
+    depend on execution order, worker count, or Python's per-process
+    hash randomisation, so any subset of a matrix — or a sharded
+    parallel run of it — reproduces the full run's values exactly.
+    """
+    return np.random.SeedSequence(
+        (
+            seed,
+            env_key,
+            stable_name_hash(device_name),
+            stable_name_hash(test_name),
+        )
+    )
+
+
+def unit_rng(
+    seed: int, env_key: int, device_name: str, test_name: str
+) -> np.random.Generator:
+    """The deterministic generator for one work unit."""
+    return np.random.default_rng(
+        unit_seed_sequence(seed, env_key, device_name, test_name)
+    )
 
 
 @dataclass(frozen=True)
@@ -195,9 +323,8 @@ class Runner:
         for environment in environments:
             for device in devices:
                 for test in tests:
-                    stream = np.random.default_rng(
-                        (seed, environment.env_key, hash(device.name) & 0xFFFF,
-                         hash(test.name) & 0xFFFFFF)
+                    stream = unit_rng(
+                        seed, environment.env_key, device.name, test.name
                     )
                     runs.append(self.run(device, test, environment, stream))
         return runs

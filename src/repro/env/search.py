@@ -30,7 +30,7 @@ from repro.env.environment import (
     random_environment,
 )
 from repro.env.parameters import EnvironmentParameters, STRESS_PATTERNS
-from repro.env.runner import Runner
+from repro.env.runner import Runner, unit_rng
 from repro.errors import EnvironmentError_
 from repro.gpu.device import Device
 from repro.litmus.program import LitmusTest
@@ -55,10 +55,8 @@ def mean_rate_objective(
         rates = []
         for device in devices:
             for test in tests:
-                rng = np.random.default_rng(
-                    (seed, environment.env_key,
-                     hash(device.name) & 0xFFFF,
-                     hash(test.name) & 0xFFFFFF)
+                rng = unit_rng(
+                    seed, environment.env_key, device.name, test.name
                 )
                 rates.append(
                     active_runner.run(device, test, environment, rng).rate
@@ -86,10 +84,8 @@ def min_rate_objective(
         worst = float("inf")
         for device in devices:
             for test in tests:
-                rng = np.random.default_rng(
-                    (seed, environment.env_key,
-                     hash(device.name) & 0xFFFF,
-                     hash(test.name) & 0xFFFFFF)
+                rng = unit_rng(
+                    seed, environment.env_key, device.name, test.name
                 )
                 run = active_runner.run(device, test, environment, rng)
                 worst = min(worst, run.rate)

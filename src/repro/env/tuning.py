@@ -139,6 +139,25 @@ def environments_for(
     return random_environments(kind, count, seed)
 
 
+def _name_resolvable(tests: Sequence[LitmusTest]) -> bool:
+    """Can workers reconstruct these exact tests from their names?
+
+    Campaign workers materialise tests by name; delegating is only
+    sound when name lookup yields a structurally identical test.
+    """
+    from repro.campaign.spec import CampaignError
+    from repro.campaign.worker import _resolve_test
+
+    for test in tests:
+        try:
+            resolved = _resolve_test(test.name)
+        except CampaignError:
+            return False
+        if resolved.pretty() != test.pretty():
+            return False
+    return True
+
+
 def tuning_run(
     kind: EnvironmentKind,
     devices: Sequence[Device],
@@ -146,6 +165,7 @@ def tuning_run(
     environment_count: int = 150,
     seed: int = 0,
     runner: Optional[Runner] = None,
+    workers: Optional[int] = None,
 ) -> TuningResult:
     """Reproduce one of the paper's four tuning experiments.
 
@@ -158,7 +178,35 @@ def tuning_run(
         seed: Seeds both environment generation and execution.
         runner: Defaults to the analytic runner with the paper's
             iteration counts.
+        workers: With ``workers > 1``, delegate to the sharded
+            campaign executor (:mod:`repro.campaign`); results are
+            identical to the serial path for the same seed.  Requires
+            name-constructible (bug-free or ``buggy``-roster) devices;
+            custom ``runner`` objects force the serial path.
     """
+    if workers is not None and workers > 1 and runner is None:
+        if not any(len(device.bugs) for device in devices) and (
+            _name_resolvable(tests)
+        ):
+            # Lazy import: campaign sits above env in the layering.
+            from repro.campaign import (
+                CampaignSpec,
+                CampaignScheduler,
+                ExecutorConfig,
+            )
+
+            spec = CampaignSpec(
+                name=f"tuning-{kind.name.lower()}",
+                kinds=(kind.name,),
+                device_names=tuple(device.name for device in devices),
+                test_names=tuple(test.name for test in tests),
+                environment_count=environment_count,
+                seed=seed,
+            )
+            outcome = CampaignScheduler(
+                spec, config=ExecutorConfig(workers=workers)
+            ).run()
+            return outcome.results[kind]
     environments = environments_for(kind, environment_count, seed)
     active_runner = runner if runner is not None else Runner()
     runs = active_runner.run_matrix(devices, tests, environments, seed=seed)

@@ -1,0 +1,97 @@
+"""Tests for campaign telemetry."""
+
+from repro.campaign import (
+    CampaignMetrics,
+    CampaignSpec,
+    ExecutorConfig,
+    run_campaign,
+)
+from repro.mutation import default_suite
+
+SUITE = default_suite()
+NAMES = tuple(mutant.name for mutant in SUITE.mutants)
+
+
+class TestCounters:
+    def test_observe_unit_accumulates(self):
+        metrics = CampaignMetrics(total_units=4)
+        metrics.observe_unit(
+            "w1", elapsed=0.5, sim_seconds=10.0,
+            oracle_hits=3, oracle_misses=1,
+        )
+        metrics.observe_unit(
+            "w2", elapsed=0.25, sim_seconds=5.0,
+            oracle_hits=1, oracle_misses=0,
+        )
+        assert metrics.units_done == 2
+        assert metrics.oracle_hits == 4
+        assert metrics.oracle_misses == 1
+        assert metrics.sim_seconds == 15.0
+        assert set(metrics.workers) == {"w1", "w2"}
+
+    def test_observe_retry_counts_timeouts(self):
+        metrics = CampaignMetrics()
+        metrics.observe_retry("w1", timed_out=True)
+        metrics.observe_retry("w1", timed_out=False)
+        assert metrics.retries == 2
+        assert metrics.timeouts == 1
+        assert metrics.workers["w1"].retries == 2
+
+
+class TestReport:
+    def test_report_mentions_everything(self):
+        metrics = CampaignMetrics(total_units=10)
+        metrics.resumed_units = 2
+        metrics.observe_unit(
+            "w1", elapsed=0.1, sim_seconds=1.0,
+            oracle_hits=2, oracle_misses=2,
+        )
+        metrics.finish()
+        report = metrics.report()
+        assert "1 executed + 2 resumed" in report
+        assert "50.0% hit rate" in report
+        assert "per-worker telemetry" in report
+        assert "w1" in report
+
+    def test_progress_line(self):
+        metrics = CampaignMetrics(total_units=8)
+        metrics.resumed_units = 4
+        assert "4/8" in metrics.progress_line()
+        assert "50.0%" in metrics.progress_line()
+
+
+class TestEndToEnd:
+    def test_campaign_populates_telemetry(self):
+        spec = CampaignSpec(
+            name="telemetry",
+            kinds=("PTE_BASELINE",),
+            device_names=("AMD",),
+            test_names=NAMES[:3],
+            environment_count=1,
+            seed=0,
+        )
+        outcome = run_campaign(spec, config=ExecutorConfig(workers=1))
+        metrics = outcome.metrics
+        assert metrics.units_done == 3
+        assert metrics.total_units == 3
+        assert metrics.sim_seconds > 0
+        assert metrics.wall_seconds > 0
+        assert len(metrics.workers) == 1
+        assert "units/s" in outcome.report()
+
+    def test_operational_campaign_reports_oracle_cache(self):
+        """Operational units hit the oracle cache; telemetry shows it."""
+        spec = CampaignSpec(
+            name="oracle-telemetry",
+            kinds=("SITE_BASELINE",),
+            device_names=("AMD",),
+            test_names=NAMES[:2],
+            environment_count=1,
+            seed=0,
+            mode="operational",
+            iterations_override=3,
+            max_operational_instances=2,
+        )
+        outcome = run_campaign(spec, config=ExecutorConfig(workers=1))
+        metrics = outcome.metrics
+        assert metrics.oracle_hits + metrics.oracle_misses > 0

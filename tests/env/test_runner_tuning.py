@@ -8,10 +8,17 @@ from repro.env import (
     Runner,
     TestRun,
     environments_for,
+    oracle_cache_stats,
+    oracle_for,
     pte_baseline,
     random_environments,
+    reset_oracle_cache,
     site_baseline,
+    stable_name_hash,
+    structural_test_key,
     tuning_run,
+    unit_rng,
+    unit_seed_sequence,
 )
 from repro.errors import AnalysisError, EnvironmentError_
 from repro.gpu import make_device, study_devices
@@ -122,6 +129,87 @@ class TestRunnerModes:
         envs = random_environments(EnvironmentKind.PTE, 2, seed=0)
         runs = runner.run_matrix(devices, tests, envs)
         assert len(runs) == 2 * 3 * 2
+
+
+class TestOracleCache:
+    def setup_method(self):
+        reset_oracle_cache(maxsize=512)
+
+    def teardown_method(self):
+        reset_oracle_cache(maxsize=512)
+
+    def test_hit_miss_counters(self):
+        test = library.sb()
+        before = oracle_cache_stats()
+        assert before.hits == 0 and before.misses == 0
+        first = oracle_for(test)
+        assert oracle_cache_stats().misses == 1
+        second = oracle_for(test)
+        stats = oracle_cache_stats()
+        assert stats.hits == 1
+        assert stats.hit_rate == pytest.approx(0.5)
+        assert first is second
+
+    def test_structural_key_is_stable_and_structural(self):
+        # Two independently constructed but identical tests share one
+        # cache entry (hash() of the object would not).
+        assert structural_test_key(library.sb()) == structural_test_key(
+            library.sb()
+        )
+        oracle_for(library.sb())
+        oracle_for(library.sb())
+        assert oracle_cache_stats().size == 1
+
+    def test_lru_bound_evicts_oldest(self):
+        reset_oracle_cache(maxsize=2)
+        tests = [library.sb(), library.mp_relacq(), library.lb()]
+        for test in tests:
+            oracle_for(test)
+        stats = oracle_cache_stats()
+        assert stats.size == 2
+        assert stats.evictions == 1
+        # sb was least recently used: refetching it misses again.
+        oracle_for(tests[0])
+        assert oracle_cache_stats().misses == 4
+
+    def test_maxsize_validated(self):
+        with pytest.raises(EnvironmentError_):
+            reset_oracle_cache(maxsize=0)
+        reset_oracle_cache(maxsize=512)
+
+
+class TestUnitSeeding:
+    def test_stable_name_hash_fixed_values(self):
+        # CRC32 is specified; these values must never drift, or every
+        # archived campaign journal silently changes meaning.
+        assert stable_name_hash("AMD") == 0xBA7F8A24
+        assert stable_name_hash("") == 0
+
+    def test_unit_rng_independent_of_call_order(self):
+        a1 = unit_rng(1, 0, "AMD", "t").integers(0, 2**32)
+        b1 = unit_rng(1, 0, "Intel", "t").integers(0, 2**32)
+        b2 = unit_rng(1, 0, "Intel", "t").integers(0, 2**32)
+        a2 = unit_rng(1, 0, "AMD", "t").integers(0, 2**32)
+        assert a1 == a2
+        assert b1 == b2
+        assert a1 != b1
+
+    def test_seed_sequence_entropy_is_stable(self):
+        first = unit_seed_sequence(5, 3, "AMD", "mp").entropy
+        second = unit_seed_sequence(5, 3, "AMD", "mp").entropy
+        assert first == second
+
+    def test_run_matrix_deterministic_across_instances(self):
+        """The matrix no longer depends on per-process hash salt."""
+        runner = Runner(iterations_override=5)
+        devices = [make_device("amd")]
+        tests = SUITE.mutants[:2]
+        envs = random_environments(EnvironmentKind.PTE, 2, seed=0)
+        first = runner.run_matrix(devices, tests, envs, seed=1)
+        second = Runner(iterations_override=5).run_matrix(
+            devices, tests, envs, seed=1
+        )
+        assert first == second
 
 
 class TestTuning:

@@ -197,3 +197,54 @@ class TestRunAndLitmusCommands:
     def test_run_unknown_device(self, capsys):
         assert main(["run", "corr", "--device", "voodoo"]) == 1
         assert "unknown device" in capsys.readouterr().err
+
+
+class TestCampaignCommands:
+    def test_smoke_campaign_run_resume_status(self, tmp_path, capsys):
+        out_dir = tmp_path / "camp"
+        assert main(
+            [
+                "campaign", "run",
+                "--out", str(out_dir),
+                "--smoke", "--serial",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "per-worker telemetry" in out
+        assert (out_dir / "journal.jsonl").exists()
+        assert (out_dir / "report.txt").exists()
+        assert (out_dir / "pte.json").exists()
+        assert (out_dir / "site_baseline.json").exists()
+
+        assert main(["campaign", "status", "--out", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "complete" in out
+
+        # Resuming a finished campaign is a no-op.
+        assert main(
+            ["campaign", "resume", "--out", str(out_dir), "--serial"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "0 executed" in out
+
+    def test_smoke_stats_are_analyzable(self, tmp_path, capsys):
+        out_dir = tmp_path / "camp"
+        assert main(
+            ["campaign", "run", "--out", str(out_dir),
+             "--smoke", "--serial"]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            [
+                "analyze",
+                "--action", "mutation-score",
+                "--stats-path", str(out_dir / "pte.json"),
+            ]
+        ) == 0
+        assert "combined" in capsys.readouterr().out
+
+    def test_status_without_journal_errors(self, tmp_path, capsys):
+        assert main(
+            ["campaign", "status", "--out", str(tmp_path / "none")]
+        ) == 1
+        assert "no journal" in capsys.readouterr().err
