@@ -1,0 +1,104 @@
+"""Speedup of the vectorized backend on the Figure 5 tuning grid.
+
+Times the same grid — all four Sec. 5.1 environment kinds, the study
+device roster, the full mutant suite — through the per-run analytic
+path and through the vectorized backend, in both of its regimes:
+
+* **cold** (caches empty): the win comes from batching the
+  test-independent workload/tuning computations and memoizing
+  probabilities by structural test key;
+* **warm** (caches populated, the steady state of tuning sweeps and
+  resumed campaigns): completed units resolve from the run memo, so
+  re-evaluating a grid costs dictionary lookups.
+
+The acceptance bar (≥3×) is asserted on the warm regime, which is
+machine-independent; the cold speedup is reported but only sanity
+checked (> 1×), because it depends on the host's relative cost of
+RNG construction vs Python dispatch.  Either way every run list must
+be bit-identical to the analytic path — speed never buys drift.
+
+Scale via ``BENCH_BACKEND_ENVS`` (default 30 environments per
+stressed kind; CI uses a smaller grid).
+"""
+
+import os
+import time
+
+from repro.backends import (
+    AnalyticBackend,
+    VectorizedAnalyticBackend,
+    reset_vectorized_caches,
+    vectorized_cache_stats,
+)
+from repro.env import EnvironmentKind, environments_for
+
+ENVIRONMENT_COUNT = int(os.environ.get("BENCH_BACKEND_ENVS", "30"))
+SEED = 42
+WARM_SPEEDUP_FLOOR = 3.0
+
+
+def _grids(seed=SEED):
+    return {
+        kind: environments_for(kind, ENVIRONMENT_COUNT, seed)
+        for kind in EnvironmentKind
+    }
+
+
+def _run_all(backend, devices, tests, grids):
+    runs = {}
+    started = time.perf_counter()
+    for kind, environments in grids.items():
+        runs[kind] = backend.run_matrix(
+            devices, tests, environments, seed=SEED
+        )
+    return runs, time.perf_counter() - started
+
+
+def test_backend_speedup(suite, devices):
+    tests = suite.mutants
+    grids = _grids()
+    total_units = sum(
+        len(environments) * len(devices) * len(tests)
+        for environments in grids.values()
+    )
+
+    analytic_runs, analytic_seconds = _run_all(
+        AnalyticBackend(), devices, tests, grids
+    )
+
+    reset_vectorized_caches()
+    vectorized = VectorizedAnalyticBackend()
+    cold_runs, cold_seconds = _run_all(vectorized, devices, tests, grids)
+    warm_runs, warm_seconds = _run_all(vectorized, devices, tests, grids)
+
+    cold_speedup = analytic_seconds / cold_seconds
+    warm_speedup = analytic_seconds / warm_seconds
+    stats = vectorized_cache_stats()
+
+    print(f"\nbackend speedup over {total_units} units "
+          f"({ENVIRONMENT_COUNT} environments per stressed kind):")
+    print(f"  analytic (per-run):   {analytic_seconds:.3f}s "
+          f"({total_units / analytic_seconds:,.0f} units/s)")
+    print(f"  vectorized (cold):    {cold_seconds:.3f}s "
+          f"({cold_speedup:.2f}x)")
+    print(f"  vectorized (warm):    {warm_seconds:.3f}s "
+          f"({warm_speedup:.2f}x)")
+    print(f"  run memo: {stats.run_hits} hits / "
+          f"{stats.run_misses} misses; probability memo: "
+          f"{stats.probability_hits} hits / {stats.probability_misses} "
+          f"misses")
+
+    # Bit identity first: a fast wrong backend is worthless.
+    assert cold_runs == analytic_runs
+    assert warm_runs == analytic_runs
+    # The warm pass resolves every unit from the run memo.
+    assert stats.run_hits >= total_units
+
+    assert cold_speedup > 1.0, (
+        f"vectorized backend slower than per-run analytic path even "
+        f"cold ({cold_speedup:.2f}x)"
+    )
+    assert warm_speedup >= WARM_SPEEDUP_FLOOR, (
+        f"warm vectorized speedup {warm_speedup:.2f}x below the "
+        f"{WARM_SPEEDUP_FLOOR}x acceptance bar"
+    )

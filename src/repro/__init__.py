@@ -35,8 +35,19 @@ Subpackages:
 * :mod:`repro.campaign` — sharded parallel campaign orchestration:
   declarative work-unit grids, a multiprocessing executor with retry
   and timeouts, JSONL checkpoint/resume journals, run telemetry.
+* :mod:`repro.backends` — pluggable execution backends (analytic,
+  operational, vectorized) behind one registry, plus the
+  cross-backend validation harness.
 """
 
+from repro.backends import (
+    AnalyticBackend,
+    Backend,
+    OperationalBackend,
+    VectorizedAnalyticBackend,
+    make_backend,
+    registered_backends,
+)
 from repro.confidence import (
     TARGET_FLOOR,
     TARGET_MAX,
@@ -112,6 +123,8 @@ from repro.analysis import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AnalyticBackend",
+    "Backend",
     "BehaviorSpec",
     "CampaignSpec",
     "Device",
@@ -123,6 +136,7 @@ __all__ = [
     "MemoryModel",
     "MutationSuite",
     "MutatorKind",
+    "OperationalBackend",
     "Outcome",
     "REL_ACQ_SC_PER_LOCATION",
     "ReproError",
@@ -134,6 +148,7 @@ __all__ = [
     "TestOracle",
     "TestingEnvironment",
     "TuningResult",
+    "VectorizedAnalyticBackend",
     "Workload",
     "build_suite",
     "campaign_status",
@@ -144,12 +159,14 @@ __all__ = [
     "figure6",
     "generate_wgsl",
     "library",
+    "make_backend",
     "make_device",
     "merge_environments",
     "merge_suite",
     "paper_spec",
     "pte_baseline",
     "random_environments",
+    "registered_backends",
     "render_figure5_rates",
     "render_figure5_scores",
     "render_figure6",

@@ -124,11 +124,17 @@ def iter_jsonl(
 
 
 def result_to_dict(result: TuningResult) -> Dict[str, Any]:
-    return {
+    payload = {
         "version": FORMAT_VERSION,
         "kind": result.kind.value,
         "runs": [run_to_dict(run) for run in result.runs],
     }
+    # Additive field (format version unchanged): which execution
+    # backend produced the runs.  Omitted when unknown, so archives
+    # written before backend recording round-trip unchanged.
+    if result.backend is not None:
+        payload["backend"] = result.backend
+    return payload
 
 
 def result_from_dict(payload: Dict[str, Any]) -> TuningResult:
@@ -139,7 +145,7 @@ def result_from_dict(payload: Dict[str, Any]) -> TuningResult:
         )
     kind = EnvironmentKind(payload["kind"])
     runs = [run_from_dict(entry) for entry in payload["runs"]]
-    return TuningResult(kind=kind, runs=runs)
+    return TuningResult(kind=kind, runs=runs, backend=payload.get("backend"))
 
 
 def save_result(result: TuningResult, path: Union[str, Path]) -> None:

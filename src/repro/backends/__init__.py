@@ -1,0 +1,66 @@
+"""Pluggable execution backends behind the runner.
+
+One :class:`Backend` protocol, three strategies, one registry:
+
+* ``analytic`` (:class:`AnalyticBackend`) — the default: closed-form
+  per-instance probabilities, binomially sampled kills.  Scales to
+  PTE instance counts; the numerical ground truth everything else is
+  validated against.
+* ``operational`` (:class:`OperationalBackend`) — every instance
+  actually simulated by the operational executor.  SITE-scale only;
+  accepts ``max_operational_instances``.
+* ``vectorized`` (:class:`VectorizedAnalyticBackend`) — the analytic
+  model with one characterize/workload/probability pass per grid and
+  shared memo caches keyed by the structural test hash.  Bit-identical
+  to ``analytic`` for the same seed, several times faster on tuning
+  grids (see ``benchmarks/bench_backend_speedup.py``).
+
+Callers select a backend by name through :func:`resolve` /
+:func:`make_backend` — the single validation point that
+``repro.env.runner.Runner`` and ``repro.campaign.CampaignSpec`` both
+delegate to — or inject a :class:`Backend` instance directly.
+:mod:`repro.backends.validate` is the cross-backend drift alarm CI
+runs on every build.
+"""
+
+from repro.backends.analytic import AnalyticBackend
+from repro.backends.base import Backend
+from repro.backends.operational import OperationalBackend
+from repro.backends.registry import (
+    make_backend,
+    register,
+    registered_backends,
+    resolve,
+    validate_options,
+)
+from repro.backends.validate import (
+    ValidationReport,
+    validate_backends,
+    validate_bit_identity,
+    validate_directional_agreement,
+)
+from repro.backends.vectorized import (
+    VectorizedAnalyticBackend,
+    VectorizedCacheStats,
+    reset_vectorized_caches,
+    vectorized_cache_stats,
+)
+
+__all__ = [
+    "AnalyticBackend",
+    "Backend",
+    "OperationalBackend",
+    "ValidationReport",
+    "VectorizedAnalyticBackend",
+    "VectorizedCacheStats",
+    "make_backend",
+    "register",
+    "registered_backends",
+    "reset_vectorized_caches",
+    "resolve",
+    "validate_backends",
+    "validate_bit_identity",
+    "validate_directional_agreement",
+    "validate_options",
+    "vectorized_cache_stats",
+]

@@ -1,0 +1,12 @@
+"""``python -m repro.backends`` — run the cross-backend validation.
+
+Exits non-zero if any backend drifts from the analytic ground truth;
+this is the invocation the CI matrix job uses.
+"""
+
+import sys
+
+from repro.backends.validate import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,99 @@
+"""The execution-backend protocol.
+
+A :class:`Backend` is one strategy for turning a (device, test,
+environment, iterations, rng) work unit into a
+:class:`~repro.env.runner.TestRun`.  Three strategies ship with the
+package (see :mod:`repro.backends`): the closed-form analytic model,
+the instance-level operational simulator, and a vectorized analytic
+variant that batches whole suite × environment grids.
+
+The protocol is deliberately small: ``run`` executes one unit and
+``run_matrix`` executes a grid.  The default ``run_matrix`` is the
+canonical serial loop (environments outermost, then devices, then
+tests, one :func:`~repro.env.runner.unit_rng` stream per unit); a
+backend overrides it only when it can batch the grid without changing
+any unit's result — the determinism contract says unit results depend
+solely on (seed, unit key), never on how the grid was traversed.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.env.environment import TestingEnvironment
+from repro.env.runner import TestRun, unit_rng
+from repro.errors import EnvironmentError_
+from repro.gpu.device import Device
+from repro.litmus.program import LitmusTest
+
+
+class Backend(abc.ABC):
+    """One execution strategy behind the runner.
+
+    Subclasses declare:
+
+    * ``name`` — the registry key (``"analytic"``, ``"operational"``,
+      ...), serialized through campaign journals so resume picks the
+      identical backend;
+    * ``option_names`` — the constructor options the backend accepts.
+      :func:`repro.backends.make_backend` validates requested options
+      against this set, so an option a backend would silently ignore
+      is an error instead.
+    """
+
+    name: str = ""
+    option_names: "frozenset[str]" = frozenset()
+
+    @abc.abstractmethod
+    def run(
+        self,
+        device: Device,
+        test: LitmusTest,
+        environment: TestingEnvironment,
+        iterations: int,
+        rng: np.random.Generator,
+    ) -> TestRun:
+        """Execute one (device, test, environment) unit."""
+
+    def run_matrix(
+        self,
+        devices: Sequence[Device],
+        tests: Sequence[LitmusTest],
+        environments: Sequence[TestingEnvironment],
+        seed: int = 0,
+        iterations_override: Optional[int] = None,
+    ) -> List[TestRun]:
+        """Execute every (environment, device, test) combination.
+
+        Each unit gets its independent deterministic stream, so any
+        subset of the matrix reproduces the full run's values.
+        """
+        runs: List[TestRun] = []
+        for environment in environments:
+            iterations = (
+                iterations_override
+                if iterations_override is not None
+                else environment.iterations()
+            )
+            for device in devices:
+                for test in tests:
+                    stream = unit_rng(
+                        seed, environment.env_key, device.name, test.name
+                    )
+                    runs.append(
+                        self.run(device, test, environment, iterations, stream)
+                    )
+        return runs
+
+    def describe(self) -> str:
+        return f"{self.name} backend"
+
+
+def check_positive_instances(max_operational_instances: int) -> int:
+    """Shared validation for the operational instance cap."""
+    if max_operational_instances < 1:
+        raise EnvironmentError_("max_operational_instances must be >= 1")
+    return max_operational_instances

@@ -1,0 +1,67 @@
+"""The operational backend: every instance actually simulated.
+
+Wraps the operational executor (:mod:`repro.gpu.executor`) behind the
+backend protocol: each instance is compiled, relaxed, interleaved, and
+checked against the oracle.  Bounded by ``max_operational_instances``
+per iteration — the one option this backend accepts, and the one the
+analytic backends reject (it used to be silently ignored there).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends.base import Backend, check_positive_instances
+from repro.backends.registry import register
+from repro.env.environment import TestingEnvironment
+from repro.env.runner import TestRun, oracle_for
+from repro.gpu.device import Device
+from repro.litmus.program import LitmusTest
+
+
+@register
+class OperationalBackend(Backend):
+    """Instance-level simulation, intended for SITE-scale validation."""
+
+    name = "operational"
+    option_names = frozenset({"max_operational_instances"})
+
+    def __init__(self, max_operational_instances: int = 64) -> None:
+        self.max_operational_instances = check_positive_instances(
+            max_operational_instances
+        )
+
+    def run(
+        self,
+        device: Device,
+        test: LitmusTest,
+        environment: TestingEnvironment,
+        iterations: int,
+        rng: np.random.Generator,
+    ) -> TestRun:
+        oracle = oracle_for(test)
+        count_target = oracle.target_allowed()
+        workload = environment.workload(device.profile, test)
+        instances = min(
+            workload.instances_in_flight, self.max_operational_instances
+        )
+        kills = 0
+        for _ in range(iterations):
+            for _ in range(instances):
+                outcome = device.run_instance(test, workload, rng)
+                if count_target:
+                    kills += oracle.matches_target(outcome)
+                else:
+                    kills += oracle.is_violation(outcome)
+        seconds = iterations * device.iteration_seconds(
+            instances, environment.stress_level()
+        )
+        return TestRun(
+            test_name=test.name,
+            device_name=device.name,
+            environment=environment,
+            iterations=iterations,
+            instances_per_iteration=instances,
+            kills=kills,
+            seconds=seconds,
+        )

@@ -1,0 +1,225 @@
+"""Cross-backend validation: the drift alarm for execution backends.
+
+Two executable guarantees tie the backends together:
+
+1. **Bit identity** — the vectorized backend must produce *exactly*
+   the per-run analytic path's :class:`TestRun` records (same kills,
+   same seconds) for the same seed.  Anything else means its caching
+   or batching changed the numbers.
+2. **Directional agreement** — the operational executor and the
+   analytic model are different abstractions of the same device, so
+   they will never match count-for-count; what must hold is that they
+   point the same way: analytically dead units stay dead
+   operationally, analytically easy units out-kill hard ones.
+
+``python -m repro.backends.validate`` runs both on a small grid and
+exits non-zero on the first violation, which is what the CI matrix
+job invokes; the functions are also importable for tests and for
+validating custom grids.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.backends.analytic import AnalyticBackend
+from repro.backends.operational import OperationalBackend
+from repro.backends.vectorized import VectorizedAnalyticBackend
+from repro.env.environment import TestingEnvironment
+from repro.env.runner import TestRun, oracle_for, unit_rng
+from repro.errors import EnvironmentError_
+from repro.gpu.device import Device
+from repro.litmus.program import LitmusTest
+
+
+@dataclass
+class ValidationReport:
+    """The outcome of one cross-backend validation pass."""
+
+    units: int = 0
+    mismatches: List[str] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def describe(self) -> str:
+        lines = [
+            f"cross-backend validation over {self.units} units: "
+            + ("OK" if self.ok else f"{len(self.mismatches)} mismatch(es)")
+        ]
+        lines.extend(f"  MISMATCH: {entry}" for entry in self.mismatches)
+        lines.extend(f"  {entry}" for entry in self.notes)
+        return "\n".join(lines)
+
+
+def _unit_label(run: TestRun) -> str:
+    return (
+        f"{run.test_name} on {run.device_name} in {run.environment.name}"
+    )
+
+
+def validate_bit_identity(
+    devices: Sequence[Device],
+    tests: Sequence[LitmusTest],
+    environments: Sequence[TestingEnvironment],
+    seed: int = 0,
+    iterations_override: Optional[int] = None,
+) -> ValidationReport:
+    """Assert analytic and vectorized backends agree bit-for-bit."""
+    reference = AnalyticBackend().run_matrix(
+        devices, tests, environments, seed=seed,
+        iterations_override=iterations_override,
+    )
+    candidate = VectorizedAnalyticBackend().run_matrix(
+        devices, tests, environments, seed=seed,
+        iterations_override=iterations_override,
+    )
+    report = ValidationReport(units=len(reference))
+    if len(candidate) != len(reference):
+        report.mismatches.append(
+            f"unit counts differ: analytic {len(reference)}, "
+            f"vectorized {len(candidate)}"
+        )
+        return report
+    for expected, actual in zip(reference, candidate):
+        if expected != actual:
+            report.mismatches.append(
+                f"{_unit_label(expected)}: analytic kills="
+                f"{expected.kills} seconds={expected.seconds!r}, "
+                f"vectorized kills={actual.kills} "
+                f"seconds={actual.seconds!r}"
+            )
+    if report.ok:
+        report.notes.append(
+            "analytic and vectorized kill counts are bit-identical"
+        )
+    return report
+
+
+def validate_directional_agreement(
+    device: Device,
+    tests: Sequence[LitmusTest],
+    environment: TestingEnvironment,
+    seed: int = 0,
+    iterations: int = 40,
+    max_operational_instances: int = 8,
+) -> ValidationReport:
+    """Assert operational and analytic execution point the same way.
+
+    Checked per unit at SITE-affordable scale:
+
+    * a unit whose kill condition is an actual memory-model violation
+      (oracle target disallowed) and whose analytic probability is
+      zero must stay at zero kills operationally — a clean executor
+      never violates the model;
+    * a unit with zero analytic probability whose target *is* an
+      allowed weak behaviour can still be killed operationally; that
+      is an analytic coverage gap, recorded as a note, not a failure;
+    * ranking units by the analytic model's probability and by
+      operational kill counts must correlate positively overall (no
+      exact match expected — the ranking is against the model itself,
+      not a sampled analytic draw, so the comparison is not doubly
+      noisy; it needs a spread of tests to be meaningful, so pass the
+      full mutant suite rather than a handful).
+    """
+    operational = OperationalBackend(
+        max_operational_instances=max_operational_instances
+    )
+    report = ValidationReport(units=len(tests))
+    pairs: List[Tuple[float, int]] = []
+    coverage_gaps = 0
+    for test in tests:
+        probability = device.instance_probability(
+            test,
+            environment.workload(device.profile, test),
+            env_key=environment.env_key,
+        )
+        operational_run = operational.run(
+            device, test, environment, iterations,
+            unit_rng(seed + 1, environment.env_key, device.name, test.name),
+        )
+        pairs.append((probability, operational_run.kills))
+        if probability == 0.0 and operational_run.kills > 0:
+            if oracle_for(test).target_allowed():
+                coverage_gaps += 1
+            else:
+                report.mismatches.append(
+                    f"{_unit_label(operational_run)}: analytically "
+                    f"impossible and model-forbidden, yet killed "
+                    f"{operational_run.kills}x operationally"
+                )
+    concordant = 0
+    discordant = 0
+    for i in range(len(pairs)):
+        for j in range(i + 1, len(pairs)):
+            left = pairs[i][0] - pairs[j][0]
+            right = pairs[i][1] - pairs[j][1]
+            if left * right > 0:
+                concordant += 1
+            elif left * right < 0:
+                discordant += 1
+    if concordant + discordant > 0 and concordant < discordant:
+        report.mismatches.append(
+            f"analytic and operational kill rankings anti-correlate "
+            f"({concordant} concordant vs {discordant} discordant pairs)"
+        )
+    if coverage_gaps:
+        report.notes.append(
+            f"{coverage_gaps} unit(s) operationally killable but "
+            f"analytically unmodelled (allowed-behaviour coverage gap)"
+        )
+    report.notes.append(
+        f"rank agreement: {concordant} concordant, "
+        f"{discordant} discordant pairs"
+    )
+    return report
+
+
+def validate_backends(
+    environment_count: int = 2,
+    seed: int = 7,
+    log=print,
+) -> bool:
+    """The CI entry point: both checks on a small mixed grid."""
+    from repro.env.environment import EnvironmentKind, pte_baseline
+    from repro.env.tuning import environments_for
+    from repro.gpu.device import make_device, study_devices
+    from repro.mutation import default_suite
+
+    suite = default_suite()
+    devices = study_devices() + [make_device("intel", buggy=True)]
+    ok = True
+    for kind in EnvironmentKind:
+        environments = environments_for(kind, environment_count, seed)
+        report = validate_bit_identity(
+            devices, suite.mutants, environments, seed=seed
+        )
+        log(f"[{kind.name}] {report.describe()}")
+        ok = ok and report.ok
+    directional = validate_directional_agreement(
+        make_device("amd"),
+        suite.mutants,
+        pte_baseline(),
+        seed=seed,
+    )
+    log(f"[operational-vs-analytic] {directional.describe()}")
+    ok = ok and directional.ok
+    return ok
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro.backends.validate``; non-zero on drift."""
+    del argv
+    try:
+        return 0 if validate_backends() else 1
+    except EnvironmentError_ as error:  # pragma: no cover
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,357 @@
+"""The vectorized analytic backend: one pass per grid, not per run.
+
+The per-run analytic path recomputes, for every single unit, several
+quantities that are constant across most of the grid:
+
+* ``environment.workload`` and ``environment.iteration_seconds`` are
+  **test-independent** — one value per (environment, device), not per
+  unit, a |tests|-fold dedup;
+* ``characterize(test)`` keys its memo on ``test.pretty()``, so even a
+  cache hit re-renders the program text — here tests are characterized
+  once per grid;
+* the per-instance probability and the response jitter depend only on
+  (test structure, device configuration, environment), so they are
+  memoized in bounded LRU caches keyed by the existing
+  :func:`~repro.env.runner.structural_test_key` and shared across
+  grids, campaigns, and backend instances.
+
+What is *not* batched is sampling: every unit draws its kills from the
+same independent :func:`~repro.env.runner.unit_rng` stream the
+analytic backend uses, with the same single ``binomial`` call (or the
+same no-draw shortcut when the probability is zero).  That is the
+bit-identity contract — ``repro.backends.validate`` asserts it, and
+``tests/backends`` re-asserts it on every CI run.
+
+Because a unit's kills are a pure function of (seed, unit key,
+probability, iterations, instances), completed units are additionally
+memoized whole: re-evaluating a grid — the steady state of tuning
+sweeps and resumed campaigns — costs dictionary lookups instead of
+probability math.  ``benchmarks/bench_backend_speedup.py`` measures
+both regimes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.backends.base import Backend
+from repro.backends.registry import register
+from repro.env.environment import TestingEnvironment
+from repro.env.runner import TestRun, structural_test_key, unit_rng
+from repro.gpu.batch import (
+    JITTER_SIGMA,
+    bug_probability,
+    instance_dilution,
+    mechanism_probability,
+    response_jitter,
+    stress_focus,
+)
+from repro.gpu.characteristics import TestCharacteristics, characterize
+from repro.gpu.device import Device
+from repro.litmus.program import LitmusTest
+
+
+class _LRUCache:
+    """A bounded LRU memo with hit/miss/eviction counters."""
+
+    def __init__(self, maxsize: int) -> None:
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[Any, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get_or_compute(self, key: Any, compute: Callable[[], Any]) -> Any:
+        try:
+            value = self._entries[key]
+        except KeyError:
+            pass
+        else:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return value
+        self.misses += 1
+        value = compute()
+        self._entries[key] = value
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return value
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+
+#: Shared across all VectorizedAnalyticBackend instances: per-instance
+#: probabilities keyed by (test structure, device config, environment).
+_PROBABILITY_CACHE = _LRUCache(maxsize=262_144)
+#: Response-jitter factors; SITE and PTE tuning candidates share env
+#: keys, so this cache also pays off *across* environment kinds.
+_JITTER_CACHE = _LRUCache(maxsize=262_144)
+#: Whole completed units, keyed additionally by (seed, iterations).
+_RUN_CACHE = _LRUCache(maxsize=262_144)
+
+
+@dataclass(frozen=True)
+class VectorizedCacheStats:
+    """Counters of the shared vectorized-backend memo caches."""
+
+    probability_hits: int
+    probability_misses: int
+    probability_size: int
+    run_hits: int
+    run_misses: int
+    run_size: int
+    jitter_hits: int
+    jitter_misses: int
+
+
+def vectorized_cache_stats() -> VectorizedCacheStats:
+    """Current counters of the shared probability/run/jitter caches."""
+    return VectorizedCacheStats(
+        probability_hits=_PROBABILITY_CACHE.hits,
+        probability_misses=_PROBABILITY_CACHE.misses,
+        probability_size=len(_PROBABILITY_CACHE),
+        run_hits=_RUN_CACHE.hits,
+        run_misses=_RUN_CACHE.misses,
+        run_size=len(_RUN_CACHE),
+        jitter_hits=_JITTER_CACHE.hits,
+        jitter_misses=_JITTER_CACHE.misses,
+    )
+
+
+def reset_vectorized_caches() -> None:
+    """Empty the shared caches (benchmarks measure cold vs warm)."""
+    _PROBABILITY_CACHE.clear()
+    _JITTER_CACHE.clear()
+    _RUN_CACHE.clear()
+
+
+@dataclass(frozen=True)
+class _TestInfo:
+    """Everything per-test the batched pass needs, computed once."""
+
+    test: LitmusTest
+    structural_key: str
+    characteristics: TestCharacteristics
+    sigma: float
+
+
+def _test_info(test: LitmusTest) -> _TestInfo:
+    characteristics = characterize(test)
+    return _TestInfo(
+        test=test,
+        structural_key=structural_test_key(test),
+        characteristics=characteristics,
+        sigma=JITTER_SIGMA[characteristics.mechanism],
+    )
+
+
+@register
+class VectorizedAnalyticBackend(Backend):
+    """Batched, memoized evaluation of the analytic model.
+
+    Produces bit-identical :class:`TestRun` records to
+    :class:`~repro.backends.analytic.AnalyticBackend` for the same
+    seed: probability *computation* is deduplicated and cached, but
+    the probability *values* and the per-unit RNG draws are exactly
+    the per-run path's.
+    """
+
+    name = "vectorized"
+    option_names = frozenset()
+
+    # -- probability (shared memo) ----------------------------------------
+
+    def _probability(
+        self,
+        info: _TestInfo,
+        device: Device,
+        environment: TestingEnvironment,
+        tuning,
+        instances: int,
+    ) -> float:
+        """``BatchModel.instance_probability``, memoized.
+
+        Same scalar closed forms, same composition order — only the
+        ``characterize``/jitter/probability work is shared.
+        """
+        device_key = (device.profile, tuple(device.bugs))
+        key = (info.structural_key, info.test.name, device_key, environment)
+
+        def compute() -> float:
+            characteristics = info.characteristics
+            probability = mechanism_probability(
+                device.profile, tuning, characteristics
+            )
+            probability = max(
+                probability,
+                bug_probability(
+                    device.profile, tuning, characteristics, device.bugs
+                ),
+            )
+            if probability <= 0.0:
+                return 0.0
+            jitter_key = (
+                environment.env_key,
+                info.test.name,
+                device.profile.short_name,
+                info.sigma,
+            )
+            jitter = _JITTER_CACHE.get_or_compute(
+                jitter_key,
+                lambda: response_jitter(
+                    environment.env_key,
+                    info.test.name,
+                    device.profile.short_name,
+                    info.sigma,
+                ),
+            )
+            probability *= instance_dilution(max(1, instances))
+            probability *= stress_focus(tuning.stress, max(1, instances))
+            return float(min(1.0, probability * jitter))
+
+        return _PROBABILITY_CACHE.get_or_compute(key, compute)
+
+    # -- sampling (never memoized against a caller's rng) ------------------
+
+    @staticmethod
+    def _sample(
+        probability: float,
+        instances: int,
+        iterations: int,
+        rng: np.random.Generator,
+    ) -> int:
+        # Mirrors BatchModel.sample_kills exactly, including the
+        # no-draw shortcut: a zero-probability unit must not consume
+        # the stream, or downstream draws would diverge.
+        if probability == 0.0 or instances == 0 or iterations == 0:
+            return 0
+        return int(rng.binomial(instances, probability, size=iterations).sum())
+
+    def run(
+        self,
+        device: Device,
+        test: LitmusTest,
+        environment: TestingEnvironment,
+        iterations: int,
+        rng: np.random.Generator,
+    ) -> TestRun:
+        info = _test_info(test)
+        workload = environment.workload(device.profile, test)
+        tuning = device.tuning(workload)
+        probability = self._probability(
+            info, device, environment, tuning, workload.instances_in_flight
+        )
+        kills = self._sample(
+            probability, workload.instances_in_flight, iterations, rng
+        )
+        seconds = iterations * environment.iteration_seconds(device, test)
+        return TestRun(
+            test_name=test.name,
+            device_name=device.name,
+            environment=environment,
+            iterations=iterations,
+            instances_per_iteration=workload.instances_in_flight,
+            kills=kills,
+            seconds=seconds,
+        )
+
+    # -- the batched grid pass ---------------------------------------------
+
+    def run_matrix(
+        self,
+        devices: Sequence[Device],
+        tests: Sequence[LitmusTest],
+        environments: Sequence[TestingEnvironment],
+        seed: int = 0,
+        iterations_override: Optional[int] = None,
+    ) -> List[TestRun]:
+        """One characterize/workload/probability pass per grid.
+
+        Unit order and every unit's RNG stream match the serial loop;
+        only redundant computation is lifted out of the inner loop.
+        """
+        if not tests:
+            return []
+        infos = [_test_info(test) for test in tests]
+        runs: List[TestRun] = []
+        for environment in environments:
+            iterations = (
+                iterations_override
+                if iterations_override is not None
+                else environment.iterations()
+            )
+            for device in devices:
+                # workload and iteration_seconds are test-independent:
+                # instances_per_iteration ignores its test argument.
+                workload = environment.workload(device.profile, tests[0])
+                tuning = device.tuning(workload)
+                instances = workload.instances_in_flight
+                unit_seconds = iterations * environment.iteration_seconds(
+                    device, tests[0]
+                )
+                device_key = (device.profile, tuple(device.bugs))
+                for info in infos:
+                    run_key = (
+                        seed,
+                        iterations,
+                        environment,
+                        device_key,
+                        info.structural_key,
+                        info.test.name,
+                    )
+                    runs.append(
+                        _RUN_CACHE.get_or_compute(
+                            run_key,
+                            lambda: self._run_unit(
+                                info,
+                                device,
+                                environment,
+                                tuning,
+                                instances,
+                                iterations,
+                                unit_seconds,
+                                seed,
+                            ),
+                        )
+                    )
+        return runs
+
+    def _run_unit(
+        self,
+        info: _TestInfo,
+        device: Device,
+        environment: TestingEnvironment,
+        tuning,
+        instances: int,
+        iterations: int,
+        seconds: float,
+        seed: int,
+    ) -> TestRun:
+        probability = self._probability(
+            info, device, environment, tuning, instances
+        )
+        rng = unit_rng(
+            seed, environment.env_key, device.name, info.test.name
+        )
+        kills = self._sample(probability, instances, iterations, rng)
+        return TestRun(
+            test_name=info.test.name,
+            device_name=device.name,
+            environment=environment,
+            iterations=iterations,
+            instances_per_iteration=instances,
+            kills=kills,
+            seconds=seconds,
+        )

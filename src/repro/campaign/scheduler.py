@@ -352,7 +352,9 @@ class CampaignScheduler:
             if not pairs:
                 continue
             results[kind] = TuningResult(
-                kind=kind, runs=[run for _, run in pairs]
+                kind=kind,
+                runs=[run for _, run in pairs],
+                backend=self.spec.backend,
             )
         return results
 

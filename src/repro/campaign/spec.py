@@ -23,9 +23,13 @@ import numpy as np
 from repro.env.environment import EnvironmentKind, TestingEnvironment
 from repro.env.runner import unit_seed_sequence
 from repro.env.tuning import environments_for
-from repro.errors import ReproError
+from repro.errors import EnvironmentError_, ReproError
 
-SPEC_VERSION = 1
+#: Version 2 renamed ``mode`` to ``backend`` (validated against the
+#: :mod:`repro.backends` registry) and made the operational instance
+#: cap an optional backend option instead of an always-present field;
+#: version-1 payloads are still readable (see :meth:`from_dict`).
+SPEC_VERSION = 2
 
 #: Identifies one work unit across processes and resumed campaigns.
 UnitKey = Tuple[str, int, str, str]  # (kind name, env_key, device, test)
@@ -76,9 +80,9 @@ class CampaignSpec:
     environment_count: int = 150
     seed: int = 0
     iterations_override: Optional[int] = None
-    mode: str = "analytic"
+    backend: str = "analytic"
     buggy: bool = False
-    max_operational_instances: int = 64
+    max_operational_instances: Optional[int] = None
     _kind_members: Tuple[EnvironmentKind, ...] = field(
         init=False, repr=False, compare=False, default=()
     )
@@ -92,11 +96,17 @@ class CampaignSpec:
             raise CampaignError("a campaign needs at least one test")
         if self.environment_count < 0:
             raise CampaignError("environment_count must be non-negative")
-        if self.mode not in ("analytic", "operational"):
-            raise CampaignError(
-                f"mode must be 'analytic' or 'operational', "
-                f"got {self.mode!r}"
+        # One validation point for backend names and options: the
+        # repro.backends registry (imported lazily to avoid a cycle).
+        from repro.backends import make_backend
+
+        try:
+            make_backend(
+                self.backend,
+                max_operational_instances=self.max_operational_instances,
             )
+        except EnvironmentError_ as error:
+            raise CampaignError(str(error))
         try:
             members = tuple(EnvironmentKind[name] for name in self.kinds)
         except KeyError as error:
@@ -151,7 +161,7 @@ class CampaignSpec:
             "environment_count": self.environment_count,
             "seed": self.seed,
             "iterations_override": self.iterations_override,
-            "mode": self.mode,
+            "backend": self.backend,
             "buggy": self.buggy,
             "max_operational_instances": self.max_operational_instances,
         }
@@ -159,7 +169,18 @@ class CampaignSpec:
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "CampaignSpec":
         version = payload.get("version")
-        if version != SPEC_VERSION:
+        if version == 1:
+            # Version 1 called the backend "mode" and always carried a
+            # max_operational_instances, even for backends that ignored
+            # it; keep the cap only where it was actually in effect.
+            backend = payload.get("mode", "analytic")
+            cap = payload.get("max_operational_instances")
+            if backend != "operational":
+                cap = None
+        elif version == SPEC_VERSION:
+            backend = payload.get("backend", "analytic")
+            cap = payload.get("max_operational_instances")
+        else:
             raise CampaignError(
                 f"unsupported campaign spec version: {version!r}"
             )
@@ -172,11 +193,9 @@ class CampaignSpec:
                 environment_count=payload["environment_count"],
                 seed=payload["seed"],
                 iterations_override=payload["iterations_override"],
-                mode=payload["mode"],
+                backend=backend,
                 buggy=payload.get("buggy", False),
-                max_operational_instances=payload.get(
-                    "max_operational_instances", 64
-                ),
+                max_operational_instances=cap,
             )
         except KeyError as error:
             raise CampaignError(f"malformed campaign spec: missing {error}")
@@ -194,6 +213,7 @@ def paper_spec(
     kinds: Optional[Sequence[str]] = None,
     device_names: Optional[Sequence[str]] = None,
     name: str = "reproduce-all",
+    backend: str = "analytic",
 ) -> CampaignSpec:
     """The full Sec. 5.1 evaluation grid (scaled by arguments)."""
     return CampaignSpec(
@@ -206,10 +226,15 @@ def paper_spec(
         test_names=tuple(test_names),
         environment_count=environment_count,
         seed=seed,
+        backend=backend,
     )
 
 
-def smoke_spec(test_names: Sequence[str], seed: int = 0) -> CampaignSpec:
+def smoke_spec(
+    test_names: Sequence[str],
+    seed: int = 0,
+    backend: str = "analytic",
+) -> CampaignSpec:
     """A seconds-scale spec for CI smoke runs (`campaign run --smoke`)."""
     return CampaignSpec(
         name="smoke",
@@ -218,4 +243,5 @@ def smoke_spec(test_names: Sequence[str], seed: int = 0) -> CampaignSpec:
         test_names=tuple(test_names[:4]),
         environment_count=3,
         seed=seed,
+        backend=backend,
     )

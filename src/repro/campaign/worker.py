@@ -144,7 +144,7 @@ def build_state(
 ) -> WorkerState:
     """Materialise devices, tests, and environments for one process."""
     runner = Runner(
-        mode=spec.mode,
+        backend=spec.backend,
         max_operational_instances=spec.max_operational_instances,
         iterations_override=spec.iterations_override,
     )

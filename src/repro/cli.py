@@ -47,6 +47,7 @@ from repro.analysis import (
     table4,
 )
 from repro.analysis.report import ascii_table
+from repro.backends import registered_backends
 from repro.confidence import curate, merge_suite, reproducible_pairs
 from repro.env import EnvironmentKind, tuning_run
 from repro.errors import ReproError
@@ -108,6 +109,13 @@ def _parser() -> argparse.ArgumentParser:
     tune.add_argument("--envs", type=int, default=150)
     tune.add_argument("--seed", type=int, default=0)
     tune.add_argument("--devices", nargs="*", default=None)
+    tune.add_argument(
+        "--backend",
+        choices=registered_backends(),
+        default="analytic",
+        help="execution backend (vectorized = batched analytic model, "
+        "bit-identical and faster on big grids)",
+    )
     tune.add_argument("--out", required=True)
 
     analyze = commands.add_parser(
@@ -186,6 +194,13 @@ def _parser() -> argparse.ArgumentParser:
     campaign_run.add_argument("--envs", type=int, default=150)
     campaign_run.add_argument("--seed", type=int, default=42)
     campaign_run.add_argument("--devices", nargs="*", default=None)
+    campaign_run.add_argument(
+        "--backend",
+        choices=registered_backends(),
+        default="analytic",
+        help="execution backend, recorded in the journal so resume "
+        "continues with the same one",
+    )
     campaign_run.add_argument(
         "--smoke", action="store_true",
         help="seconds-scale grid for CI smoke runs",
@@ -313,11 +328,13 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         suite.mutants,
         environment_count=args.envs,
         seed=args.seed,
+        backend=args.backend,
     )
     save_result(result, args.out)
     print(
         f"saved {len(result.runs)} runs ({kind.value}, "
-        f"{len(result.environments)} environments) to {args.out}"
+        f"{len(result.environments)} environments, "
+        f"{result.backend} backend) to {args.out}"
     )
     return 0
 
@@ -471,7 +488,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     suite = default_suite()
     mutant_names = tuple(mutant.name for mutant in suite.mutants)
     if args.smoke:
-        spec = smoke_spec(mutant_names, seed=args.seed)
+        spec = smoke_spec(mutant_names, seed=args.seed, backend=args.backend)
     else:
         spec = paper_spec(
             mutant_names,
@@ -479,6 +496,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             seed=args.seed,
             kinds=args.kinds,
             device_names=args.devices,
+            backend=args.backend,
         )
     out_dir.mkdir(parents=True, exist_ok=True)
     config = _executor_config(args)

@@ -6,22 +6,22 @@ yielding a kill count and a simulated duration.  Everything in Sec. 5
 — mutation scores, death rates, environment merging, correlation — is
 an aggregation over ``TestRun`` records.
 
-Two execution modes share this interface:
-
-* ``analytic`` (default) — per-instance probabilities from the batch
-  model, kills sampled binomially; scales to PTE instance counts.
-* ``operational`` — every instance actually simulated by the
-  operational executor; bounded by ``max_operational_instances`` per
-  iteration and intended for demos and validation at SITE scale.
+Execution strategies live in :mod:`repro.backends` (``analytic``,
+``operational``, ``vectorized``); the :class:`Runner` here is a thin
+composition over one of them, owning only what is strategy-independent
+— iteration-count resolution and the deterministic per-unit RNG
+derivation.  ``Runner(mode=...)`` remains as a deprecated alias for
+``Runner(backend=...)``.
 """
 
 from __future__ import annotations
 
 import hashlib
+import warnings
 import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -209,25 +209,72 @@ class TestRun:
 
 
 class Runner:
-    """Runs tests in environments, in analytic or operational mode."""
+    """Runs tests in environments through a pluggable backend.
+
+    The runner is a thin composition: the backend (see
+    :mod:`repro.backends`) decides *how* a unit executes, the runner
+    resolves *how long* (``iterations_override`` vs the environment's
+    default budget) and hands grids to the backend's ``run_matrix``
+    so batching backends get whole grids to work with.
+
+    Args:
+        backend: A backend name (``"analytic"``, ``"operational"``,
+            ``"vectorized"``) or a :class:`repro.backends.Backend`
+            instance.  Defaults to ``"analytic"``.
+        mode: Deprecated alias for ``backend`` (names only).
+        max_operational_instances: Per-iteration instance cap; only
+            the operational backend accepts it — passing it with any
+            other backend raises :class:`EnvironmentError_` instead of
+            being silently ignored.
+        iterations_override: Fixed iteration count for every unit.
+    """
 
     def __init__(
         self,
-        mode: str = "analytic",
-        max_operational_instances: int = 64,
+        backend: Union[str, "object", None] = None,
+        mode: Optional[str] = None,
+        max_operational_instances: Optional[int] = None,
         iterations_override: Optional[int] = None,
     ) -> None:
-        if mode not in ("analytic", "operational"):
-            raise EnvironmentError_(
-                f"mode must be 'analytic' or 'operational', got {mode!r}"
+        from repro.backends import Backend, make_backend
+
+        if mode is not None:
+            if backend is not None:
+                raise EnvironmentError_(
+                    "pass either backend= or the deprecated mode=, "
+                    "not both"
+                )
+            warnings.warn(
+                "Runner(mode=...) is deprecated; use Runner(backend=...)",
+                DeprecationWarning,
+                stacklevel=2,
             )
-        if max_operational_instances < 1:
-            raise EnvironmentError_(
-                "max_operational_instances must be >= 1"
+            backend = mode
+        if backend is None:
+            backend = "analytic"
+        if isinstance(backend, Backend):
+            if max_operational_instances is not None:
+                raise EnvironmentError_(
+                    "max_operational_instances cannot be combined with "
+                    "an injected backend instance; configure the "
+                    "instance directly"
+                )
+            self.backend = backend
+        else:
+            self.backend = make_backend(
+                backend,
+                max_operational_instances=max_operational_instances,
             )
-        self.mode = mode
-        self.max_operational_instances = max_operational_instances
         self.iterations_override = iterations_override
+
+    @property
+    def mode(self) -> str:
+        """Deprecated spelling of :attr:`backend` name."""
+        return self.backend.name
+
+    @property
+    def max_operational_instances(self) -> Optional[int]:
+        return getattr(self.backend, "max_operational_instances", None)
 
     # -- single runs -----------------------------------------------------
 
@@ -243,67 +290,7 @@ class Runner:
             if self.iterations_override is not None
             else environment.iterations()
         )
-        if self.mode == "analytic":
-            return self._run_analytic(device, test, environment, iterations, rng)
-        return self._run_operational(device, test, environment, iterations, rng)
-
-    def _run_analytic(
-        self,
-        device: Device,
-        test: LitmusTest,
-        environment: TestingEnvironment,
-        iterations: int,
-        rng: np.random.Generator,
-    ) -> TestRun:
-        workload = environment.workload(device.profile, test)
-        kills = device.sample_iteration_kills(
-            test, workload, iterations, rng, env_key=environment.env_key
-        )
-        seconds = iterations * environment.iteration_seconds(device, test)
-        return TestRun(
-            test_name=test.name,
-            device_name=device.name,
-            environment=environment,
-            iterations=iterations,
-            instances_per_iteration=workload.instances_in_flight,
-            kills=int(kills.sum()),
-            seconds=seconds,
-        )
-
-    def _run_operational(
-        self,
-        device: Device,
-        test: LitmusTest,
-        environment: TestingEnvironment,
-        iterations: int,
-        rng: np.random.Generator,
-    ) -> TestRun:
-        oracle = oracle_for(test)
-        count_target = oracle.target_allowed()
-        workload = environment.workload(device.profile, test)
-        instances = min(
-            workload.instances_in_flight, self.max_operational_instances
-        )
-        kills = 0
-        for _ in range(iterations):
-            for _ in range(instances):
-                outcome = device.run_instance(test, workload, rng)
-                if count_target:
-                    kills += oracle.matches_target(outcome)
-                else:
-                    kills += oracle.is_violation(outcome)
-        seconds = iterations * device.iteration_seconds(
-            instances, environment.stress_level()
-        )
-        return TestRun(
-            test_name=test.name,
-            device_name=device.name,
-            environment=environment,
-            iterations=iterations,
-            instances_per_iteration=instances,
-            kills=kills,
-            seconds=seconds,
-        )
+        return self.backend.run(device, test, environment, iterations, rng)
 
     # -- matrices -----------------------------------------------------------
 
@@ -318,13 +305,13 @@ class Runner:
 
         Each triple gets an independent, deterministic RNG stream, so
         subsets of the matrix reproduce the full run's values.
+        Delegated whole to the backend, so batching backends (the
+        vectorized one) see the grid at once.
         """
-        runs: List[TestRun] = []
-        for environment in environments:
-            for device in devices:
-                for test in tests:
-                    stream = unit_rng(
-                        seed, environment.env_key, device.name, test.name
-                    )
-                    runs.append(self.run(device, test, environment, stream))
-        return runs
+        return self.backend.run_matrix(
+            devices,
+            tests,
+            environments,
+            seed=seed,
+            iterations_override=self.iterations_override,
+        )

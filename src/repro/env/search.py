@@ -38,18 +38,34 @@ from repro.litmus.program import LitmusTest
 Objective = Callable[[TestingEnvironment], float]
 
 
+def _objective_runner(
+    runner: Optional[Runner], backend: Optional[str]
+) -> Runner:
+    if runner is not None and backend is not None:
+        raise EnvironmentError_(
+            "pass either runner= or backend=, not both; a runner "
+            "already carries its backend"
+        )
+    return runner if runner is not None else Runner(backend=backend)
+
+
 def mean_rate_objective(
     devices: Sequence[Device],
     tests: Sequence[LitmusTest],
     runner: Optional[Runner] = None,
     seed: int = 0,
+    backend: Optional[str] = None,
 ) -> Objective:
     """Objective: mean death rate over (test × device) pairs.
 
     This is what "an effective testing environment" means in Sec. 5 —
-    it kills mutants quickly across the board.
+    it kills mutants quickly across the board.  ``backend`` selects an
+    execution backend by registry name (mutually exclusive with
+    ``runner``); search loops evaluate the same (device, test) pairs in
+    every environment, so the ``vectorized`` backend's structural memo
+    caches pay off heavily here.
     """
-    active_runner = runner if runner is not None else Runner()
+    active_runner = _objective_runner(runner, backend)
 
     def evaluate(environment: TestingEnvironment) -> float:
         rates = []
@@ -71,14 +87,16 @@ def min_rate_objective(
     tests: Sequence[LitmusTest],
     runner: Optional[Runner] = None,
     seed: int = 0,
+    backend: Optional[str] = None,
 ) -> Objective:
     """Objective: the worst (test × device) death rate.
 
     Maximising the minimum rate matches Algorithm 1's tie-break and
     favours environments that work *everywhere* — the property a CTS
-    environment needs.
+    environment needs.  ``backend`` is as in
+    :func:`mean_rate_objective`.
     """
-    active_runner = runner if runner is not None else Runner()
+    active_runner = _objective_runner(runner, backend)
 
     def evaluate(environment: TestingEnvironment) -> float:
         worst = float("inf")

@@ -20,7 +20,7 @@ from repro.env.environment import (
     site_baseline,
 )
 from repro.env.runner import Runner, TestRun
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, EnvironmentError_
 from repro.gpu.device import Device
 from repro.litmus.program import LitmusTest
 
@@ -33,6 +33,10 @@ class TuningResult:
 
     kind: EnvironmentKind
     runs: List[TestRun]
+    #: Name of the execution backend that produced the runs, when
+    #: known (``None`` for results merged across backends or loaded
+    #: from archives that predate backend recording).
+    backend: Optional[str] = None
     _index: Dict[RunKey, TestRun] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
@@ -121,7 +125,10 @@ class TuningResult:
     def merge(self, other: "TuningResult") -> "TuningResult":
         if other.kind is not self.kind:
             raise AnalysisError("cannot merge results of different kinds")
-        return TuningResult(kind=self.kind, runs=self.runs + other.runs)
+        backend = self.backend if self.backend == other.backend else None
+        return TuningResult(
+            kind=self.kind, runs=self.runs + other.runs, backend=backend
+        )
 
 
 def environments_for(
@@ -166,6 +173,7 @@ def tuning_run(
     seed: int = 0,
     runner: Optional[Runner] = None,
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> TuningResult:
     """Reproduce one of the paper's four tuning experiments.
 
@@ -176,14 +184,23 @@ def tuning_run(
         environment_count: Random candidates for stressed kinds (the
             paper uses 150).
         seed: Seeds both environment generation and execution.
-        runner: Defaults to the analytic runner with the paper's
-            iteration counts.
+        runner: A fully configured :class:`Runner` for custom setups;
+            mutually exclusive with ``backend``.
         workers: With ``workers > 1``, delegate to the sharded
             campaign executor (:mod:`repro.campaign`); results are
             identical to the serial path for the same seed.  Requires
             name-constructible (bug-free or ``buggy``-roster) devices;
             custom ``runner`` objects force the serial path.
+        backend: Execution backend name from the
+            :mod:`repro.backends` registry (defaults to
+            ``"analytic"``); carried through campaign delegation so
+            sharded workers execute with the same backend.
     """
+    if runner is not None and backend is not None:
+        raise EnvironmentError_(
+            "pass either runner= or backend=, not both; a runner "
+            "already carries its backend"
+        )
     if workers is not None and workers > 1 and runner is None:
         if not any(len(device.bugs) for device in devices) and (
             _name_resolvable(tests)
@@ -202,12 +219,15 @@ def tuning_run(
                 test_names=tuple(test.name for test in tests),
                 environment_count=environment_count,
                 seed=seed,
+                backend=backend if backend is not None else "analytic",
             )
             outcome = CampaignScheduler(
                 spec, config=ExecutorConfig(workers=workers)
             ).run()
             return outcome.results[kind]
     environments = environments_for(kind, environment_count, seed)
-    active_runner = runner if runner is not None else Runner()
+    active_runner = runner if runner is not None else Runner(backend=backend)
     runs = active_runner.run_matrix(devices, tests, environments, seed=seed)
-    return TuningResult(kind=kind, runs=runs)
+    return TuningResult(
+        kind=kind, runs=runs, backend=active_runner.backend.name
+    )

@@ -96,6 +96,21 @@ class TestSerialization:
         restored = load_result(path)
         assert restored.test_names == result.test_names
 
+    def test_backend_round_trips(self, result):
+        assert result.backend == "analytic"
+        payload = result_to_dict(result)
+        assert payload["backend"] == "analytic"
+        assert result_from_dict(payload).backend == "analytic"
+
+    def test_backendless_payload_still_loads(self, result):
+        # Stats archives from before backend recording have no
+        # "backend" key; they must load with backend=None unchanged.
+        payload = result_to_dict(result)
+        del payload["backend"]
+        restored = result_from_dict(payload)
+        assert restored.backend is None
+        assert len(restored.runs) == len(result.runs)
+
     def test_version_checked(self, result):
         payload = result_to_dict(result)
         payload["version"] = 99

@@ -99,3 +99,52 @@ class TestRecords:
     def test_missing_journal_is_an_error(self, tmp_path):
         with pytest.raises(CampaignError, match="no journal"):
             CampaignJournal(tmp_path / "nope.jsonl").load_records()
+
+
+class TestBackendIdentity:
+    """The journal pins the execution backend, not just the grid."""
+
+    def test_header_serializes_backend(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        CampaignJournal.create(path, spec(backend="vectorized"))
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["spec"]["backend"] == "vectorized"
+
+    def test_resume_under_different_backend_rejected(self, tmp_path):
+        # A vectorized journal must not be continued analytically (or
+        # vice versa): the backend is part of the spec fingerprint.
+        path = tmp_path / "journal.jsonl"
+        run_campaign(
+            spec(backend="vectorized"),
+            journal_path=path,
+            config=ExecutorConfig(workers=1),
+        )
+        with pytest.raises(CampaignError, match="refusing"):
+            CampaignJournal.create(path, spec(backend="analytic"))
+
+    def test_loaded_spec_restores_backend(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        CampaignJournal.create(path, spec(backend="vectorized"))
+        assert CampaignJournal(path).load_spec().backend == "vectorized"
+
+    def test_version1_payload_still_loads(self):
+        # Journals written before the backend layer say "mode".
+        payload = spec().to_dict()
+        payload["version"] = 1
+        del payload["backend"]
+        payload["mode"] = "operational"
+        payload["max_operational_instances"] = 16
+        loaded = CampaignSpec.from_dict(payload)
+        assert loaded.backend == "operational"
+        assert loaded.max_operational_instances == 16
+
+    def test_version1_analytic_drops_ignored_cap(self):
+        # v1 always wrote the cap; only the operational mode read it.
+        payload = spec().to_dict()
+        payload["version"] = 1
+        del payload["backend"]
+        payload["mode"] = "analytic"
+        payload["max_operational_instances"] = 64
+        loaded = CampaignSpec.from_dict(payload)
+        assert loaded.backend == "analytic"
+        assert loaded.max_operational_instances is None

@@ -88,7 +88,7 @@ class TestEndToEnd:
             test_names=NAMES[:2],
             environment_count=1,
             seed=0,
-            mode="operational",
+            backend="operational",
             iterations_override=3,
             max_operational_instances=2,
         )

@@ -108,9 +108,13 @@ class TestValidation:
         with pytest.raises(CampaignError, match="kind"):
             small_spec(kinds=("WARP",))
 
-    def test_rejects_bad_mode(self):
-        with pytest.raises(CampaignError, match="mode"):
-            small_spec(mode="quantum")
+    def test_rejects_bad_backend(self):
+        with pytest.raises(CampaignError, match="backend"):
+            small_spec(backend="quantum")
+
+    def test_rejects_option_backend_ignores(self):
+        with pytest.raises(CampaignError, match="does not accept"):
+            small_spec(backend="analytic", max_operational_instances=8)
 
 
 class TestPresets:

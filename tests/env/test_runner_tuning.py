@@ -62,9 +62,23 @@ class TestTestRun:
 
 
 class TestRunnerModes:
-    def test_invalid_mode(self):
-        with pytest.raises(EnvironmentError_):
-            Runner(mode="quantum")
+    def test_invalid_backend(self):
+        with pytest.raises(EnvironmentError_, match="registered backends"):
+            Runner(backend="quantum")
+
+    def test_mode_is_deprecated_alias(self):
+        with pytest.warns(DeprecationWarning, match="backend"):
+            runner = Runner(mode="operational", max_operational_instances=4)
+        assert runner.mode == "operational"
+        assert runner.max_operational_instances == 4
+
+    def test_mode_and_backend_conflict(self):
+        with pytest.raises(EnvironmentError_, match="not both"):
+            Runner(backend="analytic", mode="analytic")
+
+    def test_option_rejected_by_backend(self):
+        with pytest.raises(EnvironmentError_, match="does not accept"):
+            Runner(backend="analytic", max_operational_instances=8)
 
     def test_analytic_run(self):
         runner = Runner()
@@ -91,7 +105,7 @@ class TestRunnerModes:
 
     def test_operational_run_counts_kills(self):
         runner = Runner(
-            mode="operational",
+            backend="operational",
             iterations_override=30,
             max_operational_instances=8,
         )
@@ -101,7 +115,7 @@ class TestRunnerModes:
         assert run.kills > 0
 
     def test_operational_conformance_zero_on_clean_device(self):
-        runner = Runner(mode="operational", iterations_override=20)
+        runner = Runner(backend="operational", iterations_override=20)
         device = make_device("amd")
         run = runner.run(device, library.mp_relacq(), site_baseline(), rng())
         assert run.kills == 0

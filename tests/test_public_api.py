@@ -22,6 +22,7 @@ SUBPACKAGES = [
     "repro.confidence",
     "repro.analysis",
     "repro.scopes",
+    "repro.backends",
 ]
 
 
