@@ -61,6 +61,11 @@ def parse_args() -> argparse.Namespace:
         help="environments per tuning family (paper: 150)",
     )
     parser.add_argument("--seed", type=int, default=SEED)
+    parser.add_argument(
+        "--suite", default=None, metavar="PATH",
+        help="evaluate a synthesized suite file (repro synthesize) "
+        "instead of the built-in Table 2 suite",
+    )
     return parser.parse_args()
 
 
@@ -70,8 +75,14 @@ def main() -> None:
     out.mkdir(parents=True, exist_ok=True)
     started = time.time()
 
-    print("[1/5] generating and verifying the suite (Table 2) ...")
-    suite = build_suite()
+    if args.suite is not None:
+        print(f"[1/5] loading synthesized suite {args.suite} ...")
+        from repro.synthesis import load_suite
+
+        suite = load_suite(args.suite, verify=True)
+    else:
+        print("[1/5] generating and verifying the suite (Table 2) ...")
+        suite = build_suite()
     (out / "table2.txt").write_text(render_table2(suite) + "\n")
     (out / "table3.txt").write_text(render_table3() + "\n")
 
@@ -80,6 +91,7 @@ def main() -> None:
         tuple(mutant.name for mutant in suite.mutants),
         environment_count=args.envs,
         seed=args.seed,
+        suite_path=args.suite,
     )
     outcome = run_campaign(
         spec,

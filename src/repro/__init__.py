@@ -38,6 +38,9 @@ Subpackages:
 * :mod:`repro.backends` — pluggable execution backends (analytic,
   operational, vectorized) behind one registry, plus the
   cross-backend validation harness.
+* :mod:`repro.synthesis` — automated cycle enumeration and
+  litmus/mutant synthesis: generates verified suites beyond the
+  hand-written Table 2 set and recovers that set as a self-check.
 """
 
 from repro.backends import (
@@ -108,6 +111,13 @@ from repro.campaign import (
     smoke_spec,
     verify_order_independence,
 )
+from repro.synthesis import (
+    SynthesisConfig,
+    SynthesizedSuite,
+    load_suite,
+    save_suite,
+    synthesize,
+)
 from repro.analysis import (
     figure5,
     figure6,
@@ -143,6 +153,8 @@ __all__ = [
     "Runner",
     "SC",
     "SC_PER_LOCATION",
+    "SynthesisConfig",
+    "SynthesizedSuite",
     "TARGET_FLOOR",
     "TARGET_MAX",
     "TestOracle",
@@ -159,6 +171,7 @@ __all__ = [
     "figure6",
     "generate_wgsl",
     "library",
+    "load_suite",
     "make_backend",
     "make_device",
     "merge_environments",
@@ -177,9 +190,11 @@ __all__ = [
     "required_kills",
     "resume_campaign",
     "run_campaign",
+    "save_suite",
     "site_baseline",
     "smoke_spec",
     "study_devices",
+    "synthesize",
     "table4",
     "total_reproducibility",
     "tuning_run",

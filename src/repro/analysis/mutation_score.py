@@ -94,6 +94,10 @@ def score_matrix(
     groups["combined"] = None
     matrix: Dict[str, Dict[str, ScoreCell]] = {}
     for group_name, mutator in groups.items():
+        # A partial (e.g. synthesized) suite may not exercise every
+        # mutator family; skip empty groups instead of erroring.
+        if mutator is not None and not _mutant_names(suite, mutator):
+            continue
         row: Dict[str, ScoreCell] = {}
         for device in result.device_names:
             row[device] = score_cell(

@@ -27,9 +27,12 @@ from repro.errors import EnvironmentError_, ReproError
 
 #: Version 2 renamed ``mode`` to ``backend`` (validated against the
 #: :mod:`repro.backends` registry) and made the operational instance
-#: cap an optional backend option instead of an always-present field;
-#: version-1 payloads are still readable (see :meth:`from_dict`).
-SPEC_VERSION = 2
+#: cap an optional backend option instead of an always-present field.
+#: Version 3 added ``suite_path``: a campaign over a synthesized suite
+#: (:mod:`repro.synthesis`) records the suite file so workers resolve
+#: generated test names from it.  Version 1 and 2 payloads are still
+#: readable (see :meth:`from_dict`).
+SPEC_VERSION = 3
 
 #: Identifies one work unit across processes and resumed campaigns.
 UnitKey = Tuple[str, int, str, str]  # (kind name, env_key, device, test)
@@ -83,6 +86,9 @@ class CampaignSpec:
     backend: str = "analytic"
     buggy: bool = False
     max_operational_instances: Optional[int] = None
+    #: Path to a synthesized-suite JSON file; when set, workers resolve
+    #: test names from that suite before the built-in registries.
+    suite_path: Optional[str] = None
     _kind_members: Tuple[EnvironmentKind, ...] = field(
         init=False, repr=False, compare=False, default=()
     )
@@ -164,6 +170,7 @@ class CampaignSpec:
             "backend": self.backend,
             "buggy": self.buggy,
             "max_operational_instances": self.max_operational_instances,
+            "suite_path": self.suite_path,
         }
 
     @classmethod
@@ -177,7 +184,7 @@ class CampaignSpec:
             cap = payload.get("max_operational_instances")
             if backend != "operational":
                 cap = None
-        elif version == SPEC_VERSION:
+        elif version in (2, SPEC_VERSION):
             backend = payload.get("backend", "analytic")
             cap = payload.get("max_operational_instances")
         else:
@@ -196,6 +203,7 @@ class CampaignSpec:
                 backend=backend,
                 buggy=payload.get("buggy", False),
                 max_operational_instances=cap,
+                suite_path=payload.get("suite_path"),
             )
         except KeyError as error:
             raise CampaignError(f"malformed campaign spec: missing {error}")
@@ -214,6 +222,7 @@ def paper_spec(
     device_names: Optional[Sequence[str]] = None,
     name: str = "reproduce-all",
     backend: str = "analytic",
+    suite_path: Optional[str] = None,
 ) -> CampaignSpec:
     """The full Sec. 5.1 evaluation grid (scaled by arguments)."""
     return CampaignSpec(
@@ -227,6 +236,7 @@ def paper_spec(
         environment_count=environment_count,
         seed=seed,
         backend=backend,
+        suite_path=suite_path,
     )
 
 
@@ -234,6 +244,7 @@ def smoke_spec(
     test_names: Sequence[str],
     seed: int = 0,
     backend: str = "analytic",
+    suite_path: Optional[str] = None,
 ) -> CampaignSpec:
     """A seconds-scale spec for CI smoke runs (`campaign run --smoke`)."""
     return CampaignSpec(
@@ -244,4 +255,5 @@ def smoke_spec(
         environment_count=3,
         seed=seed,
         backend=backend,
+        suite_path=suite_path,
     )

@@ -119,11 +119,18 @@ class WorkerState:
 _STATE: Optional[WorkerState] = None
 
 
-def _resolve_test(name: str):
-    """Resolve a test name like the CLI does: suite, library, extended."""
+def _resolve_test(name: str, synthesized=None):
+    """Resolve a test name like the CLI does: the campaign's
+    synthesized suite (when the spec names one), then the built-in
+    suite, library, and extended library."""
     from repro.litmus import extended, library
     from repro.mutation import default_suite
 
+    if synthesized is not None:
+        try:
+            return synthesized.find(name)
+        except KeyError:
+            pass
     suite = default_suite()
     try:
         return suite.find(name)
@@ -152,7 +159,21 @@ def build_state(
         name: make_device(name, buggy=spec.buggy)
         for name in spec.device_names
     }
-    tests = {name: _resolve_test(name) for name in spec.test_names}
+    synthesized = None
+    if spec.suite_path is not None:
+        from repro.synthesis import SynthesisError, load_suite
+
+        try:
+            synthesized = load_suite(spec.suite_path)
+        except SynthesisError as error:
+            raise CampaignError(
+                f"campaign names a synthesized suite that cannot be "
+                f"loaded: {error}"
+            )
+    tests = {
+        name: _resolve_test(name, synthesized)
+        for name in spec.test_names
+    }
     environments: Dict[Tuple[str, int], TestingEnvironment] = {}
     for kind in spec.kind_members:
         for environment in spec.environments(kind):

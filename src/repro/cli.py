@@ -8,6 +8,10 @@ side the artifact ran in a browser:
 .. code-block:: bash
 
     python -m repro suite                         # Table 2 + test listing
+    python -m repro suite --list --prune-devices  # per-test detail rows
+    python -m repro synthesize --max-events 4 --out synth.json
+    python -m repro suite --suite synth.json --list
+    python -m repro campaign run --out camp --suite synth.json
     python -m repro show corr --wgsl              # one test, as WGSL
     python -m repro tune --kind PTE --out pte.json
     python -m repro analyze --action mutation-score --stats-path pte.json
@@ -69,6 +73,63 @@ def _parser() -> argparse.ArgumentParser:
     suite_cmd.add_argument(
         "--list", action="store_true", help="also list every test"
     )
+    suite_cmd.add_argument(
+        "--suite",
+        default=None,
+        metavar="PATH",
+        help="inspect a synthesized suite file instead of the "
+        "built-in Table 2 suite",
+    )
+    suite_cmd.add_argument(
+        "--prune-devices",
+        nargs="*",
+        default=None,
+        metavar="DEVICE",
+        help="with --list, flag mutants unobservable on these devices "
+        "(no names = the four study devices)",
+    )
+
+    synthesize_cmd = commands.add_parser(
+        "synthesize",
+        help="enumerate cycle templates and synthesize a verified suite",
+    )
+    synthesize_cmd.add_argument(
+        "--max-events", type=int, default=4,
+        help="events per cycle (Table 2 lives at 4)",
+    )
+    synthesize_cmd.add_argument("--max-threads", type=int, default=2)
+    synthesize_cmd.add_argument(
+        "--events-per-thread", type=int, default=2
+    )
+    synthesize_cmd.add_argument(
+        "--edges", nargs="*", default=None,
+        choices=["po", "po-loc", "sw", "com"],
+        help="edge alphabet (default: all four)",
+    )
+    synthesize_cmd.add_argument(
+        "--budget", type=float, default=None,
+        help="wall-clock generation budget in seconds",
+    )
+    synthesize_cmd.add_argument(
+        "--candidate-timeout", type=float, default=10.0,
+        help="per-candidate oracle deadline in seconds",
+    )
+    synthesize_cmd.add_argument(
+        "--max-pairs", type=int, default=None,
+        help="stop after admitting this many pairs",
+    )
+    synthesize_cmd.add_argument(
+        "--dedupe-known", action="store_true",
+        help="drop pairs isomorphic to the hand-written Table 2 suite "
+        "(overlap is reported either way)",
+    )
+    synthesize_cmd.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-template progress lines",
+    )
+    synthesize_cmd.add_argument(
+        "--out", required=True, help="output suite JSON path"
+    )
 
     show = commands.add_parser("show", help="print one test")
     show.add_argument("name", help="suite test name, alias, or library name")
@@ -127,6 +188,13 @@ def _parser() -> argparse.ArgumentParser:
         required=True,
     )
     analyze.add_argument("--stats-path", default=None)
+    analyze.add_argument(
+        "--suite",
+        default=None,
+        metavar="PATH",
+        help="score against a synthesized suite file instead of the "
+        "built-in suite (mutation-score only)",
+    )
     analyze.add_argument("--rep", type=float, default=95.0,
                          help="reproducibility target in percent")
     analyze.add_argument("--budget", type=float, default=4.0,
@@ -202,6 +270,13 @@ def _parser() -> argparse.ArgumentParser:
         "continues with the same one",
     )
     campaign_run.add_argument(
+        "--suite",
+        default=None,
+        metavar="PATH",
+        help="run over a synthesized suite file's mutants instead of "
+        "the built-in suite",
+    )
+    campaign_run.add_argument(
         "--smoke", action="store_true",
         help="seconds-scale grid for CI smoke runs",
     )
@@ -241,26 +316,87 @@ def _find_test(name: str):
     return extended.by_name(name)
 
 
+def _load_cli_suite(path: Optional[str]):
+    """The suite a command operates on: synthesized file or built-in."""
+    if path is None:
+        return default_suite()
+    from repro.synthesis import load_suite
+
+    return load_suite(path)
+
+
 def _cmd_suite(args: argparse.Namespace) -> int:
-    suite = default_suite()
+    suite = _load_cli_suite(args.suite)
     print(render_table2(suite))
-    if args.list:
-        rows = []
-        for pair in suite.pairs:
-            rows.append(
-                [
-                    pair.conformance.name,
-                    pair.alias,
-                    pair.mutator.value,
-                    ", ".join(m.name for m in pair.mutants),
-                ]
-            )
+    if args.suite is not None:
         print()
-        print(
-            ascii_table(
-                ["Conformance test", "Alias", "Mutator", "Mutants"], rows
-            )
-        )
+        print(suite.describe())
+    if not args.list:
+        return 0
+    prune_devices = None
+    if args.prune_devices is not None:
+        from repro.mutation import observable_on
+
+        prune_devices = _devices(args.prune_devices)
+    rows = []
+    for pair in suite.pairs:
+        for role, test in [("conformance", pair.conformance)] + [
+            ("mutant", mutant) for mutant in pair.mutants
+        ]:
+            row = [
+                test.name,
+                role,
+                pair.template_name or "-",
+                pair.mutator.value,
+                pair.alias or "-",
+            ]
+            if prune_devices is not None:
+                pruned_on = (
+                    [
+                        device.name
+                        for device in prune_devices
+                        if not observable_on(device, test)
+                    ]
+                    if role == "mutant"
+                    else []
+                )
+                row.append(", ".join(pruned_on) or "-")
+            rows.append(row)
+    headers = ["Test", "Role", "Template", "Mutator", "Alias"]
+    if prune_devices is not None:
+        headers.append("Pruned on")
+    print()
+    print(ascii_table(headers, rows))
+    return 0
+
+
+def _cmd_synthesize(args: argparse.Namespace) -> int:
+    from repro.synthesis import (
+        ALL_EDGES,
+        SynthesisConfig,
+        save_suite,
+        synthesize,
+    )
+
+    config = SynthesisConfig(
+        max_events=args.max_events,
+        max_threads=args.max_threads,
+        max_events_per_thread=args.events_per_thread,
+        edges=frozenset(args.edges) if args.edges else ALL_EDGES,
+        budget_seconds=args.budget,
+        candidate_timeout=args.candidate_timeout,
+        max_pairs=args.max_pairs,
+        dedupe_known=args.dedupe_known,
+    )
+    suite = synthesize(
+        config, log=None if args.quiet else print
+    )
+    path = save_suite(suite, args.out)
+    conformance, mutants = suite.combined_counts()
+    print(
+        f"saved {conformance} conformance tests + {mutants} mutants "
+        f"to {path}"
+    )
     return 0
 
 
@@ -355,7 +491,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     if args.stats_path is None:
         raise ReproError(f"--stats-path is required for {args.action}")
     result = load_result(args.stats_path)
-    suite = default_suite()
+    suite = _load_cli_suite(args.suite)
     if args.action == "mutation-score":
         matrix = score_matrix(result, suite)
         rows = []
@@ -485,10 +621,15 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         _finish_campaign(outcome, out_dir)
         return 0
     # run
-    suite = default_suite()
+    suite = _load_cli_suite(args.suite)
     mutant_names = tuple(mutant.name for mutant in suite.mutants)
     if args.smoke:
-        spec = smoke_spec(mutant_names, seed=args.seed, backend=args.backend)
+        spec = smoke_spec(
+            mutant_names,
+            seed=args.seed,
+            backend=args.backend,
+            suite_path=args.suite,
+        )
     else:
         spec = paper_spec(
             mutant_names,
@@ -497,6 +638,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             kinds=args.kinds,
             device_names=args.devices,
             backend=args.backend,
+            suite_path=args.suite,
         )
     out_dir.mkdir(parents=True, exist_ok=True)
     config = _executor_config(args)
@@ -513,6 +655,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
 _HANDLERS = {
     "suite": _cmd_suite,
+    "synthesize": _cmd_synthesize,
     "show": _cmd_show,
     "run": _cmd_run,
     "tune": _cmd_tune,

@@ -18,6 +18,7 @@ from repro.mutation.templates import (
     WEAKENING_PO_LOC,
     WEAKENING_SW,
     canonical_assignments,
+    event_symmetries,
 )
 from repro.mutation.mutators import (
     ALL_MUTATORS,
@@ -29,6 +30,7 @@ from repro.mutation.mutators import (
     WeakeningSwMutator,
 )
 from repro.mutation.pruning import (
+    MAXIMAL_PRESSURE,
     PruneReport,
     observability_matrix,
     observable_fraction,
@@ -40,6 +42,7 @@ from repro.mutation.suite import MutationSuite, build_suite, default_suite
 __all__ = [
     "ALL_MUTATORS",
     "ALL_TEMPLATES",
+    "MAXIMAL_PRESSURE",
     "AbstractEvent",
     "AccessKind",
     "ComEdge",
@@ -59,6 +62,7 @@ __all__ = [
     "build_suite",
     "canonical_assignments",
     "default_suite",
+    "event_symmetries",
     "observability_matrix",
     "observable_fraction",
     "observable_on",

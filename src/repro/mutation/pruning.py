@@ -28,6 +28,9 @@ from repro.mutation.suite import MutationSuite
 
 #: The most permissive tuning a device can reach: if a behaviour has
 #: zero probability here, no testing environment can ever observe it.
+#: This is the *default* observability model; every function below
+#: accepts an explicit ``tuning`` to analyse observability under a
+#: different pressure regime (e.g. a site's actual ceiling).
 MAXIMAL_PRESSURE = ExecutionTuning(
     reorder_probability=1.0,
     flush_probability=0.05,
@@ -37,10 +40,16 @@ MAXIMAL_PRESSURE = ExecutionTuning(
 )
 
 
-def observable_on(device: Device, mutant: LitmusTest) -> bool:
-    """Can any testing environment observe this mutant on this device?"""
+def observable_on(
+    device: Device,
+    mutant: LitmusTest,
+    tuning: ExecutionTuning = MAXIMAL_PRESSURE,
+) -> bool:
+    """Can a testing environment reaching ``tuning`` observe this
+    mutant on this device?  The default is the maximal pressure any
+    environment can apply."""
     model = BatchModel(device.profile, device.bugs)
-    return model.instance_probability(mutant, MAXIMAL_PRESSURE) > 0.0
+    return model.instance_probability(mutant, tuning) > 0.0
 
 
 @dataclass(frozen=True)
@@ -70,7 +79,9 @@ class PruneReport:
 
 
 def prune_for_device(
-    suite: MutationSuite, device: Device
+    suite: MutationSuite,
+    device: Device,
+    tuning: ExecutionTuning = MAXIMAL_PRESSURE,
 ) -> Tuple[MutationSuite, PruneReport]:
     """Drop mutants whose behaviour the device can never exhibit.
 
@@ -85,7 +96,7 @@ def prune_for_device(
         surviving = tuple(
             mutant
             for mutant in pair.mutants
-            if observable_on(device, mutant)
+            if observable_on(device, mutant, tuning)
         )
         pruned_names.extend(
             mutant.name
@@ -100,6 +111,7 @@ def prune_for_device(
                     conformance=pair.conformance,
                     mutants=surviving,
                     alias=pair.alias,
+                    template_name=pair.template_name,
                 )
             )
     report = PruneReport(
@@ -111,7 +123,9 @@ def prune_for_device(
 
 
 def observability_matrix(
-    suite: MutationSuite, devices: Sequence[Device]
+    suite: MutationSuite,
+    devices: Sequence[Device],
+    tuning: ExecutionTuning = MAXIMAL_PRESSURE,
 ) -> Dict[str, Dict[str, bool]]:
     """``matrix[mutant][device] = observable`` for the whole study.
 
@@ -121,17 +135,19 @@ def observability_matrix(
     matrix: Dict[str, Dict[str, bool]] = {}
     for _, mutant in suite.mutant_pairs():
         matrix[mutant.name] = {
-            device.name: observable_on(device, mutant)
+            device.name: observable_on(device, mutant, tuning)
             for device in devices
         }
     return matrix
 
 
 def observable_fraction(
-    suite: MutationSuite, devices: Sequence[Device]
+    suite: MutationSuite,
+    devices: Sequence[Device],
+    tuning: ExecutionTuning = MAXIMAL_PRESSURE,
 ) -> float:
     """The fraction of (mutant, device) pairs that are observable."""
-    matrix = observability_matrix(suite, devices)
+    matrix = observability_matrix(suite, devices, tuning)
     cells = [
         value for row in matrix.values() for value in row.values()
     ]

@@ -170,29 +170,70 @@ class CycleTemplate:
         return "_".join(parts)
 
 
-def _symmetric_image(
-    template: CycleTemplate, kinds: Dict[str, AccessKind]
-) -> Dict[str, AccessKind]:
-    """The kind map after swapping the template's two threads.
+def event_symmetries(template: CycleTemplate) -> List[Dict[str, str]]:
+    """Nontrivial structure-preserving event relabelings of a template.
 
-    Only meaningful for the symmetric four-event templates, where
-    swapping threads maps event ``a``→``c``, ``b``→``d`` and vice
-    versa (and, for the two-location template, also swaps locations —
-    which leaves the kind structure unchanged).
+    A symmetry is induced by a permutation of threads that maps each
+    thread slot-by-slot onto an equally long thread, carries the
+    ``com`` edge set onto itself (directions preserved), and respects
+    the location pattern up to a consistent location bijection.  For
+    the paper's symmetric four-event templates this recovers exactly
+    the thread swap ``a``↔``c``, ``b``↔``d``; the asymmetric
+    three-event template has none.
+
+    The forced-rf edge is *not* required to map to itself: forcing
+    either edge of a symmetric cycle yields isomorphic instantiations,
+    so treating the swap as a symmetry is what deduplicates them.
     """
-    mapping = {"a": "c", "b": "d", "c": "a", "d": "b"}
-    return {mapping[name]: kind for name, kind in kinds.items()}
+    per_thread = [
+        template.thread_events(thread)
+        for thread in range(template.thread_count)
+    ]
+    edges = {(edge.source, edge.target) for edge in template.com_edges}
+    result: List[Dict[str, str]] = []
+    identity = tuple(range(template.thread_count))
+    for permutation in itertools.permutations(range(template.thread_count)):
+        if permutation == identity:
+            continue
+        if any(
+            len(per_thread[thread]) != len(per_thread[image])
+            for thread, image in enumerate(permutation)
+        ):
+            continue
+        mapping = {
+            event.name: per_thread[image][slot].name
+            for thread, image in enumerate(permutation)
+            for slot, event in enumerate(per_thread[thread])
+        }
+        location_map: Dict[str, str] = {}
+        consistent = True
+        for event in template.events:
+            target = template.event(mapping[event.name]).location
+            if location_map.setdefault(event.location, target) != target:
+                consistent = False
+                break
+        if not consistent or len(set(location_map.values())) != len(
+            location_map
+        ):
+            continue
+        if {
+            (mapping[source], mapping[target]) for source, target in edges
+        } != edges:
+            continue
+        result.append(mapping)
+    return result
 
 
 def canonical_assignments(
     template: CycleTemplate,
     promotions_needed=None,
 ) -> List[Dict[str, AccessKind]]:
-    """Valid kind maps, deduplicated under thread-swap symmetry.
+    """Valid kind maps, deduplicated under the template's symmetries.
 
     Args:
-        template: A four-event two-thread template (the three-event
-            template has no symmetry and is returned as-is).
+        template: Any cycle template; its symmetry group is derived
+            structurally by :func:`event_symmetries` (templates with no
+            symmetry are returned as-is).
         promotions_needed: Optional callable mapping a kind map to the
             number of RMW promotions it requires; used to pick the
             representative needing the fewest promotions (the paper
@@ -208,7 +249,8 @@ def canonical_assignments(
         for kinds in template.kind_assignments()
         if template.is_valid_assignment(kinds)
     ]
-    if template.thread_count != 2 or len(template.events) != 4:
+    symmetries = event_symmetries(template)
+    if not symmetries:
         return sorted(valid, key=template.kind_signature)
 
     def preference(kinds: Dict[str, AccessKind]) -> Tuple[int, str]:
@@ -217,13 +259,16 @@ def canonical_assignments(
 
     chosen: Dict[str, Dict[str, AccessKind]] = {}
     for kinds in valid:
-        image = _symmetric_image(template, kinds)
-        class_key = min(
-            template.kind_signature(kinds), template.kind_signature(image)
-        )
-        candidates = [kinds]
-        if template.is_valid_assignment(image):
-            candidates.append(image)
+        images = [kinds] + [
+            {mapping[name]: kind for name, kind in kinds.items()}
+            for mapping in symmetries
+        ]
+        class_key = min(template.kind_signature(image) for image in images)
+        candidates = [
+            image
+            for image in images
+            if template.is_valid_assignment(image)
+        ]
         best = min(candidates, key=preference)
         if class_key not in chosen or preference(best) < preference(
             chosen[class_key]

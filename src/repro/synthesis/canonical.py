@@ -1,0 +1,205 @@
+"""Canonical forms for cycle templates and litmus tests.
+
+Synthesis enumerates raw candidates; this module folds them under the
+symmetries that leave behaviour unchanged:
+
+* **templates** — thread permutations and location renamings (event
+  names and the paper's ``a``..``d`` labels carry no meaning);
+* **tests** — testing-thread permutations plus location, stored-value,
+  and register renamings (values and registers are arbitrary unique
+  tokens; only their equality pattern matters).
+
+Both keys are min-lexicographic over the symmetry group, so two
+candidates are isomorphic iff their keys are equal — the property the
+dedup stage and the Table 2 overlap report rest on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.litmus.instructions import (
+    AtomicExchange,
+    AtomicLoad,
+    AtomicStore,
+    Fence,
+    Instruction,
+)
+from repro.litmus.program import LitmusTest
+from repro.mutation.templates import CycleTemplate
+
+TemplateKey = Tuple
+TestKey = Tuple
+
+
+def template_canonical_key(template: CycleTemplate) -> TemplateKey:
+    """A key equal for exactly the isomorphic cycle templates.
+
+    Symmetries folded: thread permutations (slot order within a thread
+    is program order and must be preserved) and location renamings.
+    The forced-rf edge is encoded by its position, so forcing either
+    edge of a symmetric ring collapses to one key while genuinely
+    different synchronization placements stay distinct.
+    """
+    per_thread = [
+        template.thread_events(thread)
+        for thread in range(template.thread_count)
+    ]
+    forced = (
+        template.com_edges[template.forced_rf_edge]
+        if 0 <= template.forced_rf_edge < len(template.com_edges)
+        else None
+    )
+    best: Optional[TemplateKey] = None
+    for permutation in itertools.permutations(range(len(per_thread))):
+        # permutation[i] = original thread placed at position i.
+        location_ids: Dict[str, int] = {}
+        threads_encoded: List[Tuple[int, ...]] = []
+        slot_of: Dict[str, Tuple[int, int]] = {}
+        for position, original in enumerate(permutation):
+            encoded: List[int] = []
+            for slot, event in enumerate(per_thread[original]):
+                location_ids.setdefault(
+                    event.location, len(location_ids)
+                )
+                encoded.append(location_ids[event.location])
+                slot_of[event.name] = (position, slot)
+            threads_encoded.append(tuple(encoded))
+        edges_encoded = tuple(
+            sorted(
+                (slot_of[edge.source], slot_of[edge.target])
+                for edge in template.com_edges
+            )
+        )
+        forced_encoded = (
+            (slot_of[forced.source], slot_of[forced.target])
+            if forced is not None
+            else None
+        )
+        key: TemplateKey = (
+            template.fenced,
+            template.model.name,
+            tuple(threads_encoded),
+            edges_encoded,
+            forced_encoded,
+        )
+        if best is None or key < best:
+            best = key
+    assert best is not None
+    return best
+
+
+def _encode_instruction(
+    instruction: Instruction,
+    location_ids: Dict[str, int],
+    value_ids: Dict[int, int],
+    register_ids: Dict[str, int],
+) -> Tuple:
+    def location_id(location: object) -> int:
+        return location_ids.setdefault(str(location), len(location_ids))
+
+    def value_id(value: int) -> int:
+        return value_ids.setdefault(value, len(value_ids))
+
+    def register_id(name: str) -> int:
+        return register_ids.setdefault(name, len(register_ids))
+
+    if isinstance(instruction, AtomicExchange):
+        return (
+            "rmw",
+            location_id(instruction.location),
+            value_id(instruction.value),
+            register_id(instruction.register),
+        )
+    if isinstance(instruction, AtomicStore):
+        return (
+            "st",
+            location_id(instruction.location),
+            value_id(instruction.value),
+            -1,
+        )
+    if isinstance(instruction, AtomicLoad):
+        return (
+            "ld",
+            location_id(instruction.location),
+            -1,
+            register_id(instruction.register),
+        )
+    if isinstance(instruction, Fence):
+        return ("fence", -1, -1, -1)
+    # Anything else (e.g. scoped control barriers) keys on its type.
+    return (type(instruction).__name__, -1, -1, -1)
+
+
+def test_canonical_key(test: LitmusTest) -> TestKey:
+    """A key equal for exactly the isomorphic litmus tests.
+
+    Symmetries folded: permutations of testing threads (observers keep
+    their relative order after them), plus location, stored-value, and
+    register renamings applied in traversal order.  The target
+    behaviour is renamed with the same maps, so ``r0 == 1`` and
+    ``r2 == 5`` compare equal when the underlying reads and writes
+    correspond.
+    """
+    testing = list(test.testing_threads)
+    observers = sorted(test.observer_threads)
+    best: Optional[TestKey] = None
+    for permutation in itertools.permutations(testing):
+        order = list(permutation) + observers
+        location_ids: Dict[str, int] = {}
+        value_ids: Dict[int, int] = {0: 0}  # 0 is the initial value
+        register_ids: Dict[str, int] = {}
+        threads_encoded: List[Tuple] = []
+        for thread_index in order:
+            threads_encoded.append(
+                tuple(
+                    _encode_instruction(
+                        instruction,
+                        location_ids,
+                        value_ids,
+                        register_ids,
+                    )
+                    for instruction in test.threads[thread_index]
+                )
+            )
+        target_encoded: Optional[Tuple] = None
+        if test.target is not None:
+            reads = tuple(
+                sorted(
+                    (register_ids[register], value_ids[value])
+                    for register, value in test.target.reads.items()
+                )
+            )
+            co = tuple(
+                sorted(
+                    (value_ids[earlier], value_ids[later])
+                    for earlier, later in test.target.co
+                )
+            )
+            target_encoded = (reads, co)
+        observer_flags = tuple(
+            1 if thread_index in test.observer_threads else 0
+            for thread_index in order
+        )
+        key: TestKey = (
+            test.model.name,
+            tuple(threads_encoded),
+            observer_flags,
+            target_encoded,
+        )
+        if best is None or key < best:
+            best = key
+    assert best is not None
+    return best
+
+
+def pair_canonical_key(
+    conformance: LitmusTest, mutants: Sequence[LitmusTest]
+) -> Tuple:
+    """Key of a whole (conformance, mutants) pair: the conformance key
+    plus the sorted mutant keys (mutant order carries no meaning)."""
+    return (
+        test_canonical_key(conformance),
+        tuple(sorted(test_canonical_key(mutant) for mutant in mutants)),
+    )

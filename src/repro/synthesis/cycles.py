@@ -1,0 +1,305 @@
+"""Enumerating happens-before cycle templates (the synthesis frontier).
+
+The paper hand-picks three cycle shapes (Fig. 3); this module
+enumerates the whole family they belong to, up to a configurable size:
+simple cycles that traverse each thread's program-order segment once,
+entering at its first event and leaving at its last, with cross-thread
+``com`` edges closing the ring.  Two sub-families correspond to the
+intra-thread edge alphabet:
+
+* ``po-loc`` cycles (unfenced): every segment must be ordered by
+  coherence alone, so all events share one location — the family of
+  :data:`~repro.mutation.templates.REVERSING_PO_LOC` and
+  :data:`~repro.mutation.templates.WEAKENING_PO_LOC`.
+* ``po``/``sw`` cycles (fenced): segments are ordered through
+  release/acquire fences and one com edge is designated the
+  synchronization (forced ``rf``) edge, so locations may differ — the
+  family of :data:`~repro.mutation.templates.WEAKENING_SW`.
+
+Structural constraints enforced here are *necessary* conditions only
+(com edges connect same-location endpoints, fenced templates carry at
+least one fence, locations are emitted in first-use canonical order);
+whether a candidate really is a disallowed cycle is decided later by
+the enumeration oracle, which verifies every concretized test.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.memory_model.models import (
+    REL_ACQ_SC_PER_LOCATION,
+    SC_PER_LOCATION,
+)
+from repro.mutation.templates import AbstractEvent, ComEdge, CycleTemplate
+
+#: Intra-thread edge alphabet understood by the enumerator.  ``com``
+#: (the cross-thread communication edges) is always part of a cycle.
+EDGE_PO = "po"
+EDGE_PO_LOC = "po-loc"
+EDGE_SW = "sw"
+EDGE_COM = "com"
+ALL_EDGES = frozenset({EDGE_PO, EDGE_PO_LOC, EDGE_SW, EDGE_COM})
+
+#: Event names, assigned in (thread, slot) order like the paper's
+#: ``a``..``d``.
+_EVENT_NAMES = "abcdefghijklmnop"
+
+#: Canonical location letters, assigned in first-use order.
+_LOCATION_NAMES = ("x", "y", "z", "w", "v", "u")
+
+
+class SynthesisError(ReproError):
+    """Raised for invalid synthesis configurations."""
+
+
+@dataclass(frozen=True)
+class SynthesisConfig:
+    """Bounds and knobs for one synthesis run.
+
+    Attributes:
+        max_events: Total memory events per cycle (the paper's Table 2
+            suite lives at 4: the size bound that recovers it).
+        max_threads: Testing threads per cycle (observers excluded).
+        max_events_per_thread: Segment length bound.
+        edges: The edge alphabet; must contain ``com`` and at least
+            one of ``po-loc`` (unfenced cycles) or ``sw`` (fenced
+            cycles, which also require ``po``).
+        budget_seconds: Wall-clock generation budget; enumeration stops
+            admitting candidates once exhausted (``None`` = unbounded).
+        candidate_timeout: Per-candidate oracle deadline in seconds
+            (``None`` = unbounded); candidates whose verification
+            exceeds it are dropped, not fatal.
+        max_pairs: Stop after admitting this many pairs (``None`` =
+            unbounded).
+        dedupe_known: Drop pairs structurally identical to the
+            hand-written Table 2 suite from the output (the overlap is
+            always *reported* either way).
+    """
+
+    max_events: int = 4
+    max_threads: int = 2
+    max_events_per_thread: int = 2
+    edges: FrozenSet[str] = ALL_EDGES
+    budget_seconds: Optional[float] = None
+    candidate_timeout: Optional[float] = 10.0
+    max_pairs: Optional[int] = None
+    dedupe_known: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "edges", frozenset(self.edges))
+        unknown = self.edges - ALL_EDGES
+        if unknown:
+            raise SynthesisError(
+                f"unknown edge kinds: {sorted(unknown)} "
+                f"(alphabet: {sorted(ALL_EDGES)})"
+            )
+        if EDGE_COM not in self.edges:
+            raise SynthesisError(
+                "the edge alphabet needs 'com': cycles cross threads"
+            )
+        if EDGE_SW in self.edges and EDGE_PO not in self.edges:
+            raise SynthesisError(
+                "'sw' cycles synchronize po segments; add 'po' to the "
+                "edge alphabet"
+            )
+        if not (self.unfenced_enabled or self.fenced_enabled):
+            raise SynthesisError(
+                "the edge alphabet admits no cycle family: add "
+                "'po-loc' (unfenced) or 'sw' (fenced)"
+            )
+        if self.max_threads < 2:
+            raise SynthesisError("cycles need at least two threads")
+        if self.max_events_per_thread < 1:
+            raise SynthesisError("threads need at least one event")
+        if self.max_events < 2:
+            raise SynthesisError("cycles need at least two events")
+        if self.max_events > len(_EVENT_NAMES):
+            raise SynthesisError(
+                f"max_events capped at {len(_EVENT_NAMES)}"
+            )
+
+    @property
+    def unfenced_enabled(self) -> bool:
+        return EDGE_PO_LOC in self.edges
+
+    @property
+    def fenced_enabled(self) -> bool:
+        return EDGE_SW in self.edges
+
+    def describe(self) -> str:
+        budget = (
+            f"{self.budget_seconds:g}s" if self.budget_seconds else "∞"
+        )
+        return (
+            f"≤{self.max_events} events, ≤{self.max_threads} threads, "
+            f"≤{self.max_events_per_thread}/thread, "
+            f"edges {{{', '.join(sorted(self.edges))}}}, budget {budget}"
+        )
+
+
+def _thread_shapes(config: SynthesisConfig) -> Iterator[Tuple[int, ...]]:
+    """Per-thread event counts, canonically non-increasing.
+
+    Non-increasing order prunes pure thread-permutation duplicates at
+    the source; the canonical-key dedup downstream removes the rest
+    (location symmetries, ring rotations of equal-count shapes).
+    """
+    for threads in range(2, config.max_threads + 1):
+        for counts in itertools.product(
+            range(config.max_events_per_thread, 0, -1), repeat=threads
+        ):
+            if sum(counts) > config.max_events:
+                continue
+            if any(
+                counts[i] < counts[i + 1] for i in range(threads - 1)
+            ):
+                continue
+            yield counts
+
+
+def _ring_edges(counts: Sequence[int]) -> List[Tuple[int, int]]:
+    """Com edges as ((thread, slot), (thread, slot)) pairs: last event
+    of each thread to the first event of the next, closing the ring."""
+    threads = len(counts)
+    return [
+        ((thread, counts[thread] - 1), ((thread + 1) % threads, 0))
+        for thread in range(threads)
+    ]
+
+
+def _location_patterns(
+    counts: Sequence[int], fenced: bool
+) -> Iterator[Tuple[Tuple[str, ...], ...]]:
+    """All canonical per-event location assignments for one shape.
+
+    Unfenced: a single location (po-loc segments and same-location com
+    edges force it).  Fenced: one free choice per same-location class
+    (com-edge endpoints must share a location, so the ring's edges
+    partition the slots into classes), in first-use canonical order.
+    """
+    if not fenced:
+        yield tuple(("x",) * count for count in counts)
+        return
+    slots = [
+        (thread, slot)
+        for thread, count in enumerate(counts)
+        for slot in range(count)
+    ]
+    # Union same-location classes over the ring's com edges; the class
+    # representative is the slot seen first in traversal order, so
+    # class indices below are already in first-use order.
+    parent = {slot: slot for slot in slots}
+
+    def find(slot: Tuple[int, int]) -> Tuple[int, int]:
+        while parent[slot] != slot:
+            parent[slot] = parent[parent[slot]]
+            slot = parent[slot]
+        return slot
+
+    for source, target in _ring_edges(counts):
+        root_a, root_b = find(source), find(target)
+        if root_a != root_b:
+            parent[max(root_a, root_b)] = min(root_a, root_b)
+    class_of: List[int] = []
+    class_index: dict = {}
+    for slot in slots:
+        root = find(slot)
+        class_of.append(
+            class_index.setdefault(root, len(class_index))
+        )
+    class_count = len(class_index)
+    if class_count > len(_LOCATION_NAMES):
+        return
+
+    def extend(
+        assigned: List[str], used: int
+    ) -> Iterator[Tuple[Tuple[str, ...], ...]]:
+        if len(assigned) == class_count:
+            pattern: List[List[str]] = [[] for _ in counts]
+            for (thread, _), class_id in zip(slots, class_of):
+                pattern[thread].append(assigned[class_id])
+            yield tuple(tuple(locs) for locs in pattern)
+            return
+        # First-use canonical order: reuse any seen location, or open
+        # exactly the next fresh one.
+        for choice in range(used + 1):
+            yield from extend(
+                assigned + [_LOCATION_NAMES[choice]],
+                max(used, choice + 1),
+            )
+
+    yield from extend([], 0)
+
+
+def _build_template(
+    counts: Sequence[int],
+    pattern: Sequence[Sequence[str]],
+    fenced: bool,
+    forced_rf_edge: int,
+    serial: int,
+) -> CycleTemplate:
+    events: List[AbstractEvent] = []
+    name_index = 0
+    for thread, count in enumerate(counts):
+        for slot in range(count):
+            events.append(
+                AbstractEvent(
+                    _EVENT_NAMES[name_index],
+                    thread,
+                    slot,
+                    pattern[thread][slot],
+                )
+            )
+            name_index += 1
+    by_position = {(e.thread, e.slot): e.name for e in events}
+    com_edges = tuple(
+        ComEdge(by_position[source], by_position[target])
+        for source, target in _ring_edges(counts)
+    )
+    shape = "".join(str(count) for count in counts)
+    locations = "_".join("".join(locs) for locs in pattern)
+    suffix = f"F{forced_rf_edge}" if fenced else "U"
+    return CycleTemplate(
+        name=f"syn{serial}_{shape}_{locations}_{suffix}",
+        title=f"synthesized cycle ({shape}, {locations}, {suffix})",
+        events=tuple(events),
+        com_edges=com_edges,
+        fenced=fenced,
+        model=REL_ACQ_SC_PER_LOCATION if fenced else SC_PER_LOCATION,
+        forced_rf_edge=forced_rf_edge if fenced else -1,
+    )
+
+
+def enumerate_templates(
+    config: SynthesisConfig,
+) -> Iterator[CycleTemplate]:
+    """Every candidate cycle template within the configured bounds.
+
+    Raw enumeration: isomorphic candidates (thread rotations of equal
+    shapes, forced-edge mirror images) are emitted and must be folded
+    by :func:`repro.synthesis.canonical.template_canonical_key`.
+    """
+    serial = 0
+    for counts in _thread_shapes(config):
+        families: List[bool] = []
+        if config.unfenced_enabled:
+            families.append(False)
+        # A fenced template needs at least one actual fence (a thread
+        # with two or more events) for the sw edge to synchronize.
+        if config.fenced_enabled and counts[0] >= 2:
+            families.append(True)
+        for fenced in families:
+            for pattern in _location_patterns(counts, fenced):
+                if fenced:
+                    forced_choices = range(len(counts))
+                else:
+                    forced_choices = [-1]
+                for forced in forced_choices:
+                    serial += 1
+                    yield _build_template(
+                        counts, pattern, fenced, forced, serial
+                    )

@@ -1,0 +1,313 @@
+"""The synthesis engine: from cycle bounds to a verified suite.
+
+Pipeline (each stage feeds the next, every number lands in
+:class:`~repro.synthesis.suite.SynthesisStats`):
+
+1. **enumerate** — :func:`repro.synthesis.cycles.enumerate_templates`
+   yields every raw cycle template within the configured bounds;
+2. **canonicalize** — templates equal under
+   :func:`~repro.synthesis.canonical.template_canonical_key` are
+   generated once;
+3. **mutate** — every applicable mutator instantiation from
+   :mod:`repro.mutation.mutators` is applied to each canonical
+   template (each eligible reversal thread, each eligible relocation
+   edge, the fence-weakening when the template is fenced);
+4. **verify** — each candidate builds under a per-candidate oracle
+   deadline and a global wall-clock budget; candidates that fail
+   verification or time out are counted and dropped, never fatal;
+5. **dedupe** — pairs equal under
+   :func:`~repro.synthesis.canonical.pair_canonical_key` are admitted
+   once, and pairs isomorphic to the hand-written Table 2 suite are
+   reported as recovered (the key self-check: at the Table 2 size
+   bound the engine must recover all 20 conformance tests and all 32
+   mutants).
+
+The result is a :class:`~repro.synthesis.suite.SynthesizedSuite` — a
+drop-in :class:`~repro.mutation.suite.MutationSuite` ready for
+campaigns, pruning, and mutation-score analysis.
+"""
+
+from __future__ import annotations
+
+import signal
+import time
+from contextlib import contextmanager
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.errors import ReproError
+from repro.mutation.mutators import (
+    MutationPair,
+    Mutator,
+    ReversingPoLocMutator,
+    WeakeningPoLocMutator,
+    WeakeningSwMutator,
+)
+from repro.mutation.suite import MutationSuite, default_suite
+from repro.mutation.templates import CycleTemplate
+from repro.synthesis.canonical import (
+    pair_canonical_key,
+    template_canonical_key,
+    test_canonical_key,
+)
+from repro.synthesis.cycles import (
+    SynthesisConfig,
+    enumerate_templates,
+)
+from repro.synthesis.suite import SynthesisStats, SynthesizedSuite
+
+#: Progress callback: called with human-readable one-liners.
+LogFn = Callable[[str], None]
+
+
+class CandidateTimeout(ReproError):
+    """A candidate exceeded the per-candidate oracle deadline."""
+
+
+@contextmanager
+def _deadline(seconds: Optional[float]) -> Iterator[None]:
+    """A soft per-candidate deadline via SIGALRM where available.
+
+    Mirrors the campaign worker's per-unit deadline: on platforms
+    without SIGALRM (or off the main thread) the deadline degrades to
+    "no timeout" and only the global budget bounds the run.
+    """
+    usable = (
+        seconds is not None
+        and seconds > 0
+        and hasattr(signal, "SIGALRM")
+    )
+    if usable:
+        try:
+            previous = signal.signal(
+                signal.SIGALRM,
+                lambda signum, frame: (_ for _ in ()).throw(
+                    CandidateTimeout(
+                        f"candidate exceeded {seconds:g}s oracle deadline"
+                    )
+                ),
+            )
+        except ValueError:  # not the main thread
+            usable = False
+    if not usable:
+        yield
+        return
+    signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def mutator_instances(template: CycleTemplate) -> List[Mutator]:
+    """Every applicable mutator instantiation for one template.
+
+    The paper picks one disruptor per hand-written template; on an
+    arbitrary synthesized template each structural opportunity gets its
+    own instance (reversing every eligible thread, relocating every
+    eligible com edge), with a ``name_tag`` so generated test names
+    stay unique per (template, disruptor).
+    """
+    instances: List[Mutator] = []
+    for thread in ReversingPoLocMutator.eligible_threads(template):
+        instances.append(
+            ReversingPoLocMutator(
+                template, name_tag=f"r{thread}", reversed_thread=thread
+            )
+        )
+    for edge in WeakeningPoLocMutator.eligible_edges(template):
+        instances.append(
+            WeakeningPoLocMutator(
+                template, name_tag=f"e{edge}", relocated_edge=edge
+            )
+        )
+    if WeakeningSwMutator.applicable(template):
+        instances.append(WeakeningSwMutator(template, name_tag="sw"))
+    return instances
+
+
+class _KnownSuiteIndex:
+    """Canonical keys of a reference (hand-written) suite.
+
+    Keys map to the *names* sharing them (distinct reference tests may
+    be isomorphic — e.g. the two single-fence drops of the SB pair —
+    and recovering the shape recovers all of them), so recovery counts
+    are in reference-test units: 20 conformance tests, 32 mutants.
+    """
+
+    def __init__(self, reference: MutationSuite) -> None:
+        self.pair_names: Dict[Tuple, str] = {}
+        self.conformance_names: Dict[Tuple, List[str]] = {}
+        self.mutant_names: Dict[Tuple, List[str]] = {}
+        for pair in reference.pairs:
+            key = pair_canonical_key(pair.conformance, pair.mutants)
+            self.pair_names[key] = pair.conformance.name
+            self.conformance_names.setdefault(
+                test_canonical_key(pair.conformance), []
+            ).append(pair.conformance.name)
+            for mutant in pair.mutants:
+                self.mutant_names.setdefault(
+                    test_canonical_key(mutant), []
+                ).append(mutant.name)
+
+    @staticmethod
+    def total(names: Dict[Tuple, List[str]]) -> int:
+        return sum(len(group) for group in names.values())
+
+
+def synthesize(
+    config: Optional[SynthesisConfig] = None,
+    log: Optional[LogFn] = None,
+    reference: Optional[MutationSuite] = None,
+) -> SynthesizedSuite:
+    """Run the full pipeline and return the verified suite.
+
+    Args:
+        config: Bounds and knobs; defaults to the Table 2 size bound.
+        log: Optional progress sink (one line per canonical template
+            plus a final summary); ``None`` is silent.
+        reference: Suite to compute the overlap report against;
+            defaults to the hand-written Table 2 suite.
+
+    Deterministic for a given config: enumeration order, candidate
+    order, and dedup tie-breaks are all fixed (only the budget and the
+    per-candidate deadline are wall-clock dependent).
+    """
+    config = config or SynthesisConfig()
+    emit = log or (lambda message: None)
+    started = time.monotonic()
+    known = _KnownSuiteIndex(
+        reference if reference is not None else default_suite()
+    )
+
+    stats = {
+        "templates_enumerated": 0,
+        "templates_canonical": 0,
+        "candidates_tried": 0,
+        "candidates_failed": 0,
+        "candidates_timed_out": 0,
+        "pairs_admitted": 0,
+        "duplicates_folded": 0,
+        "budget_exhausted": False,
+    }
+    seen_templates: Set[Tuple] = set()
+    seen_pairs: Set[Tuple] = set()
+    recovered_pairs: Dict[Tuple, str] = {}
+    recovered_conformance: Set[Tuple] = set()
+    recovered_mutants: Set[Tuple] = set()
+    admitted: List[MutationPair] = []
+
+    def out_of_budget() -> bool:
+        return (
+            config.budget_seconds is not None
+            and time.monotonic() - started >= config.budget_seconds
+        )
+
+    def at_pair_cap() -> bool:
+        return (
+            config.max_pairs is not None
+            and len(admitted) >= config.max_pairs
+        )
+
+    emit(f"synthesizing: {config.describe()}")
+    stop = False
+    for template in enumerate_templates(config):
+        if stop or out_of_budget() or at_pair_cap():
+            stats["budget_exhausted"] = out_of_budget()
+            break
+        stats["templates_enumerated"] += 1
+        template_key = template_canonical_key(template)
+        if template_key in seen_templates:
+            continue
+        seen_templates.add(template_key)
+        stats["templates_canonical"] += 1
+        template_admitted = 0
+        for mutator in mutator_instances(template):
+            for label, build in mutator.candidates():
+                if out_of_budget() or at_pair_cap():
+                    stats["budget_exhausted"] = out_of_budget()
+                    stop = True
+                    break
+                stats["candidates_tried"] += 1
+                try:
+                    with _deadline(config.candidate_timeout):
+                        pair = build()
+                except CandidateTimeout:
+                    stats["candidates_timed_out"] += 1
+                    continue
+                except ReproError:
+                    # Structurally plausible but semantically not a
+                    # (disallowed, allowed) pair under the oracle.
+                    stats["candidates_failed"] += 1
+                    continue
+                if pair is None:
+                    continue
+                pair_key = pair_canonical_key(
+                    pair.conformance, pair.mutants
+                )
+                if pair_key in seen_pairs:
+                    stats["duplicates_folded"] += 1
+                    continue
+                seen_pairs.add(pair_key)
+                conformance_key = test_canonical_key(pair.conformance)
+                if conformance_key in known.conformance_names:
+                    recovered_conformance.add(conformance_key)
+                for mutant in pair.mutants:
+                    mutant_key = test_canonical_key(mutant)
+                    if mutant_key in known.mutant_names:
+                        recovered_mutants.add(mutant_key)
+                known_name = known.pair_names.get(pair_key)
+                if known_name is not None:
+                    recovered_pairs[pair_key] = known_name
+                    if config.dedupe_known:
+                        continue
+                admitted.append(pair)
+                template_admitted += 1
+            if stop:
+                break
+        emit(
+            f"  {template.name}: {template_admitted} pair(s) admitted "
+            f"({stats['candidates_tried']} candidates tried so far)"
+        )
+
+    elapsed = time.monotonic() - started
+    suite = SynthesizedSuite(
+        pairs=tuple(admitted),
+        config=config,
+        stats=SynthesisStats(
+            templates_enumerated=stats["templates_enumerated"],
+            templates_canonical=stats["templates_canonical"],
+            candidates_tried=stats["candidates_tried"],
+            candidates_failed=stats["candidates_failed"],
+            candidates_timed_out=stats["candidates_timed_out"],
+            pairs_admitted=len(admitted),
+            duplicates_folded=stats["duplicates_folded"],
+            known_pairs_recovered=len(recovered_pairs),
+            known_pairs_total=len(known.pair_names),
+            known_conformance_recovered=sum(
+                len(known.conformance_names[key])
+                for key in recovered_conformance
+            ),
+            known_conformance_total=known.total(
+                known.conformance_names
+            ),
+            known_mutants_recovered=sum(
+                len(known.mutant_names[key])
+                for key in recovered_mutants
+            ),
+            known_mutants_total=known.total(known.mutant_names),
+            budget_exhausted=bool(stats["budget_exhausted"]),
+            elapsed_seconds=elapsed,
+        ),
+        overlap=tuple(sorted(recovered_pairs.values())),
+    )
+    emit(suite.stats.describe())
+    return suite

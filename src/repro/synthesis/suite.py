@@ -1,0 +1,273 @@
+"""Synthesized suites and their versioned on-disk JSON format.
+
+A :class:`SynthesizedSuite` *is* a
+:class:`~repro.mutation.suite.MutationSuite` — every consumer of the
+hand-written Table 2 suite (campaigns, pruning, mutation-score
+analysis, the CLI) accepts one unchanged — carrying three extra
+payloads: the :class:`~repro.synthesis.cycles.SynthesisConfig` that
+produced it, the :class:`SynthesisStats` of the generation run, and
+the overlap with the known Table 2 pairs.
+
+Suites serialize to a versioned JSON document whose tests are stored
+in the textual litmus format (:mod:`repro.litmus.textfmt`), so a suite
+file is diffable and individually inspectable.  :func:`load_suite`
+optionally re-verifies every pair against the enumeration oracle —
+the CI smoke job loads with ``verify=True`` so a corrupted or stale
+suite file fails loudly rather than silently skewing a campaign.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Tuple, Union
+
+from repro.errors import ReproError
+from repro.litmus.textfmt import format_test, parse
+from repro.mutation.generator import verify_test
+from repro.mutation.mutators import MutationPair, MutatorKind
+from repro.mutation.suite import MutationSuite
+from repro.synthesis.cycles import SynthesisConfig, SynthesisError
+
+#: Bump when the on-disk layout changes; the loader rejects unknown
+#: versions instead of guessing.
+SUITE_FORMAT = "repro-synthesized-suite"
+SUITE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SynthesisStats:
+    """Counters from one generation run (the ``synthesize`` summary).
+
+    ``known_*`` fields report the Table 2 self-check: how much of the
+    hand-written suite the enumeration recovered, at pair granularity
+    (conformance + full mutant set isomorphic) and at individual test
+    granularity.
+    """
+
+    templates_enumerated: int = 0
+    templates_canonical: int = 0
+    candidates_tried: int = 0
+    candidates_failed: int = 0
+    candidates_timed_out: int = 0
+    pairs_admitted: int = 0
+    duplicates_folded: int = 0
+    known_pairs_recovered: int = 0
+    known_pairs_total: int = 0
+    known_conformance_recovered: int = 0
+    known_conformance_total: int = 0
+    known_mutants_recovered: int = 0
+    known_mutants_total: int = 0
+    budget_exhausted: bool = False
+    elapsed_seconds: float = 0.0
+
+    def describe(self) -> str:
+        lines = [
+            f"templates: {self.templates_enumerated} enumerated, "
+            f"{self.templates_canonical} canonical",
+            f"candidates: {self.candidates_tried} tried, "
+            f"{self.candidates_failed} failed verification, "
+            f"{self.candidates_timed_out} timed out",
+            f"pairs: {self.pairs_admitted} admitted, "
+            f"{self.duplicates_folded} duplicates folded",
+            f"Table 2 overlap: "
+            f"{self.known_pairs_recovered}/{self.known_pairs_total} pairs, "
+            f"{self.known_conformance_recovered}/"
+            f"{self.known_conformance_total} conformance tests, "
+            f"{self.known_mutants_recovered}/{self.known_mutants_total} "
+            f"mutants",
+            f"elapsed: {self.elapsed_seconds:.1f}s"
+            + (" (budget exhausted)" if self.budget_exhausted else ""),
+        ]
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "templates_enumerated": self.templates_enumerated,
+            "templates_canonical": self.templates_canonical,
+            "candidates_tried": self.candidates_tried,
+            "candidates_failed": self.candidates_failed,
+            "candidates_timed_out": self.candidates_timed_out,
+            "pairs_admitted": self.pairs_admitted,
+            "duplicates_folded": self.duplicates_folded,
+            "known_pairs_recovered": self.known_pairs_recovered,
+            "known_pairs_total": self.known_pairs_total,
+            "known_conformance_recovered": self.known_conformance_recovered,
+            "known_conformance_total": self.known_conformance_total,
+            "known_mutants_recovered": self.known_mutants_recovered,
+            "known_mutants_total": self.known_mutants_total,
+            "budget_exhausted": self.budget_exhausted,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "SynthesisStats":
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class SynthesizedSuite(MutationSuite):
+    """A generated suite: drop-in :class:`MutationSuite` + provenance.
+
+    Attributes:
+        config: The bounds the suite was generated under.
+        stats: Generation counters, including the Table 2 overlap.
+        overlap: Names of the hand-written Table 2 conformance tests
+            whose whole pair (conformance + mutants) the generation
+            recovered, modulo canonical renaming.
+    """
+
+    config: SynthesisConfig = SynthesisConfig()
+    stats: SynthesisStats = SynthesisStats()
+    overlap: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "overlap", tuple(self.overlap))
+
+    def describe(self) -> str:
+        conformance, mutants = self.combined_counts()
+        return (
+            f"synthesized suite: {conformance} conformance tests, "
+            f"{mutants} mutants ({self.config.describe()})\n"
+            f"{self.stats.describe()}"
+        )
+
+
+def config_to_dict(config: SynthesisConfig) -> Dict[str, Any]:
+    return {
+        "max_events": config.max_events,
+        "max_threads": config.max_threads,
+        "max_events_per_thread": config.max_events_per_thread,
+        "edges": sorted(config.edges),
+        "budget_seconds": config.budget_seconds,
+        "candidate_timeout": config.candidate_timeout,
+        "max_pairs": config.max_pairs,
+        "dedupe_known": config.dedupe_known,
+    }
+
+
+def config_from_dict(payload: Dict[str, Any]) -> SynthesisConfig:
+    return SynthesisConfig(
+        max_events=payload["max_events"],
+        max_threads=payload["max_threads"],
+        max_events_per_thread=payload["max_events_per_thread"],
+        edges=frozenset(payload["edges"]),
+        budget_seconds=payload["budget_seconds"],
+        candidate_timeout=payload["candidate_timeout"],
+        max_pairs=payload["max_pairs"],
+        dedupe_known=payload["dedupe_known"],
+    )
+
+
+def _pair_to_dict(pair: MutationPair) -> Dict[str, Any]:
+    return {
+        "mutator": pair.mutator.value,
+        "alias": pair.alias,
+        "template": pair.template_name,
+        "conformance": format_test(pair.conformance),
+        "mutants": [format_test(mutant) for mutant in pair.mutants],
+    }
+
+
+def _pair_from_dict(
+    payload: Dict[str, Any], verify: bool
+) -> MutationPair:
+    try:
+        mutator = MutatorKind(payload["mutator"])
+    except ValueError:
+        raise SynthesisError(
+            f"unknown mutator kind in suite file: "
+            f"{payload.get('mutator')!r}"
+        )
+    conformance = parse(payload["conformance"])
+    mutants = tuple(parse(text) for text in payload["mutants"])
+    if verify:
+        verify_test(conformance, expect_allowed=False)
+        for mutant in mutants:
+            verify_test(mutant, expect_allowed=True)
+    return MutationPair(
+        mutator=mutator,
+        conformance=conformance,
+        mutants=mutants,
+        alias=payload.get("alias", ""),
+        template_name=payload.get("template", ""),
+    )
+
+
+def suite_to_dict(suite: SynthesizedSuite) -> Dict[str, Any]:
+    return {
+        "format": SUITE_FORMAT,
+        "version": SUITE_VERSION,
+        "config": config_to_dict(suite.config),
+        "stats": suite.stats.to_dict(),
+        "overlap": list(suite.overlap),
+        "pairs": [_pair_to_dict(pair) for pair in suite.pairs],
+    }
+
+
+def suite_from_dict(
+    payload: Dict[str, Any], verify: bool = False
+) -> SynthesizedSuite:
+    if payload.get("format") != SUITE_FORMAT:
+        raise SynthesisError(
+            f"not a synthesized suite file (format "
+            f"{payload.get('format')!r}, expected {SUITE_FORMAT!r})"
+        )
+    if payload.get("version") != SUITE_VERSION:
+        raise SynthesisError(
+            f"unsupported suite file version {payload.get('version')!r} "
+            f"(this build reads version {SUITE_VERSION})"
+        )
+    pairs: List[MutationPair] = []
+    for index, entry in enumerate(payload.get("pairs", [])):
+        try:
+            pairs.append(_pair_from_dict(entry, verify))
+        except ReproError as error:
+            raise SynthesisError(
+                f"suite file pair #{index} is invalid: {error}"
+            )
+    return SynthesizedSuite(
+        pairs=tuple(pairs),
+        config=config_from_dict(payload["config"]),
+        stats=SynthesisStats.from_dict(payload["stats"]),
+        overlap=tuple(payload.get("overlap", ())),
+    )
+
+
+def save_suite(
+    suite: SynthesizedSuite, path: Union[str, Path]
+) -> Path:
+    """Write a suite to its versioned JSON file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(suite_to_dict(suite), indent=2, sort_keys=True)
+        + "\n"
+    )
+    return path
+
+
+def load_suite(
+    path: Union[str, Path], verify: bool = False
+) -> SynthesizedSuite:
+    """Read a suite back.
+
+    Args:
+        path: A file produced by :func:`save_suite`.
+        verify: Re-check every pair against the enumeration oracle
+            (conformance behaviour disallowed, every mutant behaviour
+            allowed).  Slower; meant for CI and post-edit sanity.
+
+    Raises:
+        SynthesisError: On a wrong format marker, unknown version,
+            malformed pair, or (with ``verify``) an oracle mismatch.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise SynthesisError(f"no suite file at {path}")
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        raise SynthesisError(f"suite file {path} is not JSON: {error}")
+    return suite_from_dict(payload, verify=verify)

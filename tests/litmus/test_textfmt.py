@@ -121,14 +121,39 @@ class TestRoundTrip:
     def test_extended_round_trip(self, name):
         original = extended.by_name(name)
         parsed = parse(format_test(original))
+        assert parsed.name == original.name
         assert parsed.threads == original.threads
+        assert parsed.model is original.model
         assert parsed.target == original.target
+        assert parsed.observer_threads == original.observer_threads
+        assert parsed.description == original.description
 
     def test_whole_suite_round_trips(self):
         for pair in SUITE.pairs:
             for test in (pair.conformance, *pair.mutants):
                 parsed = parse(format_test(test))
                 assert parsed.threads == test.threads, test.name
+                assert parsed.target == test.target, test.name
+                assert (
+                    parsed.observer_threads == test.observer_threads
+                ), test.name
+
+    def test_synthesized_suite_round_trips(self):
+        """The synthesis engine stores generated tests in this format,
+        so parse ∘ format must be the identity beyond the hand-written
+        suites too (here: the unfenced 3-event family)."""
+        from repro.synthesis import SynthesisConfig, synthesize
+
+        generated = synthesize(
+            SynthesisConfig(max_events=3, edges={"com", "po-loc"})
+        )
+        assert generated.pairs
+        for pair in generated.pairs:
+            for test in (pair.conformance, *pair.mutants):
+                parsed = parse(format_test(test))
+                assert parsed.name == test.name
+                assert parsed.threads == test.threads, test.name
+                assert parsed.model is test.model
                 assert parsed.target == test.target, test.name
                 assert (
                     parsed.observer_threads == test.observer_threads

@@ -3,8 +3,11 @@
 import pytest
 
 from repro.gpu import make_device, study_devices
-from repro.mutation import MutatorKind, default_suite
+from repro.gpu.profiles import ExecutionTuning
+from repro.mutation import MutationSuite, MutatorKind, default_suite
 from repro.mutation.pruning import (
+    MAXIMAL_PRESSURE,
+    PruneReport,
     observability_matrix,
     observable_fraction,
     observable_on,
@@ -12,6 +15,17 @@ from repro.mutation.pruning import (
 )
 
 SUITE = default_suite()
+
+#: The degenerate pressure regime: no reordering, immediate store
+#: commits, no contention — only interleaving-reachable behaviours
+#: keep a nonzero probability.
+ZERO_PRESSURE = ExecutionTuning(
+    reorder_probability=0.0,
+    flush_probability=1.0,
+    chunk_mean=1.0,
+    contention=0.0,
+    stress=0.0,
+)
 
 
 class TestObservability:
@@ -74,3 +88,46 @@ class TestPruneForDevice:
         assert len(matrix) == 32
         for row in matrix.values():
             assert set(row) == {"NVIDIA", "AMD", "Intel", "M1"}
+
+
+class TestZeroProbabilityEdgeCases:
+    """The explicit-tuning parameter at its degenerate extreme: a
+    pressure regime under which weak behaviours have probability zero
+    must prune them, and empty inputs must not divide by zero."""
+
+    def test_zero_pressure_is_a_subset_of_maximal(self):
+        device = make_device("amd")
+        for _, mutant in SUITE.mutant_pairs():
+            if observable_on(device, mutant, ZERO_PRESSURE):
+                assert observable_on(device, mutant, MAXIMAL_PRESSURE)
+
+    def test_zero_pressure_prunes_reordering_dependent_mutants(self):
+        # AMD observes all 32 mutants under maximal pressure; with
+        # reordering off only interleaving-reachable behaviours remain.
+        device = make_device("amd")
+        pruned_suite, report = prune_for_device(
+            SUITE, device, ZERO_PRESSURE
+        )
+        assert len(report.pruned) == 24
+        assert len(report.kept) == 8
+        assert pruned_suite.combined_counts()[1] == 8
+
+    def test_zero_pressure_fraction(self):
+        fraction = observable_fraction(
+            SUITE, [make_device("amd")], ZERO_PRESSURE
+        )
+        assert fraction == pytest.approx(0.25)
+
+    def test_empty_report_fraction_is_zero(self):
+        report = PruneReport(device_name="amd", kept=(), pruned=())
+        assert report.observable_fraction == 0.0
+
+    def test_empty_suite_prunes_to_empty(self):
+        empty = MutationSuite(pairs=())
+        pruned_suite, report = prune_for_device(
+            empty, make_device("amd"), ZERO_PRESSURE
+        )
+        assert not pruned_suite.pairs
+        assert report.kept == ()
+        assert report.pruned == ()
+        assert observable_fraction(empty, study_devices()) == 0.0

@@ -1,0 +1,12 @@
+"""Shared fixtures: one full Table 2-bound synthesis run per session."""
+
+import pytest
+
+from repro.synthesis import SynthesisConfig, synthesize
+
+
+@pytest.fixture(scope="session")
+def table2_synthesis():
+    """The full run at the default (Table 2) size bound — the key
+    self-check; shared because it costs a few seconds of oracle time."""
+    return synthesize(SynthesisConfig())

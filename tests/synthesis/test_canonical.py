@@ -1,0 +1,307 @@
+"""Property tests for canonical keys and symmetry invariance.
+
+The dedup stages of the synthesis engine rest on two claims: keys are
+*invariant* under relabelings that preserve behaviour, and
+:func:`repro.mutation.templates.canonical_assignments` picks exactly
+one representative per symmetry class.  Hypothesis drives both with
+random relabelings of real templates and tests.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings, strategies as st
+
+from repro.memory_model import Location
+from repro.litmus.instructions import Fence
+from repro.litmus.program import BehaviorSpec, LitmusTest
+from repro.mutation import default_suite
+from repro.mutation.templates import (
+    AbstractEvent,
+    ComEdge,
+    CycleTemplate,
+    REVERSING_PO_LOC,
+    WEAKENING_PO_LOC,
+    WEAKENING_SW,
+    canonical_assignments,
+    event_symmetries,
+)
+# Aliased: pytest would otherwise collect the ``test_``-prefixed
+# function itself as a test.
+from repro.synthesis import test_canonical_key as litmus_canonical_key
+from repro.synthesis import (
+    SynthesisConfig,
+    enumerate_templates,
+    pair_canonical_key,
+    template_canonical_key,
+)
+
+SUITE = default_suite()
+PAPER_TEMPLATES = (REVERSING_PO_LOC, WEAKENING_PO_LOC, WEAKENING_SW)
+TEMPLATES = PAPER_TEMPLATES + tuple(
+    enumerate_templates(SynthesisConfig())
+)
+TESTS = tuple(SUITE.conformance_tests) + tuple(SUITE.mutants)
+
+#: Fresh labels for relabelings; only distinctness matters to the keys.
+LOCATION_POOL = ("p", "q", "s", "t", "u", "v")
+REGISTER_POOL = tuple(f"t{i}" for i in range(8))
+
+
+def relabel_template(template, thread_perm, location_names):
+    """The same abstract cycle with threads permuted and locations
+    renamed; returns the relabeled template and the event-name map."""
+    per_thread = [
+        template.thread_events(thread)
+        for thread in range(template.thread_count)
+    ]
+    location_map = {}
+    name_map = {}
+    events = []
+    for position, original in enumerate(thread_perm):
+        for slot, event in enumerate(per_thread[original]):
+            location = location_map.setdefault(
+                event.location, location_names[len(location_map)]
+            )
+            name = f"e{len(events)}"
+            name_map[event.name] = name
+            events.append(AbstractEvent(name, position, slot, location))
+    com_edges = tuple(
+        ComEdge(name_map[edge.source], name_map[edge.target])
+        for edge in template.com_edges
+    )
+    relabeled = CycleTemplate(
+        name=f"{template.name}_relabeled",
+        title=template.title,
+        events=tuple(events),
+        com_edges=com_edges,
+        fenced=template.fenced,
+        model=template.model,
+        forced_rf_edge=template.forced_rf_edge,
+    )
+    return relabeled, name_map
+
+
+def relabel_test(test, thread_perm, location_names, register_names,
+                 value_shift):
+    """An isomorphic litmus test: testing threads permuted, locations,
+    registers, and (nonzero) stored values renamed consistently."""
+    observers = sorted(test.observer_threads)
+    order = list(thread_perm) + observers
+    location_map = {}
+    register_map = {}
+
+    def map_value(value):
+        return 0 if value == 0 else value + value_shift
+
+    threads = []
+    for thread_index in order:
+        instructions = []
+        for instruction in test.threads[thread_index]:
+            if isinstance(instruction, Fence):
+                instructions.append(instruction)
+                continue
+            changes = {}
+            location = str(instruction.location)
+            location_map.setdefault(
+                location, location_names[len(location_map)]
+            )
+            changes["location"] = Location(location_map[location])
+            if hasattr(instruction, "value"):
+                changes["value"] = map_value(instruction.value)
+            if hasattr(instruction, "register"):
+                register_map.setdefault(
+                    instruction.register,
+                    register_names[len(register_map)],
+                )
+                changes["register"] = register_map[
+                    instruction.register
+                ]
+            instructions.append(
+                dataclasses.replace(instruction, **changes)
+            )
+        threads.append(instructions)
+    target = None
+    if test.target is not None:
+        target = BehaviorSpec(
+            reads={
+                register_map[register]: map_value(value)
+                for register, value in test.target.reads.items()
+            },
+            co=tuple(
+                (map_value(earlier), map_value(later))
+                for earlier, later in test.target.co
+            ),
+        )
+    return LitmusTest(
+        name=f"{test.name}_relabeled",
+        threads=threads,
+        model=test.model,
+        target=target,
+        observer_threads=range(
+            len(thread_perm), len(thread_perm) + len(observers)
+        ),
+        description=test.description,
+    )
+
+
+@st.composite
+def template_relabelings(draw):
+    template = draw(st.sampled_from(TEMPLATES))
+    thread_perm = draw(
+        st.permutations(range(template.thread_count))
+    )
+    locations = draw(st.permutations(LOCATION_POOL))
+    return template, tuple(thread_perm), tuple(locations)
+
+
+@st.composite
+def litmus_relabelings(draw):
+    test = draw(st.sampled_from(TESTS))
+    thread_perm = draw(st.permutations(test.testing_threads))
+    locations = draw(st.permutations(LOCATION_POOL))
+    registers = draw(st.permutations(REGISTER_POOL))
+    value_shift = draw(st.integers(min_value=0, max_value=40))
+    return test, tuple(thread_perm), tuple(locations), tuple(
+        registers
+    ), value_shift
+
+
+class TestTemplateKey:
+    @settings(max_examples=60, deadline=None)
+    @given(template_relabelings())
+    def test_invariant_under_relabeling(self, case):
+        template, thread_perm, locations = case
+        relabeled, _ = relabel_template(
+            template, thread_perm, locations
+        )
+        assert template_canonical_key(
+            relabeled
+        ) == template_canonical_key(template)
+
+    def test_distinct_shapes_get_distinct_keys(self):
+        assert template_canonical_key(
+            REVERSING_PO_LOC
+        ) != template_canonical_key(WEAKENING_PO_LOC)
+        assert template_canonical_key(
+            WEAKENING_PO_LOC
+        ) != template_canonical_key(WEAKENING_SW)
+
+
+class TestTestKey:
+    @settings(max_examples=60, deadline=None)
+    @given(litmus_relabelings())
+    def test_invariant_under_relabeling(self, case):
+        test, thread_perm, locations, registers, value_shift = case
+        relabeled = relabel_test(
+            test, thread_perm, locations, registers, value_shift
+        )
+        assert litmus_canonical_key(
+            relabeled
+        ) == litmus_canonical_key(test)
+
+    def test_distinct_suite_tests_get_distinct_keys(self):
+        # Within one suite the only isomorphic tests are the two
+        # single-fence drops of the symmetric SB pair.
+        keys = {}
+        for test in TESTS:
+            keys.setdefault(litmus_canonical_key(test), []).append(
+                test.name
+            )
+        collisions = [
+            names for names in keys.values() if len(names) > 1
+        ]
+        assert len(collisions) == 1
+        assert all("weak_sw" in name for name in collisions[0])
+
+    def test_pair_key_ignores_mutant_order(self):
+        pair = SUITE.pairs[0]
+        forward = pair_canonical_key(pair.conformance, pair.mutants)
+        backward = pair_canonical_key(
+            pair.conformance, tuple(reversed(pair.mutants))
+        )
+        assert forward == backward
+
+
+def class_key(template, kinds):
+    """The symmetry-class identity of one kind map: the minimum kind
+    signature over the template's symmetry group."""
+    images = [kinds] + [
+        {mapping[name]: kind for name, kind in kinds.items()}
+        for mapping in event_symmetries(template)
+    ]
+    return min(template.kind_signature(image) for image in images)
+
+
+class TestCanonicalAssignments:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.sampled_from(
+            [t for t in TEMPLATES if event_symmetries(t)]
+        ),
+        st.data(),
+    )
+    def test_invariant_under_event_relabeling_symmetries(
+        self, template, data
+    ):
+        """Relabeling events along any symmetry of the template maps
+        the canonical set onto the same symmetry classes."""
+        canonical = canonical_assignments(template)
+        mapping = data.draw(
+            st.sampled_from(event_symmetries(template))
+        )
+        original_classes = {
+            class_key(template, kinds) for kinds in canonical
+        }
+        relabeled_classes = {
+            class_key(
+                template,
+                {mapping[name]: kind for name, kind in kinds.items()},
+            )
+            for kinds in canonical
+        }
+        assert relabeled_classes == original_classes
+
+    @settings(max_examples=40, deadline=None)
+    @given(template_relabelings())
+    def test_invariant_under_template_relabeling(self, case):
+        """A relabeled template's canonical assignments are exactly the
+        images of the original's, class for class."""
+        template, thread_perm, locations = case
+        relabeled, name_map = relabel_template(
+            template, thread_perm, locations
+        )
+        own = {
+            class_key(relabeled, kinds)
+            for kinds in canonical_assignments(relabeled)
+        }
+        mapped = {
+            class_key(
+                relabeled,
+                {
+                    name_map[name]: kind
+                    for name, kind in kinds.items()
+                },
+            )
+            for kinds in canonical_assignments(template)
+        }
+        assert own == mapped
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.sampled_from(TEMPLATES))
+    def test_one_representative_per_class(self, template):
+        valid = [
+            kinds
+            for kinds in template.kind_assignments()
+            if template.is_valid_assignment(kinds)
+        ]
+        canonical = canonical_assignments(template)
+        representative_classes = [
+            class_key(template, kinds) for kinds in canonical
+        ]
+        # Distinct classes, covering every valid assignment's class.
+        assert len(representative_classes) == len(
+            set(representative_classes)
+        )
+        assert set(representative_classes) == {
+            class_key(template, kinds) for kinds in valid
+        }

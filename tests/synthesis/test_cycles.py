@@ -1,0 +1,181 @@
+"""Tests for cycle-template enumeration and its configuration."""
+
+import pytest
+
+from repro.memory_model import REL_ACQ_SC_PER_LOCATION, SC_PER_LOCATION
+from repro.synthesis import (
+    ALL_EDGES,
+    SynthesisConfig,
+    SynthesisError,
+    enumerate_templates,
+    template_canonical_key,
+)
+from repro.synthesis.cycles import (
+    _location_patterns,
+    _ring_edges,
+    _thread_shapes,
+)
+
+TABLE2_BOUND = SynthesisConfig()
+
+
+class TestConfig:
+    def test_defaults_are_the_table2_bound(self):
+        assert TABLE2_BOUND.max_events == 4
+        assert TABLE2_BOUND.max_threads == 2
+        assert TABLE2_BOUND.edges == ALL_EDGES
+        assert TABLE2_BOUND.unfenced_enabled
+        assert TABLE2_BOUND.fenced_enabled
+
+    def test_edges_normalised_to_frozenset(self):
+        config = SynthesisConfig(edges=["com", "po-loc"])
+        assert config.edges == frozenset({"com", "po-loc"})
+        assert not config.fenced_enabled
+
+    def test_unknown_edge_rejected(self):
+        with pytest.raises(SynthesisError, match="unknown edge"):
+            SynthesisConfig(edges={"com", "po-loc", "rf"})
+
+    def test_com_required(self):
+        with pytest.raises(SynthesisError, match="com"):
+            SynthesisConfig(edges={"po-loc"})
+
+    def test_sw_requires_po(self):
+        with pytest.raises(SynthesisError, match="'po'"):
+            SynthesisConfig(edges={"com", "sw"})
+
+    def test_alphabet_must_admit_a_family(self):
+        with pytest.raises(SynthesisError, match="no cycle family"):
+            SynthesisConfig(edges={"com", "po"})
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_threads": 1},
+            {"max_events_per_thread": 0},
+            {"max_events": 1},
+            {"max_events": 99},
+        ],
+    )
+    def test_bad_bounds_rejected(self, kwargs):
+        with pytest.raises(SynthesisError):
+            SynthesisConfig(**kwargs)
+
+    def test_describe_mentions_bounds(self):
+        text = TABLE2_BOUND.describe()
+        assert "≤4 events" in text
+        assert "budget ∞" in text
+        assert "5s" in SynthesisConfig(budget_seconds=5.0).describe()
+
+
+class TestShapesAndRings:
+    def test_shapes_non_increasing_and_bounded(self):
+        shapes = list(_thread_shapes(TABLE2_BOUND))
+        assert shapes  # at least (1, 1)
+        for counts in shapes:
+            assert sum(counts) <= 4
+            assert list(counts) == sorted(counts, reverse=True)
+        assert (2, 2) in shapes
+        assert (2, 1) in shapes
+        assert (1, 1) in shapes
+
+    def test_larger_bound_admits_more_threads(self):
+        config = SynthesisConfig(max_events=6, max_threads=3)
+        assert (2, 2, 2) in list(_thread_shapes(config))
+
+    def test_ring_edges_close_the_cycle(self):
+        edges = _ring_edges((2, 2))
+        assert edges == [((0, 1), (1, 0)), ((1, 1), (0, 0))]
+        # Every thread is entered exactly once (at its first slot).
+        targets = [target for _, target in edges]
+        assert sorted(targets) == [(0, 0), (1, 0)]
+
+
+class TestLocationPatterns:
+    def test_unfenced_is_single_location(self):
+        patterns = list(_location_patterns((2, 2), fenced=False))
+        assert patterns == [(("x", "x"), ("x", "x"))]
+
+    def test_fenced_respects_com_same_location(self):
+        for pattern in _location_patterns((2, 2), fenced=True):
+            flat = {
+                (thread, slot): location
+                for thread, locations in enumerate(pattern)
+                for slot, location in enumerate(locations)
+            }
+            for source, target in _ring_edges((2, 2)):
+                assert flat[source] == flat[target]
+
+    def test_fenced_first_use_order(self):
+        for pattern in _location_patterns((2, 2), fenced=True):
+            seen = []
+            for locations in pattern:
+                for location in locations:
+                    if location not in seen:
+                        seen.append(location)
+            assert seen == sorted(seen), pattern
+
+    def test_fenced_22_has_message_passing_pattern(self):
+        patterns = set(_location_patterns((2, 2), fenced=True))
+        # The paper's weakening-sw shape: x,y on one side, y,x back.
+        assert (("x", "y"), ("y", "x")) in patterns
+
+
+class TestEnumeration:
+    def test_table2_bound_counts(self):
+        templates = list(enumerate_templates(TABLE2_BOUND))
+        assert len(templates) == 9
+        canonical = {
+            template_canonical_key(t) for t in templates
+        }
+        assert len(canonical) == 7
+
+    def test_models_follow_family(self):
+        for template in enumerate_templates(TABLE2_BOUND):
+            if template.fenced:
+                assert template.model is REL_ACQ_SC_PER_LOCATION
+                assert 0 <= template.forced_rf_edge < len(
+                    template.com_edges
+                )
+            else:
+                assert template.model is SC_PER_LOCATION
+                assert template.forced_rf_edge == -1
+
+    def test_com_edges_connect_same_location(self):
+        for template in enumerate_templates(TABLE2_BOUND):
+            for edge in template.com_edges:
+                assert (
+                    template.event(edge.source).location
+                    == template.event(edge.target).location
+                ), template.name
+
+    def test_fenced_templates_need_a_fenceable_thread(self):
+        # A fenced cycle with one event per thread has no po segment
+        # for the fence to order, so the family must skip it.
+        for template in enumerate_templates(TABLE2_BOUND):
+            if template.fenced:
+                assert any(
+                    len(template.thread_events(thread)) >= 2
+                    for thread in range(template.thread_count)
+                )
+
+    def test_unfenced_only_alphabet(self):
+        config = SynthesisConfig(edges={"com", "po-loc"})
+        templates = list(enumerate_templates(config))
+        assert templates
+        assert all(not t.fenced for t in templates)
+
+    def test_fenced_only_alphabet(self):
+        config = SynthesisConfig(edges={"com", "po", "sw"})
+        templates = list(enumerate_templates(config))
+        assert templates
+        assert all(t.fenced for t in templates)
+
+    def test_names_are_unique(self):
+        names = [t.name for t in enumerate_templates(TABLE2_BOUND)]
+        assert len(names) == len(set(names))
+
+    def test_events_in_thread_slot_order(self):
+        for template in enumerate_templates(TABLE2_BOUND):
+            positions = [(e.thread, e.slot) for e in template.events]
+            assert positions == sorted(positions)

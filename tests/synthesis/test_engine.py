@@ -1,0 +1,184 @@
+"""Tests for the synthesis engine: the Table 2 self-check and knobs."""
+
+import pytest
+
+from repro.mutation import MutationSuite, MutatorKind, default_suite
+from repro.mutation.mutators import (
+    ReversingPoLocMutator,
+    WeakeningPoLocMutator,
+    WeakeningSwMutator,
+)
+from repro.mutation.templates import (
+    REVERSING_PO_LOC,
+    WEAKENING_PO_LOC,
+    WEAKENING_SW,
+)
+from repro.synthesis import (
+    SynthesisConfig,
+    mutator_instances,
+    pair_canonical_key,
+    synthesize,
+)
+
+# Unfenced family at the 3-event bound: covers the reversing po-loc
+# shapes in well under a second of oracle time.
+FAST = SynthesisConfig(max_events=3, edges={"com", "po-loc"})
+
+
+class TestMutatorInstances:
+    def test_paper_templates_carry_their_mutator(self):
+        assert any(
+            isinstance(m, ReversingPoLocMutator)
+            for m in mutator_instances(REVERSING_PO_LOC)
+        )
+        assert any(
+            isinstance(m, WeakeningPoLocMutator)
+            for m in mutator_instances(WEAKENING_PO_LOC)
+        )
+        assert any(
+            isinstance(m, WeakeningSwMutator)
+            for m in mutator_instances(WEAKENING_SW)
+        )
+
+    def test_unfenced_template_gets_no_sw_mutator(self):
+        assert not any(
+            isinstance(m, WeakeningSwMutator)
+            for m in mutator_instances(REVERSING_PO_LOC)
+        )
+
+    def test_name_tags_are_unique_per_template(self):
+        for template in (
+            REVERSING_PO_LOC, WEAKENING_PO_LOC, WEAKENING_SW
+        ):
+            tags = [m.name_tag for m in mutator_instances(template)]
+            assert len(tags) == len(set(tags))
+
+
+class TestTable2Recovery:
+    """The acceptance self-check: enumeration at the paper's size
+    bound recovers the entire hand-written suite."""
+
+    def test_all_known_pairs_recovered(self, table2_synthesis):
+        stats = table2_synthesis.stats
+        assert stats.known_pairs_recovered == stats.known_pairs_total
+        assert stats.known_pairs_total == 20
+
+    def test_all_conformance_tests_recovered(self, table2_synthesis):
+        stats = table2_synthesis.stats
+        assert stats.known_conformance_recovered == 20
+        assert stats.known_conformance_total == 20
+
+    def test_all_mutants_recovered(self, table2_synthesis):
+        stats = table2_synthesis.stats
+        assert stats.known_mutants_recovered == 32
+        assert stats.known_mutants_total == 32
+
+    def test_overlap_names_the_whole_suite(self, table2_synthesis):
+        known = sorted(
+            pair.conformance.name for pair in default_suite().pairs
+        )
+        assert list(table2_synthesis.overlap) == known
+
+    def test_suite_goes_beyond_table2(self, table2_synthesis):
+        # The frontier is strictly larger than the hand-picked suite.
+        conformance, mutants = table2_synthesis.combined_counts()
+        assert conformance > 20
+        assert mutants > 32
+
+    def test_admitted_pairs_are_canonically_distinct(
+        self, table2_synthesis
+    ):
+        keys = [
+            pair_canonical_key(pair.conformance, pair.mutants)
+            for pair in table2_synthesis.pairs
+        ]
+        assert len(keys) == len(set(keys))
+
+    def test_every_mutator_kind_appears(self, table2_synthesis):
+        kinds = {pair.mutator for pair in table2_synthesis.pairs}
+        assert kinds == set(MutatorKind)
+
+    def test_stats_describe_mentions_overlap(self, table2_synthesis):
+        text = table2_synthesis.stats.describe()
+        assert "20/20 pairs" in text
+        assert "32/32 mutants" in text
+
+
+class TestKnobs:
+    def test_zero_budget_admits_nothing(self):
+        suite = synthesize(SynthesisConfig(budget_seconds=1e-9))
+        assert not suite.pairs
+        assert suite.stats.budget_exhausted
+        assert suite.stats.pairs_admitted == 0
+
+    def test_max_pairs_caps_admission(self):
+        suite = synthesize(
+            SynthesisConfig(edges=FAST.edges, max_pairs=3)
+        )
+        assert len(suite.pairs) == 3
+        assert suite.stats.pairs_admitted == 3
+
+    def test_dedupe_known_drops_isomorphic_pairs(self):
+        reference = default_suite()
+        known = {
+            pair_canonical_key(pair.conformance, pair.mutants)
+            for pair in reference.pairs
+        }
+        config = SynthesisConfig(
+            max_events=FAST.max_events,
+            edges=FAST.edges,
+            dedupe_known=True,
+        )
+        suite = synthesize(config)
+        for pair in suite.pairs:
+            key = pair_canonical_key(pair.conformance, pair.mutants)
+            assert key not in known, pair.conformance.name
+        # Recovery is still *reported* even though the known pairs
+        # are dropped from the output.
+        assert suite.stats.known_pairs_recovered > 0
+        baseline = synthesize(
+            SynthesisConfig(
+                max_events=FAST.max_events, edges=FAST.edges
+            )
+        )
+        assert len(suite.pairs) < len(baseline.pairs)
+
+    def test_deterministic_for_a_config(self):
+        first = synthesize(FAST)
+        second = synthesize(FAST)
+        assert [p.conformance.name for p in first.pairs] == [
+            p.conformance.name for p in second.pairs
+        ]
+        assert first.stats.candidates_tried == second.stats.candidates_tried
+
+    def test_log_receives_progress_and_summary(self):
+        lines = []
+        synthesize(FAST, log=lines.append)
+        assert any("synthesizing:" in line for line in lines)
+        assert any("pair(s) admitted" in line for line in lines)
+        assert any("Table 2 overlap" in line for line in lines)
+
+    def test_custom_reference_suite(self):
+        # Overlap is computed against the caller's reference: against
+        # a single-pair reference, recovery is 1/1 pairs.
+        reference_pair = default_suite().pairs[0]
+        reference = MutationSuite(pairs=(reference_pair,))
+        suite = synthesize(FAST, reference=reference)
+        assert suite.stats.known_pairs_total == 1
+        assert suite.stats.known_pairs_recovered == 1
+        assert suite.overlap == (reference_pair.conformance.name,)
+
+
+class TestVerifiedOutput:
+    def test_every_admitted_pair_is_oracle_clean(self, table2_synthesis):
+        from repro.mutation.generator import verify_test
+
+        for pair in table2_synthesis.pairs[:6]:
+            verify_test(pair.conformance, expect_allowed=False)
+            for mutant in pair.mutants:
+                verify_test(mutant, expect_allowed=True)
+
+    def test_generated_names_are_unique(self, table2_synthesis):
+        names = [t.name for t in table2_synthesis.conformance_tests]
+        names += [t.name for t in table2_synthesis.mutants]
+        assert len(names) == len(set(names))

@@ -1,0 +1,123 @@
+"""Synthesized suites as first-class campaign and analysis inputs."""
+
+import pytest
+
+from repro.analysis.mutation_score import score_matrix
+from repro.campaign import run_campaign, smoke_spec
+from repro.campaign.spec import CampaignError, CampaignSpec
+from repro.campaign.worker import build_state
+from repro.mutation.pruning import prune_for_device
+from repro.gpu import make_device
+from repro.synthesis import SynthesizedSuite, save_suite
+
+
+@pytest.fixture(scope="module")
+def suite_path(table2_synthesis, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("synth")
+    return str(save_suite(table2_synthesis, directory / "suite.json"))
+
+
+class TestSpecWiring:
+    def test_suite_path_round_trips(self, suite_path, table2_synthesis):
+        spec = smoke_spec(
+            tuple(m.name for m in table2_synthesis.mutants),
+            suite_path=suite_path,
+        )
+        assert spec.suite_path == suite_path
+        reloaded = CampaignSpec.from_dict(spec.to_dict())
+        assert reloaded == spec
+        assert reloaded.fingerprint() == spec.fingerprint()
+
+    def test_suite_path_changes_fingerprint(self, table2_synthesis):
+        names = tuple(m.name for m in table2_synthesis.mutants)
+        with_suite = smoke_spec(names, suite_path="somewhere.json")
+        without = smoke_spec(names)
+        assert with_suite.fingerprint() != without.fingerprint()
+
+    def test_old_spec_payloads_still_load(self):
+        payload = {
+            "version": 2,
+            "name": "legacy",
+            "kinds": ["PTE"],
+            "device_names": ["AMD"],
+            "test_names": ["rev_poloc_rr_w_mut"],
+            "environment_count": 1,
+            "seed": 0,
+            "iterations_override": None,
+            "backend": "analytic",
+        }
+        spec = CampaignSpec.from_dict(payload)
+        assert spec.suite_path is None
+
+
+class TestWorkerResolution:
+    def test_worker_resolves_synthesized_names(
+        self, suite_path, table2_synthesis
+    ):
+        mutant = table2_synthesis.mutants[0]
+        spec = smoke_spec((mutant.name,), suite_path=suite_path)
+        state = build_state(spec)
+        resolved = state.tests[mutant.name]
+        assert resolved.name == mutant.name
+        assert resolved.threads == mutant.threads
+
+    def test_builtin_names_still_resolve(self, suite_path):
+        spec = smoke_spec(
+            ("rev_poloc_rr_w_mut",), suite_path=suite_path
+        )
+        state = build_state(spec)
+        assert "rev_poloc_rr_w_mut" in state.tests
+
+    def test_missing_suite_file_fails_loudly(self, table2_synthesis):
+        spec = smoke_spec(
+            (table2_synthesis.mutants[0].name,),
+            suite_path="/nonexistent/suite.json",
+        )
+        with pytest.raises(CampaignError, match="synthesized suite"):
+            build_state(spec)
+
+    def test_unknown_name_still_fails(self, suite_path):
+        spec = smoke_spec(
+            ("definitely_not_a_test",), suite_path=suite_path
+        )
+        with pytest.raises(CampaignError, match="unknown test"):
+            build_state(spec)
+
+
+class TestEndToEnd:
+    def test_campaign_and_mutation_score(
+        self, suite_path, table2_synthesis
+    ):
+        """A synthesized suite runs through a campaign and scores."""
+        mutant_names = tuple(
+            m.name for m in table2_synthesis.mutants[:4]
+        )
+        spec = smoke_spec(mutant_names, suite_path=suite_path)
+        outcome = run_campaign(spec)
+        assert outcome.metrics.units_done == spec.unit_count()
+        for result in outcome.results.values():
+            matrix = score_matrix(result, table2_synthesis)
+            combined = matrix["combined"]["all"]
+            # Only the 4 campaigned mutants have runs; the score is
+            # over the whole suite, so killed <= campaigned mutants.
+            assert combined.total == len(table2_synthesis.mutants) * 2
+            assert 0 <= combined.killed <= len(mutant_names) * 2
+
+    def test_pruning_applies_to_synthesized_suites(
+        self, table2_synthesis
+    ):
+        pruned, report = prune_for_device(
+            table2_synthesis, make_device("m1")
+        )
+        assert isinstance(report.pruned, tuple)
+        assert len(report.kept) + len(report.pruned) == len(
+            table2_synthesis.mutants
+        )
+        assert len(pruned.mutants) == len(report.kept)
+
+    def test_loaded_suite_is_still_synthesized(self, suite_path):
+        from repro.synthesis import load_suite
+
+        loaded = load_suite(suite_path)
+        assert isinstance(loaded, SynthesizedSuite)
+        assert loaded.stats.known_pairs_recovered == 20

@@ -1,0 +1,140 @@
+"""Tests for the versioned on-disk suite format."""
+
+import json
+
+import pytest
+
+from repro.mutation import MutationSuite
+from repro.synthesis import (
+    SUITE_FORMAT,
+    SUITE_VERSION,
+    SynthesisError,
+    SynthesizedSuite,
+    load_suite,
+    pair_canonical_key,
+    save_suite,
+    suite_from_dict,
+    suite_to_dict,
+)
+
+
+@pytest.fixture(scope="module")
+def small_suite(table2_synthesis):
+    """A two-pair slice of the full run: enough structure to exercise
+    serialization without re-verifying 31 pairs."""
+    return SynthesizedSuite(
+        pairs=table2_synthesis.pairs[:2],
+        config=table2_synthesis.config,
+        stats=table2_synthesis.stats,
+        overlap=table2_synthesis.overlap[:2],
+    )
+
+
+class TestSuiteType:
+    def test_is_a_mutation_suite(self, table2_synthesis):
+        assert isinstance(table2_synthesis, MutationSuite)
+
+    def test_find_and_mutator_of_work(self, table2_synthesis):
+        pair = table2_synthesis.pairs[0]
+        found = table2_synthesis.find(pair.conformance.name)
+        assert found is pair.conformance
+        assert (
+            table2_synthesis.mutator_of(pair.conformance.name)
+            == pair.mutator
+        )
+
+    def test_describe_mentions_counts_and_config(self, table2_synthesis):
+        text = table2_synthesis.describe()
+        assert "synthesized suite:" in text
+        assert "≤4 events" in text
+        assert "Table 2 overlap" in text
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, small_suite):
+        payload = suite_to_dict(small_suite)
+        loaded = suite_from_dict(payload)
+        assert loaded.config == small_suite.config
+        assert loaded.stats == small_suite.stats
+        assert loaded.overlap == small_suite.overlap
+        assert [p.conformance.name for p in loaded.pairs] == [
+            p.conformance.name for p in small_suite.pairs
+        ]
+
+    def test_round_trip_preserves_canonical_identity(self, small_suite):
+        loaded = suite_from_dict(suite_to_dict(small_suite))
+        for original, parsed in zip(small_suite.pairs, loaded.pairs):
+            assert pair_canonical_key(
+                parsed.conformance, parsed.mutants
+            ) == pair_canonical_key(
+                original.conformance, original.mutants
+            )
+            assert parsed.mutator == original.mutator
+            assert parsed.template_name == original.template_name
+
+    def test_file_round_trip_with_verification(
+        self, small_suite, tmp_path
+    ):
+        path = save_suite(small_suite, tmp_path / "suite.json")
+        loaded = load_suite(path, verify=True)
+        assert loaded.combined_counts() == small_suite.combined_counts()
+
+    def test_save_creates_parent_directories(self, small_suite, tmp_path):
+        path = save_suite(
+            small_suite, tmp_path / "deep" / "nested" / "suite.json"
+        )
+        assert path.exists()
+
+    def test_file_is_sorted_json(self, small_suite, tmp_path):
+        path = save_suite(small_suite, tmp_path / "suite.json")
+        payload = json.loads(path.read_text())
+        assert payload["format"] == SUITE_FORMAT
+        assert payload["version"] == SUITE_VERSION
+        assert list(payload) == sorted(payload)
+
+
+class TestLoaderRejections:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SynthesisError, match="no suite file"):
+            load_suite(tmp_path / "absent.json")
+
+    def test_not_json(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("not json {")
+        with pytest.raises(SynthesisError, match="not JSON"):
+            load_suite(path)
+
+    def test_wrong_format_marker(self, small_suite):
+        payload = suite_to_dict(small_suite)
+        payload["format"] = "some-other-format"
+        with pytest.raises(SynthesisError, match="format"):
+            suite_from_dict(payload)
+
+    def test_unknown_version(self, small_suite):
+        payload = suite_to_dict(small_suite)
+        payload["version"] = SUITE_VERSION + 1
+        with pytest.raises(SynthesisError, match="version"):
+            suite_from_dict(payload)
+
+    def test_unknown_mutator_kind(self, small_suite):
+        payload = suite_to_dict(small_suite)
+        payload["pairs"][0]["mutator"] = "optimising frobnication"
+        with pytest.raises(SynthesisError, match="mutator"):
+            suite_from_dict(payload)
+
+    def test_malformed_pair_reports_its_index(self, small_suite):
+        payload = suite_to_dict(small_suite)
+        payload["pairs"][1]["conformance"] = "WGSL broken\n"
+        with pytest.raises(SynthesisError, match="pair #1"):
+            suite_from_dict(payload)
+
+    def test_verification_catches_swapped_roles(self, small_suite):
+        # A mutant stored in the conformance slot is oracle-allowed,
+        # so a verifying load must refuse it.
+        payload = suite_to_dict(small_suite)
+        payload["pairs"][0]["conformance"] = payload["pairs"][0][
+            "mutants"
+        ][0]
+        assert suite_from_dict(payload) is not None  # lazy load fine
+        with pytest.raises(SynthesisError, match="pair #0"):
+            suite_from_dict(payload, verify=True)

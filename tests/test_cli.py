@@ -248,3 +248,102 @@ class TestCampaignCommands:
             ["campaign", "status", "--out", str(tmp_path / "none")]
         ) == 1
         assert "no journal" in capsys.readouterr().err
+
+
+@pytest.fixture(scope="module")
+def synth_path(tmp_path_factory):
+    """A small synthesized suite (unfenced 3-event family)."""
+    path = tmp_path_factory.mktemp("synth") / "suite.json"
+    code = main(
+        [
+            "synthesize",
+            "--max-events", "3",
+            "--edges", "com", "po-loc",
+            "--quiet",
+            "--out", str(path),
+        ]
+    )
+    assert code == 0
+    return str(path)
+
+
+class TestSynthesisCommands:
+    def test_synthesize_writes_suite(self, synth_path):
+        payload = json.loads(Path(synth_path).read_text())
+        assert payload["format"] == "repro-synthesized-suite"
+        assert payload["pairs"]
+
+    def test_synthesize_progress_and_summary(self, tmp_path, capsys):
+        assert main(
+            [
+                "synthesize",
+                "--max-events", "3",
+                "--edges", "com", "po-loc",
+                "--max-pairs", "2",
+                "--out", str(tmp_path / "s.json"),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "synthesizing:" in out
+        assert "Table 2 overlap" in out
+        assert "saved" in out
+
+    def test_synthesize_rejects_bad_alphabet(self, tmp_path, capsys):
+        assert main(
+            [
+                "synthesize",
+                "--edges", "com", "po",
+                "--out", str(tmp_path / "s.json"),
+            ]
+        ) == 1
+        assert "no cycle family" in capsys.readouterr().err
+
+    def test_suite_reads_synthesized_file(self, synth_path, capsys):
+        assert main(["suite", "--suite", synth_path]) == 0
+        out = capsys.readouterr().out
+        assert "synthesized suite:" in out
+        assert "Table 2 overlap" in out
+
+    def test_suite_list_shows_roles_and_templates(
+        self, synth_path, capsys
+    ):
+        assert main(["suite", "--suite", synth_path, "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "conformance" in out
+        assert "mutant" in out
+        assert "syn" in out
+
+    def test_suite_list_prune_column(self, capsys):
+        assert main(["suite", "--list", "--prune-devices"]) == 0
+        out = capsys.readouterr().out
+        assert "Pruned on" in out
+        # The M1 profile prunes the single-fence sw mutants.
+        assert "M1" in out
+
+    def test_suite_missing_file_errors(self, capsys):
+        assert main(["suite", "--suite", "/no/such/file.json"]) == 1
+        assert "no suite file" in capsys.readouterr().err
+
+    def test_campaign_over_synthesized_suite(
+        self, synth_path, tmp_path, capsys
+    ):
+        out_dir = tmp_path / "camp"
+        assert main(
+            [
+                "campaign", "run",
+                "--out", str(out_dir),
+                "--smoke", "--serial",
+                "--suite", synth_path,
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            [
+                "analyze",
+                "--action", "mutation-score",
+                "--stats-path", str(out_dir / "pte.json"),
+                "--suite", synth_path,
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "combined" in out

@@ -23,6 +23,7 @@ SUBPACKAGES = [
     "repro.analysis",
     "repro.scopes",
     "repro.backends",
+    "repro.synthesis",
 ]
 
 
