@@ -24,12 +24,14 @@ stressed kind; CI uses a smaller grid).
 import os
 import time
 
+from repro import obs
 from repro.backends import (
     AnalyticBackend,
     VectorizedAnalyticBackend,
     reset_vectorized_caches,
     vectorized_cache_stats,
 )
+from repro.backends.base import GRID_SECONDS_METRIC
 from repro.env import EnvironmentKind, environments_for
 
 ENVIRONMENT_COUNT = int(os.environ.get("BENCH_BACKEND_ENVS", "30"))
@@ -45,13 +47,23 @@ def _grids(seed=SEED):
 
 
 def _run_all(backend, devices, tests, grids):
-    runs = {}
-    started = time.perf_counter()
-    for kind, environments in grids.items():
-        runs[kind] = backend.run_matrix(
-            devices, tests, environments, seed=SEED
+    """One full pass, with per-grid timings captured by a fresh
+    recorder so each stage summarises its own distribution."""
+    rec = obs.enable()
+    try:
+        runs = {}
+        started = time.perf_counter()
+        for kind, environments in grids.items():
+            runs[kind] = backend.run_matrix(
+                devices, tests, environments, seed=SEED
+            )
+        elapsed = time.perf_counter() - started
+        summary = obs.histogram_summary(
+            rec.registry, GRID_SECONDS_METRIC
         )
-    return runs, time.perf_counter() - started
+    finally:
+        obs.disable()
+    return runs, elapsed, summary
 
 
 def test_backend_speedup(suite, devices):
@@ -62,14 +74,18 @@ def test_backend_speedup(suite, devices):
         for environments in grids.values()
     )
 
-    analytic_runs, analytic_seconds = _run_all(
+    analytic_runs, analytic_seconds, analytic_summary = _run_all(
         AnalyticBackend(), devices, tests, grids
     )
 
     reset_vectorized_caches()
     vectorized = VectorizedAnalyticBackend()
-    cold_runs, cold_seconds = _run_all(vectorized, devices, tests, grids)
-    warm_runs, warm_seconds = _run_all(vectorized, devices, tests, grids)
+    cold_runs, cold_seconds, cold_summary = _run_all(
+        vectorized, devices, tests, grids
+    )
+    warm_runs, warm_seconds, warm_summary = _run_all(
+        vectorized, devices, tests, grids
+    )
 
     cold_speedup = analytic_seconds / cold_seconds
     warm_speedup = analytic_seconds / warm_seconds
@@ -87,6 +103,16 @@ def test_backend_speedup(suite, devices):
           f"{stats.run_misses} misses; probability memo: "
           f"{stats.probability_hits} hits / {stats.probability_misses} "
           f"misses")
+
+    artifact = obs.update_bench_obs(
+        "backend_speedup",
+        {
+            "analytic": analytic_summary,
+            "vectorized_cold": cold_summary,
+            "vectorized_warm": warm_summary,
+        },
+    )
+    print(f"  per-stage grid-time summary written to {artifact}")
 
     # Bit identity first: a fast wrong backend is worthless.
     assert cold_runs == analytic_runs

@@ -13,8 +13,10 @@ import json
 import os
 import time
 
+from repro import obs
 from repro.analysis.serialize import result_to_dict
 from repro.campaign import CampaignSpec, ExecutorConfig, run_campaign
+from repro.campaign.metrics import UNIT_SECONDS_METRIC
 from repro.mutation import default_suite
 
 WORKER_COUNTS = (1, 2, 4)
@@ -42,6 +44,7 @@ def test_campaign_scaling(suite):
     spec = _scaling_spec(suite)
     total_units = spec.unit_count()
     throughput = {}
+    stages = {}
     reference = None
     for workers in WORKER_COUNTS:
         started = time.perf_counter()
@@ -53,6 +56,11 @@ def test_campaign_scaling(suite):
         )
         elapsed = time.perf_counter() - started
         throughput[workers] = total_units / elapsed
+        # Campaign unit timings are always-on telemetry, so the
+        # per-stage distribution comes straight from the outcome.
+        stages[f"workers_{workers}"] = obs.histogram_summary(
+            outcome.metrics.registry, UNIT_SECONDS_METRIC
+        )
         stats = _stats_bytes(outcome)
         if reference is None:
             reference = stats
@@ -68,6 +76,9 @@ def test_campaign_scaling(suite):
             f"  {workers} worker(s): {units_per_second:,.0f} units/s "
             f"({speedup:.2f}x vs serial)"
         )
+
+    artifact = obs.update_bench_obs("campaign_scaling", stages)
+    print(f"  per-stage unit-time summary written to {artifact}")
 
     cores = os.cpu_count() or 1
     if cores >= 4:

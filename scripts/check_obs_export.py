@@ -1,0 +1,225 @@
+"""CI gate for exported observability artifacts.
+
+.. code-block:: bash
+
+    python scripts/check_obs_export.py camp/obs \\
+        --require repro_backend_grid_seconds \\
+        --require repro_campaign_units_total
+
+Validates the artifact directory a run with ``--metrics-out DIR``
+produced:
+
+* ``metrics.jsonl`` parses, has the supported schema, and rebuilds a
+  registry whose histograms are internally consistent (bucket counts
+  sum to ``count``, ``min <= mean <= max``);
+* ``metrics.prom`` parses as Prometheus text exposition: every sample
+  belongs to a ``# TYPE``-declared family, histogram ``le`` buckets
+  are cumulative and end at ``+Inf`` with the ``_count`` total;
+* ``trace.jsonl`` (when present) parses and every span carries the
+  required keys;
+* the two metric views agree (every registry family appears in the
+  prom text);
+* every ``--require FAMILY`` names a family with at least one sample.
+
+Exit 0 iff everything holds; each problem prints one line to stderr.
+"""
+
+import argparse
+import math
+import re
+import sys
+from pathlib import Path
+
+from repro.obs import ObsError, load_metrics_jsonl, load_trace_jsonl
+from repro.obs.export import (
+    METRICS_FILENAME,
+    PROM_FILENAME,
+    TRACE_FILENAME,
+)
+
+_PROM_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)$"
+)
+_SPAN_KEYS = ("name", "path", "wall", "cpu", "depth")
+
+
+def check_metrics(path, problems):
+    try:
+        registry, events = load_metrics_jsonl(path)
+    except ObsError as error:
+        problems.append(f"{path}: {error}")
+        return None
+    if len(registry) == 0:
+        problems.append(f"{path}: no instruments recorded")
+    for name, labels, histogram in registry.iter_histograms():
+        if sum(histogram.counts) != histogram.count:
+            problems.append(
+                f"{path}: histogram {name}{dict(labels)} bucket counts "
+                f"sum to {sum(histogram.counts)}, not {histogram.count}"
+            )
+        if histogram.count and not (
+            histogram.min <= histogram.mean <= histogram.max
+        ):
+            problems.append(
+                f"{path}: histogram {name}{dict(labels)} has "
+                f"min/mean/max out of order"
+            )
+    for event in events:
+        if "name" not in event or "utc" not in event:
+            problems.append(f"{path}: malformed event record {event}")
+    return registry
+
+
+def check_prom(path, problems):
+    """Parse the text exposition; return the set of sampled families."""
+    declared = {}
+    sampled = set()
+    histogram_state = {}  # (family, labels-sans-le) -> last cumulative
+    for line_number, line in enumerate(
+        path.read_text().splitlines(), start=1
+    ):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, prom_type = line.split(None, 3)
+            declared[name] = prom_type
+            continue
+        if line.startswith("#"):
+            continue
+        match = _PROM_LINE.match(line)
+        if match is None:
+            problems.append(f"{path}:{line_number} unparseable: {line}")
+            continue
+        name = match.group("name")
+        family = re.sub(r"_(bucket|sum|count)$", "", name)
+        base = family if family in declared else name
+        if base not in declared:
+            problems.append(
+                f"{path}:{line_number} sample {name} has no # TYPE"
+            )
+            continue
+        sampled.add(base)
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            if match.group("value") != "+Inf":
+                problems.append(
+                    f"{path}:{line_number} bad value "
+                    f"{match.group('value')!r}"
+                )
+            continue
+        if name.endswith("_bucket") and declared.get(base) == "histogram":
+            labels = match.group("labels") or ""
+            le = None
+            rest = []
+            for part in labels.split(","):
+                if part.startswith('le="'):
+                    le = part[4:-1]
+                elif part:
+                    rest.append(part)
+            key = (base, ",".join(rest))
+            previous_le, previous_cum = histogram_state.get(
+                key, (-math.inf, -math.inf)
+            )
+            le_value = math.inf if le == "+Inf" else float(le)
+            if le_value <= previous_le or value < previous_cum:
+                problems.append(
+                    f"{path}:{line_number} {base} buckets not "
+                    f"cumulative/ordered"
+                )
+            histogram_state[key] = (le_value, value)
+    for (base, labels), (last_le, _) in histogram_state.items():
+        if last_le != math.inf:
+            problems.append(
+                f"{path}: histogram {base}{{{labels}}} has no "
+                f"+Inf bucket"
+            )
+    return sampled
+
+
+def check_trace(path, problems):
+    try:
+        spans = load_trace_jsonl(path)
+    except (ObsError, ValueError) as error:
+        problems.append(f"{path}: {error}")
+        return
+    for span in spans:
+        missing = [key for key in _SPAN_KEYS if key not in span]
+        if missing:
+            problems.append(
+                f"{path}: span missing keys {missing}: {span}"
+            )
+            break
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="validate exported observability artifacts for CI"
+    )
+    parser.add_argument(
+        "obs_dir", type=Path,
+        help="directory written by --metrics-out",
+    )
+    parser.add_argument(
+        "--require", action="append", default=[], metavar="FAMILY",
+        help="fail unless this metric family has at least one sample "
+        "(repeatable)",
+    )
+    args = parser.parse_args(argv)
+    problems = []
+
+    metrics_path = args.obs_dir / METRICS_FILENAME
+    prom_path = args.obs_dir / PROM_FILENAME
+    trace_path = args.obs_dir / TRACE_FILENAME
+
+    registry = None
+    if metrics_path.exists():
+        registry = check_metrics(metrics_path, problems)
+    else:
+        problems.append(f"missing artifact: {metrics_path}")
+
+    sampled = set()
+    if prom_path.exists():
+        sampled = check_prom(prom_path, problems)
+    else:
+        problems.append(f"missing artifact: {prom_path}")
+
+    if trace_path.exists():
+        check_trace(trace_path, problems)
+
+    if registry is not None and sampled:
+        families = {
+            name
+            for iterator in (
+                registry.iter_counters(),
+                registry.iter_gauges(),
+                registry.iter_histograms(),
+            )
+            for name, _, _ in iterator
+        }
+        for family in sorted(families - sampled):
+            problems.append(
+                f"family {family} in {METRICS_FILENAME} but absent "
+                f"from {PROM_FILENAME}"
+            )
+        for family in args.require:
+            if family not in families:
+                problems.append(f"required family missing: {family}")
+    elif args.require and registry is None:
+        problems.append("cannot check --require: metrics unreadable")
+
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    trace_note = " + trace" if trace_path.exists() else ""
+    print(
+        f"OK: {args.obs_dir} ({len(sampled)} prom families"
+        f"{trace_note})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -66,6 +66,16 @@ def parse_args() -> argparse.Namespace:
         help="evaluate a synthesized suite file (repro synthesize) "
         "instead of the built-in Table 2 suite",
     )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="record wall/CPU-time spans for the hot-path profile",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="DIR",
+        help="write observability artifacts (metrics.jsonl, "
+        "metrics.prom, trace.jsonl) into this directory "
+        "(default with --trace: <results_dir>/obs)",
+    )
     return parser.parse_args()
 
 
@@ -74,6 +84,12 @@ def main() -> None:
     out = args.results_dir
     out.mkdir(parents=True, exist_ok=True)
     started = time.time()
+
+    rec = None
+    if args.trace or args.metrics_out is not None:
+        from repro import obs
+
+        rec = obs.enable(trace=args.trace)
 
     if args.suite is not None:
         print(f"[1/5] loading synthesized suite {args.suite} ...")
@@ -177,6 +193,23 @@ def main() -> None:
     )
     (out / "summary.txt").write_text(summary + "\n")
     print("\n" + summary)
+
+    if rec is not None:
+        from repro import obs
+
+        obs.publish_cache_metrics()
+        obs_dir = (
+            Path(args.metrics_out)
+            if args.metrics_out is not None
+            else out / "obs"
+        )
+        paths = obs.write_artifacts(obs_dir, rec, trace=args.trace)
+        print(
+            "observability artifacts: "
+            + ", ".join(str(path) for path in sorted(paths.values()))
+        )
+        obs.disable()
+
     print(f"\nall artefacts written to {out}/")
 
 

@@ -19,15 +19,32 @@ solely on (seed, unit key), never on how the grid was traversed.
 from __future__ import annotations
 
 import abc
+import time
 from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.env.environment import TestingEnvironment
 from repro.env.runner import TestRun, unit_rng
 from repro.errors import EnvironmentError_
 from repro.gpu.device import Device
 from repro.litmus.program import LitmusTest
+
+#: Shared metric families every backend's grid pass reports under,
+#: labelled ``backend=<name>`` so artifacts compare strategies.
+GRID_SECONDS_METRIC = "repro_backend_grid_seconds"
+GRID_UNITS_METRIC = "repro_backend_units_total"
+
+
+def record_grid(backend: str, elapsed: float, units: int) -> None:
+    """Publish one grid pass's timing; no-op when obs is disabled."""
+    rec = obs.recorder()
+    if not rec.enabled:
+        return
+    rec.observe(GRID_SECONDS_METRIC, elapsed, {"backend": backend})
+    rec.counter_inc(GRID_UNITS_METRIC, units, {"backend": backend})
+    obs.publish_cache_metrics()
 
 
 class Backend(abc.ABC):
@@ -71,21 +88,34 @@ class Backend(abc.ABC):
         Each unit gets its independent deterministic stream, so any
         subset of the matrix reproduces the full run's values.
         """
+        started = time.perf_counter()
         runs: List[TestRun] = []
-        for environment in environments:
-            iterations = (
-                iterations_override
-                if iterations_override is not None
-                else environment.iterations()
-            )
-            for device in devices:
-                for test in tests:
-                    stream = unit_rng(
-                        seed, environment.env_key, device.name, test.name
-                    )
-                    runs.append(
-                        self.run(device, test, environment, iterations, stream)
-                    )
+        with obs.recorder().span(
+            "backend.run_matrix",
+            backend=self.name,
+            environments=len(environments),
+        ):
+            for environment in environments:
+                iterations = (
+                    iterations_override
+                    if iterations_override is not None
+                    else environment.iterations()
+                )
+                for device in devices:
+                    for test in tests:
+                        stream = unit_rng(
+                            seed, environment.env_key, device.name,
+                            test.name,
+                        )
+                        runs.append(
+                            self.run(
+                                device, test, environment, iterations,
+                                stream,
+                            )
+                        )
+        record_grid(
+            self.name, time.perf_counter() - started, len(runs)
+        )
         return runs
 
     def describe(self) -> str:

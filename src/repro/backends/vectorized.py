@@ -32,13 +32,15 @@ both regimes.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.backends.base import Backend
+from repro import obs
+from repro.backends.base import Backend, record_grid
 from repro.backends.registry import register
 from repro.env.environment import TestingEnvironment
 from repro.env.runner import TestRun, structural_test_key, unit_rng
@@ -284,6 +286,29 @@ class VectorizedAnalyticBackend(Backend):
         """
         if not tests:
             return []
+        started = time.perf_counter()
+        span = obs.recorder().span(
+            "backend.run_matrix",
+            backend=self.name,
+            environments=len(environments),
+        )
+        with span:
+            runs = self._run_grid(
+                devices, tests, environments, seed, iterations_override
+            )
+        record_grid(
+            self.name, time.perf_counter() - started, len(runs)
+        )
+        return runs
+
+    def _run_grid(
+        self,
+        devices: Sequence[Device],
+        tests: Sequence[LitmusTest],
+        environments: Sequence[TestingEnvironment],
+        seed: int,
+        iterations_override: Optional[int],
+    ) -> List[TestRun]:
         infos = [_test_info(test) for test in tests]
         runs: List[TestRun] = []
         for environment in environments:

@@ -43,7 +43,12 @@ from repro.campaign.spec import (
     paper_spec,
     smoke_spec,
 )
-from repro.campaign.worker import FaultPlan, TransientWorkerError
+from repro.campaign.worker import (
+    FaultPlan,
+    ShardResult,
+    TransientWorkerError,
+    UnitOutcome,
+)
 
 __all__ = [
     "CampaignError",
@@ -57,8 +62,10 @@ __all__ = [
     "ExecutorConfig",
     "FaultPlan",
     "JournalRecord",
+    "ShardResult",
     "TransientWorkerError",
     "UnitKey",
+    "UnitOutcome",
     "WorkUnit",
     "WorkerCounters",
     "campaign_status",

@@ -1,25 +1,44 @@
-"""Campaign telemetry: per-worker counters and the end-of-run report.
+"""Campaign telemetry: registry-backed counters and the run report.
 
-Workers report, with every unit result, how long the unit took and
-what it did to the oracle cache; the scheduler folds those into
-per-worker and campaign-wide counters.  The output is a structured
-end-of-run report (and optional periodic progress lines) answering
-the questions a campaign operator actually asks: how far along, how
-fast, how much did memoization save, did anything retry or fail.
+Worker processes record per-unit telemetry (unit wall time, simulated
+seconds, oracle-cache lookups) into a process-local
+:class:`~repro.obs.registry.MetricsRegistry`; every shard result ships
+the drained snapshot and the scheduler merges it here.  That replaces
+the old per-field ``WorkerCounters`` plumbing: per-worker counters are
+now *views* over the merged registry, and the same snapshots are what
+``--metrics-out`` exports, so the operator report and the machine
+artifact can never disagree.
+
+Wall-clock accounting keeps two clocks on purpose:
+``started_at``/``finished_at`` are ``time.monotonic()`` (immune to
+clock steps, correct for durations) while ``started_at_utc``/
+``finished_at_utc`` are absolute UTC timestamps, so journals and
+exported metrics from *resumed* runs — separate processes with
+unrelated monotonic epochs — can still be correlated on a shared
+timeline.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Mapping, Optional
 
 from repro.analysis.report import ascii_table
+from repro.obs.registry import MetricsRegistry
+
+#: Metric families of the campaign layer; ``worker`` is the one label.
+UNITS_METRIC = "repro_campaign_units_total"
+UNIT_SECONDS_METRIC = "repro_campaign_unit_seconds"
+BUSY_SECONDS_METRIC = "repro_campaign_busy_seconds_total"
+SIM_SECONDS_METRIC = "repro_campaign_sim_seconds_total"
+ORACLE_LOOKUPS_METRIC = "repro_campaign_oracle_lookups_total"
+RETRIES_METRIC = "repro_campaign_retries_total"
 
 
-@dataclass
+@dataclass(frozen=True)
 class WorkerCounters:
-    """What one worker process did over the campaign."""
+    """A read-only per-worker view over the merged registry."""
 
     worker_id: str
     units_done: int = 0
@@ -29,44 +48,55 @@ class WorkerCounters:
     wall_seconds: float = 0.0
     sim_seconds: float = 0.0
 
-    def observe(
-        self,
-        elapsed: float,
-        sim_seconds: float,
-        oracle_hits: int,
-        oracle_misses: int,
-    ) -> None:
-        self.units_done += 1
-        self.wall_seconds += elapsed
-        self.sim_seconds += sim_seconds
-        self.oracle_hits += oracle_hits
-        self.oracle_misses += oracle_misses
+
+def record_unit(
+    registry: MetricsRegistry,
+    worker_id: str,
+    elapsed: float,
+    sim_seconds: float,
+    oracle_hits: int,
+    oracle_misses: int,
+) -> None:
+    """Fold one completed unit into a campaign registry.
+
+    Shared by the worker process (recording locally before a shard
+    drain) and :meth:`CampaignMetrics.observe_unit` (recording
+    directly at the scheduler), so both paths produce byte-identical
+    snapshots.
+    """
+    labels = {"worker": worker_id}
+    registry.counter(UNITS_METRIC, labels).inc()
+    registry.histogram(UNIT_SECONDS_METRIC, labels).observe(elapsed)
+    registry.counter(BUSY_SECONDS_METRIC, labels).inc(elapsed)
+    registry.counter(SIM_SECONDS_METRIC, labels).inc(sim_seconds)
+    if oracle_hits:
+        registry.counter(
+            ORACLE_LOOKUPS_METRIC, {**labels, "event": "hit"}
+        ).inc(oracle_hits)
+    if oracle_misses:
+        registry.counter(
+            ORACLE_LOOKUPS_METRIC, {**labels, "event": "miss"}
+        ).inc(oracle_misses)
 
 
 @dataclass
 class CampaignMetrics:
-    """Campaign-wide counters, aggregated from worker reports."""
+    """Campaign-wide telemetry, aggregated from registry snapshots."""
 
     total_units: int = 0
     resumed_units: int = 0
-    units_done: int = 0
     units_failed: int = 0
-    retries: int = 0
-    timeouts: int = 0
     shards: int = 0
     serial_fallback: bool = False
-    workers: Dict[str, WorkerCounters] = field(default_factory=dict)
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
     started_at: float = field(default_factory=time.monotonic)
     finished_at: Optional[float] = None
+    #: Absolute UTC start/finish so resumed runs correlate on one
+    #: timeline (monotonic epochs are per-process and incomparable).
+    started_at_utc: float = field(default_factory=time.time)
+    finished_at_utc: Optional[float] = None
 
     # -- recording ---------------------------------------------------------
-
-    def worker(self, worker_id: str) -> WorkerCounters:
-        counters = self.workers.get(worker_id)
-        if counters is None:
-            counters = WorkerCounters(worker_id=worker_id)
-            self.workers[worker_id] = counters
-        return counters
 
     def observe_unit(
         self,
@@ -76,21 +106,119 @@ class CampaignMetrics:
         oracle_hits: int,
         oracle_misses: int,
     ) -> None:
-        self.units_done += 1
-        self.worker(worker_id).observe(
-            elapsed, sim_seconds, oracle_hits, oracle_misses
+        """Record one completed unit directly (serial/in-test path)."""
+        record_unit(
+            self.registry, worker_id, elapsed, sim_seconds,
+            oracle_hits, oracle_misses,
         )
 
     def observe_retry(self, worker_id: str, timed_out: bool) -> None:
-        self.retries += 1
-        if timed_out:
-            self.timeouts += 1
-        self.worker(worker_id).retries += 1
+        self.registry.counter(
+            RETRIES_METRIC,
+            {
+                "worker": worker_id,
+                "timed_out": "true" if timed_out else "false",
+            },
+        ).inc()
+
+    def merge_worker_snapshot(
+        self, payload: Optional[Mapping[str, Any]]
+    ) -> None:
+        """Fold a worker's drained campaign registry in."""
+        self.registry.merge(payload)
 
     def finish(self) -> None:
         self.finished_at = time.monotonic()
+        self.finished_at_utc = time.time()
 
     # -- derived -----------------------------------------------------------
+
+    def _family_by_worker(
+        self, family: str, value_of=lambda counter: counter.value
+    ) -> Dict[str, float]:
+        totals: Dict[str, float] = {}
+        for name, labels, counter in self.registry.iter_counters():
+            if name != family:
+                continue
+            worker = dict(labels).get("worker", "?")
+            totals[worker] = totals.get(worker, 0.0) + value_of(counter)
+        return totals
+
+    def _oracle_total(self, event: str) -> int:
+        total = 0.0
+        for name, labels, counter in self.registry.iter_counters():
+            if (
+                name == ORACLE_LOOKUPS_METRIC
+                and dict(labels).get("event") == event
+            ):
+                total += counter.value
+        return int(total)
+
+    @property
+    def units_done(self) -> int:
+        return int(self.registry.family_total(UNITS_METRIC))
+
+    @property
+    def retries(self) -> int:
+        return int(self.registry.family_total(RETRIES_METRIC))
+
+    @property
+    def timeouts(self) -> int:
+        total = 0.0
+        for name, labels, counter in self.registry.iter_counters():
+            if (
+                name == RETRIES_METRIC
+                and dict(labels).get("timed_out") == "true"
+            ):
+                total += counter.value
+        return int(total)
+
+    @property
+    def oracle_hits(self) -> int:
+        return self._oracle_total("hit")
+
+    @property
+    def oracle_misses(self) -> int:
+        return self._oracle_total("miss")
+
+    @property
+    def sim_seconds(self) -> float:
+        return self.registry.family_total(SIM_SECONDS_METRIC)
+
+    @property
+    def workers(self) -> Dict[str, WorkerCounters]:
+        """Per-worker views rebuilt from the merged registry."""
+        units = self._family_by_worker(UNITS_METRIC)
+        busy = self._family_by_worker(BUSY_SECONDS_METRIC)
+        sim = self._family_by_worker(SIM_SECONDS_METRIC)
+        retries = self._family_by_worker(RETRIES_METRIC)
+        hits: Dict[str, float] = {}
+        misses: Dict[str, float] = {}
+        for name, labels, counter in self.registry.iter_counters():
+            if name != ORACLE_LOOKUPS_METRIC:
+                continue
+            label_map = dict(labels)
+            target = (
+                hits if label_map.get("event") == "hit" else misses
+            )
+            worker = label_map.get("worker", "?")
+            target[worker] = target.get(worker, 0.0) + counter.value
+        worker_ids = (
+            set(units) | set(busy) | set(retries) | set(hits)
+            | set(misses)
+        )
+        return {
+            worker_id: WorkerCounters(
+                worker_id=worker_id,
+                units_done=int(units.get(worker_id, 0)),
+                retries=int(retries.get(worker_id, 0)),
+                oracle_hits=int(hits.get(worker_id, 0)),
+                oracle_misses=int(misses.get(worker_id, 0)),
+                wall_seconds=busy.get(worker_id, 0.0),
+                sim_seconds=sim.get(worker_id, 0.0),
+            )
+            for worker_id in worker_ids
+        }
 
     @property
     def wall_seconds(self) -> float:
@@ -100,18 +228,6 @@ class CampaignMetrics:
             else time.monotonic()
         )
         return end - self.started_at
-
-    @property
-    def oracle_hits(self) -> int:
-        return sum(w.oracle_hits for w in self.workers.values())
-
-    @property
-    def oracle_misses(self) -> int:
-        return sum(w.oracle_misses for w in self.workers.values())
-
-    @property
-    def sim_seconds(self) -> float:
-        return sum(w.sim_seconds for w in self.workers.values())
 
     @property
     def units_per_second(self) -> float:
@@ -134,9 +250,13 @@ class CampaignMetrics:
         lookups = self.oracle_hits + self.oracle_misses
         hit_rate = self.oracle_hits / lookups if lookups else 0.0
         mode = "serial (fallback)" if self.serial_fallback else "sharded"
+        workers = self.workers
+        started = time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", time.gmtime(self.started_at_utc)
+        )
         lines = [
             f"campaign execution: {mode}, "
-            f"{len(self.workers)} worker(s)",
+            f"{len(workers)} worker(s), started {started}",
             f"units: {self.units_done} executed + "
             f"{self.resumed_units} resumed from journal "
             f"/ {self.total_units} total"
@@ -150,10 +270,10 @@ class CampaignMetrics:
             f"({self.units_per_second:.0f} units/s); "
             f"simulated device time: {self.sim_seconds:,.1f}s",
         ]
-        if self.workers:
+        if workers:
             rows: List[List[str]] = []
-            for worker_id in sorted(self.workers):
-                counters = self.workers[worker_id]
+            for worker_id in sorted(workers):
+                counters = workers[worker_id]
                 rows.append(
                     [
                         counters.worker_id,

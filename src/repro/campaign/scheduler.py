@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
+from repro import obs
 from repro.analysis.serialize import run_from_dict
 from repro.env.environment import EnvironmentKind
 from repro.env.runner import TestRun
@@ -33,8 +34,10 @@ from repro.campaign.metrics import CampaignMetrics
 from repro.campaign.spec import CampaignError, CampaignSpec, WorkUnit
 from repro.campaign.worker import (
     FaultPlan,
+    ShardResult,
     UnitOutcome,
     build_state,
+    drain_unit_metrics,
     execute_shard,
     execute_unit,
     initialize_worker,
@@ -121,32 +124,48 @@ class CampaignScheduler:
     def run(self) -> CampaignOutcome:
         units = self.spec.units()
         self.metrics.total_units = len(units)
-        pending = self._load_checkpoint(units)
-        if not pending:
-            self.log(
-                f"[campaign] {self.spec.name}: nothing to do "
-                f"({len(units)} units already journaled)"
-            )
-        else:
-            self.log(
-                f"[campaign] {self.spec.name}: {len(pending)} of "
-                f"{len(units)} units pending"
-            )
-            try:
-                if (
-                    self.config.force_serial
-                    or self.config.effective_workers() == 1
-                ):
-                    self.metrics.serial_fallback = (
+        rec = obs.recorder()
+        with rec.span(
+            "campaign.run", campaign=self.spec.name, units=len(units)
+        ):
+            pending = self._load_checkpoint(units)
+            if not pending:
+                self.log(
+                    f"[campaign] {self.spec.name}: nothing to do "
+                    f"({len(units)} units already journaled)"
+                )
+            else:
+                self.log(
+                    f"[campaign] {self.spec.name}: {len(pending)} of "
+                    f"{len(units)} units pending"
+                )
+                try:
+                    if (
                         self.config.force_serial
-                    )
-                    self._run_serial(units, pending)
-                else:
-                    self._run_pool(units, pending)
-            finally:
-                if self.journal is not None:
-                    self.journal.close()
+                        or self.config.effective_workers() == 1
+                    ):
+                        self.metrics.serial_fallback = (
+                            self.config.force_serial
+                        )
+                        if self.config.force_serial:
+                            rec.event(
+                                "campaign.serial_fallback",
+                                campaign=self.spec.name,
+                                reason="forced",
+                            )
+                        self._run_serial(units, pending)
+                    else:
+                        self._run_pool(units, pending)
+                finally:
+                    if self.journal is not None:
+                        self.journal.close()
         self.metrics.finish()
+        # Fold campaign telemetry into the process recorder so the
+        # exported artifacts carry the repro_campaign_* families too.
+        # observe_unit only ever writes metrics.registry, so this is
+        # the single source — no double counting.
+        if rec.enabled:
+            rec.registry.merge(self.metrics.registry.snapshot())
         outcome = CampaignOutcome(
             spec=self.spec,
             results=self._assemble(),
@@ -195,11 +214,16 @@ class CampaignScheduler:
             outcome = execute_unit(
                 state, index, self.config.unit_timeout
             )
+            # Serial execution shares the worker module's in-process
+            # registry; drain after every unit so progress lines see
+            # live totals.
+            self.metrics.merge_worker_snapshot(drain_unit_metrics())
             retry = self._absorb(units, outcome)
             if retry is not None:
                 self._backoff(retry)
                 queue.append(retry)
             self._progress()
+        obs.publish_cache_metrics()
 
     def _run_pool(
         self, units: List[WorkUnit], pending: List[int]
@@ -210,16 +234,27 @@ class CampaignScheduler:
             if self.config.fault_plan is not None
             else None
         )
+        rec = obs.recorder()
         try:
             executor = ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=initialize_worker,
-                initargs=(self.spec.to_dict(), fault_payload),
+                initargs=(
+                    self.spec.to_dict(),
+                    fault_payload,
+                    rec.config_payload(),
+                ),
             )
         except Exception as error:  # pool cannot start: degrade
             self.log(
                 f"[campaign] worker pool unavailable ({error}); "
                 f"degrading to serial execution"
+            )
+            rec.event(
+                "campaign.pool_degraded",
+                campaign=self.spec.name,
+                stage="startup",
+                error=str(error),
             )
             self.metrics.serial_fallback = True
             self._run_serial(units, pending)
@@ -241,8 +276,17 @@ class CampaignScheduler:
                     ]
                     for future, shard in zip(futures, shards):
                         watchdog = self._watchdog_seconds(len(shard))
-                        outcomes = future.result(timeout=watchdog)
-                        for outcome in outcomes:
+                        result: ShardResult = future.result(
+                            timeout=watchdog
+                        )
+                        self.metrics.merge_worker_snapshot(
+                            result.metrics
+                        )
+                        rec.absorb(
+                            result.obs,
+                            extra_attrs={"worker": result.worker_id},
+                        )
+                        for outcome in result.outcomes:
                             retry = self._absorb(units, outcome)
                             if retry is not None:
                                 retries.append(retry)
@@ -257,6 +301,12 @@ class CampaignScheduler:
             self.log(
                 f"[campaign] worker pool failed mid-run ({error}); "
                 f"finishing remaining units serially"
+            )
+            rec.event(
+                "campaign.pool_degraded",
+                campaign=self.spec.name,
+                stage="mid-run",
+                error=str(error),
             )
             self.metrics.serial_fallback = True
             remaining = [
@@ -292,17 +342,28 @@ class CampaignScheduler:
                 self.journal.append(
                     unit, run, outcome.elapsed, attempts
                 )
-            self.metrics.observe_unit(
-                outcome.worker_id,
-                elapsed=outcome.elapsed,
-                sim_seconds=run.seconds,
-                oracle_hits=outcome.oracle_hits,
-                oracle_misses=outcome.oracle_misses,
-            )
+            # Per-unit telemetry arrived with the shard's registry
+            # snapshot (or via the serial drain); nothing to record
+            # per outcome here.
             return None
+        rec = obs.recorder()
+        if outcome.timed_out:
+            rec.event(
+                "campaign.unit_timeout",
+                unit=index,
+                worker=outcome.worker_id,
+                attempt=attempts,
+            )
         if attempts <= self.config.max_retries:
             self.metrics.observe_retry(
                 outcome.worker_id, timed_out=outcome.timed_out
+            )
+            rec.event(
+                "campaign.unit_retry",
+                unit=index,
+                worker=outcome.worker_id,
+                attempt=attempts,
+                timed_out=outcome.timed_out,
             )
             self.log(
                 f"[campaign] unit {index} attempt {attempts} failed "
@@ -311,6 +372,13 @@ class CampaignScheduler:
             return index
         self._failed[index] = outcome.error or "unknown error"
         self.metrics.units_failed += 1
+        rec.event(
+            "campaign.unit_failed",
+            unit=index,
+            worker=outcome.worker_id,
+            attempts=attempts,
+            error=outcome.error or "unknown error",
+        )
         self.log(
             f"[campaign] unit {index} failed permanently after "
             f"{attempts} attempts: {outcome.error}"

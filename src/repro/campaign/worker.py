@@ -22,12 +22,15 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.analysis.serialize import run_to_dict
+from repro.campaign.metrics import record_unit
 from repro.env.environment import TestingEnvironment
 from repro.env.runner import Runner, oracle_cache_stats
 from repro.errors import ReproError
 from repro.gpu.device import Device, make_device
 from repro.campaign.spec import CampaignError, CampaignSpec, WorkUnit
+from repro.obs.registry import MetricsRegistry
 
 
 class UnitTimeout(ReproError):
@@ -84,7 +87,13 @@ class FaultPlan:
 
 @dataclass
 class UnitOutcome:
-    """The picklable result of one unit attempt."""
+    """The picklable result of one unit attempt.
+
+    Per-unit telemetry (timings, oracle-cache lookups) no longer rides
+    on the outcome: workers fold it into a process-local
+    :class:`~repro.obs.registry.MetricsRegistry` and ship the drained
+    snapshot once per shard on the :class:`ShardResult`.
+    """
 
     index: int
     worker_id: str
@@ -92,12 +101,38 @@ class UnitOutcome:
     run: Optional[Dict[str, Any]] = None
     error: Optional[str] = None
     timed_out: bool = False
-    oracle_hits: int = 0
-    oracle_misses: int = 0
 
     @property
     def ok(self) -> bool:
         return self.run is not None
+
+
+@dataclass
+class ShardResult:
+    """One shard's outcomes plus the worker's telemetry deltas.
+
+    ``metrics`` is the always-on campaign registry snapshot (unit
+    timings, oracle lookups) drained since the previous shard;
+    ``obs`` is the optional full recorder payload (backend/ cache
+    metrics, spans, events) when observability is enabled, else
+    ``None``.  Both are deltas, so the scheduler can merge shard
+    results in any arrival order and get exact totals.
+    """
+
+    outcomes: List[UnitOutcome]
+    worker_id: str
+    metrics: Optional[Dict[str, Any]] = None
+    obs: Optional[Dict[str, Any]] = None
+
+
+#: Always-on per-process campaign telemetry, independent of the global
+#: obs recorder so the end-of-run report works with obs disabled.
+_UNIT_METRICS = MetricsRegistry()
+
+
+def drain_unit_metrics() -> Dict[str, Any]:
+    """Snapshot-and-reset this process's campaign unit telemetry."""
+    return _UNIT_METRICS.drain()
 
 
 @dataclass
@@ -192,9 +227,16 @@ def build_state(
 def initialize_worker(
     spec_payload: Dict[str, Any],
     fault_payload: Optional[Dict[str, Any]] = None,
+    obs_payload: Optional[Dict[str, Any]] = None,
 ) -> None:
-    """Process-pool initializer: build this worker's state once."""
+    """Process-pool initializer: build this worker's state once.
+
+    ``obs_payload`` is the scheduler recorder's configuration (or
+    ``None`` when observability is disabled); it makes every worker
+    record with the same capacities/sampling as the scheduler.
+    """
     global _STATE
+    obs.configure(obs_payload)
     _STATE = build_state(
         CampaignSpec.from_dict(spec_payload),
         FaultPlan.from_payload(fault_payload),
@@ -237,6 +279,7 @@ def execute_unit(
     timeout: Optional[float] = None,
 ) -> UnitOutcome:
     """Run one work unit, returning a picklable outcome (never raises)."""
+    rec = obs.recorder()
     started = time.perf_counter()
     before = oracle_cache_stats()
     try:
@@ -248,20 +291,39 @@ def execute_unit(
                 f"injected transient failure for unit {index}"
             )
         with _deadline(timeout):
-            run = state.runner.run(
-                state.devices[unit.device_name],
-                state.tests[unit.test_name],
-                state.environments[(unit.kind.name, unit.env_key)],
-                unit.rng(state.spec.seed),
-            )
+            with rec.span(
+                "campaign.unit",
+                index=index,
+                test=unit.test_name,
+                device=unit.device_name,
+            ):
+                run = state.runner.run(
+                    state.devices[unit.device_name],
+                    state.tests[unit.test_name],
+                    state.environments[(unit.kind.name, unit.env_key)],
+                    unit.rng(state.spec.seed),
+                )
         after = oracle_cache_stats()
+        elapsed = time.perf_counter() - started
+        record_unit(
+            _UNIT_METRICS,
+            state.worker_id,
+            elapsed=elapsed,
+            sim_seconds=run.seconds,
+            oracle_hits=after.hits - before.hits,
+            oracle_misses=after.misses - before.misses,
+        )
+        if rec.enabled:
+            rec.observe(
+                "repro_backend_unit_seconds",
+                elapsed,
+                {"backend": state.spec.backend},
+            )
         return UnitOutcome(
             index=index,
             worker_id=state.worker_id,
-            elapsed=time.perf_counter() - started,
+            elapsed=elapsed,
             run=run_to_dict(run),
-            oracle_hits=after.hits - before.hits,
-            oracle_misses=after.misses - before.misses,
         )
     except UnitTimeout as error:
         return UnitOutcome(
@@ -282,10 +344,19 @@ def execute_unit(
 
 def execute_shard(
     indices: Sequence[int], timeout: Optional[float] = None
-) -> List[UnitOutcome]:
+) -> ShardResult:
     """Pool task entry point: run a shard in this worker's state."""
     if _STATE is None:
         raise CampaignError(
             "worker used before initialize_worker() ran"
         )
-    return [execute_unit(_STATE, index, timeout) for index in indices]
+    outcomes = [
+        execute_unit(_STATE, index, timeout) for index in indices
+    ]
+    obs.publish_cache_metrics()
+    return ShardResult(
+        outcomes=outcomes,
+        worker_id=_STATE.worker_id,
+        metrics=drain_unit_metrics(),
+        obs=obs.recorder().drain(),
+    )

@@ -23,6 +23,12 @@ side the artifact ran in a browser:
     python -m repro campaign run --out camp --workers 4
     python -m repro campaign status --out camp
     python -m repro campaign resume --out camp
+    python -m repro campaign run --out camp --smoke \\
+        --trace --metrics-out camp/obs
+    python -m repro obs report --metrics camp/obs/metrics.jsonl \\
+        --trace camp/obs/trace.jsonl
+    python -m repro obs export --metrics camp/obs/metrics.jsonl \\
+        --format prom
 
 All commands are deterministic given ``--seed``; campaigns are
 additionally independent of worker count and resumable mid-run.
@@ -130,6 +136,15 @@ def _parser() -> argparse.ArgumentParser:
     synthesize_cmd.add_argument(
         "--out", required=True, help="output suite JSON path"
     )
+    synthesize_cmd.add_argument(
+        "--trace", action="store_true",
+        help="record nested wall/CPU-time spans (profile report)",
+    )
+    synthesize_cmd.add_argument(
+        "--metrics-out", default=None, metavar="DIR",
+        help="write metrics.jsonl + metrics.prom (and trace.jsonl "
+        "with --trace) into this directory",
+    )
 
     show = commands.add_parser("show", help="print one test")
     show.add_argument("name", help="suite test name, alias, or library name")
@@ -178,6 +193,15 @@ def _parser() -> argparse.ArgumentParser:
         "bit-identical and faster on big grids)",
     )
     tune.add_argument("--out", required=True)
+    tune.add_argument(
+        "--trace", action="store_true",
+        help="record nested wall/CPU-time spans (profile report)",
+    )
+    tune.add_argument(
+        "--metrics-out", default=None, metavar="DIR",
+        help="write metrics.jsonl + metrics.prom (and trace.jsonl "
+        "with --trace) into this directory",
+    )
 
     analyze = commands.add_parser(
         "analyze", help="the artifact's analysis actions"
@@ -221,6 +245,43 @@ def _parser() -> argparse.ArgumentParser:
 
     commands.add_parser("devices", help="print Table 3")
 
+    obs_cmd = commands.add_parser(
+        "obs",
+        help="inspect exported observability artifacts",
+    )
+    obs_commands = obs_cmd.add_subparsers(
+        dest="obs_command", required=True
+    )
+    obs_report = obs_commands.add_parser(
+        "report",
+        help="render metrics/events (and, with --trace, the "
+        "top-spans/hot-path profile) from exported artifacts",
+    )
+    obs_report.add_argument(
+        "--metrics", required=True,
+        help="metrics.jsonl produced by --metrics-out",
+    )
+    obs_report.add_argument(
+        "--trace", default=None,
+        help="trace.jsonl produced by --metrics-out with --trace",
+    )
+    obs_report.add_argument(
+        "--top", type=int, default=15,
+        help="span rows in the profile table",
+    )
+    obs_export = obs_commands.add_parser(
+        "export",
+        help="re-emit a metrics.jsonl artifact in another format",
+    )
+    obs_export.add_argument("--metrics", required=True)
+    obs_export.add_argument(
+        "--format", choices=["jsonl", "prom"], required=True
+    )
+    obs_export.add_argument(
+        "--out", default=None,
+        help="output path (default: stdout)",
+    )
+
     campaign = commands.add_parser(
         "campaign",
         help="sharded parallel campaigns with checkpoint/resume",
@@ -228,6 +289,17 @@ def _parser() -> argparse.ArgumentParser:
     campaign_commands = campaign.add_subparsers(
         dest="campaign_command", required=True
     )
+
+    def _obs_flags(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--trace", action="store_true",
+            help="record nested wall/CPU-time spans (profile report)",
+        )
+        sub.add_argument(
+            "--metrics-out", default=None, metavar="DIR",
+            help="write metrics.jsonl + metrics.prom (and trace.jsonl "
+            "with --trace) into this directory",
+        )
 
     def _executor_flags(sub: argparse.ArgumentParser) -> None:
         sub.add_argument(
@@ -285,12 +357,14 @@ def _parser() -> argparse.ArgumentParser:
         help="also assert 1-worker == N-worker results",
     )
     _executor_flags(campaign_run)
+    _obs_flags(campaign_run)
 
     campaign_resume = campaign_commands.add_parser(
         "resume", help="continue a journaled campaign"
     )
     campaign_resume.add_argument("--out", required=True)
     _executor_flags(campaign_resume)
+    _obs_flags(campaign_resume)
 
     campaign_status_cmd = campaign_commands.add_parser(
         "status", help="progress of a journaled campaign"
@@ -370,6 +444,69 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     return 0
 
 
+def _obs_begin(args: argparse.Namespace):
+    """Install a live recorder iff the command asked for telemetry."""
+    if not (
+        getattr(args, "trace", False)
+        or getattr(args, "metrics_out", None)
+    ):
+        return None
+    from repro import obs
+
+    return obs.enable(trace=bool(args.trace))
+
+
+def _obs_end(args: argparse.Namespace, rec) -> None:
+    """Write artifacts / print the profile, then restore the no-op."""
+    if rec is None:
+        return
+    from repro import obs
+
+    obs.publish_cache_metrics()
+    if args.metrics_out:
+        paths = obs.write_artifacts(
+            Path(args.metrics_out), rec, trace=bool(args.trace)
+        )
+        written = ", ".join(
+            str(path) for path in sorted(paths.values())
+        )
+        print(f"observability artifacts: {written}")
+    elif args.trace:
+        spans = rec.tracer.drain()
+        print()
+        print(obs.render_profile(spans["spans"]))
+    obs.disable()
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    registry, events = obs.load_metrics_jsonl(args.metrics)
+    if args.obs_command == "report":
+        spans = None
+        if args.trace is not None:
+            spans = obs.load_trace_jsonl(args.trace)
+        print(
+            obs.render_report(
+                registry, events, spans, top=args.top
+            )
+        )
+        return 0
+    # export
+    if args.format == "prom":
+        text = obs.prom_text(registry)
+    else:
+        text = (
+            "\n".join(obs.metrics_jsonl_lines(registry, events)) + "\n"
+        )
+    if args.out is None:
+        print(text, end="")
+    else:
+        Path(args.out).write_text(text)
+        print(f"wrote {args.out}")
+    return 0
+
+
 def _cmd_synthesize(args: argparse.Namespace) -> int:
     from repro.synthesis import (
         ALL_EDGES,
@@ -388,9 +525,11 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
         max_pairs=args.max_pairs,
         dedupe_known=args.dedupe_known,
     )
+    rec = _obs_begin(args)
     suite = synthesize(
         config, log=None if args.quiet else print
     )
+    _obs_end(args, rec)
     path = save_suite(suite, args.out)
     conformance, mutants = suite.combined_counts()
     print(
@@ -458,6 +597,7 @@ def _devices(names: Optional[Sequence[str]]):
 def _cmd_tune(args: argparse.Namespace) -> int:
     kind = EnvironmentKind[args.kind]
     suite = default_suite()
+    rec = _obs_begin(args)
     result = tuning_run(
         kind,
         _devices(args.devices),
@@ -466,6 +606,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         seed=args.seed,
         backend=args.backend,
     )
+    _obs_end(args, rec)
     save_result(result, args.out)
     print(
         f"saved {len(result.runs)} runs ({kind.value}, "
@@ -615,9 +756,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print(campaign_status(journal_path).describe())
         return 0
     if args.campaign_command == "resume":
+        rec = _obs_begin(args)
         outcome = resume_campaign(
             journal_path, config=_executor_config(args), log=print
         )
+        _obs_end(args, rec)
         _finish_campaign(outcome, out_dir)
         return 0
     # run
@@ -642,9 +785,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         )
     out_dir.mkdir(parents=True, exist_ok=True)
     config = _executor_config(args)
+    rec = _obs_begin(args)
     outcome = run_campaign(
         spec, journal_path=journal_path, config=config, log=print
     )
+    _obs_end(args, rec)
     if args.verify_determinism:
         verify_order_independence(
             spec, workers=max(2, config.effective_workers()), log=print
@@ -664,6 +809,7 @@ _HANDLERS = {
     "cts": _cmd_cts,
     "devices": _cmd_devices,
     "campaign": _cmd_campaign,
+    "obs": _cmd_obs,
 }
 
 

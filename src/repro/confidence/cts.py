@@ -135,7 +135,33 @@ def curate(
     """
     if not result.runs:
         raise AnalysisError("tuning result is empty")
+    from repro import obs
+
+    rec = obs.recorder()
+    span = rec.span("confidence.curate", pairs=len(suite.pairs))
     entries: List[CtsEntry] = []
+    with span:
+        _curate_pairs(
+            suite, result, reproducibility_target, budget_seconds,
+            entries,
+        )
+    rec.counter_inc(
+        "repro_confidence_curated_total", len(entries)
+    )
+    return CtsPlan(
+        entries=tuple(entries),
+        reproducibility_target=reproducibility_target,
+        budget_seconds=budget_seconds,
+    )
+
+
+def _curate_pairs(
+    suite: MutationSuite,
+    result: TuningResult,
+    reproducibility_target: float,
+    budget_seconds: float,
+    entries: List[CtsEntry],
+) -> None:
     for pair in suite.pairs:
         mutant_names = [mutant.name for mutant in pair.mutants]
         decisions = merge_suite(
@@ -158,8 +184,3 @@ def curate(
                 budget_seconds=budget_seconds,
             )
         )
-    return CtsPlan(
-        entries=tuple(entries),
-        reproducibility_target=reproducibility_target,
-        budget_seconds=budget_seconds,
-    )

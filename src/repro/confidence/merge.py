@@ -120,18 +120,26 @@ def merge_suite(
     budget_seconds: float,
 ) -> List[MergeDecision]:
     """Run Algorithm 1 for every test of a tuning result."""
+    from repro import obs
+
     rate = tuning_rate_function(result)
-    return [
-        merge_environments(
-            test_name,
-            result.environments,
-            result.device_names,
-            rate,
-            reproducibility_target,
-            budget_seconds,
-        )
-        for test_name in test_names
-    ]
+    rec = obs.recorder()
+    with rec.span("confidence.merge_suite", tests=len(test_names)):
+        decisions = [
+            merge_environments(
+                test_name,
+                result.environments,
+                result.device_names,
+                rate,
+                reproducibility_target,
+                budget_seconds,
+            )
+            for test_name in test_names
+        ]
+    rec.counter_inc(
+        "repro_confidence_merges_total", len(decisions)
+    )
+    return decisions
 
 
 def reproducible_pairs(

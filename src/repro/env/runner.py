@@ -17,6 +17,7 @@ derivation.  ``Runner(mode=...)`` remains as a deprecated alias for
 from __future__ import annotations
 
 import hashlib
+import time
 import warnings
 import zlib
 from collections import OrderedDict
@@ -290,7 +291,31 @@ class Runner:
             if self.iterations_override is not None
             else environment.iterations()
         )
-        return self.backend.run(device, test, environment, iterations, rng)
+        from repro import obs
+        from repro.backends.base import record_grid
+
+        rec = obs.recorder()
+        if not rec.enabled:
+            return self.backend.run(
+                device, test, environment, iterations, rng
+            )
+        # A single unit is a degenerate 1x1x1 grid: charging it to the
+        # same per-backend family keeps grid timing comparable between
+        # batched (run_matrix) and per-unit (campaign worker) paths.
+        started = time.perf_counter()
+        with rec.span(
+            "runner.run",
+            backend=self.backend.name,
+            test=test.name,
+            device=device.name,
+        ):
+            run = self.backend.run(
+                device, test, environment, iterations, rng
+            )
+        record_grid(
+            self.backend.name, time.perf_counter() - started, 1
+        )
+        return run
 
     # -- matrices -----------------------------------------------------------
 

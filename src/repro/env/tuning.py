@@ -201,6 +201,12 @@ def tuning_run(
             "pass either runner= or backend=, not both; a runner "
             "already carries its backend"
         )
+    from repro import obs
+
+    rec = obs.recorder()
+    rec.counter_inc(
+        "repro_tuning_runs_total", 1, {"kind": kind.name.lower()}
+    )
     if workers is not None and workers > 1 and runner is None:
         if not any(len(device.bugs) for device in devices) and (
             _name_resolvable(tests)
@@ -227,7 +233,15 @@ def tuning_run(
             return outcome.results[kind]
     environments = environments_for(kind, environment_count, seed)
     active_runner = runner if runner is not None else Runner(backend=backend)
-    runs = active_runner.run_matrix(devices, tests, environments, seed=seed)
+    with rec.span(
+        "tuning.run",
+        kind=kind.name.lower(),
+        environments=len(environments),
+        tests=len(tests),
+    ):
+        runs = active_runner.run_matrix(
+            devices, tests, environments, seed=seed
+        )
     return TuningResult(
         kind=kind, runs=runs, backend=active_runner.backend.name
     )

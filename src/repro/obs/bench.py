@@ -1,0 +1,96 @@
+"""The standardized ``BENCH_obs.json`` performance artifact.
+
+Every benchmark that times pipeline stages writes its per-stage
+distribution summary (count/sum/median/p90, derived from the obs
+histograms) into one shared JSON file, keyed by bench name, so the
+perf trajectory is comparable PR-over-PR with a single artifact diff:
+
+.. code-block:: json
+
+    {"schema": 1, "benches": {
+        "backend_speedup": {"stages": {
+            "analytic": {"count": 4, "median": 0.41, "p90": 0.52, ...}
+    }}}}
+
+The file is update-in-place: each bench replaces only its own entry,
+so ``bench_backend_speedup`` and ``bench_campaign_scaling`` can run in
+any order (or alone) without clobbering each other.  Path defaults to
+``BENCH_obs.json`` in the working directory; override with the
+``BENCH_OBS_PATH`` environment variable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.obs.registry import MetricsRegistry
+
+BENCH_SCHEMA = 1
+DEFAULT_PATH = "BENCH_obs.json"
+
+
+def bench_obs_path(path: Optional[Union[str, Path]] = None) -> Path:
+    if path is not None:
+        return Path(path)
+    return Path(os.environ.get("BENCH_OBS_PATH", DEFAULT_PATH))
+
+
+def histogram_summary(
+    registry: MetricsRegistry, family: str
+) -> Dict[str, float]:
+    """count/sum/mean/median/p90 for one histogram family.
+
+    Aggregates over every label set of the family (merging label sets
+    into one distribution), which is what a stage summary wants: "the
+    grid-time distribution of this stage", whatever backends or
+    workers it labelled.
+    """
+    merged = MetricsRegistry()
+    snapshot = registry.snapshot()
+    snapshot["counters"] = []
+    snapshot["gauges"] = []
+    snapshot["histograms"] = [
+        {**entry, "labels": {}}
+        for entry in snapshot["histograms"]
+        if entry["name"] == family
+    ]
+    merged.merge(snapshot)
+    histogram = merged.histogram(family)
+    return {
+        "count": histogram.count,
+        "sum": round(histogram.sum, 6),
+        "mean": round(histogram.mean, 6),
+        "median": round(histogram.quantile(0.5), 6),
+        "p90": round(histogram.quantile(0.9), 6),
+    }
+
+
+def update_bench_obs(
+    bench: str,
+    stages: Dict[str, Dict[str, Any]],
+    path: Optional[Union[str, Path]] = None,
+) -> Path:
+    """Replace one bench's entry in the shared artifact."""
+    target = bench_obs_path(path)
+    payload: Dict[str, Any] = {"schema": BENCH_SCHEMA, "benches": {}}
+    if target.exists():
+        try:
+            existing = json.loads(target.read_text())
+        except (json.JSONDecodeError, OSError):
+            existing = None
+        if (
+            isinstance(existing, dict)
+            and existing.get("schema") == BENCH_SCHEMA
+            and isinstance(existing.get("benches"), dict)
+        ):
+            payload = existing
+    payload["benches"][bench] = {
+        "updated_utc": time.time(),
+        "stages": stages,
+    }
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return target

@@ -1,0 +1,93 @@
+"""The structured event log: named lifecycle events with attributes.
+
+Events are for *discrete occurrences* the metrics layer would flatten
+into a number: a unit retried, a SIGALRM deadline fired, the pool
+degraded to serial, a synthesis candidate was dropped at its oracle
+deadline.  Each event carries a name, arbitrary attributes, and an
+absolute UTC timestamp (so journals and exported metrics correlate
+across resumed runs).
+
+The log is bounded like the span buffer — keep-earliest, count the
+rest in ``dropped`` — and ships through the same drain/absorb channel
+as metric snapshots, so worker events surface at the scheduler.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.obs.registry import ObsError
+
+EVENT_SCHEMA = 1
+
+
+class EventLog:
+    """Bounded, mergeable list of structured events."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ObsError("event log capacity must be >= 1")
+        self.capacity = capacity
+        self.dropped = 0
+        self._events: List[Dict[str, Any]] = []
+
+    def emit(self, name: str, **attrs: Any) -> None:
+        self._append({
+            "name": name,
+            "attrs": attrs,
+            "utc": time.time(),
+        })
+
+    def _append(self, event: Dict[str, Any]) -> None:
+        if len(self._events) >= self.capacity:
+            self.dropped += 1
+            return
+        self._events.append(event)
+
+    # -- access / shipping -------------------------------------------------
+
+    @property
+    def events(self) -> List[Dict[str, Any]]:
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        return iter(self._events)
+
+    def counts(self) -> Dict[str, int]:
+        """Occurrences per event name (for the report)."""
+        totals: Dict[str, int] = {}
+        for event in self._events:
+            totals[event["name"]] = totals.get(event["name"], 0) + 1
+        return totals
+
+    def drain(self) -> Dict[str, Any]:
+        payload = {
+            "schema": EVENT_SCHEMA,
+            "events": self._events,
+            "dropped": self.dropped,
+        }
+        self._events = []
+        self.dropped = 0
+        return payload
+
+    def absorb(
+        self,
+        payload: Optional[Dict[str, Any]],
+        extra_attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if not payload:
+            return
+        self.dropped += payload.get("dropped", 0)
+        for event in payload.get("events", ()):
+            if extra_attrs:
+                event = dict(event)
+                event["attrs"] = {**event.get("attrs", {}), **extra_attrs}
+            self._append(event)
+
+    def reset(self) -> None:
+        self._events = []
+        self.dropped = 0

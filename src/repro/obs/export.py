@@ -1,0 +1,290 @@
+"""Exporters: Prometheus text and JSONL metrics/trace artifacts.
+
+A campaign (or synthesis) run with ``--metrics-out DIR`` leaves three
+machine-readable files next to its journal:
+
+* ``metrics.jsonl`` — one JSON object per line: a ``meta`` header,
+  then every counter/gauge/histogram, then every logged event.  This
+  is the *lossless* artifact: :func:`load_metrics_jsonl` rebuilds the
+  registry exactly, which is what ``repro obs report`` and ``repro obs
+  export`` consume.
+* ``metrics.prom`` — the same registry in Prometheus text exposition
+  format (histograms as cumulative ``le`` buckets + ``_sum`` +
+  ``_count``), ready for a pushgateway or textfile collector.
+* ``trace.jsonl`` — one span per line (when tracing was on), the
+  input to the hot-path profile report.
+
+``scripts/check_obs_export.py`` validates all three against the
+schemas declared here.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.obs.events import EventLog
+from repro.obs.recorder import Recorder
+from repro.obs.registry import MetricsRegistry, ObsError
+
+METRICS_SCHEMA = 1
+TRACE_SCHEMA = 1
+
+METRICS_FILENAME = "metrics.jsonl"
+PROM_FILENAME = "metrics.prom"
+TRACE_FILENAME = "trace.jsonl"
+
+
+def _jsonl(payload: Dict[str, Any]) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+# -- JSONL ---------------------------------------------------------------------
+
+
+def metrics_jsonl_lines(
+    registry: MetricsRegistry,
+    events: Optional[Union[EventLog, List[Dict[str, Any]]]] = None,
+) -> List[str]:
+    """The ``metrics.jsonl`` artifact, line by line.
+
+    ``events`` may be a live :class:`EventLog` or the plain record
+    list :func:`load_metrics_jsonl` returns, so re-export round-trips.
+    """
+    lines = [
+        _jsonl(
+            {
+                "type": "meta",
+                "schema": METRICS_SCHEMA,
+                "created_utc": time.time(),
+            }
+        )
+    ]
+    snapshot = registry.snapshot()
+    for entry in snapshot["counters"]:
+        lines.append(_jsonl({"type": "counter", **entry}))
+    for entry in snapshot["gauges"]:
+        lines.append(_jsonl({"type": "gauge", **entry}))
+    for entry in snapshot["histograms"]:
+        lines.append(_jsonl({"type": "histogram", **entry}))
+    if events is not None:
+        for event in events:
+            lines.append(_jsonl({"type": "event", **event}))
+        dropped = getattr(events, "dropped", 0)
+        if dropped:
+            lines.append(
+                _jsonl({"type": "events_dropped", "count": dropped})
+            )
+    return lines
+
+
+def trace_jsonl_lines(spans: Iterable[Dict[str, Any]], dropped: int = 0) -> List[str]:
+    lines = [
+        _jsonl(
+            {
+                "type": "meta",
+                "schema": TRACE_SCHEMA,
+                "created_utc": time.time(),
+            }
+        )
+    ]
+    for span in spans:
+        lines.append(_jsonl({"type": "span", **span}))
+    if dropped:
+        lines.append(_jsonl({"type": "spans_dropped", "count": dropped}))
+    return lines
+
+
+def load_metrics_jsonl(
+    path: Union[str, Path]
+) -> Tuple[MetricsRegistry, List[Dict[str, Any]]]:
+    """Rebuild (registry, events) from a ``metrics.jsonl`` artifact."""
+    path = Path(path)
+    if not path.exists():
+        raise ObsError(f"no metrics artifact at {path}")
+    registry = MetricsRegistry()
+    events: List[Dict[str, Any]] = []
+    payload: Dict[str, List[Dict[str, Any]]] = {
+        "counters": [], "gauges": [], "histograms": []
+    }
+    for line_number, line in enumerate(
+        path.read_text().splitlines(), start=1
+    ):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ObsError(
+                f"{path}:{line_number} is not JSON: {error}"
+            ) from None
+        kind = record.get("type")
+        if kind == "meta":
+            schema = record.get("schema")
+            if schema != METRICS_SCHEMA:
+                raise ObsError(
+                    f"{path} has unsupported metrics schema {schema!r}"
+                )
+        elif kind in ("counter", "gauge", "histogram"):
+            payload[kind + "s"].append(record)
+        elif kind == "event":
+            events.append(record)
+        elif kind == "events_dropped":
+            pass
+        else:
+            raise ObsError(
+                f"{path}:{line_number} has unknown record type {kind!r}"
+            )
+    registry.merge(payload)
+    return registry, events
+
+
+def load_trace_jsonl(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Span records from a ``trace.jsonl`` artifact."""
+    path = Path(path)
+    if not path.exists():
+        raise ObsError(f"no trace artifact at {path}")
+    spans: List[Dict[str, Any]] = []
+    for line_number, line in enumerate(
+        path.read_text().splitlines(), start=1
+    ):
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        kind = record.get("type")
+        if kind == "span":
+            spans.append(record)
+        elif kind in ("meta", "spans_dropped"):
+            continue
+        else:
+            raise ObsError(
+                f"{path}:{line_number} has unknown record type {kind!r}"
+            )
+    return spans
+
+
+# -- Prometheus text format ----------------------------------------------------
+
+
+def _prom_labels(labels: Dict[str, str], extra: str = "") -> str:
+    parts = [
+        f'{key}="{_prom_escape(value)}"'
+        for key, value in sorted(labels.items())
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _prom_escape(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _prom_number(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def prom_text(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format."""
+    lines: List[str] = []
+    seen_types: Dict[str, str] = {}
+
+    def declare(name: str, prom_type: str) -> None:
+        if name not in seen_types:
+            seen_types[name] = prom_type
+            lines.append(f"# TYPE {name} {prom_type}")
+
+    for name, labels, counter in registry.iter_counters():
+        declare(name, "counter")
+        lines.append(
+            f"{name}{_prom_labels(dict(labels))} "
+            f"{_prom_number(counter.value)}"
+        )
+    for name, labels, gauge in registry.iter_gauges():
+        declare(name, "gauge")
+        lines.append(
+            f"{name}{_prom_labels(dict(labels))} "
+            f"{_prom_number(gauge.value)}"
+        )
+    for name, labels, histogram in registry.iter_histograms():
+        declare(name, "histogram")
+        label_map = dict(labels)
+        cumulative = 0
+        for bound, count in zip(
+            histogram.buckets, histogram.counts[:-1]
+        ):
+            cumulative += count
+            le = 'le="' + _prom_number(bound) + '"'
+            lines.append(
+                f"{name}_bucket{_prom_labels(label_map, le)} {cumulative}"
+            )
+        cumulative += histogram.counts[-1]
+        le_inf = 'le="+Inf"'
+        lines.append(
+            f"{name}_bucket{_prom_labels(label_map, le_inf)} {cumulative}"
+        )
+        lines.append(
+            f"{name}_sum{_prom_labels(label_map)} "
+            f"{_prom_number(histogram.sum)}"
+        )
+        lines.append(
+            f"{name}_count{_prom_labels(label_map)} {histogram.count}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+# -- artifact writing ----------------------------------------------------------
+
+
+def write_artifacts(
+    out_dir: Union[str, Path],
+    rec: Recorder,
+    trace: Optional[bool] = None,
+) -> Dict[str, Path]:
+    """Write metrics.jsonl + metrics.prom (+ trace.jsonl) to a directory.
+
+    Returns the written paths keyed by artifact name.  ``trace`` is
+    derived from the recorder when not forced.
+    """
+    if not rec.enabled:
+        raise ObsError(
+            "cannot export artifacts from a disabled recorder; call "
+            "repro.obs.enable() before running the workload"
+        )
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    paths: Dict[str, Path] = {}
+
+    metrics_path = out / METRICS_FILENAME
+    metrics_path.write_text(
+        "\n".join(metrics_jsonl_lines(rec.registry, rec.events)) + "\n"
+    )
+    paths["metrics"] = metrics_path
+
+    prom_path = out / PROM_FILENAME
+    prom_path.write_text(prom_text(rec.registry))
+    paths["prom"] = prom_path
+
+    want_trace = rec.trace if trace is None else trace
+    if want_trace:
+        trace_path = out / TRACE_FILENAME
+        trace_path.write_text(
+            "\n".join(
+                trace_jsonl_lines(rec.tracer.spans, rec.tracer.dropped)
+            )
+            + "\n"
+        )
+        paths["trace"] = trace_path
+    return paths

@@ -1,0 +1,359 @@
+"""The process-local metrics registry: counters, gauges, histograms.
+
+Instruments are keyed by (family name, sorted label pairs) and live in
+one :class:`MetricsRegistry` per process.  The registry's load-bearing
+property is *mergeability*: :meth:`MetricsRegistry.snapshot` produces a
+plain-dict payload that travels through pickle/JSON, and
+:meth:`MetricsRegistry.merge` folds any number of such payloads back in
+with **associative, commutative** semantics — counters and histogram
+buckets add, gauges take the maximum, histogram min/max combine — so
+per-worker snapshots can be merged at the scheduler in any order (or
+any grouping) and produce identical totals.  ``tests/obs`` asserts
+exactly that.
+
+Histograms use *fixed* bucket boundaries declared at first observation
+(per family), so two processes observing the same family always
+produce mergeable bucket vectors; quantiles are estimated by linear
+interpolation inside the owning bucket, with the recorded min/max
+tightening the first and overflow buckets.
+
+Everything here is stdlib-only; numpy never enters the hot path.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+SNAPSHOT_SCHEMA = 1
+
+#: Default boundaries for wall-time histograms (seconds).  Spans four
+#: orders of magnitude: sub-ms campaign units up to multi-minute grids.
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0,
+    300.0,
+)
+
+#: Boundaries for fractions in [0, 1] (cache hit rates and the like).
+RATE_BUCKETS: Tuple[float, ...] = (
+    0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+class ObsError(ReproError):
+    """Misuse of the observability layer (bad name, bucket mismatch)."""
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ObsError(
+            f"metric name {name!r} is not Prometheus-compatible "
+            f"(want [a-zA-Z_][a-zA-Z0-9_]*)"
+        )
+    return name
+
+
+def label_key(labels: Mapping[str, Any]) -> LabelKey:
+    """Canonical (sorted, stringified) form of a label set."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing sum.  Merge = addition."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ObsError("counters only go up; use a gauge")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value.  Merge = max (order-independent).
+
+    The max-merge rule is what keeps cross-worker merging associative:
+    publish only values that never decrease over a process's lifetime
+    (cache sizes, high-water marks, absolute timestamps).
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-boundary histogram with an overflow bucket.
+
+    ``counts[i]`` counts observations ``<= buckets[i]``-exclusive band
+    (non-cumulative); ``counts[-1]`` is the overflow band above the
+    last boundary.  Cumulative-``le`` form is derived at export time.
+    """
+
+    __slots__ = ("buckets", "counts", "sum", "count", "min", "max")
+
+    def __init__(self, buckets: Sequence[float]) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ObsError("a histogram needs at least one boundary")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ObsError(
+                f"histogram boundaries must be strictly increasing: "
+                f"{bounds}"
+            )
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.sum += value
+        self.count += 1
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    def quantile(self, q: float) -> float:
+        """Estimated q-quantile (0 <= q <= 1) from the bucket counts.
+
+        Linear interpolation inside the owning bucket; the observed
+        min/max bound the open-ended first and overflow buckets, so a
+        single-value histogram reports that value for every quantile.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ObsError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= rank:
+                if index == 0:
+                    low = self.min
+                elif index == len(self.buckets):
+                    low = self.buckets[-1]
+                else:
+                    low = self.buckets[index - 1]
+                high = (
+                    self.buckets[index]
+                    if index < len(self.buckets)
+                    else self.max
+                )
+                low = max(low, self.min)
+                high = min(high, self.max)
+                if high <= low or bucket_count == 0:
+                    return low
+                fraction = (rank - cumulative) / bucket_count
+                return low + fraction * (high - low)
+            cumulative += bucket_count
+        return self.max
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """All instruments of one process, mergeable across processes."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple[str, LabelKey], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelKey], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelKey], Histogram] = {}
+        #: Bucket boundaries are fixed per *family*, not per label set,
+        #: so every label combination of a family stays mergeable.
+        self._family_buckets: Dict[str, Tuple[float, ...]] = {}
+
+    # -- recording ---------------------------------------------------------
+
+    def counter(self, name: str, labels: Optional[Mapping[str, Any]] = None) -> Counter:
+        key = (_check_name(name), label_key(labels or {}))
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter()
+        return instrument
+
+    def gauge(self, name: str, labels: Optional[Mapping[str, Any]] = None) -> Gauge:
+        key = (_check_name(name), label_key(labels or {}))
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge()
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, Any]] = None,
+        buckets: Optional[Sequence[float]] = None,
+    ) -> Histogram:
+        name = _check_name(name)
+        family_buckets = self._family_buckets.get(name)
+        if family_buckets is None:
+            family_buckets = tuple(
+                float(b) for b in (buckets or DEFAULT_TIME_BUCKETS)
+            )
+            self._family_buckets[name] = family_buckets
+        elif buckets is not None and tuple(
+            float(b) for b in buckets
+        ) != family_buckets:
+            raise ObsError(
+                f"histogram family {name!r} already declared with "
+                f"boundaries {family_buckets}"
+            )
+        key = (name, label_key(labels or {}))
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(family_buckets)
+        return instrument
+
+    # -- iteration (stable order for rendering/export) ---------------------
+
+    def iter_counters(self) -> Iterator[Tuple[str, LabelKey, Counter]]:
+        for (name, labels), instrument in sorted(self._counters.items()):
+            yield name, labels, instrument
+
+    def iter_gauges(self) -> Iterator[Tuple[str, LabelKey, Gauge]]:
+        for (name, labels), instrument in sorted(self._gauges.items()):
+            yield name, labels, instrument
+
+    def iter_histograms(self) -> Iterator[Tuple[str, LabelKey, Histogram]]:
+        for (name, labels), instrument in sorted(self._histograms.items()):
+            yield name, labels, instrument
+
+    def counter_value(
+        self, name: str, labels: Optional[Mapping[str, Any]] = None
+    ) -> float:
+        """Current value of one counter (0.0 when never incremented)."""
+        instrument = self._counters.get((name, label_key(labels or {})))
+        return instrument.value if instrument is not None else 0.0
+
+    def family_total(self, name: str) -> float:
+        """Sum of a counter family over every label combination."""
+        return sum(
+            instrument.value
+            for (family, _), instrument in self._counters.items()
+            if family == name
+        )
+
+    def __len__(self) -> int:
+        return (
+            len(self._counters)
+            + len(self._gauges)
+            + len(self._histograms)
+        )
+
+    # -- snapshot / merge --------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A plain-dict copy safe to pickle, JSON-encode, and merge."""
+        return {
+            "schema": SNAPSHOT_SCHEMA,
+            "counters": [
+                {"name": name, "labels": dict(labels), "value": c.value}
+                for name, labels, c in self.iter_counters()
+            ],
+            "gauges": [
+                {"name": name, "labels": dict(labels), "value": g.value}
+                for name, labels, g in self.iter_gauges()
+            ],
+            "histograms": [
+                {
+                    "name": name,
+                    "labels": dict(labels),
+                    "buckets": list(h.buckets),
+                    "counts": list(h.counts),
+                    "sum": h.sum,
+                    "count": h.count,
+                    "min": None if h.count == 0 else h.min,
+                    "max": None if h.count == 0 else h.max,
+                }
+                for name, labels, h in self.iter_histograms()
+            ],
+        }
+
+    def merge(self, payload: Optional[Mapping[str, Any]]) -> None:
+        """Fold one snapshot payload in (associative + commutative)."""
+        if not payload:
+            return
+        for entry in payload.get("counters", ()):
+            self.counter(entry["name"], entry["labels"]).value += entry[
+                "value"
+            ]
+        for entry in payload.get("gauges", ()):
+            gauge = self.gauge(entry["name"], entry["labels"])
+            gauge.value = max(gauge.value, entry["value"])
+        for entry in payload.get("histograms", ()):
+            histogram = self.histogram(
+                entry["name"], entry["labels"], buckets=entry["buckets"]
+            )
+            counts = entry["counts"]
+            if len(counts) != len(histogram.counts):
+                raise ObsError(
+                    f"histogram {entry['name']!r} bucket count mismatch "
+                    f"({len(counts)} vs {len(histogram.counts)})"
+                )
+            for index, count in enumerate(counts):
+                histogram.counts[index] += count
+            histogram.sum += entry["sum"]
+            histogram.count += entry["count"]
+            if entry["min"] is not None:
+                histogram.min = min(histogram.min, entry["min"])
+            if entry["max"] is not None:
+                histogram.max = max(histogram.max, entry["max"])
+
+    def drain(self) -> Dict[str, Any]:
+        """Snapshot, then reset — the shard-shipping primitive.
+
+        A worker drains after every shard and ships the delta; since
+        deltas are disjoint, the scheduler's merges add up to exactly
+        the worker's lifetime totals, in any arrival order.
+        """
+        payload = self.snapshot()
+        self.reset()
+        return payload
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        # Family boundaries survive a reset on purpose: the next
+        # observation after a drain must stay mergeable with the past.
+
+    def is_empty(self) -> bool:
+        return len(self) == 0
+
+
+def merge_snapshots(
+    payloads: Sequence[Mapping[str, Any]]
+) -> MetricsRegistry:
+    """A fresh registry holding the fold of all payloads."""
+    registry = MetricsRegistry()
+    for payload in payloads:
+        registry.merge(payload)
+    return registry

@@ -1,0 +1,217 @@
+"""ASCII rendering: metric tables and the top-spans/hot-path profile.
+
+``repro obs report`` feeds this module from exported artifacts; the
+CLI's live runs feed it from the in-process recorder.  The profile is
+the operator's answer to "where did the time go": spans aggregated by
+path, ranked by *self* time (total minus direct children), plus the
+chain of heaviest spans from the heaviest root — the hot path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs.events import EventLog
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import aggregate_spans, hot_path
+
+
+def _table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    title: str = "",
+) -> str:
+    """Minimal fixed-width table (obs stays dependency-free)."""
+    columns = list(zip(headers, *rows)) if rows else [
+        (header,) for header in headers
+    ]
+    widths = [max(len(str(cell)) for cell in column) for column in columns]
+
+    def render(cells: Sequence[str]) -> str:
+        return " | ".join(
+            str(cell).ljust(width) for cell, width in zip(cells, widths)
+        ).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render(headers))
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(render(row) for row in rows)
+    return "\n".join(lines)
+
+
+def _seconds(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:.3f}s"
+    if value >= 0.001:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value * 1e6:.0f}us"
+
+
+def _labels_text(labels: Dict[str, str]) -> str:
+    if not labels:
+        return "-"
+    return ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+
+
+def render_metrics(registry: MetricsRegistry) -> str:
+    """Counters, gauges, and histogram summaries as ASCII tables."""
+    sections: List[str] = []
+    counter_rows = [
+        [name, _labels_text(dict(labels)), f"{counter.value:g}"]
+        for name, labels, counter in registry.iter_counters()
+    ]
+    if counter_rows:
+        sections.append(
+            _table(
+                ["counter", "labels", "value"],
+                counter_rows,
+                title="counters",
+            )
+        )
+    gauge_rows = [
+        [name, _labels_text(dict(labels)), f"{gauge.value:g}"]
+        for name, labels, gauge in registry.iter_gauges()
+    ]
+    if gauge_rows:
+        sections.append(
+            _table(
+                ["gauge", "labels", "value"], gauge_rows, title="gauges"
+            )
+        )
+    def _value(name: str, value: float) -> str:
+        # Only *_seconds families are durations; rates and sizes
+        # render as plain numbers.
+        if "seconds" in name:
+            return _seconds(value)
+        return f"{value:.4g}"
+
+    histogram_rows = [
+        [
+            name,
+            _labels_text(dict(labels)),
+            str(histogram.count),
+            _value(name, histogram.mean),
+            _value(name, histogram.quantile(0.5)),
+            _value(name, histogram.quantile(0.9)),
+            _value(name, histogram.max) if histogram.count else "-",
+        ]
+        for name, labels, histogram in registry.iter_histograms()
+    ]
+    if histogram_rows:
+        sections.append(
+            _table(
+                ["histogram", "labels", "count", "mean", "p50", "p90",
+                 "max"],
+                histogram_rows,
+                title="histograms",
+            )
+        )
+    if not sections:
+        return "(no metrics recorded)"
+    return "\n\n".join(sections)
+
+
+def render_events(events_or_counts: Any) -> str:
+    """Event occurrence counts, most frequent first."""
+    if isinstance(events_or_counts, EventLog):
+        counts = events_or_counts.counts()
+    elif isinstance(events_or_counts, dict):
+        counts = events_or_counts
+    else:  # a raw list of event records (from metrics.jsonl)
+        counts = {}
+        for event in events_or_counts:
+            counts[event["name"]] = counts.get(event["name"], 0) + 1
+    if not counts:
+        return "(no events recorded)"
+    rows = [
+        [name, str(count)]
+        for name, count in sorted(
+            counts.items(), key=lambda item: (-item[1], item[0])
+        )
+    ]
+    return _table(["event", "count"], rows, title="events")
+
+
+def _span_percentile(durations: List[float], q: float) -> float:
+    if not durations:
+        return 0.0
+    index = min(len(durations) - 1, int(q * len(durations)))
+    return durations[index]
+
+
+def render_profile(
+    spans: Sequence[Dict[str, Any]], top: int = 15
+) -> str:
+    """The "top spans / hot path" profile from raw span records."""
+    if not spans:
+        return "(no spans recorded — run with --trace)"
+    aggregates = aggregate_spans(spans)
+    total_wall = sum(
+        entry["wall"]
+        for path, entry in aggregates.items()
+        if "/" not in path
+    )
+    ranked = sorted(
+        aggregates.values(),
+        key=lambda entry: entry["self_wall"],
+        reverse=True,
+    )[:top]
+    rows = [
+        [
+            entry["path"],
+            str(entry["count"]),
+            _seconds(entry["wall"]),
+            _seconds(entry["self_wall"]),
+            (
+                f"{100.0 * entry['self_wall'] / total_wall:.1f}%"
+                if total_wall > 0
+                else "-"
+            ),
+            _seconds(_span_percentile(entry["durations"], 0.5)),
+            _seconds(_span_percentile(entry["durations"], 0.9)),
+            _seconds(entry["cpu"]),
+        ]
+        for entry in ranked
+    ]
+    sections = [
+        _table(
+            ["span", "count", "total", "self", "self%", "p50", "p90",
+             "cpu"],
+            rows,
+            title=f"top spans by self time ({len(spans)} spans, "
+            f"{_seconds(total_wall)} traced)",
+        )
+    ]
+    chain = hot_path(aggregates)
+    if chain:
+        lines = ["hot path:"]
+        for depth, entry in enumerate(chain):
+            share = (
+                f" ({100.0 * entry['wall'] / total_wall:.1f}%)"
+                if total_wall > 0
+                else ""
+            )
+            lines.append(
+                f"  {'  ' * depth}{entry['name']}: "
+                f"{_seconds(entry['wall'])}{share} "
+                f"x{entry['count']}"
+            )
+        sections.append("\n".join(lines))
+    return "\n\n".join(sections)
+
+
+def render_report(
+    registry: MetricsRegistry,
+    events: Any = None,
+    spans: Optional[Sequence[Dict[str, Any]]] = None,
+    top: int = 15,
+) -> str:
+    """The full ``repro obs report`` output."""
+    sections = [render_metrics(registry)]
+    if events is not None:
+        sections.append(render_events(events))
+    if spans is not None:
+        sections.append(render_profile(spans, top=top))
+    return "\n\n".join(sections)

@@ -1,0 +1,224 @@
+"""The span tracer: nested wall/CPU-time spans with a bounded buffer.
+
+A span is one timed region with a name, a ``/``-joined *path* (the
+chain of enclosing span names, which survives cross-process merging
+and is what the profile report aggregates on), attributes, wall and
+CPU durations, and a start offset relative to the tracer's epoch.
+
+The buffer is **bounded and drops deterministically**: once
+``capacity`` spans are recorded, later spans are counted in
+``dropped`` and discarded — the kept set depends only on completion
+order, never on timing, so two identical runs keep identical spans.
+Sampling is likewise deterministic: with ``sample=n``, every n-th
+*top-level* span (and its whole subtree) records, the rest are
+skipped wholesale.
+
+Worker processes drain their spans (:meth:`Tracer.drain`) and the
+scheduler absorbs them (:meth:`Tracer.absorb`) through the same
+channel that ships metric snapshots.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from repro.obs.registry import ObsError
+
+SPAN_SCHEMA = 1
+
+
+class _SpanHandle:
+    """Context manager for one open span."""
+
+    __slots__ = ("_tracer", "name", "attrs", "_wall0", "_cpu0", "_recording")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        attrs: Dict[str, Any],
+        recording: bool,
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self._recording = recording
+        self._wall0 = 0.0
+        self._cpu0 = 0.0
+
+    def __enter__(self) -> "_SpanHandle":
+        self._tracer._stack.append(self.name)
+        self._wall0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        wall = time.perf_counter() - self._wall0
+        cpu = time.process_time() - self._cpu0
+        tracer = self._tracer
+        path = "/".join(tracer._stack)
+        tracer._stack.pop()
+        if self._recording:
+            tracer._record(
+                {
+                    "name": self.name,
+                    "path": path,
+                    "attrs": self.attrs,
+                    "start": round(self._wall0 - tracer._epoch, 6),
+                    "wall": wall,
+                    "cpu": cpu,
+                    "depth": len(tracer._stack),
+                    "seq": tracer._next_seq(),
+                }
+            )
+
+
+class Tracer:
+    """Bounded, deterministic span recording for one process."""
+
+    def __init__(self, capacity: int = 4096, sample: int = 1) -> None:
+        if capacity < 1:
+            raise ObsError("tracer capacity must be >= 1")
+        if sample < 1:
+            raise ObsError("tracer sample must be >= 1")
+        self.capacity = capacity
+        self.sample = sample
+        self.dropped = 0
+        self._spans: List[Dict[str, Any]] = []
+        self._stack: List[str] = []
+        self._seq = 0
+        self._top_seen = 0
+        self._subtree_recording = True
+        self._epoch = time.perf_counter()
+
+    # -- recording ---------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> _SpanHandle:
+        if not self._stack:
+            # Sampling decision is made once per top-level span and
+            # inherited by the whole subtree.
+            self._subtree_recording = self._top_seen % self.sample == 0
+            self._top_seen += 1
+        return _SpanHandle(self, name, attrs, self._subtree_recording)
+
+    def _record(self, span: Dict[str, Any]) -> None:
+        if len(self._spans) >= self.capacity:
+            self.dropped += 1
+            return
+        self._spans.append(span)
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    # -- access / shipping -------------------------------------------------
+
+    @property
+    def spans(self) -> List[Dict[str, Any]]:
+        return list(self._spans)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        return iter(self._spans)
+
+    def drain(self) -> Dict[str, Any]:
+        """Ship-and-reset: spans out, buffer emptied, dropped carried."""
+        payload = {
+            "schema": SPAN_SCHEMA,
+            "spans": self._spans,
+            "dropped": self.dropped,
+        }
+        self._spans = []
+        self.dropped = 0
+        return payload
+
+    def absorb(
+        self,
+        payload: Optional[Dict[str, Any]],
+        extra_attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Merge a drained payload (e.g. from a worker process).
+
+        Absorbed spans respect this tracer's capacity with the same
+        deterministic keep-earliest/drop-later rule as local spans.
+        """
+        if not payload:
+            return
+        self.dropped += payload.get("dropped", 0)
+        for span in payload.get("spans", ()):
+            if extra_attrs:
+                span = dict(span)
+                span["attrs"] = {**span.get("attrs", {}), **extra_attrs}
+            self._record(span)
+
+    def reset(self) -> None:
+        self._spans = []
+        self._stack = []
+        self.dropped = 0
+        self._seq = 0
+        self._top_seen = 0
+        self._epoch = time.perf_counter()
+
+
+def aggregate_spans(
+    spans: Sequence[Dict[str, Any]]
+) -> Dict[str, Dict[str, Any]]:
+    """Per-path aggregates: count, total/self wall, cpu, durations.
+
+    Self time is total wall minus the wall of *direct* children (paths
+    one level deeper), the quantity the hot-path report ranks by.
+    """
+    aggregates: Dict[str, Dict[str, Any]] = {}
+    for span in spans:
+        path = span["path"]
+        entry = aggregates.get(path)
+        if entry is None:
+            entry = aggregates[path] = {
+                "path": path,
+                "name": span["name"],
+                "count": 0,
+                "wall": 0.0,
+                "cpu": 0.0,
+                "child_wall": 0.0,
+                "durations": [],
+            }
+        entry["count"] += 1
+        entry["wall"] += span["wall"]
+        entry["cpu"] += span["cpu"]
+        entry["durations"].append(span["wall"])
+    for path, entry in aggregates.items():
+        parent = path.rsplit("/", 1)[0] if "/" in path else None
+        if parent is not None and parent in aggregates:
+            aggregates[parent]["child_wall"] += entry["wall"]
+    for entry in aggregates.values():
+        entry["self_wall"] = max(0.0, entry["wall"] - entry["child_wall"])
+        entry["durations"].sort()
+    return aggregates
+
+
+def hot_path(
+    aggregates: Dict[str, Dict[str, Any]]
+) -> List[Dict[str, Any]]:
+    """The chain of heaviest spans from the heaviest root down."""
+    roots = [
+        entry for path, entry in aggregates.items() if "/" not in path
+    ]
+    if not roots:
+        return []
+    chain: List[Dict[str, Any]] = []
+    current = max(roots, key=lambda entry: entry["wall"])
+    while True:
+        chain.append(current)
+        prefix = current["path"] + "/"
+        children = [
+            entry
+            for path, entry in aggregates.items()
+            if path.startswith(prefix)
+            and "/" not in path[len(prefix):]
+        ]
+        if not children:
+            return chain
+        current = max(children, key=lambda entry: entry["wall"])

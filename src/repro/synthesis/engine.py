@@ -42,6 +42,7 @@ from typing import (
     Tuple,
 )
 
+from repro import obs
 from repro.errors import ReproError
 from repro.mutation.mutators import (
     MutationPair,
@@ -65,6 +66,30 @@ from repro.synthesis.suite import SynthesisStats, SynthesizedSuite
 
 #: Progress callback: called with human-readable one-liners.
 LogFn = Callable[[str], None]
+
+#: Obs metric families of the synthesis pipeline.
+PHASE_SECONDS_METRIC = "repro_synthesis_phase_seconds_total"
+CANDIDATE_SECONDS_METRIC = "repro_synthesis_candidate_seconds"
+CANDIDATES_METRIC = "repro_synthesis_candidates_total"
+
+
+def _timed_iter(iterable, phase_seconds: Dict[str, float], phase: str):
+    """Yield from ``iterable``, charging producer time to a phase.
+
+    Generators do their work inside ``next()``; this is how the lazily
+    produced enumeration stream gets its own timing bucket without
+    materialising it.
+    """
+    iterator = iter(iterable)
+    while True:
+        started = time.perf_counter()
+        try:
+            item = next(iterator)
+        except StopIteration:
+            phase_seconds[phase] += time.perf_counter() - started
+            return
+        phase_seconds[phase] += time.perf_counter() - started
+        yield item
 
 
 class CandidateTimeout(ReproError):
@@ -183,11 +208,19 @@ def synthesize(
     """
     config = config or SynthesisConfig()
     emit = log or (lambda message: None)
+    rec = obs.recorder()
     started = time.monotonic()
     known = _KnownSuiteIndex(
         reference if reference is not None else default_suite()
     )
 
+    phase_seconds = {
+        "enumerate": 0.0,
+        "canonicalize": 0.0,
+        "mutate": 0.0,
+        "verify": 0.0,
+        "dedupe": 0.0,
+    }
     stats = {
         "templates_enumerated": 0,
         "templates_canonical": 0,
@@ -219,64 +252,150 @@ def synthesize(
 
     emit(f"synthesizing: {config.describe()}")
     stop = False
-    for template in enumerate_templates(config):
-        if stop or out_of_budget() or at_pair_cap():
-            stats["budget_exhausted"] = out_of_budget()
-            break
-        stats["templates_enumerated"] += 1
-        template_key = template_canonical_key(template)
-        if template_key in seen_templates:
-            continue
-        seen_templates.add(template_key)
-        stats["templates_canonical"] += 1
-        template_admitted = 0
-        for mutator in mutator_instances(template):
-            for label, build in mutator.candidates():
-                if out_of_budget() or at_pair_cap():
-                    stats["budget_exhausted"] = out_of_budget()
-                    stop = True
-                    break
-                stats["candidates_tried"] += 1
-                try:
-                    with _deadline(config.candidate_timeout):
-                        pair = build()
-                except CandidateTimeout:
-                    stats["candidates_timed_out"] += 1
-                    continue
-                except ReproError:
-                    # Structurally plausible but semantically not a
-                    # (disallowed, allowed) pair under the oracle.
-                    stats["candidates_failed"] += 1
-                    continue
-                if pair is None:
-                    continue
-                pair_key = pair_canonical_key(
-                    pair.conformance, pair.mutants
-                )
-                if pair_key in seen_pairs:
-                    stats["duplicates_folded"] += 1
-                    continue
-                seen_pairs.add(pair_key)
-                conformance_key = test_canonical_key(pair.conformance)
-                if conformance_key in known.conformance_names:
-                    recovered_conformance.add(conformance_key)
-                for mutant in pair.mutants:
-                    mutant_key = test_canonical_key(mutant)
-                    if mutant_key in known.mutant_names:
-                        recovered_mutants.add(mutant_key)
-                known_name = known.pair_names.get(pair_key)
-                if known_name is not None:
-                    recovered_pairs[pair_key] = known_name
-                    if config.dedupe_known:
-                        continue
-                admitted.append(pair)
-                template_admitted += 1
-            if stop:
+    run_span = rec.span(
+        "synthesis.run", bound=config.describe()
+    )
+    with run_span:
+        for template in _timed_iter(
+            enumerate_templates(config), phase_seconds, "enumerate"
+        ):
+            if stop or out_of_budget() or at_pair_cap():
+                stats["budget_exhausted"] = out_of_budget()
                 break
-        emit(
-            f"  {template.name}: {template_admitted} pair(s) admitted "
-            f"({stats['candidates_tried']} candidates tried so far)"
+            stats["templates_enumerated"] += 1
+            mark = time.perf_counter()
+            template_key = template_canonical_key(template)
+            phase_seconds["canonicalize"] += time.perf_counter() - mark
+            if template_key in seen_templates:
+                continue
+            seen_templates.add(template_key)
+            stats["templates_canonical"] += 1
+            template_admitted = 0
+            template_timed_out = 0
+            mark = time.perf_counter()
+            mutators = mutator_instances(template)
+            phase_seconds["mutate"] += time.perf_counter() - mark
+            for mutator in mutators:
+                for label, build in _timed_iter(
+                    mutator.candidates(), phase_seconds, "mutate"
+                ):
+                    if out_of_budget() or at_pair_cap():
+                        stats["budget_exhausted"] = out_of_budget()
+                        stop = True
+                        break
+                    stats["candidates_tried"] += 1
+                    mark = time.perf_counter()
+                    try:
+                        with _deadline(config.candidate_timeout):
+                            pair = build()
+                    except CandidateTimeout:
+                        phase_seconds["verify"] += (
+                            time.perf_counter() - mark
+                        )
+                        stats["candidates_timed_out"] += 1
+                        template_timed_out += 1
+                        # A deadline hit is a named, counted event —
+                        # never a silent drop.
+                        rec.event(
+                            "synthesis.candidate_deadline",
+                            template=template.name,
+                            candidate=label,
+                            deadline_seconds=config.candidate_timeout,
+                        )
+                        rec.counter_inc(
+                            CANDIDATES_METRIC, 1,
+                            {"outcome": "timed_out"},
+                        )
+                        continue
+                    except ReproError:
+                        # Structurally plausible but semantically not a
+                        # (disallowed, allowed) pair under the oracle.
+                        phase_seconds["verify"] += (
+                            time.perf_counter() - mark
+                        )
+                        stats["candidates_failed"] += 1
+                        rec.counter_inc(
+                            CANDIDATES_METRIC, 1,
+                            {"outcome": "failed"},
+                        )
+                        continue
+                    candidate_elapsed = time.perf_counter() - mark
+                    phase_seconds["verify"] += candidate_elapsed
+                    rec.observe(
+                        CANDIDATE_SECONDS_METRIC, candidate_elapsed
+                    )
+                    if pair is None:
+                        rec.counter_inc(
+                            CANDIDATES_METRIC, 1,
+                            {"outcome": "not_a_pair"},
+                        )
+                        continue
+                    mark = time.perf_counter()
+                    pair_key = pair_canonical_key(
+                        pair.conformance, pair.mutants
+                    )
+                    if pair_key in seen_pairs:
+                        phase_seconds["dedupe"] += (
+                            time.perf_counter() - mark
+                        )
+                        stats["duplicates_folded"] += 1
+                        rec.counter_inc(
+                            CANDIDATES_METRIC, 1,
+                            {"outcome": "duplicate"},
+                        )
+                        continue
+                    seen_pairs.add(pair_key)
+                    conformance_key = test_canonical_key(
+                        pair.conformance
+                    )
+                    if conformance_key in known.conformance_names:
+                        recovered_conformance.add(conformance_key)
+                    for mutant in pair.mutants:
+                        mutant_key = test_canonical_key(mutant)
+                        if mutant_key in known.mutant_names:
+                            recovered_mutants.add(mutant_key)
+                    known_name = known.pair_names.get(pair_key)
+                    phase_seconds["dedupe"] += (
+                        time.perf_counter() - mark
+                    )
+                    if known_name is not None:
+                        recovered_pairs[pair_key] = known_name
+                        if config.dedupe_known:
+                            rec.counter_inc(
+                                CANDIDATES_METRIC, 1,
+                                {"outcome": "known"},
+                            )
+                            continue
+                    admitted.append(pair)
+                    template_admitted += 1
+                    rec.counter_inc(
+                        CANDIDATES_METRIC, 1, {"outcome": "admitted"}
+                    )
+                if stop:
+                    break
+            timed_out_note = (
+                f", {template_timed_out} deadline hit(s)"
+                if template_timed_out
+                else ""
+            )
+            emit(
+                f"  {template.name}: {template_admitted} pair(s) "
+                f"admitted ({stats['candidates_tried']} candidates "
+                f"tried so far{timed_out_note})"
+            )
+
+    if stats["budget_exhausted"]:
+        rec.event(
+            "synthesis.budget_exhausted",
+            budget_seconds=config.budget_seconds,
+            candidates_tried=stats["candidates_tried"],
         )
+    if rec.enabled:
+        for phase, seconds in phase_seconds.items():
+            rec.counter_inc(
+                PHASE_SECONDS_METRIC, seconds, {"phase": phase}
+            )
+        obs.publish_cache_metrics()
 
     elapsed = time.monotonic() - started
     suite = SynthesizedSuite(

@@ -1,0 +1,19 @@
+"""Shared obs-test plumbing: every test leaves obs disabled.
+
+The obs recorder is process-global state; a test that enables it and
+fails mid-way must not leak a live recorder (or stale cache-delta
+tracking) into the next test.
+"""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _clean_recorder():
+    obs.disable()
+    obs.reset_publisher()
+    yield
+    obs.disable()
+    obs.reset_publisher()

@@ -1,0 +1,72 @@
+"""Tests for the shared BENCH_obs.json performance artifact."""
+
+import json
+
+from repro.obs.bench import (
+    bench_obs_path,
+    histogram_summary,
+    update_bench_obs,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+class TestHistogramSummary:
+    def test_merges_label_sets_into_one_distribution(self):
+        registry = MetricsRegistry()
+        registry.histogram("grid_seconds", {"backend": "a"}).observe(0.25)
+        registry.histogram("grid_seconds", {"backend": "b"}).observe(0.75)
+        summary = histogram_summary(registry, "grid_seconds")
+        assert summary["count"] == 2
+        assert summary["sum"] == 1.0
+        assert summary["mean"] == 0.5
+
+    def test_absent_family_is_empty(self):
+        summary = histogram_summary(MetricsRegistry(), "never_seen")
+        assert summary["count"] == 0
+        assert summary["sum"] == 0.0
+
+
+class TestUpdateBenchObs:
+    def test_update_in_place_preserves_other_benches(self, tmp_path):
+        path = tmp_path / "BENCH_obs.json"
+        update_bench_obs(
+            "backend_speedup",
+            {"analytic": {"count": 1, "median": 0.5}},
+            path=path,
+        )
+        update_bench_obs(
+            "campaign_scaling",
+            {"workers_1": {"count": 2, "median": 0.25}},
+            path=path,
+        )
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == 1
+        assert sorted(payload["benches"]) == [
+            "backend_speedup", "campaign_scaling",
+        ]
+        # Re-running one bench replaces only its own entry.
+        update_bench_obs(
+            "backend_speedup",
+            {"analytic": {"count": 9, "median": 0.1}},
+            path=path,
+        )
+        payload = json.loads(path.read_text())
+        assert (
+            payload["benches"]["backend_speedup"]["stages"]["analytic"][
+                "count"
+            ]
+            == 9
+        )
+        assert "campaign_scaling" in payload["benches"]
+
+    def test_corrupt_artifact_is_replaced(self, tmp_path):
+        path = tmp_path / "BENCH_obs.json"
+        path.write_text("not json")
+        update_bench_obs("b", {"s": {"count": 1}}, path=path)
+        payload = json.loads(path.read_text())
+        assert payload["benches"]["b"]["stages"] == {"s": {"count": 1}}
+
+    def test_path_env_override(self, tmp_path, monkeypatch):
+        target = tmp_path / "custom.json"
+        monkeypatch.setenv("BENCH_OBS_PATH", str(target))
+        assert bench_obs_path() == target

@@ -1,0 +1,59 @@
+"""Tests for the bounded structured event log."""
+
+import pytest
+
+from repro.obs.events import EventLog
+from repro.obs.registry import ObsError
+
+
+class TestEmit:
+    def test_events_carry_attrs_and_utc(self):
+        log = EventLog()
+        log.emit("campaign.unit_retry", index=7, attempt=2)
+        (event,) = log.events
+        assert event["name"] == "campaign.unit_retry"
+        assert event["attrs"] == {"index": 7, "attempt": 2}
+        assert event["utc"] > 1.7e9  # absolute UTC, not monotonic
+
+    def test_counts(self):
+        log = EventLog()
+        for _ in range(3):
+            log.emit("retry")
+        log.emit("timeout")
+        assert log.counts() == {"retry": 3, "timeout": 1}
+
+    def test_bounded_keep_earliest(self):
+        log = EventLog(capacity=2)
+        for index in range(5):
+            log.emit("e", index=index)
+        assert [event["attrs"]["index"] for event in log] == [0, 1]
+        assert log.dropped == 3
+
+    def test_capacity_validated(self):
+        with pytest.raises(ObsError):
+            EventLog(capacity=0)
+
+
+class TestShipping:
+    def test_drain_resets_and_carries_dropped(self):
+        log = EventLog(capacity=1)
+        log.emit("a")
+        log.emit("b")
+        payload = log.drain()
+        assert [event["name"] for event in payload["events"]] == ["a"]
+        assert payload["dropped"] == 1
+        assert len(log) == 0
+        assert log.dropped == 0
+
+    def test_absorb_applies_extra_attrs(self):
+        worker = EventLog()
+        worker.emit("unit_failed", index=3)
+        scheduler = EventLog()
+        scheduler.absorb(worker.drain(), extra_attrs={"worker": "w2"})
+        (event,) = scheduler.events
+        assert event["attrs"] == {"index": 3, "worker": "w2"}
+
+    def test_absorb_none_is_noop(self):
+        log = EventLog()
+        log.absorb(None)
+        assert len(log) == 0

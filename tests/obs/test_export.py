@@ -1,0 +1,142 @@
+"""Tests for the JSONL/Prometheus exporters and artifact round-trips."""
+
+import pytest
+
+from repro import obs
+from repro.obs.export import (
+    load_metrics_jsonl,
+    load_trace_jsonl,
+    metrics_jsonl_lines,
+    prom_text,
+    trace_jsonl_lines,
+    write_artifacts,
+)
+from repro.obs.recorder import Recorder
+from repro.obs.registry import MetricsRegistry, ObsError
+
+
+def _recorder():
+    rec = Recorder(trace=True)
+    rec.counter_inc("units_total", 5, {"worker": "w0"})
+    rec.gauge_set("cache_size", 12, {"cache": "oracle"})
+    for value in (0.25, 0.5, 99.0):
+        rec.observe("unit_seconds", value, buckets=(1.0, 2.0))
+    rec.event("retry", index=1)
+    with rec.span("run"):
+        pass
+    return rec
+
+
+class TestMetricsJsonl:
+    def test_round_trip(self, tmp_path):
+        rec = _recorder()
+        path = tmp_path / "metrics.jsonl"
+        path.write_text(
+            "\n".join(metrics_jsonl_lines(rec.registry, rec.events)) + "\n"
+        )
+        registry, events = load_metrics_jsonl(path)
+        assert registry.snapshot() == rec.registry.snapshot()
+        assert [event["name"] for event in events] == ["retry"]
+
+    def test_re_export_from_loaded_artifact(self, tmp_path):
+        """`repro obs export --format jsonl` feeds loaded artifacts
+        (a plain event list, not an EventLog) back through the writer."""
+        rec = _recorder()
+        path = tmp_path / "metrics.jsonl"
+        path.write_text(
+            "\n".join(metrics_jsonl_lines(rec.registry, rec.events)) + "\n"
+        )
+        registry, events = load_metrics_jsonl(path)
+        again = tmp_path / "again.jsonl"
+        again.write_text(
+            "\n".join(metrics_jsonl_lines(registry, events)) + "\n"
+        )
+        registry2, events2 = load_metrics_jsonl(again)
+        assert registry2.snapshot() == registry.snapshot()
+        assert events2 == events
+
+    def test_missing_artifact(self, tmp_path):
+        with pytest.raises(ObsError, match="no metrics artifact"):
+            load_metrics_jsonl(tmp_path / "nope.jsonl")
+
+    def test_bad_json_rejected(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ObsError, match="not JSON"):
+            load_metrics_jsonl(path)
+
+    def test_unknown_record_type_rejected(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        path.write_text('{"type":"meta","schema":1}\n{"type":"mystery"}\n')
+        with pytest.raises(ObsError, match="unknown record type"):
+            load_metrics_jsonl(path)
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        path.write_text('{"type":"meta","schema":99}\n')
+        with pytest.raises(ObsError, match="unsupported metrics schema"):
+            load_metrics_jsonl(path)
+
+
+class TestTraceJsonl:
+    def test_round_trip(self, tmp_path):
+        rec = _recorder()
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            "\n".join(
+                trace_jsonl_lines(rec.tracer.spans, dropped=2)
+            )
+            + "\n"
+        )
+        spans = load_trace_jsonl(path)
+        assert [span["name"] for span in spans] == ["run"]
+
+    def test_missing_artifact(self, tmp_path):
+        with pytest.raises(ObsError, match="no trace artifact"):
+            load_trace_jsonl(tmp_path / "nope.jsonl")
+
+
+class TestPromText:
+    def test_counters_gauges_histograms(self):
+        rec = _recorder()
+        text = prom_text(rec.registry)
+        assert "# TYPE units_total counter" in text
+        assert 'units_total{worker="w0"} 5' in text
+        assert "# TYPE cache_size gauge" in text
+        assert 'cache_size{cache="oracle"} 12' in text
+        assert "# TYPE unit_seconds histogram" in text
+        # Cumulative le buckets: 0.25 and 0.5 land <= 1.0, 99 overflows.
+        assert 'unit_seconds_bucket{le="1"} 2' in text
+        assert 'unit_seconds_bucket{le="2"} 2' in text
+        assert 'unit_seconds_bucket{le="+Inf"} 3' in text
+        assert "unit_seconds_sum 99.75" in text
+        assert "unit_seconds_count 3" in text
+
+    def test_label_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("c", {"k": 'say "hi"\n'}).inc()
+        text = prom_text(registry)
+        assert r'c{k="say \"hi\"\n"} 1' in text
+
+
+class TestWriteArtifacts:
+    def test_writes_all_three(self, tmp_path):
+        rec = _recorder()
+        paths = write_artifacts(tmp_path / "out", rec)
+        assert sorted(paths) == ["metrics", "prom", "trace"]
+        for path in paths.values():
+            assert path.exists()
+        registry, _ = load_metrics_jsonl(paths["metrics"])
+        assert registry.counter_value(
+            "units_total", {"worker": "w0"}
+        ) == 5
+
+    def test_trace_omitted_without_tracing(self, tmp_path):
+        rec = Recorder(trace=False)
+        rec.counter_inc("c")
+        paths = write_artifacts(tmp_path / "out", rec)
+        assert "trace" not in paths
+
+    def test_disabled_recorder_rejected(self, tmp_path):
+        with pytest.raises(ObsError, match="disabled recorder"):
+            write_artifacts(tmp_path, obs.recorder())

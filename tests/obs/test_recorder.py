@@ -1,0 +1,117 @@
+"""Tests for the recorder facade and the zero-cost disabled path."""
+
+from repro import obs
+from repro.obs.recorder import NullRecorder, Recorder
+
+
+class TestDisabledPath:
+    def test_disabled_by_default(self):
+        assert not obs.is_enabled()
+        assert isinstance(obs.recorder(), NullRecorder)
+        assert not isinstance(obs.recorder(), Recorder)
+
+    def test_null_recorder_is_inert(self):
+        rec = obs.recorder()
+        rec.counter_inc("c")
+        rec.gauge_set("g", 1.0)
+        rec.observe("h", 0.5)
+        rec.event("e", detail="x")
+        with rec.span("s", attr=1):
+            pass
+        assert rec.drain() is None
+        assert rec.config_payload() is None
+        rec.absorb({"metrics": {}})  # accepted, ignored
+
+    def test_null_span_is_shared(self):
+        rec = obs.recorder()
+        assert rec.span("a") is rec.span("b")
+
+
+class TestEnableDisable:
+    def test_enable_installs_live_recorder(self):
+        rec = obs.enable()
+        try:
+            assert obs.is_enabled()
+            assert obs.recorder() is rec
+            rec.counter_inc("things_total", 2)
+            assert rec.registry.counter_value("things_total") == 2
+        finally:
+            obs.disable()
+        assert not obs.is_enabled()
+
+    def test_span_needs_trace(self):
+        rec = obs.enable(trace=False)
+        try:
+            with rec.span("s"):
+                pass
+            assert len(rec.tracer) == 0
+        finally:
+            obs.disable()
+        rec = obs.enable(trace=True)
+        try:
+            with rec.span("s"):
+                pass
+            assert [span["name"] for span in rec.tracer] == ["s"]
+        finally:
+            obs.disable()
+
+    def test_event_also_counts(self):
+        """Event counts survive even if the bounded log overflows."""
+        rec = obs.enable(event_capacity=1)
+        try:
+            for _ in range(3):
+                rec.event("campaign.unit_retry")
+            assert rec.events.dropped == 2
+            assert rec.registry.counter_value(
+                "repro_events_total",
+                {"event": "campaign.unit_retry"},
+            ) == 3
+        finally:
+            obs.disable()
+
+
+class TestShipping:
+    def test_drain_absorb_round_trip(self):
+        worker = Recorder(trace=True)
+        worker.counter_inc("units_total", 3)
+        with worker.span("unit"):
+            pass
+        worker.event("retry", index=1)
+        payload = worker.drain()
+        assert worker.registry.is_empty()
+
+        scheduler = Recorder(trace=True)
+        scheduler.absorb(payload, extra_attrs={"worker": "w0"})
+        assert scheduler.registry.counter_value("units_total") == 3
+        (span,) = scheduler.tracer.spans
+        assert span["attrs"] == {"worker": "w0"}
+        (event,) = scheduler.events.events
+        assert event["attrs"] == {"index": 1, "worker": "w0"}
+
+    def test_absorb_none_is_noop(self):
+        rec = Recorder()
+        rec.absorb(None)
+        assert rec.registry.is_empty()
+
+
+class TestConfigure:
+    def test_config_payload_round_trip(self):
+        rec = obs.enable(
+            trace=True, span_capacity=7, event_capacity=9, trace_sample=3
+        )
+        payload = rec.config_payload()
+        obs.disable()
+        rebuilt = obs.configure(payload)
+        try:
+            assert rebuilt.enabled
+            assert rebuilt.trace
+            assert rebuilt.tracer.capacity == 7
+            assert rebuilt.events.capacity == 9
+            assert rebuilt.tracer.sample == 3
+        finally:
+            obs.disable()
+
+    def test_configure_none_disables(self):
+        obs.enable()
+        obs.configure(None)
+        assert not obs.is_enabled()

@@ -1,0 +1,208 @@
+"""Tests for the mergeable metrics registry.
+
+The load-bearing property: per-worker snapshots merge associatively
+and commutatively, so shard telemetry arriving in any order (or any
+grouping) folds to identical totals.  All merge tests use
+dyadic-rational values (multiples of 0.25) so float addition is exact
+regardless of order.
+"""
+
+import itertools
+import json
+
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_TIME_BUCKETS,
+    MetricsRegistry,
+    ObsError,
+    label_key,
+    merge_snapshots,
+)
+
+
+def _sample_registry(scale=1.0):
+    registry = MetricsRegistry()
+    registry.counter("units_total", {"worker": "a"}).inc(4 * scale)
+    registry.counter("units_total", {"worker": "b"}).inc(2.5 * scale)
+    registry.gauge("cache_size").set(16 * scale)
+    histogram = registry.histogram("unit_seconds")
+    for value in (0.25 * scale, 0.5 * scale, 2.0 * scale):
+        histogram.observe(value)
+    return registry
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("things_total").inc()
+        registry.counter("things_total").inc(3)
+        assert registry.counter_value("things_total") == 4
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ObsError, match="only go up"):
+            registry.counter("things_total").inc(-1)
+
+    def test_counter_value_defaults_to_zero(self):
+        assert MetricsRegistry().counter_value("never_seen") == 0.0
+
+    def test_family_total_sums_label_sets(self):
+        registry = _sample_registry()
+        assert registry.family_total("units_total") == 6.5
+
+    def test_gauge_set(self):
+        registry = MetricsRegistry()
+        registry.gauge("size").set(3)
+        registry.gauge("size").set(7)
+        assert registry.gauge("size").value == 7.0
+
+    def test_label_key_canonicalizes(self):
+        assert label_key({"b": 2, "a": "x"}) == (("a", "x"), ("b", "2"))
+        registry = MetricsRegistry()
+        registry.counter("c", {"a": 1, "b": 2}).inc()
+        registry.counter("c", {"b": 2, "a": 1}).inc()
+        assert registry.counter_value("c", {"a": "1", "b": "2"}) == 2
+
+    def test_bad_metric_name_rejected(self):
+        with pytest.raises(ObsError, match="not Prometheus-compatible"):
+            MetricsRegistry().counter("bad-name")
+
+
+class TestHistogram:
+    def test_bucket_assignment_and_overflow(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(1.0, 2.0))
+        for value in (0.5, 1.5, 99.0):
+            histogram.observe(value)
+        assert histogram.counts == [1, 1, 1]
+        assert histogram.count == 3
+        assert histogram.sum == 101.0
+        assert histogram.min == 0.5
+        assert histogram.max == 99.0
+
+    def test_single_value_quantiles_are_that_value(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h")
+        histogram.observe(0.42)
+        for q in (0.0, 0.5, 0.9, 1.0):
+            assert histogram.quantile(q) == pytest.approx(0.42)
+
+    def test_quantile_interpolates_within_bucket(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(1.0, 2.0))
+        for value in (1.0, 2.0):
+            histogram.observe(value)
+        # Median lands inside the (1, 2] bucket, between min and max.
+        assert 1.0 <= histogram.quantile(0.5) <= 2.0
+
+    def test_empty_histogram(self):
+        histogram = MetricsRegistry().histogram("h")
+        assert histogram.mean == 0.0
+        assert histogram.quantile(0.5) == 0.0
+
+    def test_quantile_bounds_checked(self):
+        histogram = MetricsRegistry().histogram("h")
+        with pytest.raises(ObsError):
+            histogram.quantile(1.5)
+
+    def test_family_buckets_are_fixed(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0, 2.0))
+        # Same boundaries: fine, new label set joins the family.
+        registry.histogram("h", {"k": "v"}, buckets=(1.0, 2.0))
+        with pytest.raises(ObsError, match="already declared"):
+            registry.histogram("h", buckets=(5.0,))
+
+    def test_default_buckets_are_time_buckets(self):
+        histogram = MetricsRegistry().histogram("h")
+        assert histogram.buckets == DEFAULT_TIME_BUCKETS
+
+    def test_boundaries_must_increase(self):
+        with pytest.raises(ObsError, match="strictly increasing"):
+            MetricsRegistry().histogram("h", buckets=(2.0, 1.0))
+
+
+class TestSnapshotMerge:
+    def test_snapshot_survives_json(self):
+        registry = _sample_registry()
+        payload = json.loads(json.dumps(registry.snapshot()))
+        rebuilt = merge_snapshots([payload])
+        assert rebuilt.snapshot() == registry.snapshot()
+
+    def test_merge_is_associative(self):
+        parts = [_sample_registry(s).snapshot() for s in (1.0, 2.0, 4.0)]
+        left = merge_snapshots(
+            [merge_snapshots(parts[:2]).snapshot(), parts[2]]
+        )
+        right = merge_snapshots(
+            [parts[0], merge_snapshots(parts[1:]).snapshot()]
+        )
+        assert left.snapshot() == right.snapshot()
+
+    def test_merge_is_order_independent(self):
+        parts = [_sample_registry(s).snapshot() for s in (1.0, 2.0, 4.0)]
+        reference = merge_snapshots(parts).snapshot()
+        for order in itertools.permutations(parts):
+            assert merge_snapshots(order).snapshot() == reference
+
+    def test_merged_totals_add_up(self):
+        merged = merge_snapshots(
+            [_sample_registry().snapshot(), _sample_registry().snapshot()]
+        )
+        assert merged.family_total("units_total") == 13.0
+        histogram = merged.histogram("unit_seconds")
+        assert histogram.count == 6
+        assert histogram.sum == 5.5
+        assert histogram.min == 0.25
+        assert histogram.max == 2.0
+
+    def test_gauges_merge_by_max(self):
+        small = MetricsRegistry()
+        small.gauge("size").set(3)
+        big = MetricsRegistry()
+        big.gauge("size").set(9)
+        for order in ([small, big], [big, small]):
+            merged = merge_snapshots([r.snapshot() for r in order])
+            assert merged.gauge("size").value == 9.0
+
+    def test_merge_rejects_bucket_mismatch(self):
+        ours = MetricsRegistry()
+        ours.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        theirs = MetricsRegistry()
+        theirs.histogram("h", buckets=(1.0,)).observe(0.5)
+        with pytest.raises(ObsError):
+            ours.merge(theirs.snapshot())
+
+    def test_merge_none_is_noop(self):
+        registry = _sample_registry()
+        before = registry.snapshot()
+        registry.merge(None)
+        assert registry.snapshot() == before
+
+
+class TestDrain:
+    def test_drain_deltas_sum_to_lifetime_totals(self):
+        """The shard-shipping contract: disjoint drained deltas merge
+        (in any order) to exactly the worker's lifetime totals."""
+        worker = MetricsRegistry()
+        deltas = []
+        for shard in range(4):
+            worker.counter("units_total").inc(2)
+            worker.histogram("unit_seconds").observe(0.25 * (shard + 1))
+            deltas.append(worker.drain())
+        assert worker.is_empty()
+        for order in itertools.permutations(deltas):
+            merged = merge_snapshots(order)
+            assert merged.counter_value("units_total") == 8
+            histogram = merged.histogram("unit_seconds")
+            assert histogram.count == 4
+            assert histogram.sum == 2.5
+
+    def test_family_buckets_survive_reset(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        registry.drain()
+        # The next observation must stay mergeable with the drained
+        # snapshot — so the custom family boundaries must persist.
+        assert registry.histogram("h").buckets == (1.0, 2.0)

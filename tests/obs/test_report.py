@@ -1,0 +1,105 @@
+"""Tests for the ASCII metric tables and hot-path profile report."""
+
+from repro.obs.events import EventLog
+from repro.obs.recorder import Recorder
+from repro.obs.registry import RATE_BUCKETS, MetricsRegistry
+from repro.obs.report import (
+    render_events,
+    render_metrics,
+    render_profile,
+    render_report,
+)
+
+
+def _fake_span(path, wall, cpu=0.0):
+    return {
+        "name": path.rsplit("/", 1)[-1], "path": path, "attrs": {},
+        "start": 0.0, "wall": wall, "cpu": cpu,
+        "depth": path.count("/"), "seq": 0,
+    }
+
+
+class TestMetricsTable:
+    def test_sections_render(self):
+        registry = MetricsRegistry()
+        registry.counter("units_total", {"worker": "w0"}).inc(4)
+        registry.gauge("cache_size").set(7)
+        registry.histogram("unit_seconds").observe(0.25)
+        text = render_metrics(registry)
+        assert "counters" in text
+        assert "units_total" in text
+        assert "worker=w0" in text
+        assert "gauges" in text
+        assert "histograms" in text
+
+    def test_seconds_families_format_as_durations(self):
+        registry = MetricsRegistry()
+        registry.histogram("unit_seconds").observe(0.25)
+        text = render_metrics(registry)
+        assert "250.00ms" in text
+
+    def test_rate_families_stay_plain_numbers(self):
+        registry = MetricsRegistry()
+        registry.histogram(
+            "repro_cache_hit_rate", buckets=RATE_BUCKETS
+        ).observe(0.25)
+        text = render_metrics(registry)
+        assert "0.25" in text
+        assert "250.00ms" not in text
+
+    def test_empty(self):
+        assert "no metrics" in render_metrics(MetricsRegistry())
+
+
+class TestEventsTable:
+    def test_from_event_log(self):
+        log = EventLog()
+        log.emit("retry")
+        log.emit("retry")
+        log.emit("timeout")
+        text = render_events(log)
+        assert text.index("retry") < text.index("timeout")
+
+    def test_from_record_list(self):
+        text = render_events([{"name": "retry"}, {"name": "retry"}])
+        assert "retry" in text
+        assert "2" in text
+
+    def test_empty(self):
+        assert "no events" in render_events(EventLog())
+
+
+class TestProfile:
+    def test_ranks_by_self_time_and_shows_hot_path(self):
+        spans = [
+            _fake_span("run", 10.0),
+            _fake_span("run/grid", 7.0),
+            _fake_span("run/grid/unit", 2.0),
+        ]
+        text = render_profile(spans)
+        assert "top spans by self time" in text
+        assert "hot path:" in text
+        # grid has the largest self time (5s) and ranks first.
+        lines = text.splitlines()
+        first_row = next(
+            line for line in lines if line.startswith("run")
+        )
+        assert first_row.startswith("run/grid ")
+
+    def test_no_spans(self):
+        assert "--trace" in render_profile([])
+
+
+class TestFullReport:
+    def test_composes_sections(self):
+        rec = Recorder(trace=True)
+        rec.counter_inc("units_total")
+        rec.event("retry")
+        with rec.span("run"):
+            pass
+        text = render_report(
+            rec.registry, rec.events, rec.tracer.spans
+        )
+        assert "counters" in text
+        assert "events" in text
+        assert "top spans" in text

@@ -1,0 +1,153 @@
+"""Tests for the span tracer: nesting, bounds, sampling, shipping."""
+
+import pytest
+
+from repro.obs.registry import ObsError
+from repro.obs.tracer import Tracer, aggregate_spans, hot_path
+
+
+def _spin(tracer, name, children=()):
+    with tracer.span(name):
+        for child in children:
+            _spin(tracer, child)
+
+
+class TestRecording:
+    def test_paths_reflect_nesting(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        paths = [span["path"] for span in tracer]
+        # Children complete (and record) before their parents.
+        assert paths == ["outer/inner", "outer"]
+        depths = [span["depth"] for span in tracer]
+        assert depths == [1, 0]
+
+    def test_attrs_and_sequence(self):
+        tracer = Tracer()
+        with tracer.span("work", test="CoRR", device="AMD"):
+            pass
+        (span,) = tracer.spans
+        assert span["attrs"] == {"test": "CoRR", "device": "AMD"}
+        assert span["wall"] >= 0.0
+        assert span["cpu"] >= 0.0
+        assert span["seq"] == 1
+
+    def test_buffer_bound_keeps_earliest(self):
+        tracer = Tracer(capacity=2)
+        for index in range(5):
+            with tracer.span(f"s{index}"):
+                pass
+        assert len(tracer) == 2
+        assert [span["name"] for span in tracer] == ["s0", "s1"]
+        assert tracer.dropped == 3
+
+    def test_drop_is_deterministic(self):
+        def run():
+            tracer = Tracer(capacity=3)
+            for index in range(6):
+                _spin(tracer, f"top{index}", children=["child"])
+            return [span["path"] for span in tracer], tracer.dropped
+
+        assert run() == run()
+
+    def test_sampling_keeps_every_nth_subtree(self):
+        tracer = Tracer(sample=2)
+        for index in range(4):
+            _spin(tracer, f"top{index}", children=["child"])
+        paths = [span["path"] for span in tracer]
+        # Top-level spans 0 and 2 record, each with its whole subtree;
+        # 1 and 3 are skipped wholesale (children included).
+        assert paths == [
+            "top0/child", "top0", "top2/child", "top2",
+        ]
+        assert tracer.dropped == 0  # sampled-out spans are not "drops"
+
+    def test_invalid_construction(self):
+        with pytest.raises(ObsError):
+            Tracer(capacity=0)
+        with pytest.raises(ObsError):
+            Tracer(sample=0)
+
+
+class TestShipping:
+    def test_drain_resets(self):
+        tracer = Tracer(capacity=1)
+        for _ in range(3):
+            with tracer.span("s"):
+                pass
+        payload = tracer.drain()
+        assert [span["name"] for span in payload["spans"]] == ["s"]
+        assert payload["dropped"] == 2
+        assert len(tracer) == 0
+        assert tracer.dropped == 0
+
+    def test_absorb_applies_extra_attrs(self):
+        worker = Tracer()
+        with worker.span("unit", index=3):
+            pass
+        scheduler = Tracer()
+        scheduler.absorb(worker.drain(), extra_attrs={"worker": "w1"})
+        (span,) = scheduler.spans
+        assert span["attrs"] == {"index": 3, "worker": "w1"}
+
+    def test_absorb_respects_capacity(self):
+        worker = Tracer()
+        for _ in range(5):
+            with worker.span("s"):
+                pass
+        scheduler = Tracer(capacity=2)
+        scheduler.absorb(worker.drain())
+        assert len(scheduler) == 2
+        assert scheduler.dropped == 3
+
+    def test_absorb_none_is_noop(self):
+        tracer = Tracer()
+        tracer.absorb(None)
+        assert len(tracer) == 0
+
+
+class TestAggregation:
+    def _fake(self, path, wall, cpu=0.0):
+        name = path.rsplit("/", 1)[-1]
+        return {
+            "name": name, "path": path, "attrs": {},
+            "start": 0.0, "wall": wall, "cpu": cpu,
+            "depth": path.count("/"), "seq": 0,
+        }
+
+    def test_self_time_subtracts_direct_children(self):
+        spans = [
+            self._fake("run", 10.0),
+            self._fake("run/grid", 7.0),
+            self._fake("run/grid/unit", 5.0),
+        ]
+        aggregates = aggregate_spans(spans)
+        assert aggregates["run"]["self_wall"] == pytest.approx(3.0)
+        assert aggregates["run/grid"]["self_wall"] == pytest.approx(2.0)
+        assert aggregates["run/grid/unit"]["self_wall"] == pytest.approx(5.0)
+
+    def test_self_time_never_negative(self):
+        spans = [
+            self._fake("run", 1.0),
+            self._fake("run/grid", 5.0),
+        ]
+        aggregates = aggregate_spans(spans)
+        assert aggregates["run"]["self_wall"] == 0.0
+
+    def test_hot_path_follows_heaviest_chain(self):
+        spans = [
+            self._fake("run", 10.0),
+            self._fake("other", 1.0),
+            self._fake("run/fast", 2.0),
+            self._fake("run/slow", 7.0),
+            self._fake("run/slow/leaf", 6.0),
+        ]
+        chain = hot_path(aggregate_spans(spans))
+        assert [entry["path"] for entry in chain] == [
+            "run", "run/slow", "run/slow/leaf",
+        ]
+
+    def test_hot_path_empty(self):
+        assert hot_path(aggregate_spans([])) == []
