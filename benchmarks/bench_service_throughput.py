@@ -1,0 +1,163 @@
+"""Throughput characteristics of the campaign service daemon.
+
+Measures the two numbers an operator cares about, against a live
+in-process server over real HTTP:
+
+* **submission latency** — the HTTP round trip of ``POST /jobs``
+  (validate spec, persist envelope + journal, enqueue);
+* **multiplexing makespan** — N identical jobs submitted all at once
+  against one shared pool vs the same N run one-at-a-time.  Jobs
+  share the pool fairly, so concurrent submission must not cost more
+  than a modest scheduling overhead over sequential — and on parallel
+  hardware it overlaps the per-job assembly/finalize tails.
+
+Both stages land in ``BENCH_service.json`` via the shared bench-obs
+artifact helper.
+"""
+
+import statistics
+import threading
+import time
+
+from repro import obs
+from repro.campaign import CampaignSpec
+from repro.service import CampaignService, ServiceClient, ServiceConfig
+from repro.service.server import ServiceServer
+
+SUBMIT_SAMPLES = 8
+JOB_COUNT = 4
+
+
+def _spec(suite, seed, environments=40):
+    names = tuple(mutant.name for mutant in suite.mutants)
+    return CampaignSpec(
+        name="bench-service",
+        kinds=("PTE",),
+        device_names=("AMD",),
+        test_names=names[:2],
+        environment_count=environments,
+        seed=seed,
+    )
+
+
+def _with_server(root, client_fn):
+    """Run client_fn(client) in a thread against a live server."""
+    import asyncio
+
+    result = {}
+
+    async def scenario():
+        service = CampaignService(
+            ServiceConfig(
+                root=root, workers=2, shard_size=4, pool_mode="thread"
+            )
+        )
+        server = ServiceServer(service)
+        await service.start()
+        await server.start()
+        done = threading.Event()
+
+        def client_side():
+            try:
+                result["value"] = client_fn(
+                    ServiceClient(base_url=server.url, timeout=300)
+                )
+            finally:
+                done.set()
+
+        thread = threading.Thread(target=client_side)
+        thread.start()
+        while not done.is_set():
+            await asyncio.sleep(0.02)
+        await server.stop()
+        await service.stop()
+        thread.join(timeout=10)
+
+    asyncio.run(scenario())
+    return result["value"]
+
+
+def _wait_done(client, job_ids):
+    for job_id in job_ids:
+        final = client.wait(job_id)
+        assert final["event"] == "done", final
+
+
+def test_service_throughput(suite, tmp_path):
+    specs = [_spec(suite, seed) for seed in range(1, JOB_COUNT + 1)]
+    unit_count = specs[0].unit_count()
+
+    def measure_submission(client):
+        latencies = []
+        ids = []
+        for seed in range(10, 10 + SUBMIT_SAMPLES):
+            payload = _spec(suite, seed, environments=1).to_dict()
+            started = time.perf_counter()
+            job = client.submit(payload, tenant="bench")
+            latencies.append(time.perf_counter() - started)
+            ids.append(job["job_id"])
+        _wait_done(client, ids)
+        return latencies
+
+    def measure_sequential(client):
+        started = time.perf_counter()
+        for spec in specs:
+            job = client.submit(spec.to_dict(), tenant="bench")
+            _wait_done(client, [job["job_id"]])
+        return time.perf_counter() - started
+
+    def measure_concurrent(client):
+        started = time.perf_counter()
+        ids = [
+            client.submit(spec.to_dict(), tenant="bench")["job_id"]
+            for spec in specs
+        ]
+        _wait_done(client, ids)
+        return time.perf_counter() - started
+
+    latencies = _with_server(tmp_path / "submit", measure_submission)
+    sequential = _with_server(tmp_path / "seq", measure_sequential)
+    concurrent = _with_server(tmp_path / "conc", measure_concurrent)
+
+    latencies_ms = sorted(value * 1000 for value in latencies)
+    p90_ms = latencies_ms[int(0.9 * (len(latencies_ms) - 1))]
+    ratio = concurrent / sequential
+
+    print(f"\nservice throughput ({JOB_COUNT} jobs x {unit_count} units):")
+    print(
+        f"  submission latency over {SUBMIT_SAMPLES} jobs: "
+        f"median {statistics.median(latencies_ms):.1f} ms, "
+        f"p90 {p90_ms:.1f} ms, max {latencies_ms[-1]:.1f} ms"
+    )
+    print(
+        f"  makespan: sequential {sequential:.2f}s, "
+        f"concurrent {concurrent:.2f}s ({ratio:.2f}x)"
+    )
+
+    stages = {
+        "submission_latency_ms": {
+            "samples": len(latencies_ms),
+            "median": statistics.median(latencies_ms),
+            "p90": p90_ms,
+            "max": latencies_ms[-1],
+        },
+        "makespan_seconds": {
+            "jobs": JOB_COUNT,
+            "units_per_job": unit_count,
+            "sequential": sequential,
+            "concurrent": concurrent,
+            "concurrent_over_sequential": ratio,
+        },
+    }
+    artifact = obs.update_bench_obs(
+        "service_throughput", stages, path="BENCH_service.json"
+    )
+    print(f"  stage summary written to {artifact}")
+
+    assert all(value > 0 for value in latencies)
+    # Multiplexing N jobs over the shared pool must not cost more than
+    # a modest scheduling overhead vs running them back to back.
+    assert ratio <= 1.25, (
+        f"concurrent makespan {concurrent:.2f}s is {ratio:.2f}x the "
+        f"sequential {sequential:.2f}s — multiplexing overhead too high"
+    )

@@ -1,0 +1,163 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of the campaign service daemon.
+
+Drives the full service loop the way an operator would, against a real
+daemon subprocess:
+
+1. start `repro service start` and wait for its endpoint file;
+2. submit a smoke-scale campaign over HTTP;
+3. stream the job's SSE events to completion, folding the metric
+   deltas and checking they add up to the journal-derived unit total;
+4. export ``/metrics`` and ``/metrics.jsonl`` into an artifact
+   directory that ``scripts/check_obs_export.py`` can validate;
+5. shut the daemon down gracefully and assert a clean exit.
+
+Exit status 0 means every step held.  Usage::
+
+    python scripts/service_smoke.py --root svc-smoke --obs-out svc-obs
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_SRC = Path(__file__).resolve().parents[1] / "src"
+sys.path.insert(0, str(REPO_SRC))
+
+from repro.campaign import smoke_spec  # noqa: E402
+from repro.mutation import default_suite  # noqa: E402
+from repro.obs.export import METRICS_FILENAME, PROM_FILENAME  # noqa: E402
+from repro.obs.registry import merge_snapshots  # noqa: E402
+from repro.service import ServiceClient  # noqa: E402
+from repro.service.server import endpoint_path  # noqa: E402
+
+
+def start_daemon(root, workers, pool):
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli",
+            "service", "start", "--root", str(root),
+            "--workers", str(workers), "--pool", pool,
+        ],
+        env=dict(os.environ, PYTHONPATH=str(REPO_SRC)),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+    )
+    deadline = time.monotonic() + 60
+    while True:
+        if endpoint_path(root).exists():
+            try:
+                payload = json.loads(endpoint_path(root).read_text())
+            except json.JSONDecodeError:
+                payload = {}
+            if payload.get("pid") == process.pid:
+                return process
+        if process.poll() is not None:
+            raise SystemExit(
+                "daemon exited during startup:\n"
+                + process.stdout.read().decode()
+            )
+        if time.monotonic() > deadline:
+            process.kill()
+            raise SystemExit("daemon never wrote its endpoint file")
+        time.sleep(0.05)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=Path, default=Path("svc-smoke"))
+    parser.add_argument(
+        "--obs-out", type=Path, default=None,
+        help="artifact directory for /metrics exports "
+        "(default: <root>/obs)",
+    )
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--pool", choices=("process", "thread"), default="process"
+    )
+    parser.add_argument("--tenant", default="smoke")
+    args = parser.parse_args(argv)
+    obs_out = args.obs_out or args.root / "obs"
+
+    suite = default_suite()
+    spec = smoke_spec(tuple(m.name for m in suite.mutants), seed=7)
+
+    daemon = start_daemon(args.root, args.workers, args.pool)
+    try:
+        client = ServiceClient(root=args.root, timeout=120)
+        health = client.health()
+        assert health["ok"] is True, health
+        print(
+            f"daemon up at http://{client.host}:{client.port} "
+            f"(pid {daemon.pid})"
+        )
+
+        job = client.submit(spec.to_dict(), tenant=args.tenant)
+        job_id = job["job_id"]
+        print(f"submitted {job_id}: {job['total']} units")
+
+        events = list(client.watch(job_id))
+        assert events[0]["event"] == "snapshot", events[0]
+        final = events[-1]
+        assert final["event"] == "done", (
+            f"job ended {final['event']!r}, not done: {final}"
+        )
+        print(
+            f"streamed {len(events)} SSE events to completion "
+            f"({final['done']}/{final['total']} units)"
+        )
+
+        # The SSE contract: folding the snapshot + deltas gives the
+        # journal-derived unit total exactly.
+        folded = merge_snapshots(
+            [e["metrics"] for e in events if e["metrics"] is not None]
+        )
+        units = int(
+            sum(
+                entry["value"]
+                for entry in folded.snapshot()["counters"]
+                if entry["name"] == "repro_campaign_units_total"
+            )
+        )
+        assert units == final["total"] == spec.unit_count(), (
+            f"folded units {units} != total {final['total']}"
+        )
+        print(f"folded SSE deltas: {units} units, exact")
+
+        status = client.job(job_id)
+        assert status["state"] == "done", status
+        stats = args.root / "jobs" / job_id / "pte.json"
+        assert stats.exists(), f"missing stats file {stats}"
+
+        obs_out.mkdir(parents=True, exist_ok=True)
+        (obs_out / PROM_FILENAME).write_text(client.metrics_text())
+        (obs_out / METRICS_FILENAME).write_text(
+            client.metrics_jsonl_text()
+        )
+        print(f"exported /metrics artifacts to {obs_out}/")
+
+        client.shutdown()
+        daemon.wait(timeout=30)
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait(timeout=10)
+
+    assert daemon.returncode == 0, (
+        f"daemon exited {daemon.returncode}:\n"
+        + daemon.stdout.read().decode()
+    )
+    assert not endpoint_path(args.root).exists(), (
+        "endpoint file survived a clean shutdown"
+    )
+    print("daemon shut down cleanly")
+    print(f"OK: service smoke passed ({units} units, tenant {args.tenant!r})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,7 @@ from repro.campaign.scheduler import (
     CampaignScheduler,
     CampaignStatus,
     ExecutorConfig,
+    assemble_results,
     campaign_status,
     resume_campaign,
     run_campaign,
@@ -68,6 +69,7 @@ __all__ = [
     "UnitOutcome",
     "WorkUnit",
     "WorkerCounters",
+    "assemble_results",
     "campaign_status",
     "paper_spec",
     "resume_campaign",

@@ -7,6 +7,13 @@ journal, skips every recorded unit, and continues; resuming a finished
 campaign is a no-op.  The first line is a header binding the journal
 to its spec fingerprint — resuming against a different grid is an
 error, not silent corruption.
+
+A sidecar lock file (``<journal>.lock``, holding the owner's pid)
+makes writers mutually exclusive: two processes resuming the same
+journal would interleave appends and double-execute units, so the
+second acquirer is refused while the first is alive.  A lock left by
+a SIGKILLed process is detected (the pid is gone) and stolen, which
+is what lets a restarted service re-adopt every in-flight job.
 """
 
 from __future__ import annotations
@@ -47,6 +54,75 @@ class CampaignJournal:
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
         self._handle: Optional[TextIO] = None
+        self._locked = False
+
+    # -- writer lock -------------------------------------------------------
+
+    @property
+    def lock_path(self) -> Path:
+        return self.path.with_name(self.path.name + ".lock")
+
+    def lock_owner(self) -> Optional[int]:
+        """The pid in the lock file, or ``None`` when unlocked."""
+        try:
+            return int(self.lock_path.read_text().strip())
+        except (OSError, ValueError):
+            return None
+
+    @staticmethod
+    def _pid_alive(pid: int) -> bool:
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return False
+        except PermissionError:
+            return True  # exists, owned by someone else
+        except OSError:
+            return False
+        return True
+
+    def acquire_lock(self) -> None:
+        """Become this journal's sole writer, or refuse.
+
+        A live lock (its pid still runs) raises :class:`CampaignError`;
+        a stale lock (crashed or SIGKILLed owner) is stolen.
+        """
+        if self._locked:
+            return
+        for _ in range(8):  # bounded steal-vs-race retries
+            try:
+                fd = os.open(
+                    self.lock_path,
+                    os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+                )
+            except FileExistsError:
+                owner = self.lock_owner()
+                if owner is not None and self._pid_alive(owner):
+                    raise CampaignError(
+                        f"journal {self.path} is locked by running "
+                        f"process {owner}; refusing concurrent resume"
+                    )
+                try:  # stale: owner is gone — steal and retry
+                    self.lock_path.unlink()
+                except OSError:
+                    pass
+                continue
+            with os.fdopen(fd, "w") as handle:
+                handle.write(f"{os.getpid()}\n")
+            self._locked = True
+            return
+        raise CampaignError(
+            f"could not acquire lock for journal {self.path}"
+        )
+
+    def release_lock(self) -> None:
+        if not self._locked:
+            return
+        self._locked = False
+        try:
+            self.lock_path.unlink()
+        except OSError:
+            pass
 
     # -- creation / recovery ----------------------------------------------
 
@@ -98,8 +174,23 @@ class CampaignJournal:
         return records
 
     def load_spec(self) -> CampaignSpec:
-        """The spec this journal was opened for."""
-        return CampaignSpec.from_dict(self._records_raw()[0]["spec"])
+        """The spec this journal was opened for.
+
+        The header records both the spec payload and its fingerprint;
+        a disagreement between them means the file was edited or
+        corrupted, and resuming against it would silently mix
+        incompatible results — refuse instead.
+        """
+        header = self._records_raw()[0]
+        spec = CampaignSpec.from_dict(header["spec"])
+        recorded = header.get("fingerprint")
+        if recorded != spec.fingerprint():
+            raise CampaignError(
+                f"{self.path}: header fingerprint {recorded!r} does "
+                f"not match its spec ({spec.fingerprint()}); the "
+                f"journal was modified — refusing to resume"
+            )
+        return spec
 
     def load_records(self) -> List[JournalRecord]:
         """Every completed unit on disk (torn tail line ignored)."""

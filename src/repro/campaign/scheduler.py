@@ -128,18 +128,23 @@ class CampaignScheduler:
         with rec.span(
             "campaign.run", campaign=self.spec.name, units=len(units)
         ):
-            pending = self._load_checkpoint(units)
-            if not pending:
-                self.log(
-                    f"[campaign] {self.spec.name}: nothing to do "
-                    f"({len(units)} units already journaled)"
-                )
-            else:
-                self.log(
-                    f"[campaign] {self.spec.name}: {len(pending)} of "
-                    f"{len(units)} units pending"
-                )
-                try:
+            # One writer per journal: a concurrent resume of the same
+            # journal would double-execute units and interleave
+            # appends, so the second scheduler is refused up front.
+            if self.journal is not None:
+                self.journal.acquire_lock()
+            try:
+                pending = self._load_checkpoint(units)
+                if not pending:
+                    self.log(
+                        f"[campaign] {self.spec.name}: nothing to do "
+                        f"({len(units)} units already journaled)"
+                    )
+                else:
+                    self.log(
+                        f"[campaign] {self.spec.name}: {len(pending)} of "
+                        f"{len(units)} units pending"
+                    )
                     if (
                         self.config.force_serial
                         or self.config.effective_workers() == 1
@@ -156,9 +161,10 @@ class CampaignScheduler:
                         self._run_serial(units, pending)
                     else:
                         self._run_pool(units, pending)
-                finally:
-                    if self.journal is not None:
-                        self.journal.close()
+            finally:
+                if self.journal is not None:
+                    self.journal.close()
+                    self.journal.release_lock()
         self.metrics.finish()
         # Fold campaign telemetry into the process recorder so the
         # exported artifacts carry the repro_campaign_* families too.
@@ -403,28 +409,13 @@ class CampaignScheduler:
     # -- assembly ----------------------------------------------------------
 
     def _assemble(self) -> Dict[EnvironmentKind, TuningResult]:
-        """Group completed runs into per-kind results, in unit order.
-
-        Canonical ordering is what makes assembly independent of
-        completion order: the runs list matches what the serial
-        ``tuning_run`` path produces for the same seed.
-        """
-        by_kind: Dict[EnvironmentKind, List[Tuple[int, TestRun]]] = {}
-        for index, completed in self._completed.items():
-            by_kind.setdefault(completed.unit.kind, []).append(
-                (index, completed.run)
-            )
-        results: Dict[EnvironmentKind, TuningResult] = {}
-        for kind in self.spec.kind_members:
-            pairs = sorted(by_kind.get(kind, []))
-            if not pairs:
-                continue
-            results[kind] = TuningResult(
-                kind=kind,
-                runs=[run for _, run in pairs],
-                backend=self.spec.backend,
-            )
-        return results
+        return assemble_results(
+            self.spec,
+            [
+                (index, completed.unit.kind, completed.run)
+                for index, completed in self._completed.items()
+            ],
+        )
 
 
 class CampaignFailure(CampaignError):
@@ -443,6 +434,35 @@ class CampaignFailure(CampaignError):
 
 
 # -- top-level entry points ----------------------------------------------------
+
+
+def assemble_results(
+    spec: CampaignSpec,
+    indexed_runs: List[Tuple[int, EnvironmentKind, TestRun]],
+) -> Dict[EnvironmentKind, TuningResult]:
+    """Group completed runs into per-kind results, in unit order.
+
+    Canonical ordering is what makes assembly independent of
+    completion order: the runs list matches what the serial
+    ``tuning_run`` path produces for the same seed.  Shared by the
+    scheduler (in-memory outcomes) and the service (journal records),
+    which is why a service job's stats are bit-identical to a one-shot
+    ``campaign run`` of the same spec.
+    """
+    by_kind: Dict[EnvironmentKind, List[Tuple[int, TestRun]]] = {}
+    for index, kind, run in indexed_runs:
+        by_kind.setdefault(kind, []).append((index, run))
+    results: Dict[EnvironmentKind, TuningResult] = {}
+    for kind in spec.kind_members:
+        pairs = sorted(by_kind.get(kind, []))
+        if not pairs:
+            continue
+        results[kind] = TuningResult(
+            kind=kind,
+            runs=[run for _, run in pairs],
+            backend=spec.backend,
+        )
+    return results
 
 
 def run_campaign(
@@ -494,6 +514,21 @@ class CampaignStatus:
         for kind_name, (done, total) in self.per_kind.items():
             lines.append(f"  {kind_name:>13}: {done}/{total}")
         return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Machine-readable form (``campaign status --json``)."""
+        return {
+            "name": self.spec.name,
+            "fingerprint": self.spec.fingerprint(),
+            "backend": self.spec.backend,
+            "total_units": self.total_units,
+            "done_units": self.done_units,
+            "complete": self.complete,
+            "per_kind": {
+                kind: {"done": done, "total": total}
+                for kind, (done, total) in self.per_kind.items()
+            },
+        }
 
 
 def campaign_status(

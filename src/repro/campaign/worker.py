@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import os
 import signal
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -153,6 +154,37 @@ class WorkerState:
 
 _STATE: Optional[WorkerState] = None
 
+#: Materialised worker states keyed by spec fingerprint.  A persistent
+#: service pool executes shards for *many* campaigns over the lifetime
+#: of one worker process; caching by fingerprint makes switching specs
+#: free after the first shard of each.  Bounded so a long-lived daemon
+#: serving thousands of jobs cannot grow worker memory without limit.
+_STATE_CACHE: Dict[str, WorkerState] = {}
+_STATE_CACHE_CAPACITY = 4
+_STATE_LOCK = threading.Lock()
+
+
+def state_for(spec_payload: Dict[str, Any]) -> WorkerState:
+    """The cached (or freshly built) state for one spec payload.
+
+    Eviction is least-recently-used over spec fingerprints.  Thread-
+    safe because the service may run shards on a thread pool when a
+    process pool is unavailable.
+    """
+    spec = CampaignSpec.from_dict(spec_payload)
+    fingerprint = spec.fingerprint()
+    with _STATE_LOCK:
+        state = _STATE_CACHE.pop(fingerprint, None)
+        if state is not None:
+            _STATE_CACHE[fingerprint] = state  # re-insert: now newest
+            return state
+    state = build_state(spec)
+    with _STATE_LOCK:
+        _STATE_CACHE[fingerprint] = state
+        while len(_STATE_CACHE) > _STATE_CACHE_CAPACITY:
+            _STATE_CACHE.pop(next(iter(_STATE_CACHE)))
+    return state
+
 
 def _resolve_test(name: str, synthesized=None):
     """Resolve a test name like the CLI does: the campaign's
@@ -256,6 +288,9 @@ def _deadline(seconds: Optional[float]) -> Iterator[None]:
         seconds is not None
         and seconds > 0
         and hasattr(signal, "SIGALRM")
+        # signal handlers can only be installed from the main thread;
+        # on a thread-pool fallback the shard watchdog still applies.
+        and threading.current_thread() is threading.main_thread()
     )
     if not usable:
         yield
@@ -277,9 +312,17 @@ def execute_unit(
     state: WorkerState,
     index: int,
     timeout: Optional[float] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> UnitOutcome:
-    """Run one work unit, returning a picklable outcome (never raises)."""
+    """Run one work unit, returning a picklable outcome (never raises).
+
+    ``metrics`` is the registry unit telemetry lands in; shard
+    execution passes a private per-shard registry so concurrent shards
+    (thread-pool mode) never mix their deltas, while the scheduler's
+    serial path keeps the module-level one it drains after every unit.
+    """
     rec = obs.recorder()
+    registry = metrics if metrics is not None else _UNIT_METRICS
     started = time.perf_counter()
     before = oracle_cache_stats()
     try:
@@ -306,7 +349,7 @@ def execute_unit(
         after = oracle_cache_stats()
         elapsed = time.perf_counter() - started
         record_unit(
-            _UNIT_METRICS,
+            registry,
             state.worker_id,
             elapsed=elapsed,
             sim_seconds=run.seconds,
@@ -342,6 +385,26 @@ def execute_unit(
         )
 
 
+def _shard_result(
+    state: WorkerState,
+    indices: Sequence[int],
+    timeout: Optional[float] = None,
+) -> ShardResult:
+    """Run one shard against a state with a private metrics registry."""
+    local = MetricsRegistry()
+    outcomes = [
+        execute_unit(state, index, timeout, metrics=local)
+        for index in indices
+    ]
+    obs.publish_cache_metrics()
+    return ShardResult(
+        outcomes=outcomes,
+        worker_id=state.worker_id,
+        metrics=local.drain(),
+        obs=obs.recorder().drain(),
+    )
+
+
 def execute_shard(
     indices: Sequence[int], timeout: Optional[float] = None
 ) -> ShardResult:
@@ -350,13 +413,25 @@ def execute_shard(
         raise CampaignError(
             "worker used before initialize_worker() ran"
         )
-    outcomes = [
-        execute_unit(_STATE, index, timeout) for index in indices
-    ]
-    obs.publish_cache_metrics()
-    return ShardResult(
-        outcomes=outcomes,
-        worker_id=_STATE.worker_id,
-        metrics=drain_unit_metrics(),
-        obs=obs.recorder().drain(),
-    )
+    return _shard_result(_STATE, indices, timeout)
+
+
+def initialize_service_worker(
+    obs_payload: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Pool initializer for the *shared* service pool.
+
+    Unlike :func:`initialize_worker` no spec is pinned: the pool
+    outlives any one campaign, and :func:`execute_shard_for` resolves
+    (and caches) state per spec payload instead.
+    """
+    obs.configure(obs_payload)
+
+
+def execute_shard_for(
+    spec_payload: Dict[str, Any],
+    indices: Sequence[int],
+    timeout: Optional[float] = None,
+) -> ShardResult:
+    """Run a shard of the given spec in this (shared-pool) worker."""
+    return _shard_result(state_for(spec_payload), indices, timeout)

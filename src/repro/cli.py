@@ -21,8 +21,13 @@ side the artifact ran in a browser:
     python -m repro figures --stats-dir statsdir  # Fig. 5 + Fig. 6
     python -m repro cts --stats-path pte.json --rep 99.999 --budget 4
     python -m repro campaign run --out camp --workers 4
-    python -m repro campaign status --out camp
+    python -m repro campaign status --out camp --json
     python -m repro campaign resume --out camp
+    python -m repro service start --root svc --workers 4
+    python -m repro service submit --root svc --smoke --tenant alice
+    python -m repro service watch --root svc j00001-abcd1234
+    python -m repro service status --root svc --json
+    python -m repro service cancel --root svc j00001-abcd1234
     python -m repro campaign run --out camp --smoke \\
         --trace --metrics-out camp/obs
     python -m repro obs report --metrics camp/obs/metrics.jsonl \\
@@ -37,6 +42,7 @@ additionally independent of worker count and resumable mid-run.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from pathlib import Path
@@ -320,6 +326,35 @@ def _parser() -> argparse.ArgumentParser:
             help="skip the worker pool entirely",
         )
 
+    def _spec_flags(sub: argparse.ArgumentParser) -> None:
+        """The campaign-grid flags shared by `campaign run` and
+        `service submit` (one spec-building code path for both)."""
+        sub.add_argument(
+            "--kinds", nargs="*", default=None,
+            choices=[kind.name for kind in EnvironmentKind],
+        )
+        sub.add_argument("--envs", type=int, default=150)
+        sub.add_argument("--seed", type=int, default=42)
+        sub.add_argument("--devices", nargs="*", default=None)
+        sub.add_argument(
+            "--backend",
+            choices=registered_backends(),
+            default="analytic",
+            help="execution backend, recorded in the journal so "
+            "resume continues with the same one",
+        )
+        sub.add_argument(
+            "--suite",
+            default=None,
+            metavar="PATH",
+            help="run over a synthesized suite file's mutants instead "
+            "of the built-in suite",
+        )
+        sub.add_argument(
+            "--smoke", action="store_true",
+            help="seconds-scale grid for CI smoke runs",
+        )
+
     campaign_run = campaign_commands.add_parser(
         "run", help="run (or continue) a campaign into a directory"
     )
@@ -327,31 +362,7 @@ def _parser() -> argparse.ArgumentParser:
         "--out", required=True,
         help="campaign directory (journal, per-kind stats, report)",
     )
-    campaign_run.add_argument(
-        "--kinds", nargs="*", default=None,
-        choices=[kind.name for kind in EnvironmentKind],
-    )
-    campaign_run.add_argument("--envs", type=int, default=150)
-    campaign_run.add_argument("--seed", type=int, default=42)
-    campaign_run.add_argument("--devices", nargs="*", default=None)
-    campaign_run.add_argument(
-        "--backend",
-        choices=registered_backends(),
-        default="analytic",
-        help="execution backend, recorded in the journal so resume "
-        "continues with the same one",
-    )
-    campaign_run.add_argument(
-        "--suite",
-        default=None,
-        metavar="PATH",
-        help="run over a synthesized suite file's mutants instead of "
-        "the built-in suite",
-    )
-    campaign_run.add_argument(
-        "--smoke", action="store_true",
-        help="seconds-scale grid for CI smoke runs",
-    )
+    _spec_flags(campaign_run)
     campaign_run.add_argument(
         "--verify-determinism", action="store_true",
         help="also assert 1-worker == N-worker results",
@@ -370,6 +381,107 @@ def _parser() -> argparse.ArgumentParser:
         "status", help="progress of a journaled campaign"
     )
     campaign_status_cmd.add_argument("--out", required=True)
+    campaign_status_cmd.add_argument(
+        "--json", action="store_true",
+        help="machine-readable status instead of the table",
+    )
+
+    service_cmd = commands.add_parser(
+        "service",
+        help="campaign-as-a-service daemon and its thin client",
+    )
+    service_commands = service_cmd.add_subparsers(
+        dest="service_command", required=True
+    )
+
+    service_start = service_commands.add_parser(
+        "start",
+        help="run the daemon (HTTP API + shared worker pool)",
+    )
+    service_start.add_argument(
+        "--root", required=True,
+        help="service directory (jobs/, service.json endpoint file)",
+    )
+    service_start.add_argument("--host", default="127.0.0.1")
+    service_start.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (0 = pick a free one; see service.json)",
+    )
+    service_start.add_argument(
+        "--workers", type=int, default=2,
+        help="shared pool width across all jobs",
+    )
+    service_start.add_argument(
+        "--shard-size", type=int, default=16,
+        help="units per dispatched shard (small = fine interleaving)",
+    )
+    service_start.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="per-unit soft deadline in seconds",
+    )
+    service_start.add_argument(
+        "--retries", type=int, default=2,
+        help="retries per unit before permanent failure",
+    )
+    service_start.add_argument(
+        "--pool", choices=["process", "thread"], default="process",
+        help="worker pool flavour (thread = in-process, no fork)",
+    )
+    service_start.add_argument(
+        "--quota", action="append", default=None,
+        metavar="TENANT=WEIGHT[:MAX]",
+        help="per-tenant fair-share weight and optional in-flight "
+        "shard cap (repeatable)",
+    )
+
+    def _client_flags(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--root", default=None,
+            help="service directory (endpoint discovered from its "
+            "service.json)",
+        )
+        sub.add_argument(
+            "--url", default=None,
+            help="explicit service URL (overrides --root discovery)",
+        )
+
+    service_submit = service_commands.add_parser(
+        "submit", help="submit a campaign spec as a service job"
+    )
+    _client_flags(service_submit)
+    _spec_flags(service_submit)
+    service_submit.add_argument("--tenant", default="default")
+    service_submit.add_argument(
+        "--watch", action="store_true",
+        help="stay attached and stream progress until the job ends",
+    )
+
+    service_status = service_commands.add_parser(
+        "status", help="one job's status, or all jobs"
+    )
+    _client_flags(service_status)
+    service_status.add_argument("job", nargs="?", default=None)
+    service_status.add_argument(
+        "--json", action="store_true",
+        help="machine-readable status instead of the table",
+    )
+
+    service_watch = service_commands.add_parser(
+        "watch", help="stream a job's SSE progress events"
+    )
+    _client_flags(service_watch)
+    service_watch.add_argument("job")
+
+    service_cancel = service_commands.add_parser(
+        "cancel", help="cancel a job (journaled units are kept)"
+    )
+    _client_flags(service_cancel)
+    service_cancel.add_argument("job")
+
+    service_stop = service_commands.add_parser(
+        "stop", help="ask the daemon to shut down gracefully"
+    )
+    _client_flags(service_stop)
     return parser
 
 
@@ -740,20 +852,51 @@ def _finish_campaign(outcome, out_dir: Path) -> None:
     print(f"stats + report written to {out_dir}/")
 
 
+def _campaign_spec(args: argparse.Namespace):
+    """Build the CampaignSpec described by the shared grid flags.
+
+    The single spec-building path behind both ``campaign run`` and
+    ``service submit`` — a spec submitted over HTTP is exactly the
+    spec the same flags would run locally.
+    """
+    from repro.campaign import paper_spec, smoke_spec
+
+    suite = _load_cli_suite(args.suite)
+    mutant_names = tuple(mutant.name for mutant in suite.mutants)
+    if args.smoke:
+        return smoke_spec(
+            mutant_names,
+            seed=args.seed,
+            backend=args.backend,
+            suite_path=args.suite,
+        )
+    return paper_spec(
+        mutant_names,
+        environment_count=args.envs,
+        seed=args.seed,
+        kinds=args.kinds,
+        device_names=args.devices,
+        backend=args.backend,
+        suite_path=args.suite,
+    )
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.campaign import (
         campaign_status,
         resume_campaign,
         run_campaign,
-        smoke_spec,
-        paper_spec,
         verify_order_independence,
     )
 
     out_dir = Path(args.out)
     journal_path = out_dir / "journal.jsonl"
     if args.campaign_command == "status":
-        print(campaign_status(journal_path).describe())
+        status = campaign_status(journal_path)
+        if args.json:
+            print(json.dumps(status.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(status.describe())
         return 0
     if args.campaign_command == "resume":
         rec = _obs_begin(args)
@@ -764,25 +907,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         _finish_campaign(outcome, out_dir)
         return 0
     # run
-    suite = _load_cli_suite(args.suite)
-    mutant_names = tuple(mutant.name for mutant in suite.mutants)
-    if args.smoke:
-        spec = smoke_spec(
-            mutant_names,
-            seed=args.seed,
-            backend=args.backend,
-            suite_path=args.suite,
-        )
-    else:
-        spec = paper_spec(
-            mutant_names,
-            environment_count=args.envs,
-            seed=args.seed,
-            kinds=args.kinds,
-            device_names=args.devices,
-            backend=args.backend,
-            suite_path=args.suite,
-        )
+    spec = _campaign_spec(args)
     out_dir.mkdir(parents=True, exist_ok=True)
     config = _executor_config(args)
     rec = _obs_begin(args)
@@ -798,6 +923,124 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_quota(text: str):
+    """``TENANT=WEIGHT[:MAX]`` → (tenant, TenantQuota)."""
+    from repro.service import TenantQuota
+
+    tenant, sep, rest = text.partition("=")
+    if not sep or not tenant:
+        raise ReproError(
+            f"bad --quota {text!r} (want TENANT=WEIGHT[:MAX])"
+        )
+    weight_text, _, max_text = rest.partition(":")
+    try:
+        quota = TenantQuota(
+            weight=int(weight_text),
+            max_active=int(max_text) if max_text else None,
+        )
+    except ValueError as error:
+        raise ReproError(f"bad --quota {text!r}: {error}")
+    return tenant, quota
+
+
+def _service_client(args: argparse.Namespace):
+    from repro.service import ServiceClient
+
+    return ServiceClient(base_url=args.url, root=args.root)
+
+
+def _watch_job(client, job_id: str) -> int:
+    """Stream one job's events; exit 0 iff it completed."""
+    final = None
+    for event in client.watch(job_id):
+        final = event
+        line = (
+            f"[{event['event']}] {event['done']}/{event['total']} units"
+        )
+        if event.get("failed"):
+            line += f" ({event['failed']} failed)"
+        if event.get("resumed") and event["event"] == "snapshot":
+            line += f" ({event['resumed']} resumed from journal)"
+        print(line)
+    if final is None:
+        raise ReproError(f"event stream for {job_id} was empty")
+    print(f"job {job_id}: {final['state']}")
+    return 0 if final["state"] == "done" else 1
+
+
+def _render_jobs_table(jobs) -> str:
+    rows = [
+        [
+            job["job_id"],
+            job["tenant"],
+            job["state"],
+            f"{job.get('done', 0)}/{job.get('total', 0)}",
+            job.get("error") or "-",
+        ]
+        for job in jobs
+    ]
+    return ascii_table(
+        ["Job", "Tenant", "State", "Units", "Error"], rows
+    )
+
+
+def _cmd_service(args: argparse.Namespace) -> int:
+    if args.service_command == "start":
+        from repro.service import ServiceConfig, run_service
+
+        quotas = dict(
+            _parse_quota(text) for text in (args.quota or [])
+        )
+        config = ServiceConfig(
+            root=args.root,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            shard_size=args.shard_size,
+            unit_timeout=args.timeout,
+            max_retries=args.retries,
+            pool_mode=args.pool,
+            quotas=quotas,
+        )
+        run_service(config, log=print)
+        return 0
+    client = _service_client(args)
+    if args.service_command == "submit":
+        spec = _campaign_spec(args)
+        job = client.submit(spec.to_dict(), tenant=args.tenant)
+        print(
+            f"submitted {job['job_id']} "
+            f"({job['total']} units, tenant {job['tenant']!r})"
+        )
+        if args.watch:
+            return _watch_job(client, job["job_id"])
+        return 0
+    if args.service_command == "status":
+        if args.job is not None:
+            payload = client.job(args.job)
+            if args.json:
+                print(json.dumps(payload, indent=2, sort_keys=True))
+            else:
+                print(_render_jobs_table([payload]))
+            return 0
+        jobs = client.jobs()
+        if args.json:
+            print(json.dumps({"jobs": jobs}, indent=2, sort_keys=True))
+        else:
+            print(_render_jobs_table(jobs))
+        return 0
+    if args.service_command == "watch":
+        return _watch_job(client, args.job)
+    if args.service_command == "cancel":
+        payload = client.cancel(args.job)
+        print(f"job {payload['job_id']}: {payload['state']}")
+        return 0
+    # stop
+    client.shutdown()
+    print("shutdown requested")
+    return 0
+
+
 _HANDLERS = {
     "suite": _cmd_suite,
     "synthesize": _cmd_synthesize,
@@ -809,6 +1052,7 @@ _HANDLERS = {
     "cts": _cmd_cts,
     "devices": _cmd_devices,
     "campaign": _cmd_campaign,
+    "service": _cmd_service,
     "obs": _cmd_obs,
 }
 

@@ -1,0 +1,59 @@
+"""Campaign-as-a-service: a daemon multiplexing jobs over one pool.
+
+The :mod:`repro.campaign` layer runs one spec per process invocation.
+This package turns that into a long-lived service: submit many
+:class:`~repro.campaign.spec.CampaignSpec` jobs over HTTP, share one
+persistent worker pool between them with per-tenant fair-share
+scheduling, stream live telemetry per job (SSE), and survive daemon
+crashes — every job directory is a standard campaign journal, so a
+restart is just kill+resume applied to each non-terminal job.
+
+Layers, bottom up:
+
+* :mod:`repro.service.jobstore` — jobs as directories (envelope +
+  journal), atomic state transitions, crash recovery.
+* :mod:`repro.service.fairshare` — weighted round-robin shard
+  dispatch across tenants with quotas.
+* :mod:`repro.service.runtime` — the asyncio daemon core: dispatch
+  loop, shared executor, per-job registries, SSE publication.
+* :mod:`repro.service.server` — stdlib HTTP/1.1 + SSE front end.
+* :mod:`repro.service.client` — the synchronous thin client the CLI
+  uses.
+"""
+
+from repro.service.client import (
+    ServiceClient,
+    ServiceClientError,
+    discover_url,
+)
+from repro.service.fairshare import FairShareScheduler, TenantQuota
+from repro.service.jobstore import (
+    JobRecord,
+    JobState,
+    JobStore,
+    ServiceError,
+)
+from repro.service.runtime import (
+    ActiveJob,
+    CampaignService,
+    ServiceConfig,
+)
+from repro.service.server import ServiceServer, run_service, serve
+
+__all__ = [
+    "ActiveJob",
+    "CampaignService",
+    "FairShareScheduler",
+    "JobRecord",
+    "JobState",
+    "JobStore",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceServer",
+    "TenantQuota",
+    "discover_url",
+    "run_service",
+    "serve",
+]

@@ -1,0 +1,209 @@
+"""A thin synchronous client for the campaign service.
+
+Built on :mod:`http.client` only, so the CLI's thin-client mode
+(``repro service submit|status|watch|cancel``) adds no dependencies.
+Each call opens one connection (the server speaks ``Connection:
+close``); :meth:`watch` holds a single long-lived connection and
+yields parsed SSE events until the job's terminal event.
+
+Endpoint discovery: pass ``base_url`` explicitly, or pass the service
+``root`` and the client reads the daemon's ``service.json`` file.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+from urllib.parse import urlsplit
+
+from repro.service.jobstore import JobState, ServiceError
+from repro.service.server import endpoint_path
+
+#: Generous per-socket timeout: SSE streams idle between shards.
+DEFAULT_TIMEOUT = 300.0
+
+
+class ServiceClientError(ServiceError):
+    """The daemon is unreachable or rejected the request."""
+
+
+def discover_url(root: Union[str, Path]) -> str:
+    """The daemon URL recorded in ``<root>/service.json``."""
+    path = endpoint_path(root)
+    if not path.exists():
+        raise ServiceClientError(
+            f"no service endpoint file at {path}; is the daemon "
+            f"running? (start one with: repro service start)"
+        )
+    try:
+        payload = json.loads(path.read_text())
+        return payload["url"]
+    except (json.JSONDecodeError, KeyError) as error:
+        raise ServiceClientError(
+            f"corrupt endpoint file {path}: {error}"
+        )
+
+
+class ServiceClient:
+    """One campaign-service endpoint, as Python methods."""
+
+    def __init__(
+        self,
+        base_url: Optional[str] = None,
+        root: Optional[Union[str, Path]] = None,
+        timeout: float = DEFAULT_TIMEOUT,
+    ) -> None:
+        if base_url is None:
+            if root is None:
+                raise ServiceClientError(
+                    "ServiceClient needs a base_url or a service root"
+                )
+            base_url = discover_url(root)
+        split = urlsplit(base_url)
+        if split.scheme != "http" or not split.hostname:
+            raise ServiceClientError(
+                f"unsupported service URL: {base_url!r}"
+            )
+        self.host = split.hostname
+        self.port = split.port or 80
+        self.timeout = timeout
+
+    def _connection(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> Any:
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload)
+            headers["Content-Type"] = "application/json"
+        connection = self._connection()
+        try:
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+        except (ConnectionError, OSError) as error:
+            raise ServiceClientError(
+                f"cannot reach service at "
+                f"http://{self.host}:{self.port}: {error}"
+            )
+        finally:
+            connection.close()
+        text = raw.decode("utf-8", "replace")
+        if response.status >= 400:
+            message = text.strip()
+            try:
+                message = json.loads(text)["error"]
+            except (json.JSONDecodeError, KeyError, TypeError):
+                pass
+            raise ServiceClientError(
+                f"{method} {path} -> {response.status}: {message}"
+            )
+        content_type = response.getheader("Content-Type", "")
+        if content_type.startswith("application/json"):
+            return json.loads(text)
+        return text
+
+    # -- endpoints ---------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def submit(
+        self, spec_payload: Dict[str, Any], tenant: str = "default"
+    ) -> Dict[str, Any]:
+        return self._request(
+            "POST", "/jobs", {"spec": spec_payload, "tenant": tenant}
+        )
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("DELETE", f"/jobs/{job_id}")
+
+    def metrics_text(self) -> str:
+        return self._request("GET", "/metrics")
+
+    def metrics_jsonl_text(self) -> str:
+        return self._request("GET", "/metrics.jsonl")
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self._request("POST", "/shutdown", {})
+
+    # -- streaming ---------------------------------------------------------
+
+    def watch(self, job_id: str) -> Iterator[Dict[str, Any]]:
+        """Yield the job's SSE events until its stream ends.
+
+        The first event is the cumulative ``snapshot``; later
+        ``progress`` events carry per-shard metric deltas (fold them
+        onto the snapshot to track exact totals); the stream ends
+        after the terminal event.
+        """
+        connection = self._connection()
+        try:
+            connection.request("GET", f"/jobs/{job_id}/events")
+            response = connection.getresponse()
+            if response.status >= 400:
+                raw = response.read().decode("utf-8", "replace")
+                try:
+                    raw = json.loads(raw)["error"]
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    pass
+                raise ServiceClientError(
+                    f"watch {job_id} -> {response.status}: {raw}"
+                )
+            data_lines: List[str] = []
+            while True:
+                line = response.readline()
+                if not line:
+                    break
+                text = line.decode("utf-8", "replace").rstrip("\r\n")
+                if text.startswith("data:"):
+                    data_lines.append(text[5:].lstrip())
+                elif not text and data_lines:
+                    event = json.loads("\n".join(data_lines))
+                    data_lines = []
+                    yield event
+                    if event.get("event") in JobState.TERMINAL:
+                        return
+        except (ConnectionError, OSError) as error:
+            raise ServiceClientError(
+                f"event stream for {job_id} broke: {error}"
+            )
+        finally:
+            connection.close()
+
+    def wait(
+        self, job_id: str, timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """Block until the job is terminal; return its final event."""
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        last: Optional[Dict[str, Any]] = None
+        for event in self.watch(job_id):
+            last = event
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServiceClientError(
+                    f"timed out waiting for job {job_id}"
+                )
+        if last is None:
+            raise ServiceClientError(
+                f"event stream for {job_id} ended without events"
+            )
+        return last

@@ -1,0 +1,231 @@
+"""The job store: every submitted campaign as a directory on disk.
+
+A job is ``<root>/jobs/<job_id>/`` holding ``job.json`` (tenant,
+state, timestamps) and the standard campaign ``journal.jsonl`` —
+*exactly* the layout ``campaign run --out`` produces, plus the job
+envelope.  That identity is the crash-recovery story: restarting the
+service is the journal kill+resume path applied to every non-terminal
+job, and ``repro campaign status --out <job dir>`` works on a service
+job unchanged.
+
+``job.json`` updates are atomic (write-temp + rename), so a SIGKILL
+can never leave a half-written envelope; the journal's own torn-tail
+repair covers the unit records.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.campaign.journal import CampaignJournal
+from repro.campaign.spec import CampaignError, CampaignSpec
+from repro.errors import ReproError
+
+JOB_FILENAME = "job.json"
+JOURNAL_FILENAME = "journal.jsonl"
+JOB_SCHEMA = 1
+
+
+class ServiceError(ReproError):
+    """Raised for malformed submissions or job-store misuse."""
+
+
+class JobState:
+    """The job lifecycle (plain strings so they serialize as-is)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    TERMINAL = frozenset({DONE, FAILED, CANCELLED})
+    ALL = frozenset({QUEUED, RUNNING, DONE, FAILED, CANCELLED})
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """The persisted envelope of one submitted campaign."""
+
+    job_id: str
+    tenant: str
+    spec: CampaignSpec
+    state: str = JobState.QUEUED
+    created_utc: float = field(default_factory=time.time)
+    started_utc: Optional[float] = None
+    finished_utc: Optional[float] = None
+    error: Optional[str] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in JobState.TERMINAL
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": JOB_SCHEMA,
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "state": self.state,
+            "spec": self.spec.to_dict(),
+            "created_utc": self.created_utc,
+            "started_utc": self.started_utc,
+            "finished_utc": self.finished_utc,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "JobRecord":
+        if payload.get("schema") != JOB_SCHEMA:
+            raise ServiceError(
+                f"unsupported job schema: {payload.get('schema')!r}"
+            )
+        state = payload.get("state")
+        if state not in JobState.ALL:
+            raise ServiceError(f"unknown job state: {state!r}")
+        try:
+            return cls(
+                job_id=payload["job_id"],
+                tenant=payload["tenant"],
+                spec=CampaignSpec.from_dict(payload["spec"]),
+                state=state,
+                created_utc=payload.get("created_utc", 0.0),
+                started_utc=payload.get("started_utc"),
+                finished_utc=payload.get("finished_utc"),
+                error=payload.get("error"),
+            )
+        except KeyError as error:
+            raise ServiceError(f"malformed job record: missing {error}")
+
+
+class JobStore:
+    """All jobs of one service root, persisted as directories."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.jobs_dir = self.root / "jobs"
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        self._sequence = self._scan_sequence()
+
+    # -- paths -------------------------------------------------------------
+
+    def job_dir(self, job_id: str) -> Path:
+        return self.jobs_dir / job_id
+
+    def journal_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / JOURNAL_FILENAME
+
+    def journal(self, job_id: str) -> CampaignJournal:
+        return CampaignJournal(self.journal_path(job_id))
+
+    # -- id allocation -----------------------------------------------------
+
+    def _scan_sequence(self) -> int:
+        highest = 0
+        for entry in self.jobs_dir.iterdir():
+            name = entry.name
+            if name.startswith("j") and "-" in name:
+                try:
+                    highest = max(highest, int(name[1:].split("-")[0]))
+                except ValueError:
+                    continue
+        return highest
+
+    def _allocate_id(self, spec: CampaignSpec) -> str:
+        self._sequence += 1
+        return f"j{self._sequence:05d}-{spec.fingerprint()[:8]}"
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def submit(
+        self, spec: CampaignSpec, tenant: str = "default"
+    ) -> JobRecord:
+        """Persist a new queued job (envelope + journal header)."""
+        if not tenant or "/" in tenant:
+            raise ServiceError(f"invalid tenant name: {tenant!r}")
+        record = JobRecord(
+            job_id=self._allocate_id(spec), tenant=tenant, spec=spec
+        )
+        directory = self.job_dir(record.job_id)
+        directory.mkdir(parents=True, exist_ok=False)
+        CampaignJournal.create(
+            directory / JOURNAL_FILENAME, spec
+        )
+        self.save(record)
+        return record
+
+    def save(self, record: JobRecord) -> JobRecord:
+        """Atomically persist one job envelope."""
+        path = self.job_dir(record.job_id) / JOB_FILENAME
+        temp = path.with_name(path.name + ".tmp")
+        with open(temp, "w") as handle:
+            json.dump(record.to_dict(), handle, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, path)
+        return record
+
+    def load(self, job_id: str) -> JobRecord:
+        path = self.job_dir(job_id) / JOB_FILENAME
+        if not path.exists():
+            raise ServiceError(f"no such job: {job_id}")
+        try:
+            return JobRecord.from_dict(json.loads(path.read_text()))
+        except json.JSONDecodeError as error:
+            raise ServiceError(f"corrupt job envelope {path}: {error}")
+
+    def exists(self, job_id: str) -> bool:
+        return (self.job_dir(job_id) / JOB_FILENAME).exists()
+
+    def list_jobs(self) -> List[JobRecord]:
+        """Every job, oldest first (ids are sequence-prefixed)."""
+        records = []
+        for entry in sorted(self.jobs_dir.iterdir()):
+            if (entry / JOB_FILENAME).exists():
+                records.append(self.load(entry.name))
+        return records
+
+    def transition(self, record: JobRecord, state: str, **fields: Any) -> JobRecord:
+        """Persist a state change (plus any envelope field updates)."""
+        if state not in JobState.ALL:
+            raise ServiceError(f"unknown job state: {state!r}")
+        return self.save(replace(record, state=state, **fields))
+
+    # -- crash recovery ----------------------------------------------------
+
+    def recover(self) -> List[JobRecord]:
+        """Re-adopt every non-terminal job after a (possibly unclean)
+        shutdown.
+
+        For each queued/running job: repair the journal's torn tail
+        (a SIGKILL mid-append leaves at most one), then hand it back
+        as *queued* — the runtime's normal resume path (skip journaled
+        units, execute the rest) does the actual recovery, which is
+        why restart-completed results are bit-identical to an
+        uninterrupted run.
+        """
+        recovered = []
+        for record in self.list_jobs():
+            if record.terminal:
+                continue
+            journal = self.journal(record.job_id)
+            journal.repair()
+            if record.state != JobState.QUEUED:
+                record = self.transition(record, JobState.QUEUED)
+            recovered.append(record)
+        return recovered
+
+    # -- status ------------------------------------------------------------
+
+    def progress(self, record: JobRecord) -> Dict[str, int]:
+        """(done, total) derived from the journal, crash-safe."""
+        total = record.spec.unit_count()
+        try:
+            done = len(self.journal(record.job_id).completed_keys())
+        except CampaignError:
+            done = 0
+        return {"done": done, "total": total}

@@ -1,0 +1,377 @@
+"""A stdlib-only asyncio HTTP front end for :class:`CampaignService`.
+
+One ``asyncio.start_server`` loop, HTTP/1.1 with ``Connection: close``
+semantics — deliberately minimal so the daemon has zero dependencies
+beyond the standard library.  Endpoints:
+
+========================  ====================================================
+``GET  /healthz``         liveness + uptime + job counts
+``POST /jobs``            submit ``{"spec": {...}, "tenant": "..."}`` → 202
+``GET  /jobs``            list all jobs (persisted envelopes + progress)
+``GET  /jobs/{id}``       one job's status
+``DELETE /jobs/{id}``     cancel (idempotent on terminal jobs)
+``GET  /jobs/{id}/events``  SSE stream of progress events
+``GET  /metrics``         service registry, Prometheus text exposition
+``GET  /metrics.jsonl``   same registry, JSONL export schema
+``POST /shutdown``        request a graceful daemon shutdown
+========================  ====================================================
+
+The SSE stream speaks the job-event schema documented in
+``docs/service.md``: a ``snapshot`` primer (cumulative metrics), then
+``progress`` events each carrying one shard's metrics *delta*, then a
+terminal event (``done``/``failed``/``cancelled``) which ends the
+stream.
+
+On start the server writes ``<root>/service.json`` (host, bound port,
+pid) so thin clients can discover the endpoint from the service root
+alone; a clean shutdown removes it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from repro.campaign.spec import CampaignError
+from repro.obs.export import metrics_jsonl_lines, prom_text
+from repro.service.runtime import (
+    TERMINAL_EVENTS,
+    CampaignService,
+    ServiceConfig,
+)
+from repro.service.jobstore import ServiceError
+
+ENDPOINT_FILENAME = "service.json"
+MAX_BODY_BYTES = 2 * 1024 * 1024
+
+
+def endpoint_path(root: Any) -> Path:
+    return Path(root) / ENDPOINT_FILENAME
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+_STATUS_TEXT = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def _response(
+    status: int, body: bytes, content_type: str
+) -> bytes:
+    reason = _STATUS_TEXT.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n"
+    )
+    return head.encode("ascii") + body
+
+
+def _json_response(status: int, payload: Dict[str, Any]) -> bytes:
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+    return _response(status, body, "application/json")
+
+
+class ServiceServer:
+    """Binds a :class:`CampaignService` to a TCP endpoint."""
+
+    def __init__(self, service: CampaignService) -> None:
+        self.service = service
+        self.shutdown_requested = asyncio.Event()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._host = service.config.host
+        self._port = service.config.port
+
+    @property
+    def host(self) -> str:
+        return self._host
+
+    @property
+    def port(self) -> int:
+        return self._port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self._host}:{self._port}"
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self._host, self._port
+        )
+        self._port = self._server.sockets[0].getsockname()[1]
+        payload = {
+            "host": self._host,
+            "port": self._port,
+            "url": self.url,
+            "pid": os.getpid(),
+            "started_utc": time.time(),
+        }
+        endpoint_path(self.service.config.root).write_text(
+            json.dumps(payload, sort_keys=True) + "\n"
+        )
+        self.service.log(f"[service] listening on {self.url}")
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        try:
+            endpoint_path(self.service.config.root).unlink()
+        except OSError:
+            pass
+
+    # -- request handling --------------------------------------------------
+
+    async def _handle(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        method = "?"
+        status = 500
+        try:
+            method, path, body = await self._read_request(reader)
+            status = await self._route(method, path, body, writer)
+        except _HttpError as error:
+            status = error.status
+            writer.write(
+                _json_response(error.status, {"error": error.message})
+            )
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.IncompleteReadError,
+        ):
+            status = 0  # client went away; nothing to count
+        except Exception as error:  # never take the daemon down
+            writer.write(
+                _json_response(500, {"error": str(error)})
+            )
+        finally:
+            if status:
+                self.service.count_http(method, status)
+            try:
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[str, str, bytes]:
+        request_line = await reader.readline()
+        parts = request_line.decode("ascii", "replace").split()
+        if len(parts) != 3:
+            raise _HttpError(400, "malformed request line")
+        method, target, _version = parts
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode(
+                "ascii", "replace"
+            ).partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            raise _HttpError(413, "request body too large")
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), target.split("?", 1)[0], body
+
+    async def _route(
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        writer: asyncio.StreamWriter,
+    ) -> int:
+        service = self.service
+        if path == "/healthz" and method == "GET":
+            writer.write(
+                _json_response(
+                    200,
+                    {
+                        "ok": True,
+                        "pid": os.getpid(),
+                        "uptime_seconds": round(
+                            time.time() - service.started_utc, 3
+                        ),
+                        "jobs": len(service.store.list_jobs()),
+                        "active": sum(
+                            1
+                            for job in service.jobs.values()
+                            if not job.record.terminal
+                        ),
+                    },
+                )
+            )
+            return 200
+        if path == "/metrics" and method == "GET":
+            text = prom_text(service.metrics_registry())
+            writer.write(
+                _response(
+                    200, text.encode(), "text/plain; version=0.0.4"
+                )
+            )
+            return 200
+        if path == "/metrics.jsonl" and method == "GET":
+            lines = metrics_jsonl_lines(service.metrics_registry())
+            body_text = "\n".join(lines) + "\n"
+            writer.write(
+                _response(
+                    200, body_text.encode(), "application/x-ndjson"
+                )
+            )
+            return 200
+        if path == "/jobs" and method == "POST":
+            payload = self._parse_json(body)
+            spec_payload = payload.get("spec")
+            if not isinstance(spec_payload, dict):
+                raise _HttpError(
+                    400, "submission needs a 'spec' object"
+                )
+            tenant = payload.get("tenant", "default")
+            try:
+                record = await service.submit(spec_payload, tenant)
+            except (CampaignError, ServiceError) as error:
+                raise _HttpError(400, str(error))
+            writer.write(
+                _json_response(202, service.describe_job(record.job_id))
+            )
+            return 202
+        if path == "/jobs" and method == "GET":
+            writer.write(
+                _json_response(200, {"jobs": service.describe_jobs()})
+            )
+            return 200
+        if path == "/shutdown" and method == "POST":
+            writer.write(_json_response(200, {"stopping": True}))
+            self.shutdown_requested.set()
+            return 200
+        if path.startswith("/jobs/"):
+            return await self._route_job(method, path, writer)
+        raise _HttpError(404, f"no such endpoint: {method} {path}")
+
+    async def _route_job(
+        self, method: str, path: str, writer: asyncio.StreamWriter
+    ) -> int:
+        service = self.service
+        parts = [p for p in path.split("/") if p]
+        job_id = parts[1]
+        tail = parts[2] if len(parts) > 2 else None
+        if tail not in (None, "events") or len(parts) > 3:
+            raise _HttpError(404, f"no such endpoint: {path}")
+        try:
+            if tail == "events" and method == "GET":
+                await self._stream_events(job_id, writer)
+                return 200
+            if tail is None and method == "GET":
+                writer.write(
+                    _json_response(200, service.describe_job(job_id))
+                )
+                return 200
+            if tail is None and method == "DELETE":
+                writer.write(
+                    _json_response(200, await service.cancel(job_id))
+                )
+                return 200
+        except ServiceError as error:
+            raise _HttpError(404, str(error))
+        raise _HttpError(405, f"{method} not allowed on {path}")
+
+    async def _stream_events(
+        self, job_id: str, writer: asyncio.StreamWriter
+    ) -> None:
+        queue = self.service.subscribe(job_id)
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: text/event-stream\r\n"
+            b"Cache-Control: no-cache\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        try:
+            while True:
+                event = await queue.get()
+                if event is None:
+                    break
+                data = json.dumps(event, sort_keys=True)
+                frame = (
+                    f"event: {event['event']}\n"
+                    f"id: {event['seq']}\n"
+                    f"data: {data}\n\n"
+                )
+                writer.write(frame.encode())
+                await writer.drain()
+                if event["event"] in TERMINAL_EVENTS:
+                    break
+        finally:
+            self.service.unsubscribe(job_id, queue)
+
+    @staticmethod
+    def _parse_json(body: bytes) -> Dict[str, Any]:
+        if not body:
+            raise _HttpError(400, "empty request body")
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as error:
+            raise _HttpError(400, f"invalid JSON body: {error}")
+        if not isinstance(payload, dict):
+            raise _HttpError(400, "request body must be an object")
+        return payload
+
+
+async def serve(
+    config: ServiceConfig, log: Optional[Any] = None
+) -> None:
+    """Run the daemon until SIGTERM/SIGINT or ``POST /shutdown``.
+
+    This is the whole ``repro service start`` story: build the
+    service, recover persisted jobs, bind the socket, then block on
+    the first shutdown signal and drain cleanly (journals flushed,
+    locks released, endpoint file removed).
+    """
+    service = CampaignService(config, log=log)
+    server = ServiceServer(service)
+    await service.start()
+    await server.start()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(
+                signum, server.shutdown_requested.set
+            )
+        except (NotImplementedError, RuntimeError):
+            pass  # non-main thread / exotic platform: HTTP shutdown only
+    await server.shutdown_requested.wait()
+    service.log("[service] shutting down")
+    await server.stop()
+    await service.stop()
+
+
+def run_service(
+    config: ServiceConfig, log: Optional[Any] = None
+) -> None:
+    """Blocking entry point used by the CLI."""
+    asyncio.run(serve(config, log=log))

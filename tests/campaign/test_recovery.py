@@ -1,0 +1,154 @@
+"""Crash-recovery edge cases: torn tails, tampered headers, locks."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.campaign import (
+    CampaignError,
+    CampaignJournal,
+    CampaignSpec,
+    ExecutorConfig,
+    resume_campaign,
+    run_campaign,
+)
+from repro.mutation import default_suite
+
+SUITE = default_suite()
+NAMES = tuple(mutant.name for mutant in SUITE.mutants)
+
+
+def spec(**overrides):
+    kwargs = dict(
+        name="recovery-test",
+        kinds=("PTE",),
+        device_names=("AMD",),
+        test_names=NAMES[:2],
+        environment_count=2,
+        seed=3,
+    )
+    kwargs.update(overrides)
+    return CampaignSpec(**kwargs)
+
+
+def run_to_completion(path):
+    return run_campaign(
+        spec(), journal_path=path, config=ExecutorConfig(workers=1)
+    )
+
+
+class TestTornTailResume:
+    def test_resume_after_truncated_trailing_line(self, tmp_path):
+        """A journal cut mid-append resumes to the exact full result."""
+        path = tmp_path / "journal.jsonl"
+        reference = run_to_completion(path)
+        whole = path.read_bytes()
+        # Chop the last record in half: a torn trailing line plus the
+        # loss of that unit's record.
+        last_line_start = whole.rstrip(b"\n").rfind(b"\n") + 1
+        cut = last_line_start + (len(whole) - last_line_start) // 2
+        path.write_bytes(whole[:cut])
+        outcome = resume_campaign(
+            path, config=ExecutorConfig(workers=1)
+        )
+        assert outcome.complete
+        assert outcome.results.keys() == reference.results.keys()
+        for kind, result in outcome.results.items():
+            assert result.runs == reference.results[kind].runs
+
+    def test_repair_truncates_only_the_tail(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        run_to_completion(path)
+        records_before = len(CampaignJournal(path).load_records())
+        path.write_bytes(path.read_bytes() + b'{"type": "unit", "ind')
+        journal = CampaignJournal(path)
+        journal.repair()
+        assert len(journal.load_records()) == records_before
+        # Repair is idempotent.
+        journal.repair()
+        assert len(journal.load_records()) == records_before
+
+
+class TestFingerprintMismatch:
+    def test_tampered_header_fingerprint_refuses_resume(self, tmp_path):
+        """Resume against a header whose fingerprint does not match
+        the recorded spec is refused rather than silently mixed."""
+        path = tmp_path / "journal.jsonl"
+        run_to_completion(path)
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["spec"]["seed"] = 999  # spec no longer matches prints
+        lines[0] = json.dumps(header)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CampaignError, match="fingerprint"):
+            resume_campaign(path, config=ExecutorConfig(workers=1))
+
+    def test_journal_of_other_spec_is_refused(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        CampaignJournal.create(path, spec())
+        with pytest.raises(CampaignError, match="refusing"):
+            CampaignJournal.create(path, spec(seed=4))
+
+
+class TestJournalLock:
+    def test_run_acquires_and_releases_lock(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        run_to_completion(path)
+        assert not CampaignJournal(path).lock_path.exists()
+
+    def test_concurrent_resume_is_refused(self, tmp_path):
+        """A journal locked by a live process refuses a second driver."""
+        path = tmp_path / "journal.jsonl"
+        run_to_completion(path)
+        journal = CampaignJournal(path)
+        journal.acquire_lock()  # our own (live) pid
+        try:
+            with pytest.raises(CampaignError, match="refusing"):
+                resume_campaign(path, config=ExecutorConfig(workers=1))
+        finally:
+            journal.release_lock()
+
+    def test_stale_lock_is_stolen(self, tmp_path):
+        """A lock left by a SIGKILLed process does not wedge resume."""
+        path = tmp_path / "journal.jsonl"
+        run_to_completion(path)
+        journal = CampaignJournal(path)
+        # A real pid that is certainly dead: a finished subprocess.
+        proc = subprocess.Popen(
+            [sys.executable, "-c", "pass"],
+        )
+        proc.wait()
+        journal.lock_path.write_text(str(proc.pid))
+        outcome = resume_campaign(
+            path, config=ExecutorConfig(workers=1)
+        )
+        assert outcome.complete
+        assert not journal.lock_path.exists()
+
+    def test_lock_owner_reports_pid(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        CampaignJournal.create(path, spec())
+        journal = CampaignJournal(path)
+        assert journal.lock_owner() is None
+        journal.acquire_lock()
+        try:
+            assert journal.lock_owner() == os.getpid()
+        finally:
+            journal.release_lock()
+        assert journal.lock_owner() is None
+
+    def test_release_without_acquire_is_noop(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        CampaignJournal.create(path, spec())
+        journal = CampaignJournal(path)
+        journal.release_lock()  # must not raise or unlink others' locks
+        other = CampaignJournal(path)
+        other.acquire_lock()
+        try:
+            journal.release_lock()
+            assert other.lock_path.exists()
+        finally:
+            other.release_lock()

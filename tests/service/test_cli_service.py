@@ -1,0 +1,136 @@
+"""The `repro service` CLI: daemon start + thin-client commands."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.service.server import endpoint_path
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    """A live daemon (thread pool) run through the real CLI path."""
+    root = tmp_path / "svc"
+    thread = threading.Thread(
+        target=main,
+        args=(
+            [
+                "service", "start",
+                "--root", str(root),
+                "--workers", "2",
+                "--shard-size", "4",
+                "--pool", "thread",
+                "--quota", "alice=2:4",
+            ],
+        ),
+        daemon=True,
+    )
+    thread.start()
+    deadline = time.monotonic() + 30
+    while not endpoint_path(root).exists():
+        if time.monotonic() > deadline:
+            raise AssertionError("daemon never came up")
+        time.sleep(0.02)
+    yield root
+    main(["service", "stop", "--root", str(root)])
+    thread.join(timeout=10)
+
+
+class TestThinClient:
+    def test_submit_watch_status_cancel_cycle(
+        self, daemon, capsys
+    ):
+        root = str(daemon)
+        assert (
+            main(
+                [
+                    "service", "submit", "--root", root,
+                    "--smoke", "--seed", "5",
+                    "--tenant", "alice", "--watch",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "submitted j00001-" in out
+        assert "[done]" in out
+
+        assert main(["service", "status", "--root", root]) == 0
+        table = capsys.readouterr().out
+        assert "alice" in table and "done" in table
+
+        assert (
+            main(["service", "status", "--root", root, "--json"]) == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        job = payload["jobs"][0]
+        assert job["state"] == "done"
+        assert job["done"] == job["total"] > 0
+
+        # The job directory is a standard campaign directory: the
+        # plain campaign status command reads it unchanged.
+        job_dir = daemon / "jobs" / job["job_id"]
+        assert (
+            main(
+                [
+                    "campaign", "status",
+                    "--out", str(job_dir), "--json",
+                ]
+            )
+            == 0
+        )
+        campaign_payload = json.loads(capsys.readouterr().out)
+        assert campaign_payload["complete"] is True
+        assert campaign_payload["done_units"] == job["total"]
+
+        assert (
+            main(
+                [
+                    "service", "status", "--root", root,
+                    job["job_id"], "--json",
+                ]
+            )
+            == 0
+        )
+        single = json.loads(capsys.readouterr().out)
+        assert single["job_id"] == job["job_id"]
+
+        # Cancelling a terminal job is idempotent.
+        assert (
+            main(["service", "cancel", "--root", root, job["job_id"]])
+            == 0
+        )
+        assert "done" in capsys.readouterr().out
+
+    def test_unknown_job_errors_cleanly(self, daemon, capsys):
+        code = main(
+            [
+                "service", "status", "--root", str(daemon),
+                "j99999-deadbeef",
+            ]
+        )
+        assert code == 1
+        assert "no such job" in capsys.readouterr().err
+
+    def test_client_without_endpoint_errors(self, tmp_path, capsys):
+        code = main(
+            ["service", "status", "--root", str(tmp_path / "nowhere")]
+        )
+        assert code == 1
+        assert "service" in capsys.readouterr().err
+
+
+class TestQuotaParsing:
+    def test_bad_quota_is_an_error(self, tmp_path, capsys):
+        code = main(
+            [
+                "service", "start",
+                "--root", str(tmp_path),
+                "--quota", "nonsense",
+            ]
+        )
+        assert code == 1
+        assert "quota" in capsys.readouterr().err

@@ -1,0 +1,132 @@
+"""The fair-share scheduler is pure bookkeeping — test it exactly."""
+
+import pytest
+
+from repro.service import FairShareScheduler, TenantQuota
+
+
+def drain(scheduler, n):
+    """n acquire+release cycles; the picked tenants, in order."""
+    picks = []
+    for _ in range(n):
+        picked = scheduler.acquire()
+        if picked is None:
+            break
+        tenant, _job = picked
+        picks.append(tenant)
+        scheduler.release(tenant)
+    return picks
+
+
+class TestQuota:
+    def test_defaults(self):
+        quota = TenantQuota()
+        assert quota.weight == 1
+        assert quota.max_active is None
+
+    def test_rejects_bad_weight(self):
+        with pytest.raises(ValueError):
+            TenantQuota(weight=0)
+
+    def test_rejects_bad_max_active(self):
+        with pytest.raises(ValueError):
+            TenantQuota(max_active=0)
+
+
+class TestRoundRobin:
+    def test_equal_weights_alternate(self):
+        scheduler = FairShareScheduler()
+        scheduler.add_job("a", "job-a")
+        scheduler.add_job("b", "job-b")
+        picks = drain(scheduler, 6)
+        assert sorted(picks[:2]) == ["a", "b"]
+        assert picks.count("a") == 3
+        assert picks.count("b") == 3
+        # Smooth WRR: never two in a row at equal weight.
+        assert all(x != y for x, y in zip(picks, picks[1:]))
+
+    def test_weights_give_proportional_share(self):
+        scheduler = FairShareScheduler()
+        scheduler.set_quota("heavy", TenantQuota(weight=3))
+        scheduler.add_job("heavy", "job-h")
+        scheduler.add_job("light", "job-l")
+        picks = drain(scheduler, 8)
+        assert picks.count("heavy") == 6
+        assert picks.count("light") == 2
+        # Smoothness: the light tenant is served inside each period,
+        # not starved to the end of it.
+        assert "light" in picks[:4]
+
+    def test_within_tenant_jobs_rotate(self):
+        scheduler = FairShareScheduler()
+        scheduler.add_job("t", "job-1")
+        scheduler.add_job("t", "job-2")
+        jobs = []
+        for _ in range(4):
+            tenant, job = scheduler.acquire()
+            jobs.append(job)
+            scheduler.release(tenant)
+        assert jobs == ["job-1", "job-2", "job-1", "job-2"]
+
+    def test_deterministic_given_same_history(self):
+        def run():
+            scheduler = FairShareScheduler()
+            scheduler.set_quota("b", TenantQuota(weight=2))
+            scheduler.add_job("a", "ja")
+            scheduler.add_job("b", "jb")
+            scheduler.add_job("c", "jc")
+            return drain(scheduler, 12)
+
+        assert run() == run()
+
+
+class TestQuotaEnforcement:
+    def test_max_active_blocks_tenant(self):
+        scheduler = FairShareScheduler()
+        scheduler.set_quota("capped", TenantQuota(max_active=1))
+        scheduler.add_job("capped", "job-c")
+        tenant, _ = scheduler.acquire()
+        assert tenant == "capped"
+        # At its cap and nothing else runnable: nothing dispatchable.
+        assert scheduler.acquire() is None
+        scheduler.release("capped")
+        assert scheduler.acquire()[0] == "capped"
+
+    def test_capped_tenant_leaves_slots_to_others(self):
+        scheduler = FairShareScheduler()
+        scheduler.set_quota("capped", TenantQuota(max_active=1))
+        scheduler.add_job("capped", "job-c")
+        scheduler.add_job("free", "job-f")
+        first = scheduler.acquire()[0]
+        second = scheduler.acquire()[0]
+        third = scheduler.acquire()[0]
+        assert {first, second} == {"capped", "free"}
+        assert third == "free"  # capped is at its cap
+
+    def test_empty_scheduler_has_nothing(self):
+        scheduler = FairShareScheduler()
+        assert not scheduler.has_runnable()
+        assert scheduler.acquire() is None
+
+    def test_remove_job_forgets_tenant(self):
+        scheduler = FairShareScheduler()
+        scheduler.add_job("t", "job-1")
+        scheduler.remove_job("t", "job-1")
+        assert not scheduler.has_runnable()
+        assert scheduler.acquire() is None
+
+    def test_remove_unknown_job_is_noop(self):
+        scheduler = FairShareScheduler()
+        scheduler.remove_job("ghost", "job-x")
+        assert scheduler.acquire() is None
+
+    def test_no_starvation_under_heavy_weights(self):
+        """Even a 10:1 weight split serves the light tenant steadily."""
+        scheduler = FairShareScheduler()
+        scheduler.set_quota("heavy", TenantQuota(weight=10))
+        scheduler.add_job("heavy", "jh")
+        scheduler.add_job("light", "jl")
+        picks = drain(scheduler, 33)
+        assert picks.count("light") == 3
+        gaps = [i for i, t in enumerate(picks) if t == "light"]
+        assert all(b - a == 11 for a, b in zip(gaps, gaps[1:]))

@@ -1,0 +1,172 @@
+"""Job-store persistence: envelopes, transitions, crash recovery."""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignJournal, CampaignSpec
+from repro.mutation import default_suite
+from repro.service import JobRecord, JobState, JobStore, ServiceError
+
+SUITE = default_suite()
+NAMES = tuple(mutant.name for mutant in SUITE.mutants)
+
+
+def spec(**overrides):
+    kwargs = dict(
+        name="store-test",
+        kinds=("PTE",),
+        device_names=("AMD",),
+        test_names=NAMES[:2],
+        environment_count=2,
+        seed=3,
+    )
+    kwargs.update(overrides)
+    return CampaignSpec(**kwargs)
+
+
+class TestSubmit:
+    def test_submit_persists_envelope_and_journal(self, tmp_path):
+        store = JobStore(tmp_path)
+        record = store.submit(spec(), tenant="alice")
+        assert record.state == JobState.QUEUED
+        assert record.tenant == "alice"
+        directory = store.job_dir(record.job_id)
+        assert (directory / "job.json").exists()
+        assert (directory / "journal.jsonl").exists()
+        # The journal is a standard campaign journal.
+        assert (
+            CampaignJournal(directory / "journal.jsonl")
+            .load_spec()
+            .fingerprint()
+            == spec().fingerprint()
+        )
+
+    def test_job_ids_are_sequential_and_fingerprinted(self, tmp_path):
+        store = JobStore(tmp_path)
+        first = store.submit(spec())
+        second = store.submit(spec(seed=4))
+        assert first.job_id.startswith("j00001-")
+        assert second.job_id.startswith("j00002-")
+        assert first.job_id.endswith(spec().fingerprint()[:8])
+
+    def test_sequence_survives_reopen(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.submit(spec())
+        reopened = JobStore(tmp_path)
+        assert reopened.submit(spec(seed=4)).job_id.startswith("j00002-")
+
+    def test_rejects_bad_tenant(self, tmp_path):
+        store = JobStore(tmp_path)
+        with pytest.raises(ServiceError, match="tenant"):
+            store.submit(spec(), tenant="")
+        with pytest.raises(ServiceError, match="tenant"):
+            store.submit(spec(), tenant="a/b")
+
+
+class TestLoad:
+    def test_round_trip(self, tmp_path):
+        store = JobStore(tmp_path)
+        record = store.submit(spec(), tenant="bob")
+        loaded = store.load(record.job_id)
+        assert loaded == record
+
+    def test_unknown_job_is_an_error(self, tmp_path):
+        store = JobStore(tmp_path)
+        with pytest.raises(ServiceError, match="no such job"):
+            store.load("j99999-deadbeef")
+
+    def test_corrupt_envelope_is_an_error(self, tmp_path):
+        store = JobStore(tmp_path)
+        record = store.submit(spec())
+        (store.job_dir(record.job_id) / "job.json").write_text("{oops")
+        with pytest.raises(ServiceError, match="corrupt"):
+            store.load(record.job_id)
+
+    def test_list_jobs_oldest_first(self, tmp_path):
+        store = JobStore(tmp_path)
+        ids = [store.submit(spec(seed=s)).job_id for s in (1, 2, 3)]
+        assert [r.job_id for r in store.list_jobs()] == ids
+
+
+class TestTransition:
+    def test_transition_persists(self, tmp_path):
+        store = JobStore(tmp_path)
+        record = store.submit(spec())
+        running = store.transition(
+            record, JobState.RUNNING, started_utc=123.0
+        )
+        assert running.state == JobState.RUNNING
+        assert store.load(record.job_id).started_utc == 123.0
+
+    def test_unknown_state_rejected(self, tmp_path):
+        store = JobStore(tmp_path)
+        record = store.submit(spec())
+        with pytest.raises(ServiceError, match="unknown job state"):
+            store.transition(record, "paused")
+
+    def test_terminal_property(self, tmp_path):
+        store = JobStore(tmp_path)
+        record = store.submit(spec())
+        assert not record.terminal
+        assert store.transition(record, JobState.DONE).terminal
+        assert store.transition(record, JobState.CANCELLED).terminal
+
+
+class TestRecover:
+    def test_recover_requeues_non_terminal_jobs(self, tmp_path):
+        store = JobStore(tmp_path)
+        queued = store.submit(spec(seed=1))
+        running = store.transition(
+            store.submit(spec(seed=2)), JobState.RUNNING
+        )
+        done = store.transition(
+            store.submit(spec(seed=3)), JobState.DONE
+        )
+        recovered = JobStore(tmp_path).recover()
+        recovered_ids = {r.job_id for r in recovered}
+        assert recovered_ids == {queued.job_id, running.job_id}
+        assert all(r.state == JobState.QUEUED for r in recovered)
+        assert store.load(done.job_id).state == JobState.DONE
+
+    def test_recover_repairs_torn_journal_tail(self, tmp_path):
+        store = JobStore(tmp_path)
+        record = store.submit(spec())
+        journal_path = store.journal_path(record.job_id)
+        with open(journal_path, "a") as handle:
+            handle.write('{"type": "unit", "ind')  # SIGKILL mid-append
+        JobStore(tmp_path).recover()
+        # The torn tail is gone; the journal parses cleanly.
+        assert CampaignJournal(journal_path).load_records() == []
+
+    def test_progress_reads_the_journal(self, tmp_path):
+        store = JobStore(tmp_path)
+        record = store.submit(spec())
+        progress = store.progress(record)
+        assert progress == {"done": 0, "total": spec().unit_count()}
+
+
+class TestRecordSchema:
+    def test_to_from_dict_round_trip(self, tmp_path):
+        record = JobRecord(
+            job_id="j00001-aaaaaaaa", tenant="t", spec=spec()
+        )
+        assert JobRecord.from_dict(record.to_dict()) == record
+
+    def test_bad_schema_rejected(self):
+        with pytest.raises(ServiceError, match="schema"):
+            JobRecord.from_dict({"schema": 99})
+
+    def test_bad_state_rejected(self, tmp_path):
+        payload = JobRecord(
+            job_id="j00001-aaaaaaaa", tenant="t", spec=spec()
+        ).to_dict()
+        payload["state"] = "exploded"
+        with pytest.raises(ServiceError, match="state"):
+            JobRecord.from_dict(payload)
+
+    def test_envelope_is_valid_json_on_disk(self, tmp_path):
+        store = JobStore(tmp_path)
+        record = store.submit(spec())
+        raw = (store.job_dir(record.job_id) / "job.json").read_text()
+        assert json.loads(raw)["job_id"] == record.job_id

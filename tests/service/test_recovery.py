@@ -1,0 +1,252 @@
+"""Service crash recovery: restart = kill+resume, bit-identical."""
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import load_result
+from repro.campaign import CampaignSpec, ExecutorConfig, run_campaign
+from repro.mutation import default_suite
+from repro.service import (
+    CampaignService,
+    ServiceClient,
+    ServiceConfig,
+    ServiceClientError,
+)
+from repro.service.server import endpoint_path
+
+SUITE = default_suite()
+NAMES = tuple(mutant.name for mutant in SUITE.mutants)
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def spec(**overrides):
+    kwargs = dict(
+        name="recovery-test",
+        kinds=("PTE",),
+        device_names=("AMD",),
+        test_names=NAMES[:2],
+        environment_count=20,
+        seed=3,
+    )
+    kwargs.update(overrides)
+    return CampaignSpec(**kwargs)
+
+
+def reference_stats(tmp_path, **overrides):
+    """The uninterrupted one-shot result for the same spec."""
+    out = tmp_path / "oneshot"
+    out.mkdir()
+    outcome = run_campaign(
+        spec(**overrides),
+        journal_path=out / "journal.jsonl",
+        config=ExecutorConfig(workers=1),
+    )
+    return outcome.results
+
+
+class TestInProcessRestart:
+    def test_restart_resumes_to_bit_identical_results(self, tmp_path):
+        """Stop mid-campaign, start a fresh service on the same root:
+        the finished stats equal an uninterrupted run exactly."""
+        reference = reference_stats(tmp_path)
+        root = tmp_path / "svc"
+
+        async def first_life():
+            service = CampaignService(
+                ServiceConfig(
+                    root=root, workers=1, shard_size=1,
+                    pool_mode="thread",
+                )
+            )
+            await service.start()
+            record = await service.submit(spec().to_dict(), "alice")
+            while service.describe_job(record.job_id)["done"] < 5:
+                await asyncio.sleep(0.01)
+            await service.stop()  # abandon the rest where it stands
+            return record.job_id, service.describe_job(record.job_id)
+
+        job_id, interrupted = asyncio.run(first_life())
+        assert interrupted["state"] in ("running", "queued")
+        assert 0 < interrupted["done"] < spec().unit_count()
+
+        async def second_life():
+            service = CampaignService(
+                ServiceConfig(
+                    root=root, workers=2, shard_size=4,
+                    pool_mode="thread",
+                )
+            )
+            await service.start()  # recover() re-adopts the job
+            while True:
+                status = service.describe_job(job_id)
+                if status["state"] in ("done", "failed", "cancelled"):
+                    break
+                await asyncio.sleep(0.02)
+            await service.stop()
+            return status, service.store.job_dir(job_id)
+
+        status, job_dir = asyncio.run(second_life())
+        assert status["state"] == "done"
+        resumed = load_result(job_dir / "pte.json")
+        for kind, result in reference.items():
+            assert resumed.runs == result.runs
+            assert resumed.backend == result.backend
+
+    def test_recovered_complete_job_finalizes_without_rerun(
+        self, tmp_path
+    ):
+        """A job killed after its last journal append but before the
+        envelope flipped to done just finalizes on restart."""
+        root = tmp_path / "svc"
+
+        async def first_life():
+            service = CampaignService(
+                ServiceConfig(root=root, pool_mode="thread")
+            )
+            await service.start()
+            record = await service.submit(
+                spec(environment_count=2).to_dict(), "alice"
+            )
+            while True:
+                status = service.describe_job(record.job_id)
+                if status["state"] == "done":
+                    break
+                await asyncio.sleep(0.02)
+            await service.stop()
+            return record.job_id
+
+        job_id = asyncio.run(first_life())
+        # Simulate the narrow crash window: state rolled back to
+        # running while the journal is already complete.
+        job_json = root / "jobs" / job_id / "job.json"
+        payload = json.loads(job_json.read_text())
+        payload["state"] = "running"
+        job_json.write_text(json.dumps(payload))
+
+        async def second_life():
+            service = CampaignService(
+                ServiceConfig(root=root, pool_mode="thread")
+            )
+            await service.start()
+            while True:
+                status = service.describe_job(job_id)
+                if status["state"] in ("done", "failed"):
+                    break
+                await asyncio.sleep(0.02)
+            await service.stop()
+            return status
+
+        assert asyncio.run(second_life())["state"] == "done"
+
+
+class TestDaemonSigkill:
+    def test_sigkill_daemon_restart_resumes_bit_identically(
+        self, tmp_path
+    ):
+        """Acceptance: SIGKILL the real daemon mid-campaign; a
+        restarted daemon resumes from the journal and the final stats
+        are bit-identical to an uninterrupted one-shot run."""
+        # Enough units that the kill reliably lands mid-campaign.
+        envs = 80
+        reference = reference_stats(tmp_path, environment_count=envs)
+        root = tmp_path / "svc"
+        env = dict(os.environ, PYTHONPATH=str(REPO_SRC))
+
+        def start_daemon():
+            process = subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro.cli",
+                    "service", "start", "--root", str(root),
+                    "--workers", "1", "--shard-size", "1",
+                    "--pool", "thread",
+                ],
+                env=env,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT,
+            )
+            deadline = time.monotonic() + 30
+            while True:
+                # The endpoint file must be *this* daemon's, not a
+                # stale one left behind by a SIGKILLed predecessor.
+                if endpoint_path(root).exists():
+                    try:
+                        payload = json.loads(
+                            endpoint_path(root).read_text()
+                        )
+                        if payload.get("pid") == process.pid:
+                            return process
+                    except json.JSONDecodeError:
+                        pass
+                if time.monotonic() > deadline:
+                    process.kill()
+                    raise AssertionError("daemon never came up")
+                if process.poll() is not None:
+                    raise AssertionError(
+                        "daemon exited: "
+                        + process.stdout.read().decode()
+                    )
+                time.sleep(0.05)
+
+        daemon = start_daemon()
+        try:
+            client = ServiceClient(root=root, timeout=30)
+            job = client.submit(
+                spec(environment_count=envs).to_dict(), tenant="alice"
+            )
+            job_id = job["job_id"]
+            deadline = time.monotonic() + 60
+            while client.job(job_id)["done"] < 5:
+                if time.monotonic() > deadline:
+                    raise AssertionError("no progress before kill")
+                time.sleep(0.02)
+            status = client.job(job_id)
+            assert status["state"] == "running", (
+                "job finished before the kill; the spec is too small "
+                "to exercise mid-campaign recovery"
+            )
+            daemon.send_signal(signal.SIGKILL)
+            daemon.wait(timeout=10)
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait(timeout=10)
+
+        # The kill left the endpoint file and the journal lock behind;
+        # a fresh daemon must steal the stale lock and resume.
+        assert endpoint_path(root).exists()
+        journal_lock = root / "jobs" / job_id / "journal.jsonl.lock"
+        assert journal_lock.exists()
+
+        daemon = start_daemon()
+        try:
+            client = ServiceClient(root=root, timeout=30)
+            deadline = time.monotonic() + 120
+            while True:
+                status = client.job(job_id)
+                if status["state"] in ("done", "failed", "cancelled"):
+                    break
+                if time.monotonic() > deadline:
+                    raise AssertionError("resumed job never finished")
+                time.sleep(0.1)
+            assert status["state"] == "done"
+            client.shutdown()
+            daemon.wait(timeout=30)
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait(timeout=10)
+
+        assert daemon.returncode == 0
+        assert not endpoint_path(root).exists()  # clean shutdown
+        resumed = load_result(root / "jobs" / job_id / "pte.json")
+        for kind, result in reference.items():
+            assert resumed.runs == result.runs
+            assert resumed.backend == result.backend
