@@ -1,0 +1,111 @@
+"""Warm-store speedup of incremental campaigns.
+
+Runs one reduced-scale campaign grid three times through a single
+result store — cold (executes everything, records everything), warm
+(loads everything, executes nothing), and delta (one added device) —
+and reports the wall-clock speedup of assembling results from the
+store over recomputing them.  The acceptance bar is 5×: reading one
+small JSON object per unit must beat executing the unit by a wide
+margin, on any hardware.
+
+Both stages land in ``BENCH_store.json`` via the shared bench-obs
+artifact (see ``repro.obs.bench``).
+"""
+
+import json
+import time
+
+from repro import obs
+from repro.analysis.serialize import result_to_dict
+from repro.campaign import CampaignSpec, ExecutorConfig, run_campaign
+
+SPEEDUP_BAR = 5.0
+
+
+def _store_spec(suite, store, device_names=("NVIDIA", "AMD", "Intel")):
+    return CampaignSpec(
+        name="bench-store",
+        kinds=("PTE", "SITE"),
+        device_names=device_names,
+        test_names=tuple(mutant.name for mutant in suite.mutants),
+        environment_count=12,
+        seed=42,
+        store_path=str(store),
+        store_policy="reuse",
+    )
+
+
+def _stats_bytes(outcome):
+    return {
+        kind.name: json.dumps(result_to_dict(result), sort_keys=True)
+        for kind, result in outcome.results.items()
+    }
+
+
+def _timed_run(spec):
+    started = time.perf_counter()
+    outcome = run_campaign(
+        spec, config=ExecutorConfig(workers=1, retry_backoff=0.0)
+    )
+    return time.perf_counter() - started, outcome
+
+
+def test_store_incremental(suite, tmp_path):
+    store = tmp_path / "store"
+    spec = _store_spec(suite, store)
+    total_units = spec.unit_count()
+
+    cold_seconds, cold = _timed_run(spec)
+    warm_seconds, warm = _timed_run(spec)
+    delta_spec = _store_spec(
+        suite, store, device_names=("NVIDIA", "AMD", "Intel", "M1")
+    )
+    delta_seconds, delta = _timed_run(delta_spec)
+
+    assert cold.metrics.units_done == total_units
+    assert warm.metrics.units_done == 0
+    assert warm.metrics.store_units == total_units
+    # A store can accelerate a campaign but never change it.
+    assert _stats_bytes(warm) == _stats_bytes(cold)
+    # The delta run executes only the new device's units.
+    new_units = sum(
+        1 for unit in delta_spec.units() if unit.device_name == "M1"
+    )
+    assert delta.metrics.units_done == new_units
+    assert delta.metrics.store_units == delta_spec.unit_count() - new_units
+
+    speedup = cold_seconds / warm_seconds
+    delta_fraction = new_units / delta_spec.unit_count()
+
+    print(f"\nincremental campaigns over {total_units} units:")
+    print(f"  cold (execute + record): {cold_seconds:.3f}s")
+    print(f"  warm (all from store):   {warm_seconds:.3f}s "
+          f"({speedup:.1f}x)")
+    print(f"  delta (+1 device):       {delta_seconds:.3f}s "
+          f"({new_units}/{delta_spec.unit_count()} units executed, "
+          f"{delta_fraction:.0%} of the grid)")
+
+    stages = {
+        "warm_speedup": {
+            "units": total_units,
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "speedup": speedup,
+        },
+        "delta_campaign": {
+            "units": delta_spec.unit_count(),
+            "executed": new_units,
+            "from_store": delta_spec.unit_count() - new_units,
+            "seconds": delta_seconds,
+        },
+    }
+    artifact = obs.update_bench_obs(
+        "store_incremental", stages, path="BENCH_store.json"
+    )
+    print(f"  stage summary written to {artifact}")
+
+    assert speedup >= SPEEDUP_BAR, (
+        f"warm store run was only {speedup:.1f}x faster than cold "
+        f"({warm_seconds:.3f}s vs {cold_seconds:.3f}s); the bar is "
+        f"{SPEEDUP_BAR}x"
+    )

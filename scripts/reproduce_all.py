@@ -67,6 +67,15 @@ def parse_args() -> argparse.Namespace:
         "instead of the built-in Table 2 suite",
     )
     parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="persistent result store: completed units are recorded "
+        "there and re-runs reuse them (policy: reuse)",
+    )
+    parser.add_argument(
+        "--no-store", action="store_true",
+        help="force the result store off",
+    )
+    parser.add_argument(
         "--trace", action="store_true",
         help="record wall/CPU-time spans for the hot-path profile",
     )
@@ -103,11 +112,14 @@ def main() -> None:
     (out / "table3.txt").write_text(render_table3() + "\n")
 
     print("[2/5] tuning the four environment families (Sec. 5.1) ...")
+    store_path = None if args.no_store else args.store
     spec = paper_spec(
         tuple(mutant.name for mutant in suite.mutants),
         environment_count=args.envs,
         seed=args.seed,
         suite_path=args.suite,
+        store_path=store_path,
+        store_policy="off" if store_path is None else "reuse",
     )
     outcome = run_campaign(
         spec,
@@ -186,6 +198,7 @@ def main() -> None:
             "",
             f"campaign: {outcome.metrics.units_done} units executed, "
             f"{outcome.metrics.resumed_units} resumed, "
+            f"{outcome.metrics.store_units} from store, "
             f"{len(outcome.metrics.workers)} worker(s), "
             f"{outcome.metrics.units_per_second:.0f} units/s",
             f"total wall time: {time.time() - started:.1f}s",

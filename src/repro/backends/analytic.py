@@ -24,6 +24,7 @@ class AnalyticBackend(Backend):
 
     name = "analytic"
     option_names = frozenset()
+    version = 1
 
     def run(
         self,

@@ -58,11 +58,18 @@ class Backend(abc.ABC):
     * ``option_names`` — the constructor options the backend accepts.
       :func:`repro.backends.make_backend` validates requested options
       against this set, so an option a backend would silently ignore
-      is an error instead.
+      is an error instead;
+    * ``version`` — the backend's *numeric-behaviour* version.  It is
+      part of every persistent result address
+      (:func:`repro.env.runner.result_digest`), so bump it whenever a
+      change alters the values a backend produces for the same (seed,
+      unit) — stored results from the old behaviour then miss instead
+      of being replayed as if nothing changed.
     """
 
     name: str = ""
     option_names: "frozenset[str]" = frozenset()
+    version: int = 1
 
     @abc.abstractmethod
     def run(

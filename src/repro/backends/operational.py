@@ -25,6 +25,7 @@ class OperationalBackend(Backend):
 
     name = "operational"
     option_names = frozenset({"max_operational_instances"})
+    version = 1
 
     def __init__(self, max_operational_instances: int = 64) -> None:
         self.max_operational_instances = check_positive_instances(

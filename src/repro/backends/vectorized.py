@@ -43,7 +43,12 @@ from repro import obs
 from repro.backends.base import Backend, record_grid
 from repro.backends.registry import register
 from repro.env.environment import TestingEnvironment
-from repro.env.runner import TestRun, structural_test_key, unit_rng
+from repro.env.runner import (
+    TestRun,
+    result_key,
+    structural_test_key,
+    unit_rng,
+)
 from repro.gpu.batch import (
     JITTER_SIGMA,
     bug_probability,
@@ -172,6 +177,7 @@ class VectorizedAnalyticBackend(Backend):
 
     name = "vectorized"
     option_names = frozenset()
+    version = 1
 
     # -- probability (shared memo) ----------------------------------------
 
@@ -187,9 +193,17 @@ class VectorizedAnalyticBackend(Backend):
 
         Same scalar closed forms, same composition order — only the
         ``characterize``/jitter/probability work is shared.
+
+        Keyed by the canonical :func:`~repro.env.runner.result_key`
+        with seed/iterations unset: a probability is draw-independent,
+        one value per (test structure, device config, environment).
         """
-        device_key = (device.profile, tuple(device.bugs))
-        key = (info.structural_key, info.test.name, device_key, environment)
+        key = result_key(
+            info.test,
+            device,
+            environment,
+            structural_key=info.structural_key,
+        )
 
         def compute() -> float:
             characteristics = info.characteristics
@@ -326,15 +340,14 @@ class VectorizedAnalyticBackend(Backend):
                 unit_seconds = iterations * environment.iteration_seconds(
                     device, tests[0]
                 )
-                device_key = (device.profile, tuple(device.bugs))
                 for info in infos:
-                    run_key = (
-                        seed,
-                        iterations,
+                    run_key = result_key(
+                        info.test,
+                        device,
                         environment,
-                        device_key,
-                        info.structural_key,
-                        info.test.name,
+                        seed=seed,
+                        iterations=iterations,
+                        structural_key=info.structural_key,
                     )
                     runs.append(
                         _RUN_CACHE.get_or_compute(

@@ -31,7 +31,13 @@ from repro.analysis.serialize import (
 )
 from repro.env.environment import EnvironmentKind
 from repro.env.runner import TestRun
-from repro.campaign.spec import CampaignError, CampaignSpec, UnitKey, WorkUnit
+from repro.campaign.spec import (
+    CampaignError,
+    CampaignSpec,
+    UnitKey,
+    WorkUnit,
+    payload_fingerprint,
+)
 
 JOURNAL_VERSION = 1
 
@@ -180,15 +186,21 @@ class CampaignJournal:
         a disagreement between them means the file was edited or
         corrupted, and resuming against it would silently mix
         incompatible results — refuse instead.
+
+        The recorded fingerprint is validated against the *stored*
+        payload (:func:`~repro.campaign.spec.payload_fingerprint`),
+        not against a re-serialization through the current spec
+        version — that is what keeps journals written by spec v1–v3
+        loadable and resumable after every version bump.
         """
         header = self._records_raw()[0]
         spec = CampaignSpec.from_dict(header["spec"])
         recorded = header.get("fingerprint")
-        if recorded != spec.fingerprint():
+        if recorded != payload_fingerprint(header["spec"]):
             raise CampaignError(
                 f"{self.path}: header fingerprint {recorded!r} does "
-                f"not match its spec ({spec.fingerprint()}); the "
-                f"journal was modified — refusing to resume"
+                f"not match its spec payload; the journal was "
+                f"modified — refusing to resume"
             )
         return spec
 

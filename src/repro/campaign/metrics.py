@@ -35,6 +35,46 @@ SIM_SECONDS_METRIC = "repro_campaign_sim_seconds_total"
 ORACLE_LOOKUPS_METRIC = "repro_campaign_oracle_lookups_total"
 RETRIES_METRIC = "repro_campaign_retries_total"
 
+#: Persistent result-store traffic, labelled ``op``/``outcome``
+#: (``get``: hit/miss/corrupt; ``put``: write/skip).  Lives in this
+#: module rather than :mod:`repro.store` because the store itself only
+#: counts raw events — publication into a registry (and therefore into
+#: exported artifacts) is a campaign/service concern.
+STORE_EVENTS_METRIC = "repro_store_events_total"
+
+#: ``(op, outcome)`` pairs pre-declared at zero whenever a store is in
+#: play, so an exported artifact says "0 hits" explicitly instead of
+#: omitting the family (same idiom as ``repro_cache_events_total``).
+STORE_EVENT_KINDS = (
+    ("get", "hit"),
+    ("get", "miss"),
+    ("get", "corrupt"),
+    ("put", "write"),
+    ("put", "skip"),
+)
+
+
+def publish_store_events(
+    registry: MetricsRegistry,
+    events: Mapping[Any, int],
+    materialize: bool = True,
+) -> None:
+    """Fold drained store event counts into a metrics registry.
+
+    ``events`` is :meth:`repro.store.ResultStore.drain_events` output
+    (``(op, outcome) -> count``).  With ``materialize`` the standard
+    event kinds are pre-declared at zero even when absent.
+    """
+    if materialize:
+        for op, outcome in STORE_EVENT_KINDS:
+            registry.counter(
+                STORE_EVENTS_METRIC, {"op": op, "outcome": outcome}
+            ).inc(0)
+    for (op, outcome), count in events.items():
+        registry.counter(
+            STORE_EVENTS_METRIC, {"op": op, "outcome": outcome}
+        ).inc(count)
+
 
 @dataclass(frozen=True)
 class WorkerCounters:
@@ -85,6 +125,11 @@ class CampaignMetrics:
 
     total_units: int = 0
     resumed_units: int = 0
+    #: Units satisfied from the persistent result store this run.
+    store_units: int = 0
+    #: Whether a result store was attached to this run at all; the
+    #: report renders the store line either way, but says so.
+    store_active: bool = False
     units_failed: int = 0
     shards: int = 0
     serial_fallback: bool = False
@@ -126,6 +171,11 @@ class CampaignMetrics:
     ) -> None:
         """Fold a worker's drained campaign registry in."""
         self.registry.merge(payload)
+
+    def absorb_store_events(self, events: Mapping[Any, int]) -> None:
+        """Fold drained result-store counters in (zeros materialised)."""
+        self.store_active = True
+        publish_store_events(self.registry, events, materialize=True)
 
     def finish(self) -> None:
         self.finished_at = time.monotonic()
@@ -180,6 +230,39 @@ class CampaignMetrics:
     @property
     def oracle_misses(self) -> int:
         return self._oracle_total("miss")
+
+    def _store_total(self, op: str, outcome: str) -> int:
+        total = 0.0
+        for name, labels, counter in self.registry.iter_counters():
+            if name != STORE_EVENTS_METRIC:
+                continue
+            label_map = dict(labels)
+            if (
+                label_map.get("op") == op
+                and label_map.get("outcome") == outcome
+            ):
+                total += counter.value
+        return int(total)
+
+    @property
+    def store_hits(self) -> int:
+        return self._store_total("get", "hit")
+
+    @property
+    def store_misses(self) -> int:
+        return self._store_total("get", "miss")
+
+    @property
+    def store_corrupt(self) -> int:
+        return self._store_total("get", "corrupt")
+
+    @property
+    def store_writes(self) -> int:
+        return self._store_total("put", "write")
+
+    @property
+    def store_skips(self) -> int:
+        return self._store_total("put", "skip")
 
     @property
     def sim_seconds(self) -> float:
@@ -254,11 +337,25 @@ class CampaignMetrics:
         started = time.strftime(
             "%Y-%m-%dT%H:%M:%SZ", time.gmtime(self.started_at_utc)
         )
+        if self.store_active:
+            lookups_s = self.store_hits + self.store_misses
+            store_rate = self.store_hits / lookups_s if lookups_s else 0.0
+            store_line = (
+                f"result store: {self.store_hits} hits / "
+                f"{self.store_misses} misses "
+                f"({store_rate:.1%} hit rate), "
+                f"{self.store_writes} written"
+                + (f", {self.store_corrupt} corrupt"
+                   if self.store_corrupt else "")
+            )
+        else:
+            store_line = "result store: off"
         lines = [
             f"campaign execution: {mode}, "
             f"{len(workers)} worker(s), started {started}",
             f"units: {self.units_done} executed + "
-            f"{self.resumed_units} resumed from journal "
+            f"{self.resumed_units} resumed from journal + "
+            f"{self.store_units} from store "
             f"/ {self.total_units} total"
             + (f" ({self.units_failed} FAILED)"
                if self.units_failed else ""),
@@ -266,6 +363,7 @@ class CampaignMetrics:
             f"({self.timeouts} timeouts)",
             f"oracle cache: {self.oracle_hits} hits / "
             f"{self.oracle_misses} misses ({hit_rate:.1%} hit rate)",
+            store_line,
             f"wall time: {self.wall_seconds:.2f}s "
             f"({self.units_per_second:.0f} units/s); "
             f"simulated device time: {self.sim_seconds:,.1f}s",

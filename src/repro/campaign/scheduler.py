@@ -20,18 +20,20 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro import obs
 from repro.analysis.serialize import run_from_dict
+from repro.backends import resolve
 from repro.env.environment import EnvironmentKind
 from repro.env.runner import TestRun
 from repro.env.tuning import TuningResult
 from repro.campaign.journal import CampaignJournal, JournalRecord
 from repro.campaign.metrics import CampaignMetrics
 from repro.campaign.spec import CampaignError, CampaignSpec, WorkUnit
+from repro.store import ResultStore, unit_digests
 from repro.campaign.worker import (
     FaultPlan,
     ShardResult,
@@ -118,6 +120,11 @@ class CampaignScheduler:
         self._attempts: Dict[int, int] = {}
         self._failed: Dict[int, str] = {}
         self._last_progress = 0.0
+        self._store: Optional[ResultStore] = None
+        self._digests: Dict[int, str] = {}
+        backend_class = resolve(spec.backend)
+        self._backend_name = backend_class.name
+        self._backend_version = backend_class.version
 
     # -- public ------------------------------------------------------------
 
@@ -125,6 +132,12 @@ class CampaignScheduler:
         units = self.spec.units()
         self.metrics.total_units = len(units)
         rec = obs.recorder()
+        if (
+            self.spec.store_path is not None
+            and self.spec.store_policy != "off"
+        ):
+            self._store = ResultStore(self.spec.store_path)
+            self._digests = unit_digests(self.spec)
         with rec.span(
             "campaign.run", campaign=self.spec.name, units=len(units)
         ):
@@ -135,6 +148,12 @@ class CampaignScheduler:
                 self.journal.acquire_lock()
             try:
                 pending = self._load_checkpoint(units)
+                if (
+                    self._store is not None
+                    and self.spec.store_policy == "reuse"
+                    and pending
+                ):
+                    pending = self._load_store(units, pending)
                 if not pending:
                     self.log(
                         f"[campaign] {self.spec.name}: nothing to do "
@@ -165,6 +184,8 @@ class CampaignScheduler:
                 if self.journal is not None:
                     self.journal.close()
                     self.journal.release_lock()
+        if self._store is not None:
+            self.metrics.absorb_store_events(self._store.drain_events())
         self.metrics.finish()
         # Fold campaign telemetry into the process recorder so the
         # exported artifacts carry the repro_campaign_* families too.
@@ -200,6 +221,40 @@ class CampaignScheduler:
         return [
             unit.index for unit in units if unit.key not in done_keys
         ]
+
+    def _load_store(
+        self, units: List[WorkUnit], pending: List[int]
+    ) -> List[int]:
+        """Partition pending units into store-cached vs to-execute.
+
+        Every hit is journaled with ``attempts=0`` — the store-loaded
+        marker — so kill+resume, ``campaign status``, and the service's
+        journal-based recovery see a store-warmed campaign exactly like
+        an executed one.  A corrupted or missing object is a counted
+        miss, never an error: the unit simply executes.
+        """
+        assert self._store is not None
+        still_pending: List[int] = []
+        for index in pending:
+            cached = self._store.get(self._digests[index])
+            if cached is None:
+                still_pending.append(index)
+                continue
+            _, run = cached
+            unit = units[index]
+            self._completed[index] = _Completed(
+                unit=unit, run=run, attempts=0
+            )
+            if self.journal is not None:
+                self.journal.append(unit, run, 0.0, 0)
+        self.metrics.store_units = len(pending) - len(still_pending)
+        if self.metrics.store_units:
+            self.log(
+                f"[campaign] {self.spec.name}: "
+                f"{self.metrics.store_units} of {len(pending)} pending "
+                f"units loaded from the result store"
+            )
+        return still_pending
 
     # -- execution paths ---------------------------------------------------
 
@@ -348,6 +403,14 @@ class CampaignScheduler:
                 self.journal.append(
                     unit, run, outcome.elapsed, attempts
                 )
+            if self._store is not None:
+                self._store.put(
+                    self._digests[index],
+                    unit.kind,
+                    run,
+                    self._backend_name,
+                    self._backend_version,
+                )
             # Per-unit telemetry arrived with the shard's registry
             # snapshot (or via the serial drain); nothing to record
             # per outcome here.
@@ -484,10 +547,26 @@ def resume_campaign(
     journal_path: Union[str, Path],
     config: Optional[ExecutorConfig] = None,
     log: Optional[Log] = None,
+    store_path: Optional[str] = None,
+    store_policy: Optional[str] = None,
 ) -> CampaignOutcome:
-    """Continue a journaled campaign using the spec in its header."""
+    """Continue a journaled campaign using the spec in its header.
+
+    ``store_path`` / ``store_policy`` override the header's store
+    knobs for this resume only.  That is always safe: both are
+    execution fields excluded from the grid fingerprint, so attaching
+    a store to (or detaching one from) an old journal never changes
+    which campaign it is.
+    """
     journal = CampaignJournal(Path(journal_path))
     spec = journal.load_spec()
+    overrides: Dict[str, Optional[str]] = {}
+    if store_path is not None:
+        overrides["store_path"] = store_path
+    if store_policy is not None:
+        overrides["store_policy"] = store_policy
+    if overrides:
+        spec = replace(spec, **overrides)
     return CampaignScheduler(spec, journal, config, log).run()
 
 
@@ -499,6 +578,9 @@ class CampaignStatus:
     total_units: int
     done_units: int
     per_kind: Dict[str, Tuple[int, int]]  # kind -> (done, total)
+    #: Journaled units that came from the result store (``attempts==0``
+    #: is the store-loaded marker) rather than execution.
+    store_units: int = 0
 
     @property
     def complete(self) -> bool:
@@ -513,6 +595,13 @@ class CampaignStatus:
         ]
         for kind_name, (done, total) in self.per_kind.items():
             lines.append(f"  {kind_name:>13}: {done}/{total}")
+        if self.spec.store_policy != "off" or self.store_units:
+            lines.append(
+                f"  result store: {self.store_units} of "
+                f"{self.done_units} done units loaded from store "
+                f"(policy {self.spec.store_policy}, "
+                f"path {self.spec.store_path or 'unset'})"
+            )
         return "\n".join(lines)
 
     def to_dict(self) -> Dict[str, object]:
@@ -528,6 +617,11 @@ class CampaignStatus:
                 kind: {"done": done, "total": total}
                 for kind, (done, total) in self.per_kind.items()
             },
+            "store": {
+                "path": self.spec.store_path,
+                "policy": self.spec.store_policy,
+                "units_from_store": self.store_units,
+            },
         }
 
 
@@ -539,6 +633,9 @@ def campaign_status(
     units = spec.units()
     records: List[JournalRecord] = journal.load_records()
     done_keys = {record.key for record in records}
+    store_keys = {
+        record.key for record in records if record.attempts == 0
+    }
     per_kind: Dict[str, Tuple[int, int]] = {}
     for kind in spec.kind_members:
         kind_units = [u for u in units if u.kind is kind]
@@ -549,6 +646,7 @@ def campaign_status(
         total_units=len(units),
         done_units=sum(done for done, _ in per_kind.values()),
         per_kind=per_kind,
+        store_units=len(store_keys),
     )
 
 

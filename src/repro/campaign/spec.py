@@ -30,9 +30,18 @@ from repro.errors import EnvironmentError_, ReproError
 #: cap an optional backend option instead of an always-present field.
 #: Version 3 added ``suite_path``: a campaign over a synthesized suite
 #: (:mod:`repro.synthesis`) records the suite file so workers resolve
-#: generated test names from it.  Version 1 and 2 payloads are still
-#: readable (see :meth:`from_dict`).
-SPEC_VERSION = 3
+#: generated test names from it.  Version 4 added the persistent
+#: result store knobs ``store_path`` and ``store_policy``
+#: (:mod:`repro.store`); both are *execution* knobs, excluded from the
+#: grid fingerprint, so turning a store on or off never orphans a
+#: journal.  Version 1–3 payloads are still readable (see
+#: :meth:`from_dict`).
+SPEC_VERSION = 4
+
+#: Spec fields that configure execution machinery rather than the work
+#: grid; scrubbed from the fingerprint so toggling them preserves
+#: journal identity (resume with a store, record without one, etc.).
+_NON_GRID_FIELDS = ("store_path", "store_policy")
 
 #: Identifies one work unit across processes and resumed campaigns.
 UnitKey = Tuple[str, int, str, str]  # (kind name, env_key, device, test)
@@ -40,6 +49,27 @@ UnitKey = Tuple[str, int, str, str]  # (kind name, env_key, device, test)
 
 class CampaignError(ReproError):
     """Raised for malformed specs, journals, or failed campaigns."""
+
+
+def payload_fingerprint(payload: Dict[str, Any]) -> str:
+    """The grid fingerprint of one serialized spec payload.
+
+    Hashes the payload *as given* (minus the non-grid execution
+    fields), which is exactly how every historical spec version
+    computed its fingerprint — version 1–3 payloads have no non-grid
+    fields, so hashing a v1 journal header's stored payload reproduces
+    the fingerprint that header recorded.  This is what lets
+    :meth:`repro.campaign.journal.CampaignJournal.load_spec` validate
+    headers written by any spec version without re-serializing them
+    through the current :meth:`CampaignSpec.to_dict`.
+    """
+    scrubbed = {
+        key: value
+        for key, value in payload.items()
+        if key not in _NON_GRID_FIELDS
+    }
+    canonical = json.dumps(scrubbed, sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
 
 @dataclass(frozen=True)
@@ -89,6 +119,12 @@ class CampaignSpec:
     #: Path to a synthesized-suite JSON file; when set, workers resolve
     #: test names from that suite before the built-in registries.
     suite_path: Optional[str] = None
+    #: Directory of the persistent :mod:`repro.store` result store.
+    store_path: Optional[str] = None
+    #: ``"off"`` (no store), ``"record"`` (write completed units), or
+    #: ``"reuse"`` (skip execution of units the store already knows,
+    #: and record the rest).
+    store_policy: str = "off"
     _kind_members: Tuple[EnvironmentKind, ...] = field(
         init=False, repr=False, compare=False, default=()
     )
@@ -113,6 +149,13 @@ class CampaignSpec:
             )
         except EnvironmentError_ as error:
             raise CampaignError(str(error))
+        from repro.store import STORE_POLICIES
+
+        if self.store_policy not in STORE_POLICIES:
+            raise CampaignError(
+                f"unknown store_policy: {self.store_policy!r} "
+                f"(want one of {', '.join(STORE_POLICIES)})"
+            )
         try:
             members = tuple(EnvironmentKind[name] for name in self.kinds)
         except KeyError as error:
@@ -171,6 +214,8 @@ class CampaignSpec:
             "buggy": self.buggy,
             "max_operational_instances": self.max_operational_instances,
             "suite_path": self.suite_path,
+            "store_path": self.store_path,
+            "store_policy": self.store_policy,
         }
 
     @classmethod
@@ -184,7 +229,7 @@ class CampaignSpec:
             cap = payload.get("max_operational_instances")
             if backend != "operational":
                 cap = None
-        elif version in (2, SPEC_VERSION):
+        elif version in (2, 3, SPEC_VERSION):
             backend = payload.get("backend", "analytic")
             cap = payload.get("max_operational_instances")
         else:
@@ -204,14 +249,15 @@ class CampaignSpec:
                 buggy=payload.get("buggy", False),
                 max_operational_instances=cap,
                 suite_path=payload.get("suite_path"),
+                store_path=payload.get("store_path"),
+                store_policy=payload.get("store_policy", "off"),
             )
         except KeyError as error:
             raise CampaignError(f"malformed campaign spec: missing {error}")
 
     def fingerprint(self) -> str:
         """A stable identity for resume-compatibility checks."""
-        canonical = json.dumps(self.to_dict(), sort_keys=True)
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+        return payload_fingerprint(self.to_dict())
 
 
 def paper_spec(
@@ -223,6 +269,8 @@ def paper_spec(
     name: str = "reproduce-all",
     backend: str = "analytic",
     suite_path: Optional[str] = None,
+    store_path: Optional[str] = None,
+    store_policy: str = "off",
 ) -> CampaignSpec:
     """The full Sec. 5.1 evaluation grid (scaled by arguments)."""
     return CampaignSpec(
@@ -237,6 +285,8 @@ def paper_spec(
         seed=seed,
         backend=backend,
         suite_path=suite_path,
+        store_path=store_path,
+        store_policy=store_policy,
     )
 
 
@@ -245,6 +295,8 @@ def smoke_spec(
     seed: int = 0,
     backend: str = "analytic",
     suite_path: Optional[str] = None,
+    store_path: Optional[str] = None,
+    store_policy: str = "off",
 ) -> CampaignSpec:
     """A seconds-scale spec for CI smoke runs (`campaign run --smoke`)."""
     return CampaignSpec(
@@ -256,4 +308,6 @@ def smoke_spec(
         seed=seed,
         backend=backend,
         suite_path=suite_path,
+        store_path=store_path,
+        store_policy=store_policy,
     )

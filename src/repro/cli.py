@@ -23,6 +23,10 @@ side the artifact ran in a browser:
     python -m repro campaign run --out camp --workers 4
     python -m repro campaign status --out camp --json
     python -m repro campaign resume --out camp
+    python -m repro campaign run --out camp2 --store results-store
+    python -m repro store stats --store results-store
+    python -m repro store verify --store results-store
+    python -m repro store gc --store results-store --max-objects 10000
     python -m repro service start --root svc --workers 4
     python -m repro service submit --root svc --smoke --tenant alice
     python -m repro service watch --root svc j00001-abcd1234
@@ -354,6 +358,27 @@ def _parser() -> argparse.ArgumentParser:
             "--smoke", action="store_true",
             help="seconds-scale grid for CI smoke runs",
         )
+        _store_flags(sub)
+
+    def _store_flags(sub: argparse.ArgumentParser) -> None:
+        """The persistent result-store knobs (campaign spec v4)."""
+        sub.add_argument(
+            "--store", default=None, metavar="DIR",
+            help="attach the persistent result store at DIR "
+            "(implies --store-policy reuse unless given)",
+        )
+        sub.add_argument(
+            "--store-policy", default=None,
+            choices=["off", "record", "reuse"],
+            help="off = no store, record = write completed units, "
+            "reuse = skip units the store already knows (and record "
+            "the rest)",
+        )
+        sub.add_argument(
+            "--no-store", action="store_true",
+            help="force the store off (overrides a journal's recorded "
+            "store settings on resume)",
+        )
 
     campaign_run = campaign_commands.add_parser(
         "run", help="run (or continue) a campaign into a directory"
@@ -374,6 +399,7 @@ def _parser() -> argparse.ArgumentParser:
         "resume", help="continue a journaled campaign"
     )
     campaign_resume.add_argument("--out", required=True)
+    _store_flags(campaign_resume)
     _executor_flags(campaign_resume)
     _obs_flags(campaign_resume)
 
@@ -384,6 +410,48 @@ def _parser() -> argparse.ArgumentParser:
     campaign_status_cmd.add_argument(
         "--json", action="store_true",
         help="machine-readable status instead of the table",
+    )
+
+    store_cmd = commands.add_parser(
+        "store",
+        help="inspect and maintain a persistent result store",
+    )
+    store_commands = store_cmd.add_subparsers(
+        dest="store_command", required=True
+    )
+    store_stats = store_commands.add_parser(
+        "stats", help="object count and size of a store"
+    )
+    store_stats.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="result store directory",
+    )
+    store_stats.add_argument(
+        "--json", action="store_true",
+        help="machine-readable stats instead of the summary line",
+    )
+    store_verify = store_commands.add_parser(
+        "verify",
+        help="check every object's digest and content fingerprint",
+    )
+    store_verify.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="result store directory",
+    )
+    store_gc = store_commands.add_parser(
+        "gc", help="evict invalid, stale, or excess objects"
+    )
+    store_gc.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="result store directory",
+    )
+    store_gc.add_argument(
+        "--max-objects", type=int, default=None,
+        help="keep at most this many objects (oldest evicted first)",
+    )
+    store_gc.add_argument(
+        "--max-age", type=float, default=None, metavar="SECONDS",
+        help="evict objects older than this many seconds",
     )
 
     service_cmd = commands.add_parser(
@@ -432,6 +500,11 @@ def _parser() -> argparse.ArgumentParser:
         metavar="TENANT=WEIGHT[:MAX]",
         help="per-tenant fair-share weight and optional in-flight "
         "shard cap (repeatable)",
+    )
+    service_start.add_argument(
+        "--store-root", default=None, metavar="DIR",
+        help="give store-enabled submissions that name no path a "
+        "per-tenant result store under DIR",
     )
 
     def _client_flags(sub: argparse.ArgumentParser) -> None:
@@ -852,6 +925,29 @@ def _finish_campaign(outcome, out_dir: Path) -> None:
     print(f"stats + report written to {out_dir}/")
 
 
+def _store_overrides(args: argparse.Namespace):
+    """The (store_path, store_policy) the store flags describe.
+
+    ``None`` means "flag not given" — `campaign resume` passes that
+    through as "keep the journal's recorded setting", while spec
+    construction defaults it to no store.  ``--store`` alone implies
+    the reuse policy (the common incremental-campaign case).
+    """
+    if getattr(args, "no_store", False):
+        if getattr(args, "store", None) is not None:
+            raise ReproError(
+                "--no-store and --store are mutually exclusive"
+            )
+        return None, "off"
+    path = getattr(args, "store", None)
+    policy = getattr(args, "store_policy", None)
+    if path is not None and policy is None:
+        policy = "reuse"
+    # A policy with no path is legal: `service submit` relies on the
+    # daemon's --store-root to assign a per-tenant store path.
+    return path, policy
+
+
 def _campaign_spec(args: argparse.Namespace):
     """Build the CampaignSpec described by the shared grid flags.
 
@@ -861,6 +957,7 @@ def _campaign_spec(args: argparse.Namespace):
     """
     from repro.campaign import paper_spec, smoke_spec
 
+    store_path, store_policy = _store_overrides(args)
     suite = _load_cli_suite(args.suite)
     mutant_names = tuple(mutant.name for mutant in suite.mutants)
     if args.smoke:
@@ -869,6 +966,8 @@ def _campaign_spec(args: argparse.Namespace):
             seed=args.seed,
             backend=args.backend,
             suite_path=args.suite,
+            store_path=store_path,
+            store_policy=store_policy or "off",
         )
     return paper_spec(
         mutant_names,
@@ -878,6 +977,8 @@ def _campaign_spec(args: argparse.Namespace):
         device_names=args.devices,
         backend=args.backend,
         suite_path=args.suite,
+        store_path=store_path,
+        store_policy=store_policy or "off",
     )
 
 
@@ -899,9 +1000,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             print(status.describe())
         return 0
     if args.campaign_command == "resume":
+        store_path, store_policy = _store_overrides(args)
         rec = _obs_begin(args)
         outcome = resume_campaign(
-            journal_path, config=_executor_config(args), log=print
+            journal_path,
+            config=_executor_config(args),
+            log=print,
+            store_path=store_path,
+            store_policy=store_policy,
         )
         _obs_end(args, rec)
         _finish_campaign(outcome, out_dir)
@@ -920,6 +1026,38 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             spec, workers=max(2, config.effective_workers()), log=print
         )
     _finish_campaign(outcome, out_dir)
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.store import open_store
+
+    store = open_store(args.store)
+    if args.store_command == "stats":
+        stats = store.stats()
+        if args.json:
+            print(json.dumps(stats.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(stats.describe())
+        return 0
+    if args.store_command == "verify":
+        checked, bad = store.verify()
+        if bad:
+            print(
+                f"{len(bad)} of {checked} object(s) failed "
+                f"verification:"
+            )
+            for path in bad:
+                print(f"  {path}")
+            return 1
+        print(f"{checked} object(s) verified, all consistent")
+        return 0
+    # gc
+    removed = store.gc(
+        max_objects=args.max_objects,
+        max_age_seconds=args.max_age,
+    )
+    print(f"evicted {removed} object(s); {store.stats().describe()}")
     return 0
 
 
@@ -1001,6 +1139,7 @@ def _cmd_service(args: argparse.Namespace) -> int:
             max_retries=args.retries,
             pool_mode=args.pool,
             quotas=quotas,
+            store_root=args.store_root,
         )
         run_service(config, log=print)
         return 0
@@ -1052,6 +1191,7 @@ _HANDLERS = {
     "cts": _cmd_cts,
     "devices": _cmd_devices,
     "campaign": _cmd_campaign,
+    "store": _cmd_store,
     "service": _cmd_service,
     "obs": _cmd_obs,
 }

@@ -37,12 +37,15 @@ from repro.env.parallel_kernel import (
     run_parallel_iteration,
 )
 from repro.env.runner import (
+    RESULT_KEY_SCHEMA,
     OracleCacheStats,
     Runner,
     TestRun,
     oracle_cache_stats,
     oracle_for,
     reset_oracle_cache,
+    result_digest,
+    result_key,
     stable_name_hash,
     structural_test_key,
     unit_rng,
@@ -69,6 +72,7 @@ __all__ = [
     "InstanceAssignment",
     "OracleCacheStats",
     "ParallelIteration",
+    "RESULT_KEY_SCHEMA",
     "ParallelPermutation",
     "RandomSearch",
     "Runner",
@@ -92,6 +96,8 @@ __all__ = [
     "random_environments",
     "random_parameters",
     "reset_oracle_cache",
+    "result_digest",
+    "result_key",
     "run_parallel_iteration",
     "site_baseline",
     "site_baseline_parameters",

@@ -43,6 +43,73 @@ def structural_test_key(test: LitmusTest) -> str:
     return hashlib.sha256(test.pretty().encode("utf-8")).hexdigest()
 
 
+#: Version of the canonical result-key tuple layout below.  Bump it
+#: whenever :func:`result_key` changes shape or a component's identity
+#: semantics change; the bump flows into every :func:`result_digest`,
+#: so persistent stores treat old entries as misses instead of serving
+#: results keyed under different semantics.
+RESULT_KEY_SCHEMA = 1
+
+
+def result_key(
+    test: LitmusTest,
+    device: Device,
+    environment: TestingEnvironment,
+    seed: Optional[int] = None,
+    iterations: Optional[int] = None,
+    structural_key: Optional[str] = None,
+) -> tuple:
+    """The canonical identity of one (test, device, environment) unit.
+
+    Every memo and store in the system keys results off this one
+    tuple so cache keys can never diverge between layers: the
+    vectorized backend's probability memo uses it with ``seed`` and
+    ``iterations`` unset (probabilities are draw-independent), its
+    whole-run memo and the persistent :mod:`repro.store` set both.
+
+    Components are frozen dataclasses, enums, strings, and ints, so
+    the tuple is hashable and its ``repr`` is identical across
+    processes — which is what lets :func:`result_digest` derive a
+    process-stable content address from it.
+
+    ``structural_key`` may be passed when the caller already computed
+    :func:`structural_test_key` (grid passes compute it once per
+    test); it must equal ``structural_test_key(test)``.
+    """
+    key = (
+        structural_key
+        if structural_key is not None
+        else structural_test_key(test)
+    )
+    return (
+        key,
+        test.name,
+        device.profile,
+        tuple(device.bugs),
+        environment,
+        seed,
+        iterations,
+    )
+
+
+def result_digest(
+    backend_name: str, backend_version: int, key: tuple
+) -> str:
+    """A content address for one unit result under one backend.
+
+    SHA-256 over the deterministic ``repr`` of (key schema, backend
+    name, backend version, :func:`result_key` tuple).  Two processes —
+    or two runs months apart — computing the digest for the same unit
+    under the same backend semantics get the same address; any change
+    to the backend's numeric behaviour is signalled by bumping its
+    ``version`` and lands old store entries as misses.
+    """
+    payload = repr(
+        (RESULT_KEY_SCHEMA, backend_name, backend_version, key)
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
 @dataclass(frozen=True)
 class OracleCacheStats:
     """Counters for the process-wide oracle cache."""

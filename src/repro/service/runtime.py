@@ -32,13 +32,15 @@ from concurrent.futures import (
     ProcessPoolExecutor,
     ThreadPoolExecutor,
 )
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Deque, Dict, List, Optional, Set, Union
 
 from repro.analysis import save_result
 from repro.analysis.serialize import run_from_dict
+from repro.backends import resolve
 from repro.campaign.journal import CampaignJournal
+from repro.campaign.metrics import publish_store_events
 from repro.campaign.scheduler import assemble_results
 from repro.campaign.spec import CampaignError, CampaignSpec, WorkUnit
 from repro.campaign.worker import (
@@ -47,6 +49,7 @@ from repro.campaign.worker import (
     initialize_service_worker,
 )
 from repro.obs.registry import MetricsRegistry
+from repro.store import ResultStore, unit_digests
 from repro.service.fairshare import FairShareScheduler, TenantQuota
 from repro.service.jobstore import (
     JobRecord,
@@ -89,6 +92,10 @@ class ServiceConfig:
     pool_mode: str = "process"
     default_quota: TenantQuota = TenantQuota()
     quotas: Dict[str, TenantQuota] = field(default_factory=dict)
+    #: When set, submissions that ask for a store (``store_policy !=
+    #: "off"``) but name no path get ``<store_root>/<tenant>`` — one
+    #: persistent result store per tenant, shared by all their jobs.
+    store_root: Optional[Union[str, Path]] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -113,6 +120,10 @@ class ActiveJob:
     spec_payload: Dict[str, Any]
     done: int = 0
     resumed: int = 0
+    #: Units satisfied from the persistent result store (a subset of
+    #: ``done``); includes attempts==0 records recovered from the
+    #: journal after a restart.
+    cached: int = 0
     inflight: int = 0
     cancelled: bool = False
     finalizing: bool = False
@@ -122,6 +133,10 @@ class ActiveJob:
     attempts: Dict[int, int] = field(default_factory=dict)
     failed: Dict[int, str] = field(default_factory=dict)
     registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+    store: Optional[ResultStore] = None
+    digests: Dict[int, str] = field(default_factory=dict)
+    backend_name: str = ""
+    backend_version: int = 1
     subscribers: List["asyncio.Queue[Optional[Dict[str, Any]]]"] = field(
         default_factory=list
     )
@@ -266,6 +281,18 @@ class CampaignService:
         if self._stopping:
             raise ServiceError("service is shutting down")
         spec = CampaignSpec.from_dict(spec_payload)
+        if (
+            self.config.store_root is not None
+            and spec.store_policy != "off"
+            and spec.store_path is None
+        ):
+            # Safe to rewrite: store knobs are execution fields outside
+            # the grid fingerprint, so the persisted job is still the
+            # campaign the client submitted.
+            spec = replace(
+                spec,
+                store_path=str(Path(self.config.store_root) / tenant),
+            )
         record = self.store.submit(spec, tenant)
         self._count_job_event("submitted")
         self._activate(record)
@@ -281,7 +308,8 @@ class CampaignService:
         journal = self.store.journal(record.job_id)
         journal.acquire_lock()
         units = record.spec.units()
-        done_keys = {rec.key for rec in journal.load_records()}
+        records = journal.load_records()
+        done_keys = {rec.key for rec in records}
         pending: Deque[int] = deque(
             unit.index for unit in units if unit.key not in done_keys
         )
@@ -293,16 +321,70 @@ class CampaignService:
             spec_payload=record.spec.to_dict(),
             done=len(done_keys),
             resumed=len(done_keys),
+            cached=sum(1 for rec in records if rec.attempts == 0),
         )
+        spec = record.spec
+        if spec.store_path is not None and spec.store_policy != "off":
+            job.store = ResultStore(spec.store_path)
+            job.digests = unit_digests(spec)
+            backend_class = resolve(spec.backend)
+            job.backend_name = backend_class.name
+            job.backend_version = backend_class.version
+            publish_store_events(job.registry, {}, materialize=True)
+            if spec.store_policy == "reuse" and job.pending:
+                self._load_from_store(job)
         self.jobs[record.job_id] = job
         self._publish(job, "queued")
-        if pending:
+        if job.pending:
             self.fairshare.add_job(record.tenant, record.job_id)
         else:
-            # Fully journaled already (e.g. killed after the last
-            # append): nothing to run, straight to finalization.
+            # Fully journaled already (killed after the last append,
+            # or every unit came out of the result store): nothing to
+            # run, straight to finalization.
             asyncio.get_running_loop().create_task(self._finalize(job))
         return job
+
+    def _load_from_store(self, job: ActiveJob) -> None:
+        """Drain store hits from a job's pending queue before dispatch.
+
+        Mirrors the scheduler's partition: hits are journaled with
+        ``attempts=0`` (the store-loaded marker), so restart recovery
+        and stats assembly treat them exactly like executed units.
+        """
+        assert job.store is not None
+        still_pending: Deque[int] = deque()
+        hits = 0
+        for index in job.pending:
+            cached = job.store.get(job.digests[index])
+            if cached is None:
+                still_pending.append(index)
+                continue
+            _, run = cached
+            job.journal.append(job.units[index], run, 0.0, 0)
+            job.done += 1
+            job.cached += 1
+            hits += 1
+        job.pending = still_pending
+        self._publish_store_delta(job, job.store.drain_events())
+        if hits:
+            self.log(
+                f"[service] job {job.job_id}: {hits} unit(s) loaded "
+                f"from the result store"
+            )
+
+    def _publish_store_delta(
+        self, job: ActiveJob, events: Dict[Any, int]
+    ) -> None:
+        """Fold drained store counters into job + service registries."""
+        if not events:
+            return
+        delta = MetricsRegistry()
+        publish_store_events(delta, events, materialize=False)
+        payload = delta.drain()
+        job.registry.merge(payload)
+        self.registry.merge(
+            _relabel(payload, {"tenant": job.tenant, "job": job.job_id})
+        )
 
     # -- dispatch ----------------------------------------------------------
 
@@ -406,13 +488,19 @@ class CampaignService:
             job.attempts[outcome.index] = attempts
             if outcome.ok:
                 unit = job.units[outcome.index]
+                run = run_from_dict(outcome.run)
                 job.journal.append(
-                    unit,
-                    run_from_dict(outcome.run),
-                    outcome.elapsed,
-                    attempts,
+                    unit, run, outcome.elapsed, attempts
                 )
                 job.done += 1
+                if job.store is not None:
+                    job.store.put(
+                        job.digests[outcome.index],
+                        unit.kind,
+                        run,
+                        job.backend_name,
+                        job.backend_version,
+                    )
             elif job.cancelled:
                 continue
             elif attempts <= self.config.max_retries:
@@ -424,6 +512,8 @@ class CampaignService:
         if retries and not job.cancelled:
             job.pending.extend(retries)
             self.fairshare.add_job(job.tenant, job.job_id)
+        if job.store is not None:
+            self._publish_store_delta(job, job.store.drain_events())
         delta = result.metrics
         if delta:
             job.registry.merge(delta)
@@ -641,6 +731,7 @@ class CampaignService:
                 "pending": len(job.pending),
                 "inflight": job.inflight,
                 "cancelled": job.cancelled,
+                "cached": job.cached,
             }
         )
         return payload

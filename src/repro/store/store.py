@@ -1,0 +1,375 @@
+"""The content-addressed result store.
+
+Layout (all inside one root directory)::
+
+    <root>/manifest.json          store format + key schema
+    <root>/objects/ab/<digest>.json   one completed unit per object
+
+Objects are keyed by :func:`repro.env.runner.result_digest` — a
+SHA-256 over (key schema, backend name, backend version, canonical
+result key) — and sharded by the first two hex digits so no directory
+grows beyond ~1/256 of the store.  Every object embeds its digest, its
+backend identity, the serialized run, and a content fingerprint over
+the run payload, so :meth:`ResultStore.verify` can detect tampering or
+bit rot without recomputing any results.
+
+Writes are atomic: the object is serialized to a temporary file in the
+same directory and ``os.replace``d into place.  Concurrent writers —
+two campaigns, or a campaign and the service — racing on the same
+digest therefore leave exactly one valid object (last write wins;
+both wrote the same bytes anyway, since the digest pins the content).
+Reads treat anything unparsable or inconsistent as a miss and count
+it, never as an error: a store can only make campaigns faster, never
+fail them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.analysis.serialize import (
+    tagged_run_from_dict,
+    tagged_run_to_dict,
+)
+from repro.env.environment import EnvironmentKind
+from repro.env.runner import RESULT_KEY_SCHEMA, TestRun
+from repro.errors import ReproError
+from repro.store.keys import content_fingerprint
+
+#: Bump when the on-disk layout or object schema changes shape.
+STORE_FORMAT = 1
+
+MANIFEST_FILENAME = "manifest.json"
+OBJECTS_DIRNAME = "objects"
+
+#: The campaign-visible store policies (campaign spec v4).
+STORE_POLICIES = ("off", "record", "reuse")
+
+
+class StoreError(ReproError):
+    """Raised for malformed stores or store misuse — never for a miss."""
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """A point-in-time inventory of one store."""
+
+    path: str
+    format: int
+    key_schema: int
+    objects: int
+    bytes: int
+
+    def describe(self) -> str:
+        return (
+            f"result store at {self.path}: {self.objects} object(s), "
+            f"{self.bytes:,} bytes "
+            f"(format {self.format}, key schema {self.key_schema})"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "format": self.format,
+            "key_schema": self.key_schema,
+            "objects": self.objects,
+            "bytes": self.bytes,
+        }
+
+
+class ResultStore:
+    """An on-disk, content-addressed store of completed unit results.
+
+    Opening a path creates the store (manifest + objects directory) if
+    it does not exist, and refuses a store written under a different
+    format or key schema — silently reading results addressed under
+    different semantics would be corruption, not compatibility.
+
+    The store keeps per-instance event counters (``(op, outcome)`` →
+    count); :meth:`drain_events` hands the deltas to whoever publishes
+    them as ``repro_store_events_total`` (the campaign metrics layer
+    and the service both do).
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.events: Dict[Tuple[str, str], int] = {}
+        self._ensure_layout()
+
+    # -- layout ------------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.path / MANIFEST_FILENAME
+
+    @property
+    def objects_dir(self) -> Path:
+        return self.path / OBJECTS_DIRNAME
+
+    def _ensure_layout(self) -> None:
+        self.objects_dir.mkdir(parents=True, exist_ok=True)
+        if self.manifest_path.exists():
+            manifest = self._load_manifest()
+            if manifest.get("format") != STORE_FORMAT:
+                raise StoreError(
+                    f"{self.path}: store format "
+                    f"{manifest.get('format')!r} is not the supported "
+                    f"format {STORE_FORMAT}"
+                )
+            if manifest.get("key_schema") != RESULT_KEY_SCHEMA:
+                raise StoreError(
+                    f"{self.path}: store key schema "
+                    f"{manifest.get('key_schema')!r} does not match "
+                    f"this build's schema {RESULT_KEY_SCHEMA}; results "
+                    f"are addressed under different semantics — use a "
+                    f"fresh store"
+                )
+            return
+        self._write_atomic(
+            self.manifest_path,
+            json.dumps(
+                {
+                    "format": STORE_FORMAT,
+                    "key_schema": RESULT_KEY_SCHEMA,
+                    "created_utc": time.time(),
+                },
+                sort_keys=True,
+            )
+            + "\n",
+        )
+
+    def _load_manifest(self) -> Dict[str, Any]:
+        try:
+            return json.loads(self.manifest_path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise StoreError(
+                f"{self.path}: unreadable store manifest: {error}"
+            )
+
+    def _object_path(self, digest: str) -> Path:
+        if len(digest) < 3:
+            raise StoreError(f"malformed store digest: {digest!r}")
+        return self.objects_dir / digest[:2] / f"{digest}.json"
+
+    def _write_atomic(self, target: Path, text: str) -> None:
+        target.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=target.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, target)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def _count(self, op: str, outcome: str) -> None:
+        key = (op, outcome)
+        self.events[key] = self.events.get(key, 0) + 1
+
+    def drain_events(self) -> Dict[Tuple[str, str], int]:
+        """Snapshot-and-reset the per-instance event counters."""
+        drained = self.events
+        self.events = {}
+        return drained
+
+    # -- the object API ----------------------------------------------------
+
+    def contains(self, digest: str) -> bool:
+        return self._object_path(digest).exists()
+
+    def put(
+        self,
+        digest: str,
+        kind: EnvironmentKind,
+        run: TestRun,
+        backend_name: str,
+        backend_version: int,
+    ) -> bool:
+        """Record one completed unit; returns True iff written.
+
+        An already-present object is skipped (the digest pins the
+        content, so rewriting it could only produce identical bytes).
+        """
+        target = self._object_path(digest)
+        if target.exists():
+            self._count("put", "skip")
+            return False
+        run_payload = tagged_run_to_dict(kind, run)
+        payload = {
+            "schema": STORE_FORMAT,
+            "digest": digest,
+            "backend": backend_name,
+            "backend_version": backend_version,
+            "run": run_payload,
+            "fingerprint": content_fingerprint(run_payload),
+        }
+        self._write_atomic(
+            target, json.dumps(payload, sort_keys=True) + "\n"
+        )
+        self._count("put", "write")
+        return True
+
+    def get(
+        self, digest: str
+    ) -> Optional[Tuple[EnvironmentKind, TestRun]]:
+        """The stored (kind, run) for a digest, or ``None``.
+
+        A missing, truncated, corrupted, or inconsistent object is a
+        counted miss — a store never fails the campaign reading it.
+        """
+        target = self._object_path(digest)
+        try:
+            payload = json.loads(target.read_text())
+        except FileNotFoundError:
+            self._count("get", "miss")
+            return None
+        except (OSError, json.JSONDecodeError):
+            self._count("get", "corrupt")
+            self._unlink(target)  # evict so a later put can heal it
+            return None
+        result = self._validate_object(payload, digest)
+        if result is None:
+            self._count("get", "corrupt")
+            self._unlink(target)
+            return None
+        self._count("get", "hit")
+        return result
+
+    @staticmethod
+    def _validate_object(
+        payload: Any, digest: Optional[str] = None
+    ) -> Optional[Tuple[EnvironmentKind, TestRun]]:
+        """Decode one object payload, or ``None`` when inconsistent."""
+        if not isinstance(payload, dict):
+            return None
+        if digest is not None and payload.get("digest") != digest:
+            return None
+        run_payload = payload.get("run")
+        if not isinstance(run_payload, dict):
+            return None
+        if payload.get("fingerprint") != content_fingerprint(run_payload):
+            return None
+        try:
+            return tagged_run_from_dict(run_payload)
+        except ReproError:
+            return None
+
+    # -- maintenance -------------------------------------------------------
+
+    def _iter_objects(self) -> Iterator[Path]:
+        if not self.objects_dir.exists():
+            return
+        for shard in sorted(self.objects_dir.iterdir()):
+            if not shard.is_dir():
+                continue
+            for path in sorted(shard.glob("*.json")):
+                yield path
+
+    def stats(self) -> StoreStats:
+        manifest = self._load_manifest()
+        objects = 0
+        total_bytes = 0
+        for path in self._iter_objects():
+            objects += 1
+            try:
+                total_bytes += path.stat().st_size
+            except OSError:
+                pass
+        return StoreStats(
+            path=str(self.path),
+            format=manifest.get("format", STORE_FORMAT),
+            key_schema=manifest.get("key_schema", RESULT_KEY_SCHEMA),
+            objects=objects,
+            bytes=total_bytes,
+        )
+
+    def verify(self) -> Tuple[int, List[str]]:
+        """Check every object's digest and content fingerprint.
+
+        Returns ``(checked, bad)`` where ``bad`` lists the offending
+        object paths — tampered, truncated, or misfiled objects.
+        Nothing is deleted; that is :meth:`gc`'s job, explicitly.
+        """
+        checked = 0
+        bad: List[str] = []
+        for path in self._iter_objects():
+            checked += 1
+            expected = path.stem
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                bad.append(str(path))
+                continue
+            if self._validate_object(payload, expected) is None:
+                bad.append(str(path))
+        return checked, bad
+
+    def gc(
+        self,
+        max_objects: Optional[int] = None,
+        max_age_seconds: Optional[float] = None,
+    ) -> int:
+        """Evict objects beyond the given bounds; returns the count.
+
+        ``max_age_seconds`` drops objects whose mtime is older than
+        the cutoff; ``max_objects`` then drops the oldest objects
+        beyond the cap.  Invalid objects (those :meth:`verify` would
+        flag) are always dropped first — they can only ever miss.
+        """
+        inventory: List[Tuple[float, Path]] = []
+        removed = 0
+        now = time.time()
+        for path in self._iter_objects():
+            try:
+                payload = json.loads(path.read_text())
+                valid = (
+                    self._validate_object(payload, path.stem) is not None
+                )
+            except (OSError, json.JSONDecodeError):
+                valid = False
+            if not valid:
+                removed += self._unlink(path)
+                continue
+            try:
+                mtime = path.stat().st_mtime
+            except OSError:
+                continue
+            if (
+                max_age_seconds is not None
+                and now - mtime > max_age_seconds
+            ):
+                removed += self._unlink(path)
+                continue
+            inventory.append((mtime, path))
+        if max_objects is not None and len(inventory) > max_objects:
+            inventory.sort()  # oldest first
+            excess = len(inventory) - max_objects
+            for _, path in inventory[:excess]:
+                removed += self._unlink(path)
+        return removed
+
+    @staticmethod
+    def _unlink(path: Path) -> int:
+        try:
+            path.unlink()
+            return 1
+        except OSError:
+            return 0
+
+
+def open_store(path: Union[str, Path]) -> ResultStore:
+    """Open (creating if needed) the result store at ``path``."""
+    return ResultStore(path)

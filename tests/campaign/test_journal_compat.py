@@ -1,0 +1,153 @@
+"""Historical journal headers (spec v1–v3) still load and resume.
+
+Every spec version bump must keep old journals readable: the header
+records both the spec payload and the fingerprint that version
+computed over it, and :func:`repro.campaign.spec.payload_fingerprint`
+hashes the *stored* payload — so these hand-crafted v1/v2/v3 headers
+exercise exactly what a journal written by an older build looks like.
+"""
+
+import hashlib
+import json
+
+from repro.campaign import (
+    CampaignJournal,
+    CampaignSpec,
+    ExecutorConfig,
+    resume_campaign,
+)
+from repro.campaign.spec import payload_fingerprint
+from repro.mutation import default_suite
+
+SUITE = default_suite()
+NAMES = tuple(mutant.name for mutant in SUITE.mutants)
+
+
+def historical_fingerprint(payload):
+    """How every spec version has computed its fingerprint."""
+    canonical = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def grid_fields():
+    return dict(
+        name="compat-test",
+        kinds=["PTE"],
+        device_names=["AMD"],
+        test_names=list(NAMES[:2]),
+        environment_count=2,
+        seed=3,
+        iterations_override=None,
+    )
+
+
+def v1_payload():
+    # Version 1 called the backend "mode" and always recorded a cap.
+    return {
+        "version": 1,
+        **grid_fields(),
+        "mode": "analytic",
+        "buggy": False,
+        "max_operational_instances": 2000,
+    }
+
+
+def v2_payload():
+    return {
+        "version": 2,
+        **grid_fields(),
+        "backend": "analytic",
+        "buggy": False,
+        "max_operational_instances": None,
+    }
+
+
+def v3_payload():
+    return {
+        "version": 3,
+        **grid_fields(),
+        "backend": "analytic",
+        "buggy": False,
+        "max_operational_instances": None,
+        "suite_path": None,
+    }
+
+
+def write_journal(path, payload):
+    header = {
+        "type": "header",
+        "version": 1,
+        "fingerprint": historical_fingerprint(payload),
+        "spec": payload,
+    }
+    path.write_text(json.dumps(header) + "\n")
+
+
+class TestHistoricalHeaders:
+    def test_v1_v2_v3_headers_load(self, tmp_path):
+        for index, payload in enumerate(
+            (v1_payload(), v2_payload(), v3_payload())
+        ):
+            path = tmp_path / f"v{index + 1}.jsonl"
+            write_journal(path, payload)
+            spec = CampaignJournal(path).load_spec()
+            assert spec.name == "compat-test"
+            assert spec.backend == "analytic"
+            assert spec.store_policy == "off"
+            assert spec.store_path is None
+
+    def test_historical_journals_resume(self, tmp_path):
+        for index, payload in enumerate(
+            (v1_payload(), v2_payload(), v3_payload())
+        ):
+            path = tmp_path / f"v{index + 1}.jsonl"
+            write_journal(path, payload)
+            outcome = resume_campaign(
+                path, config=ExecutorConfig(workers=1)
+            )
+            assert outcome.complete
+            assert outcome.metrics.units_done == 4  # 2 envs × 2 tests
+
+    def test_payload_fingerprint_matches_historical(self):
+        # The validator reproduces what each old version recorded.
+        for payload in (v1_payload(), v2_payload(), v3_payload()):
+            assert payload_fingerprint(payload) == historical_fingerprint(
+                payload
+            )
+
+    def test_store_fields_do_not_change_identity(self):
+        # Turning a store on must never orphan a journal: the v4
+        # fingerprint with store fields equals the same grid without.
+        base = CampaignSpec(
+            name="compat-test",
+            kinds=("PTE",),
+            device_names=("AMD",),
+            test_names=NAMES[:2],
+            environment_count=2,
+            seed=3,
+        )
+        stored = CampaignSpec(
+            name="compat-test",
+            kinds=("PTE",),
+            device_names=("AMD",),
+            test_names=NAMES[:2],
+            environment_count=2,
+            seed=3,
+            store_path="/some/store",
+            store_policy="reuse",
+        )
+        assert base.fingerprint() == stored.fingerprint()
+
+    def test_resume_with_store_on_historical_journal(self, tmp_path):
+        # The full upgrade path: a pre-store journal resumes with a
+        # store attached via CLI-style overrides.
+        path = tmp_path / "v3.jsonl"
+        write_journal(path, v3_payload())
+        outcome = resume_campaign(
+            path,
+            config=ExecutorConfig(workers=1),
+            store_path=str(tmp_path / "store"),
+            store_policy="reuse",
+        )
+        assert outcome.complete
+        assert outcome.metrics.store_writes == 4

@@ -1,0 +1,154 @@
+"""Per-tenant result stores under the campaign service.
+
+With ``store_root`` configured, the service assigns each tenant a
+store under ``<store_root>/<tenant>``; a resubmitted identical spec
+executes zero units and reports every unit as cached.
+"""
+
+import asyncio
+
+from repro.campaign import CampaignSpec
+from repro.mutation import default_suite
+from repro.service import CampaignService, ServiceConfig
+
+SUITE = default_suite()
+NAMES = tuple(mutant.name for mutant in SUITE.mutants)
+
+
+def spec(**overrides):
+    kwargs = dict(
+        name="store-service-test",
+        kinds=("PTE",),
+        device_names=("AMD",),
+        test_names=NAMES[:2],
+        environment_count=3,
+        seed=3,
+        store_policy="reuse",
+    )
+    kwargs.update(overrides)
+    return CampaignSpec(**kwargs)
+
+
+def config(root, **overrides):
+    kwargs = dict(
+        root=root / "service",
+        workers=2,
+        shard_size=2,
+        pool_mode="thread",
+        store_root=root / "stores",
+    )
+    kwargs.update(overrides)
+    return ServiceConfig(**kwargs)
+
+
+async def wait_terminal(service, job_id, timeout=60.0):
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    while True:
+        status = service.describe_job(job_id)
+        if status["state"] in ("done", "failed", "cancelled"):
+            return status
+        if loop.time() > deadline:
+            raise AssertionError(f"job {job_id} never finished")
+        await asyncio.sleep(0.02)
+
+
+def run_async(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestServiceStore:
+    def test_resubmitted_job_is_fully_cached(self, tmp_path):
+        async def scenario():
+            service = CampaignService(config(tmp_path))
+            await service.start()
+            first = await service.submit(spec().to_dict(), "alice")
+            cold = await wait_terminal(service, first.job_id)
+            second = await service.submit(spec().to_dict(), "alice")
+            warm = await wait_terminal(service, second.job_id)
+            await service.stop()
+            return cold, warm
+
+        cold, warm = run_async(scenario())
+        assert cold["state"] == "done"
+        assert cold["cached"] == 0
+        assert warm["state"] == "done"
+        assert warm["done"] == spec().unit_count()
+        assert warm["cached"] == spec().unit_count()
+
+    def test_tenants_get_separate_stores(self, tmp_path):
+        async def scenario():
+            service = CampaignService(config(tmp_path))
+            await service.start()
+            first = await service.submit(spec().to_dict(), "alice")
+            await wait_terminal(service, first.job_id)
+            # Same spec, different tenant: a different store, so
+            # nothing is shared and everything executes.
+            second = await service.submit(spec().to_dict(), "bob")
+            other = await wait_terminal(service, second.job_id)
+            await service.stop()
+            return other
+
+        other = run_async(scenario())
+        assert other["state"] == "done"
+        assert other["cached"] == 0
+        assert (tmp_path / "stores" / "alice" / "manifest.json").exists()
+        assert (tmp_path / "stores" / "bob" / "manifest.json").exists()
+
+    def test_explicit_store_path_wins_over_store_root(self, tmp_path):
+        explicit = tmp_path / "explicit-store"
+
+        async def scenario():
+            service = CampaignService(config(tmp_path))
+            await service.start()
+            record = await service.submit(
+                spec(store_path=str(explicit)).to_dict(), "alice"
+            )
+            status = await wait_terminal(service, record.job_id)
+            await service.stop()
+            return status
+
+        status = run_async(scenario())
+        assert status["state"] == "done"
+        assert (explicit / "manifest.json").exists()
+        assert not (tmp_path / "stores" / "alice").exists()
+
+    def test_store_off_spec_skips_the_store(self, tmp_path):
+        async def scenario():
+            service = CampaignService(config(tmp_path))
+            await service.start()
+            record = await service.submit(
+                spec(store_policy="off").to_dict(), "alice"
+            )
+            status = await wait_terminal(service, record.job_id)
+            await service.stop()
+            return status
+
+        status = run_async(scenario())
+        assert status["state"] == "done"
+        assert status["cached"] == 0
+        assert not (tmp_path / "stores").exists()
+
+    def test_store_metrics_carry_tenant_and_job_labels(self, tmp_path):
+        async def scenario():
+            service = CampaignService(config(tmp_path))
+            await service.start()
+            first = await service.submit(spec().to_dict(), "alice")
+            await wait_terminal(service, first.job_id)
+            second = await service.submit(spec().to_dict(), "alice")
+            record = await wait_terminal(service, second.job_id)
+            snapshot = service.registry.snapshot()
+            await service.stop()
+            return record, snapshot
+
+        record, snapshot = run_async(scenario())
+        hits = [
+            entry
+            for entry in snapshot["counters"]
+            if entry["name"] == "repro_store_events_total"
+            and entry["labels"].get("op") == "get"
+            and entry["labels"].get("outcome") == "hit"
+            and entry["labels"].get("tenant") == "alice"
+        ]
+        assert sum(entry["value"] for entry in hits) == spec().unit_count()
+        assert all("job" in entry["labels"] for entry in hits)

@@ -1,0 +1,237 @@
+"""Incremental (delta) campaigns through the persistent result store.
+
+The store's end-to-end contract: a warm re-run of an unchanged spec
+executes zero units and assembles byte-identical stats; a delta spec
+re-executes only the units whose addresses changed; and none of it
+depends on worker count, interruption, or which path (scheduler vs
+service) populated the store.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.serialize import result_to_dict
+from repro.campaign import (
+    CampaignSpec,
+    ExecutorConfig,
+    campaign_status,
+    resume_campaign,
+    run_campaign,
+)
+from repro.mutation import default_suite
+from repro.store import ResultStore, unit_digests
+
+SUITE = default_suite()
+NAMES = tuple(mutant.name for mutant in SUITE.mutants)
+
+
+def spec(store, policy="reuse", **overrides):
+    kwargs = dict(
+        name="store-test",
+        kinds=("PTE", "SITE_BASELINE"),
+        device_names=("AMD", "Intel"),
+        test_names=NAMES[:3],
+        environment_count=3,
+        seed=11,
+        store_path=str(store) if store is not None else None,
+        store_policy=policy,
+    )
+    kwargs.update(overrides)
+    return CampaignSpec(**kwargs)
+
+
+def serial_config(**overrides):
+    kwargs = dict(workers=1, retry_backoff=0.0)
+    kwargs.update(overrides)
+    return ExecutorConfig(**kwargs)
+
+
+def stats_bytes(outcome):
+    """The serialized per-kind results, as stable bytes."""
+    return {
+        kind.name: json.dumps(result_to_dict(result), sort_keys=True)
+        for kind, result in outcome.results.items()
+    }
+
+
+class TestWarmRerun:
+    def test_warm_rerun_executes_zero_units(self, tmp_path):
+        store = tmp_path / "store"
+        cold = run_campaign(
+            spec(store), tmp_path / "j1" / "journal.jsonl",
+            serial_config(),
+        )
+        warm = run_campaign(
+            spec(store), tmp_path / "j2" / "journal.jsonl",
+            serial_config(),
+        )
+        assert cold.metrics.units_done == spec(store).unit_count()
+        assert warm.metrics.units_done == 0
+        assert warm.metrics.store_units == spec(store).unit_count()
+        assert stats_bytes(warm) == stats_bytes(cold)
+
+    def test_store_results_match_no_store_results(self, tmp_path):
+        # A store can accelerate a campaign but never change it.
+        store = tmp_path / "store"
+        run_campaign(spec(store), config=serial_config())
+        warm = run_campaign(spec(store), config=serial_config())
+        plain = run_campaign(spec(None, "off"), config=serial_config())
+        assert stats_bytes(warm) == stats_bytes(plain)
+
+    def test_reuse_is_invariant_to_worker_count(self, tmp_path):
+        store = tmp_path / "store"
+        cold = run_campaign(
+            spec(store), config=ExecutorConfig(workers=2, shard_size=4)
+        )
+        warm = run_campaign(spec(store), config=serial_config())
+        assert warm.metrics.units_done == 0
+        assert stats_bytes(warm) == stats_bytes(cold)
+
+    def test_record_policy_writes_but_never_reuses(self, tmp_path):
+        store = tmp_path / "store"
+        run_campaign(spec(store, "record"), config=serial_config())
+        second = run_campaign(
+            spec(store, "record"), config=serial_config()
+        )
+        assert second.metrics.units_done == spec(store).unit_count()
+        assert second.metrics.store_units == 0
+        assert second.metrics.store_skips == spec(store).unit_count()
+
+    def test_off_policy_ignores_the_store(self, tmp_path):
+        store = tmp_path / "store"
+        run_campaign(spec(store), config=serial_config())
+        off = run_campaign(spec(store, "off"), config=serial_config())
+        assert off.metrics.units_done == spec(store).unit_count()
+        assert not off.metrics.store_active
+
+    def test_store_units_journal_as_attempts_zero(self, tmp_path):
+        store = tmp_path / "store"
+        run_campaign(spec(store), config=serial_config())
+        journal = tmp_path / "warm" / "journal.jsonl"
+        run_campaign(spec(store), journal, serial_config())
+        status = campaign_status(journal)
+        assert status.complete
+        assert status.store_units == spec(store).unit_count()
+        assert "loaded from store" in status.describe()
+        assert (
+            status.to_dict()["store"]["units_from_store"]
+            == spec(store).unit_count()
+        )
+
+
+class TestDeltaCampaigns:
+    def test_one_changed_device_executes_only_its_units(self, tmp_path):
+        store = tmp_path / "store"
+        run_campaign(
+            spec(store, device_names=("AMD", "Intel")),
+            config=serial_config(),
+        )
+        delta_spec = spec(store, device_names=("AMD", "M1"))
+        delta = run_campaign(delta_spec, config=serial_config())
+        new_units = sum(
+            1 for unit in delta_spec.units()
+            if unit.device_name == "M1"
+        )
+        assert delta.metrics.units_done == new_units
+        assert (
+            delta.metrics.store_units
+            == delta_spec.unit_count() - new_units
+        )
+
+    def test_added_tests_execute_only_themselves(self, tmp_path):
+        store = tmp_path / "store"
+        run_campaign(
+            spec(store, test_names=NAMES[:3]), config=serial_config()
+        )
+        grown_spec = spec(store, test_names=NAMES[:5])
+        grown = run_campaign(grown_spec, config=serial_config())
+        new_units = sum(
+            1 for unit in grown_spec.units()
+            if unit.test_name in NAMES[3:5]
+        )
+        assert grown.metrics.units_done == new_units
+
+    def test_changed_seed_shares_nothing(self, tmp_path):
+        store = tmp_path / "store"
+        run_campaign(spec(store), config=serial_config())
+        other = run_campaign(spec(store, seed=12), config=serial_config())
+        assert other.metrics.store_units == 0
+        assert other.metrics.units_done == spec(store).unit_count()
+
+
+class TestResilience:
+    def test_corrupted_object_reexecutes_that_unit(self, tmp_path):
+        store_dir = tmp_path / "store"
+        cold = run_campaign(spec(store_dir), config=serial_config())
+        store = ResultStore(store_dir)
+        digests = unit_digests(spec(store_dir))
+        victim = digests[0]
+        store._object_path(victim).write_text("{ torn")
+        warm = run_campaign(spec(store_dir), config=serial_config())
+        assert warm.metrics.units_done == 1
+        assert warm.metrics.store_corrupt == 1
+        assert stats_bytes(warm) == stats_bytes(cold)
+        # The re-execution healed the store in passing.
+        assert store.get(victim) is not None
+
+    def test_resume_with_store_override_attaches_store(self, tmp_path):
+        # A journal written with no store can resume against one.
+        journal = tmp_path / "j" / "journal.jsonl"
+        plain = spec(None, "off")
+        store_dir = tmp_path / "store"
+        run_campaign(plain, journal, serial_config())
+        resumed = resume_campaign(
+            journal,
+            config=serial_config(),
+            store_path=str(store_dir),
+            store_policy="record",
+        )
+        # Everything was already journaled, so nothing executed and
+        # nothing was recorded — but the override must not invalidate
+        # the journal's fingerprint check.
+        assert resumed.metrics.resumed_units == plain.unit_count()
+        warm = run_campaign(spec(store_dir), config=serial_config())
+        # The store was empty (resume had nothing left to execute), so
+        # the follow-up run executes everything and records it.
+        assert warm.metrics.store_writes == plain.unit_count()
+
+    def test_journal_beats_store_on_resume(self, tmp_path):
+        # Units already in the journal are "resumed", not re-fetched
+        # from the store: the journal remains the source of truth.
+        store = tmp_path / "store"
+        journal = tmp_path / "j" / "journal.jsonl"
+        run_campaign(spec(store), journal, serial_config())
+        again = run_campaign(spec(store), journal, serial_config())
+        assert again.metrics.resumed_units == spec(store).unit_count()
+        assert again.metrics.store_units == 0
+
+    def test_report_renders_store_lines(self, tmp_path):
+        store = tmp_path / "store"
+        run_campaign(spec(store), config=serial_config())
+        warm = run_campaign(spec(store), config=serial_config())
+        report = warm.report()
+        total = spec(store).unit_count()
+        assert f"{total} from store" in report
+        assert f"result store: {total} hits / 0 misses" in report
+        plain = run_campaign(spec(None, "off"), config=serial_config())
+        assert "result store: off" in plain.report()
+
+    def test_store_metrics_materialized_at_zero(self, tmp_path):
+        # Even a run with zero hits exports the full metric family.
+        store = tmp_path / "store"
+        cold = run_campaign(spec(store), config=serial_config())
+        snapshot = cold.metrics.registry.snapshot()
+        labelled = {
+            (
+                entry["labels"]["op"],
+                entry["labels"]["outcome"],
+            ): entry["value"]
+            for entry in snapshot["counters"]
+            if entry["name"] == "repro_store_events_total"
+        }
+        assert labelled[("get", "hit")] == 0
+        assert labelled[("get", "miss")] == spec(store).unit_count()
+        assert labelled[("put", "write")] == spec(store).unit_count()
+        assert ("get", "corrupt") in labelled
+        assert ("put", "skip") in labelled

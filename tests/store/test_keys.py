@@ -1,0 +1,145 @@
+"""Store addressing: canonical keys, digests, and per-spec digest maps."""
+
+from repro.campaign import CampaignSpec
+from repro.env import EnvironmentKind, result_digest, result_key
+from repro.env.environment import random_environment
+from repro.env.runner import structural_test_key
+from repro.gpu import make_device
+from repro.litmus import library
+from repro.mutation import default_suite
+from repro.store import unit_digests
+
+import numpy as np
+
+SUITE = default_suite()
+NAMES = tuple(mutant.name for mutant in SUITE.mutants)
+
+
+def spec(**overrides):
+    kwargs = dict(
+        name="keys-test",
+        kinds=("PTE", "SITE_BASELINE"),
+        device_names=("AMD", "Intel"),
+        test_names=NAMES[:3],
+        environment_count=2,
+        seed=7,
+    )
+    kwargs.update(overrides)
+    return CampaignSpec(**kwargs)
+
+
+def env(seed=0):
+    return random_environment(
+        EnvironmentKind.PTE, np.random.default_rng(seed), env_key=seed
+    )
+
+
+class TestResultKey:
+    def test_key_is_deterministic(self):
+        test = library.by_name("corr")
+        device = make_device("AMD")
+        environment = env()
+        key1 = result_key(test, device, environment, seed=1, iterations=5)
+        key2 = result_key(test, device, environment, seed=1, iterations=5)
+        assert key1 == key2
+
+    def test_key_folds_structural_identity_not_name(self):
+        test = library.by_name("corr")
+        device = make_device("AMD")
+        environment = env()
+        key = result_key(test, device, environment)
+        assert key[0] == structural_test_key(test)
+        assert key[1] == test.name
+
+    def test_digest_sensitive_to_every_component(self):
+        test = library.by_name("corr")
+        other_test = library.by_name("coww")
+        device = make_device("AMD")
+        environment = env()
+        base_key = result_key(test, device, environment, seed=1,
+                              iterations=5)
+        base = result_digest("analytic", 1, base_key)
+        # backend name
+        assert result_digest("operational", 1, base_key) != base
+        # backend version
+        assert result_digest("analytic", 2, base_key) != base
+        # test
+        assert result_digest(
+            "analytic", 1,
+            result_key(other_test, device, environment, seed=1,
+                       iterations=5),
+        ) != base
+        # device
+        assert result_digest(
+            "analytic", 1,
+            result_key(test, make_device("Intel"), environment, seed=1,
+                       iterations=5),
+        ) != base
+        # device bug injection
+        assert result_digest(
+            "analytic", 1,
+            result_key(test, make_device("AMD", buggy=True), environment,
+                       seed=1, iterations=5),
+        ) != base
+        # environment
+        assert result_digest(
+            "analytic", 1,
+            result_key(test, device, env(1), seed=1, iterations=5),
+        ) != base
+        # seed
+        assert result_digest(
+            "analytic", 1,
+            result_key(test, device, environment, seed=2, iterations=5),
+        ) != base
+        # iterations
+        assert result_digest(
+            "analytic", 1,
+            result_key(test, device, environment, seed=1, iterations=6),
+        ) != base
+
+
+class TestUnitDigests:
+    def test_covers_every_unit_and_is_stable(self):
+        s = spec()
+        digests = unit_digests(s)
+        assert sorted(digests) == [u.index for u in s.units()]
+        assert unit_digests(s) == digests
+        assert all(len(d) == 64 for d in digests.values())
+
+    def test_digests_are_unique_per_unit(self):
+        digests = unit_digests(spec())
+        assert len(set(digests.values())) == len(digests)
+
+    def test_seed_changes_every_digest(self):
+        cold = unit_digests(spec())
+        warm = unit_digests(spec(seed=8))
+        assert all(cold[i] != warm[i] for i in cold)
+
+    def test_unchanged_device_keeps_its_digests(self):
+        # The delta-campaign property: swapping one device leaves the
+        # other device's unit addresses untouched, so only the new
+        # device's units ever execute against a warm store.
+        base = spec(device_names=("AMD", "Intel"))
+        delta = spec(device_names=("AMD", "M1"))
+        base_by_key = {
+            unit.key: base_digests
+            for unit, base_digests in zip(
+                base.units(), unit_digests(base).values()
+            )
+        }
+        delta_units = delta.units()
+        delta_digests = unit_digests(delta)
+        for unit in delta_units:
+            if unit.device_name == "AMD":
+                assert delta_digests[unit.index] == base_by_key[unit.key]
+            else:
+                assert (
+                    delta_digests[unit.index]
+                    not in base_by_key.values()
+                )
+
+    def test_iterations_override_changes_digests(self):
+        assert (
+            unit_digests(spec())
+            != unit_digests(spec(iterations_override=3))
+        )
