@@ -40,6 +40,7 @@ from repro import (
 )
 from repro.analysis import save_result
 from repro.campaign import ExecutorConfig, paper_spec, run_campaign
+from repro.cli import add_backend_flags, backend_selection
 
 SEED = 42
 ENVIRONMENTS = 150
@@ -65,6 +66,11 @@ def parse_args() -> argparse.Namespace:
         "--suite", default=None, metavar="PATH",
         help="evaluate a synthesized suite file (repro synthesize) "
         "instead of the built-in Table 2 suite",
+    )
+    add_backend_flags(
+        parser,
+        help_text="execution backend for the tuning campaign "
+        "(same flags as `repro campaign run`)",
     )
     parser.add_argument(
         "--store", default=None, metavar="DIR",
@@ -112,11 +118,16 @@ def main() -> None:
     (out / "table3.txt").write_text(render_table3() + "\n")
 
     print("[2/5] tuning the four environment families (Sec. 5.1) ...")
+    backend, backend_options = backend_selection(args)
     store_path = None if args.no_store else args.store
     spec = paper_spec(
         tuple(mutant.name for mutant in suite.mutants),
         environment_count=args.envs,
         seed=args.seed,
+        backend=backend,
+        max_operational_instances=backend_options.pop(
+            "max_operational_instances", None
+        ),
         suite_path=args.suite,
         store_path=store_path,
         store_policy="off" if store_path is None else "reuse",

@@ -26,6 +26,9 @@ class OperationalBackend(Backend):
     name = "operational"
     option_names = frozenset({"max_operational_instances"})
     version = 1
+    #: A different abstraction of the device: only ranking agreement
+    #: with the analytic model is promised, never matching counts.
+    equivalence = "directional"
 
     def __init__(self, max_operational_instances: int = 64) -> None:
         self.max_operational_instances = check_positive_instances(

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Tuple, Type
 
-from repro.backends.base import Backend
+from repro.backends.base import EQUIVALENCE_CONTRACTS, Backend
 from repro.errors import EnvironmentError_
 
 _REGISTRY: "Dict[str, Type[Backend]]" = {}
@@ -24,6 +24,13 @@ def register(backend_class: Type[Backend]) -> Type[Backend]:
     if not name:
         raise EnvironmentError_(
             f"backend class {backend_class.__name__} has no name"
+        )
+    if backend_class.equivalence not in EQUIVALENCE_CONTRACTS:
+        raise EnvironmentError_(
+            f"backend {name!r} declares unknown equivalence contract "
+            f"{backend_class.equivalence!r} (want one of "
+            + ", ".join(EQUIVALENCE_CONTRACTS)
+            + ")"
         )
     existing = _REGISTRY.get(name)
     if existing is not None and existing is not backend_class:

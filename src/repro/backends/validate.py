@@ -1,21 +1,30 @@
 """Cross-backend validation: the drift alarm for execution backends.
 
-Two executable guarantees tie the backends together:
+Each backend declares an ``equivalence`` contract
+(:data:`repro.backends.base.EQUIVALENCE_CONTRACTS`) and this module
+holds the executable check for each contract:
 
-1. **Bit identity** — the vectorized backend must produce *exactly*
+1. **Bit identity** (``"bitwise"``, the vectorized backend) — exactly
    the per-run analytic path's :class:`TestRun` records (same kills,
-   same seconds) for the same seed.  Anything else means its caching
-   or batching changed the numbers.
-2. **Directional agreement** — the operational executor and the
-   analytic model are different abstractions of the same device, so
-   they will never match count-for-count; what must hold is that they
-   point the same way: analytically dead units stay dead
-   operationally, analytically easy units out-kill hard ones.
+   same seconds) for the same seed.  Anything else means caching or
+   batching changed the numbers.
+2. **Statistical equivalence** (``"statistical"``, the tensor
+   backend) — probabilities, seconds, and grid metadata bitwise equal
+   to analytic; kill counts from the same binomial distributions but
+   independent seeded draws, checked by standardized aggregate
+   residuals within a fixed sigma bound, plus exact seeded
+   reproducibility (a rerun from cold caches is bit-identical to
+   itself, and the per-unit ``run`` path reproduces grid cells).
+3. **Directional agreement** (``"directional"``, the operational
+   backend) — a different abstraction of the same device will never
+   match count-for-count; what must hold is that both point the same
+   way: analytically dead units stay dead operationally, analytically
+   easy units out-kill hard ones.
 
-``python -m repro.backends.validate`` runs both on a small grid and
-exits non-zero on the first violation, which is what the CI matrix
-job invokes; the functions are also importable for tests and for
-validating custom grids.
+``python -m repro.backends.validate`` runs all three on a small grid
+and exits non-zero on the first violation, which is what the CI
+matrix job invokes; the functions are also importable for tests and
+for validating custom grids.
 """
 
 from __future__ import annotations
@@ -24,8 +33,14 @@ import sys
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.backends.analytic import AnalyticBackend
 from repro.backends.operational import OperationalBackend
+from repro.backends.tensor import (
+    TensorAnalyticBackend,
+    reset_tensor_caches,
+)
 from repro.backends.vectorized import VectorizedAnalyticBackend
 from repro.env.environment import TestingEnvironment
 from repro.env.runner import TestRun, oracle_for, unit_rng
@@ -96,6 +111,173 @@ def validate_bit_identity(
     if report.ok:
         report.notes.append(
             "analytic and vectorized kill counts are bit-identical"
+        )
+    return report
+
+
+def validate_statistical_equivalence(
+    devices: Sequence[Device],
+    tests: Sequence[LitmusTest],
+    environments: Sequence[TestingEnvironment],
+    seed: int = 0,
+    iterations_override: Optional[int] = None,
+    sigma_bound: float = 6.0,
+) -> ValidationReport:
+    """Assert the tensor backend's ``"statistical"`` contract.
+
+    Everything draw-independent must be *bitwise* equal to analytic:
+    the per-instance probability tensor, simulated seconds, iteration
+    and instance counts.  Kill counts come from independent seeded
+    streams, so they are checked distributionally — the aggregate
+    standardized residual of each backend's total kills against the
+    exact binomial mean/variance must stay within ``sigma_bound``, and
+    so must the killed-unit count against its exact expectation.
+    Determinism is checked directly: recomputing from cold caches is
+    bit-identical, and the per-unit ``run`` path reproduces grid
+    cells.  All checks are seeded, so they cannot flake.
+    """
+    tensor = TensorAnalyticBackend()
+    reference = AnalyticBackend().run_matrix(
+        devices, tests, environments, seed=seed,
+        iterations_override=iterations_override,
+    )
+    grid = tensor.run_grid(
+        devices, tests, environments, seed=seed,
+        iterations_override=iterations_override,
+    )
+    report = ValidationReport(units=grid.unit_count)
+    if len(reference) != grid.unit_count:
+        report.mismatches.append(
+            f"unit counts differ: analytic {len(reference)}, "
+            f"tensor {grid.unit_count}"
+        )
+        return report
+
+    # 1. Draw-independent values must be bitwise equal.
+    candidate = grid.to_runs()
+    probabilities = tensor.probabilities(
+        devices, tests, environments,
+        iterations_override=iterations_override,
+    ).reshape(-1)
+    for index, (expected, actual) in enumerate(
+        zip(reference, candidate)
+    ):
+        if (
+            expected.seconds != actual.seconds
+            or expected.iterations != actual.iterations
+            or expected.instances_per_iteration
+            != actual.instances_per_iteration
+        ):
+            report.mismatches.append(
+                f"{_unit_label(expected)}: draw-independent fields "
+                f"differ (seconds {expected.seconds!r} vs "
+                f"{actual.seconds!r})"
+            )
+        # Canonical order: index = (e * D + d) * T + t.  Resolving by
+        # position (not name) keeps buggy/clean variants of the same
+        # device distinct.
+        environment = expected.environment
+        device = devices[(index // len(tests)) % len(devices)]
+        test = tests[index % len(tests)]
+        analytic_probability = device.instance_probability(
+            test,
+            environment.workload(device.profile, test),
+            env_key=environment.env_key,
+        )
+        if probabilities[index] != analytic_probability:
+            report.mismatches.append(
+                f"{_unit_label(expected)}: probability "
+                f"{probabilities[index]!r} != analytic "
+                f"{analytic_probability!r}"
+            )
+
+    # 2. Distribution agreement on kill counts (and therefore rates:
+    # seconds are bitwise equal, so rate residuals are kill residuals).
+    totals = (grid.instances * grid.iterations[:, None, None]).reshape(
+        -1
+    ).astype(np.float64)
+    means = totals * probabilities
+    variances = means * (1.0 - probabilities)
+    scale = max(float(variances.sum()), 1.0) ** 0.5
+    tensor_kills = grid.kills.reshape(-1).astype(np.float64)
+    analytic_kills = np.array(
+        [run.kills for run in reference], dtype=np.float64
+    )
+    for backend_name, kills in (
+        ("tensor", tensor_kills),
+        ("analytic", analytic_kills),
+    ):
+        residual = float((kills - means).sum()) / scale
+        if abs(residual) > sigma_bound:
+            report.mismatches.append(
+                f"{backend_name} total kills deviate from the model "
+                f"by {residual:+.2f} sigma (bound {sigma_bound})"
+            )
+        else:
+            report.notes.append(
+                f"{backend_name} aggregate kill residual "
+                f"{residual:+.2f} sigma"
+            )
+    # Killed-unit fraction against its exact expectation.
+    alive = np.exp(
+        totals * np.log1p(-np.minimum(probabilities, 1.0 - 1e-15))
+    )
+    killed_mean = float((1.0 - alive).sum())
+    killed_scale = max(float((alive * (1.0 - alive)).sum()), 1.0) ** 0.5
+    for backend_name, kills in (
+        ("tensor", tensor_kills),
+        ("analytic", analytic_kills),
+    ):
+        killed = float((kills > 0).sum())
+        residual = (killed - killed_mean) / killed_scale
+        if abs(residual) > sigma_bound:
+            report.mismatches.append(
+                f"{backend_name} killed-unit count {killed:.0f} "
+                f"deviates from expected {killed_mean:.1f} by "
+                f"{residual:+.2f} sigma"
+            )
+    # Impossible units must be exactly impossible.
+    impossible = probabilities == 0.0
+    if (tensor_kills[impossible] != 0).any():
+        report.mismatches.append(
+            "tensor reported kills on zero-probability units"
+        )
+
+    # 3. Exact seeded reproducibility from cold caches.
+    reset_tensor_caches()
+    rerun = tensor.run_grid(
+        devices, tests, environments, seed=seed,
+        iterations_override=iterations_override,
+    )
+    if not np.array_equal(grid.kills, rerun.kills):
+        report.mismatches.append(
+            "seeded rerun from cold caches is not bit-identical"
+        )
+    # 4. The per-unit path reproduces grid cells for canonical streams.
+    shape = grid.shape
+    for e, d, t in {
+        (0, 0, 0),
+        (shape[0] - 1, shape[1] - 1, shape[2] - 1),
+        (shape[0] // 2, shape[1] // 2, shape[2] // 2),
+    }:
+        environment = grid.environments[e]
+        device = devices[d]
+        test = tests[t]
+        iterations = int(grid.iterations[e])
+        single = tensor.run(
+            device, test, environment, iterations,
+            unit_rng(seed, environment.env_key, device.name, test.name),
+        )
+        if single.kills != int(grid.kills[e, d, t]):
+            report.mismatches.append(
+                f"{test.name} on {device.name}: per-unit run "
+                f"kills={single.kills} != grid cell "
+                f"{int(grid.kills[e, d, t])}"
+            )
+    if report.ok:
+        report.notes.append(
+            "tensor probabilities/seconds bitwise equal to analytic; "
+            "kills statistically equivalent and seed-reproducible"
         )
     return report
 
@@ -200,6 +382,11 @@ def validate_backends(
         )
         log(f"[{kind.name}] {report.describe()}")
         ok = ok and report.ok
+        statistical = validate_statistical_equivalence(
+            devices, suite.mutants, environments, seed=seed
+        )
+        log(f"[{kind.name}/tensor] {statistical.describe()}")
+        ok = ok and statistical.ok
     directional = validate_directional_agreement(
         make_device("amd"),
         suite.mutants,

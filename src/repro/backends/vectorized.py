@@ -178,6 +178,9 @@ class VectorizedAnalyticBackend(Backend):
     name = "vectorized"
     option_names = frozenset()
     version = 1
+    #: Batching only dedups computation; draws replay the analytic
+    #: per-unit streams exactly.
+    equivalence = "bitwise"
 
     # -- probability (shared memo) ----------------------------------------
 

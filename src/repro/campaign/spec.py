@@ -34,14 +34,23 @@ from repro.errors import EnvironmentError_, ReproError
 #: result store knobs ``store_path`` and ``store_policy``
 #: (:mod:`repro.store`); both are *execution* knobs, excluded from the
 #: grid fingerprint, so turning a store on or off never orphans a
-#: journal.  Version 1–3 payloads are still readable (see
-#: :meth:`from_dict`).
-SPEC_VERSION = 4
+#: journal.  Version 5 records the backend's ``equivalence`` contract
+#: (:data:`repro.backends.EQUIVALENCE_CONTRACTS`) in the serialized
+#: payload — derived from the backend, never set directly — so resume
+#: refuses to continue a journal whose recorded contract (say
+#: ``bitwise``) no longer matches what the named backend now promises
+#: (say ``statistical``): the journal's completed units and the new
+#: units would not be draw-compatible.  Version 1–4 payloads are still
+#: readable (see :meth:`from_dict`).
+SPEC_VERSION = 5
 
 #: Spec fields that configure execution machinery rather than the work
 #: grid; scrubbed from the fingerprint so toggling them preserves
 #: journal identity (resume with a store, record without one, etc.).
-_NON_GRID_FIELDS = ("store_path", "store_policy")
+#: ``equivalence`` is derived metadata about the backend (already a
+#: grid field), so it is scrubbed too — v4 journals fingerprint
+#: identically under v5.
+_NON_GRID_FIELDS = ("store_path", "store_policy", "equivalence")
 
 #: Identifies one work unit across processes and resumed campaigns.
 UnitKey = Tuple[str, int, str, str]  # (kind name, env_key, device, test)
@@ -200,9 +209,16 @@ class CampaignSpec:
 
     # -- identity ---------------------------------------------------------
 
+    def equivalence(self) -> str:
+        """The selected backend's equivalence contract (derived)."""
+        from repro.backends import resolve
+
+        return resolve(self.backend).equivalence
+
     def to_dict(self) -> Dict[str, Any]:
         return {
             "version": SPEC_VERSION,
+            "equivalence": self.equivalence(),
             "name": self.name,
             "kinds": list(self.kinds),
             "device_names": list(self.device_names),
@@ -229,13 +245,38 @@ class CampaignSpec:
             cap = payload.get("max_operational_instances")
             if backend != "operational":
                 cap = None
-        elif version in (2, 3, SPEC_VERSION):
+        elif version in (2, 3, 4, SPEC_VERSION):
             backend = payload.get("backend", "analytic")
             cap = payload.get("max_operational_instances")
         else:
             raise CampaignError(
                 f"unsupported campaign spec version: {version!r}"
             )
+        # Version 5 payloads carry the backend's equivalence contract;
+        # a journal recorded under one contract must not silently
+        # resume under another (completed bitwise units are not
+        # draw-compatible with a statistical backend's, and vice
+        # versa).  Pre-v5 payloads recorded no contract, so the check
+        # is keyed on the version, not on the key's presence, and they
+        # keep loading.
+        recorded = (
+            payload.get("equivalence") if version >= 5 else None
+        )
+        if recorded is not None:
+            from repro.backends import resolve
+
+            try:
+                current = resolve(backend).equivalence
+            except EnvironmentError_ as error:
+                raise CampaignError(str(error))
+            if recorded != current:
+                raise CampaignError(
+                    f"campaign was recorded under the {recorded!r} "
+                    f"equivalence contract, but backend {backend!r} "
+                    f"now promises {current!r}; refusing to mix "
+                    f"contracts across resume — start a fresh "
+                    f"campaign (or pick a {recorded!r} backend)"
+                )
         try:
             return cls(
                 name=payload["name"],
@@ -268,6 +309,7 @@ def paper_spec(
     device_names: Optional[Sequence[str]] = None,
     name: str = "reproduce-all",
     backend: str = "analytic",
+    max_operational_instances: Optional[int] = None,
     suite_path: Optional[str] = None,
     store_path: Optional[str] = None,
     store_policy: str = "off",
@@ -284,6 +326,7 @@ def paper_spec(
         environment_count=environment_count,
         seed=seed,
         backend=backend,
+        max_operational_instances=max_operational_instances,
         suite_path=suite_path,
         store_path=store_path,
         store_policy=store_policy,
@@ -294,6 +337,7 @@ def smoke_spec(
     test_names: Sequence[str],
     seed: int = 0,
     backend: str = "analytic",
+    max_operational_instances: Optional[int] = None,
     suite_path: Optional[str] = None,
     store_path: Optional[str] = None,
     store_policy: str = "off",
@@ -307,6 +351,7 @@ def smoke_spec(
         environment_count=3,
         seed=seed,
         backend=backend,
+        max_operational_instances=max_operational_instances,
         suite_path=suite_path,
         store_path=store_path,
         store_policy=store_policy,

@@ -49,8 +49,9 @@ import argparse
 import json
 import os
 import sys
+import warnings
 from pathlib import Path
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.analysis import (
     figure5,
@@ -74,6 +75,123 @@ from repro.errors import ReproError
 from repro.gpu import make_device, study_devices
 from repro.litmus import extended, format_test, generate_wgsl, library
 from repro.mutation import default_suite
+
+
+def add_backend_flags(
+    parser: argparse.ArgumentParser,
+    help_text: Optional[str] = None,
+) -> None:
+    """The one backend-selection surface every command shares.
+
+    ``--backend NAME`` picks from the :mod:`repro.backends` registry
+    and ``--backend-opt KEY=VALUE`` (repeatable) carries backend
+    construction options — the same two flags mean the same thing on
+    ``campaign run``, ``campaign resume``, ``synthesize``, ``tune``,
+    ``service submit``, and ``scripts/reproduce_all.py``.  ``--mode``
+    is the deprecated pre-registry spelling of ``--backend``; it still
+    works for one release with a :class:`DeprecationWarning`.
+
+    Commands resolve the flags through :func:`backend_selection`,
+    which supplies the command-appropriate default, so the argparse
+    default here stays ``None`` ("flag not given").
+    """
+    parser.add_argument(
+        "--backend",
+        choices=registered_backends(),
+        default=None,
+        help=help_text
+        or "execution backend from the repro.backends registry",
+    )
+    parser.add_argument(
+        "--backend-opt",
+        action="append",
+        default=None,
+        metavar="KEY=VALUE",
+        help="backend construction option (repeatable; values parse "
+        "as int/float/bool when they look like one), e.g. "
+        "--backend-opt max_operational_instances=8",
+    )
+    # Deprecated alias kept for one release: the pre-registry era
+    # spelled backend selection "mode" (cf. Runner(mode=...)).
+    parser.add_argument(
+        "--mode",
+        choices=registered_backends(),
+        default=None,
+        help=argparse.SUPPRESS,
+    )
+
+
+def _coerce_opt(text: str):
+    """``--backend-opt`` values: bool/int/float when unambiguous."""
+    lowered = text.lower()
+    if lowered in ("true", "yes", "on"):
+        return True
+    if lowered in ("false", "no", "off"):
+        return False
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_backend_opts(
+    pairs: Optional[Sequence[str]],
+) -> Dict[str, object]:
+    """``--backend-opt KEY=VALUE`` occurrences → an options dict."""
+    options: Dict[str, object] = {}
+    for pair in pairs or ():
+        key, sep, value = pair.partition("=")
+        key = key.strip().replace("-", "_")
+        value = value.strip()
+        if not sep or not key or not value:
+            raise ReproError(
+                f"bad --backend-opt {pair!r} (want KEY=VALUE)"
+            )
+        if key in options:
+            raise ReproError(f"duplicate --backend-opt key {key!r}")
+        options[key] = _coerce_opt(value)
+    return options
+
+
+def backend_selection(
+    args: argparse.Namespace,
+    default: Optional[str] = "analytic",
+) -> Tuple[Optional[str], Dict[str, object]]:
+    """Resolve the shared backend flags to (name, validated options).
+
+    Applies the deprecated ``--mode`` alias (with a warning), falls
+    back to ``default`` when neither flag was given, and validates
+    the ``--backend-opt`` dict against the selected backend's
+    ``option_names`` so unknown options fail here — with the
+    registry's error message — instead of deep inside a campaign.
+    """
+    backend = getattr(args, "backend", None)
+    mode = getattr(args, "mode", None)
+    if mode is not None:
+        warnings.warn(
+            "--mode is deprecated and will be removed next release; "
+            "use --backend",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if backend is not None and backend != mode:
+            raise ReproError(
+                f"--mode {mode} and --backend {backend} disagree; "
+                f"drop the deprecated --mode"
+            )
+        backend = mode
+    if backend is None:
+        backend = default
+    options = _parse_backend_opts(getattr(args, "backend_opt", None))
+    if options:
+        if backend is None:
+            raise ReproError("--backend-opt requires --backend")
+        from repro.backends import resolve, validate_options
+
+        validate_options(resolve(backend), options)
+    return backend, options
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -146,6 +264,12 @@ def _parser() -> argparse.ArgumentParser:
     synthesize_cmd.add_argument(
         "--out", required=True, help="output suite JSON path"
     )
+    add_backend_flags(
+        synthesize_cmd,
+        help_text="after saving, smoke-evaluate the synthesized "
+        "mutants with this backend (killable-mutant count at the "
+        "PTE baseline); off unless given",
+    )
     synthesize_cmd.add_argument(
         "--trace", action="store_true",
         help="record nested wall/CPU-time spans (profile report)",
@@ -195,12 +319,10 @@ def _parser() -> argparse.ArgumentParser:
     tune.add_argument("--envs", type=int, default=150)
     tune.add_argument("--seed", type=int, default=0)
     tune.add_argument("--devices", nargs="*", default=None)
-    tune.add_argument(
-        "--backend",
-        choices=registered_backends(),
-        default="analytic",
-        help="execution backend (vectorized = batched analytic model, "
-        "bit-identical and faster on big grids)",
+    add_backend_flags(
+        tune,
+        help_text="execution backend (vectorized/tensor = batched "
+        "analytic model, faster on big grids)",
     )
     tune.add_argument("--out", required=True)
     tune.add_argument(
@@ -340,11 +462,9 @@ def _parser() -> argparse.ArgumentParser:
         sub.add_argument("--envs", type=int, default=150)
         sub.add_argument("--seed", type=int, default=42)
         sub.add_argument("--devices", nargs="*", default=None)
-        sub.add_argument(
-            "--backend",
-            choices=registered_backends(),
-            default="analytic",
-            help="execution backend, recorded in the journal so "
+        add_backend_flags(
+            sub,
+            help_text="execution backend, recorded in the journal so "
             "resume continues with the same one",
         )
         sub.add_argument(
@@ -399,6 +519,12 @@ def _parser() -> argparse.ArgumentParser:
         "resume", help="continue a journaled campaign"
     )
     campaign_resume.add_argument("--out", required=True)
+    add_backend_flags(
+        campaign_resume,
+        help_text="assert the journal's recorded backend (resume "
+        "always continues with the recorded one; a mismatch is an "
+        "error, never a silent swap)",
+    )
     _store_flags(campaign_resume)
     _executor_flags(campaign_resume)
     _obs_flags(campaign_resume)
@@ -721,7 +847,43 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
         f"saved {conformance} conformance tests + {mutants} mutants "
         f"to {path}"
     )
+    backend, options = backend_selection(args, default=None)
+    if backend is not None:
+        _synthesis_backend_smoke(suite, backend, options)
     return 0
+
+
+def _synthesis_backend_smoke(
+    suite, backend_name: str, options: Dict[str, object]
+) -> None:
+    """Post-synthesis sanity pass with the selected backend.
+
+    Evaluates the freshly synthesized mutants at the PTE baseline on
+    the study devices and reports how many are killable — a cheap
+    signal that the suite is worth a full campaign before one is paid
+    for.
+    """
+    from repro.backends import make_backend
+    from repro.env import pte_baseline
+
+    backend = make_backend(backend_name, **options)
+    mutants = suite.mutants
+    if not mutants:
+        print(f"backend smoke ({backend.name}): no mutants to evaluate")
+        return
+    runs = backend.run_matrix(
+        study_devices(),
+        mutants,
+        [pte_baseline()],
+        seed=0,
+        iterations_override=20,
+    )
+    killed = {run.test_name for run in runs if run.killed}
+    print(
+        f"backend smoke ({backend.name}, {backend.equivalence} "
+        f"contract): {len(killed)}/{len(mutants)} synthesized mutants "
+        f"killable at the PTE baseline"
+    )
 
 
 def _cmd_show(args: argparse.Namespace) -> int:
@@ -782,6 +944,18 @@ def _devices(names: Optional[Sequence[str]]):
 def _cmd_tune(args: argparse.Namespace) -> int:
     kind = EnvironmentKind[args.kind]
     suite = default_suite()
+    backend, options = backend_selection(args)
+    if options:
+        # Options need a constructed instance; hand tuning_run a
+        # fully configured runner instead of the bare name.
+        from repro.backends import make_backend
+        from repro.env import Runner
+
+        execution = {
+            "runner": Runner(backend=make_backend(backend, **options))
+        }
+    else:
+        execution = {"backend": backend}
     rec = _obs_begin(args)
     result = tuning_run(
         kind,
@@ -789,7 +963,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         suite.mutants,
         environment_count=args.envs,
         seed=args.seed,
-        backend=args.backend,
+        **execution,
     )
     _obs_end(args, rec)
     save_result(result, args.out)
@@ -957,6 +1131,16 @@ def _campaign_spec(args: argparse.Namespace):
     """
     from repro.campaign import paper_spec, smoke_spec
 
+    backend, options = backend_selection(args)
+    cap = options.pop("max_operational_instances", None)
+    if options:
+        # validate_options already filtered unknown names; anything
+        # left is a backend option the campaign spec cannot persist.
+        unknown = ", ".join(sorted(options))
+        raise ReproError(
+            f"backend option(s) {unknown} cannot be recorded in a "
+            f"campaign spec"
+        )
     store_path, store_policy = _store_overrides(args)
     suite = _load_cli_suite(args.suite)
     mutant_names = tuple(mutant.name for mutant in suite.mutants)
@@ -964,7 +1148,8 @@ def _campaign_spec(args: argparse.Namespace):
         return smoke_spec(
             mutant_names,
             seed=args.seed,
-            backend=args.backend,
+            backend=backend,
+            max_operational_instances=cap,
             suite_path=args.suite,
             store_path=store_path,
             store_policy=store_policy or "off",
@@ -975,11 +1160,48 @@ def _campaign_spec(args: argparse.Namespace):
         seed=args.seed,
         kinds=args.kinds,
         device_names=args.devices,
-        backend=args.backend,
+        backend=backend,
+        max_operational_instances=cap,
         suite_path=args.suite,
         store_path=store_path,
         store_policy=store_policy or "off",
     )
+
+
+def _check_resume_backend(
+    args: argparse.Namespace, journal_path: Path
+) -> None:
+    """`campaign resume --backend` is an assertion, not an override.
+
+    Resume always continues with the backend the journal recorded
+    (the spec — equivalence contract included — is part of the
+    journal's identity); the flag exists so scripts can *state* what
+    they expect and fail loudly on a mismatch instead of silently
+    continuing under different semantics.
+    """
+    backend, options = backend_selection(args, default=None)
+    if backend is None and not options:
+        return
+    from repro.campaign import CampaignJournal
+
+    spec = CampaignJournal(journal_path).load_spec()
+    if backend is not None and backend != spec.backend:
+        raise ReproError(
+            f"--backend {backend} does not match the journal's "
+            f"recorded backend {spec.backend!r}; resume always "
+            f"continues with the recorded backend — start a fresh "
+            f"campaign to switch"
+        )
+    cap = options.get("max_operational_instances")
+    if (
+        cap is not None
+        and cap != spec.max_operational_instances
+    ):
+        raise ReproError(
+            f"--backend-opt max_operational_instances={cap} does not "
+            f"match the journal's recorded value "
+            f"{spec.max_operational_instances!r}"
+        )
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
@@ -1000,6 +1222,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             print(status.describe())
         return 0
     if args.campaign_command == "resume":
+        _check_resume_backend(args, journal_path)
         store_path, store_policy = _store_overrides(args)
         rec = _obs_begin(args)
         outcome = resume_campaign(

@@ -7,18 +7,20 @@ yielding a kill count and a simulated duration.  Everything in Sec. 5
 an aggregation over ``TestRun`` records.
 
 Execution strategies live in :mod:`repro.backends` (``analytic``,
-``operational``, ``vectorized``); the :class:`Runner` here is a thin
-composition over one of them, owning only what is strategy-independent
-— iteration-count resolution and the deterministic per-unit RNG
-derivation.  ``Runner(mode=...)`` remains as a deprecated alias for
-``Runner(backend=...)``.
+``operational``, ``vectorized``, ``tensor``); the :class:`Runner`
+here is a thin composition over one of them, owning only what is
+strategy-independent — iteration-count resolution and the
+deterministic per-unit RNG derivation.  ``backend=`` (a registry name
+or a :class:`~repro.backends.Backend` instance) together with
+:func:`repro.backends.make_backend` is the single construction path;
+the ``mode=`` alias deprecated since the backend extraction has been
+removed.
 """
 
 from __future__ import annotations
 
 import hashlib
 import time
-import warnings
 import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -287,9 +289,9 @@ class Runner:
 
     Args:
         backend: A backend name (``"analytic"``, ``"operational"``,
-            ``"vectorized"``) or a :class:`repro.backends.Backend`
-            instance.  Defaults to ``"analytic"``.
-        mode: Deprecated alias for ``backend`` (names only).
+            ``"vectorized"``, ``"tensor"``) or a
+            :class:`repro.backends.Backend` instance.  Defaults to
+            ``"analytic"``.
         max_operational_instances: Per-iteration instance cap; only
             the operational backend accepts it — passing it with any
             other backend raises :class:`EnvironmentError_` instead of
@@ -300,24 +302,24 @@ class Runner:
     def __init__(
         self,
         backend: Union[str, "object", None] = None,
-        mode: Optional[str] = None,
         max_operational_instances: Optional[int] = None,
         iterations_override: Optional[int] = None,
+        **removed: "object",
     ) -> None:
         from repro.backends import Backend, make_backend
 
-        if mode is not None:
-            if backend is not None:
-                raise EnvironmentError_(
-                    "pass either backend= or the deprecated mode=, "
-                    "not both"
-                )
-            warnings.warn(
-                "Runner(mode=...) is deprecated; use Runner(backend=...)",
-                DeprecationWarning,
-                stacklevel=2,
+        if "mode" in removed:
+            raise EnvironmentError_(
+                "Runner(mode=...) was removed; construct with "
+                "Runner(backend=<name or Backend instance>) — "
+                "repro.backends.make_backend(name, **options) is the "
+                "single validated construction path"
             )
-            backend = mode
+        if removed:
+            unknown = ", ".join(sorted(removed))
+            raise EnvironmentError_(
+                f"Runner() got unexpected argument(s): {unknown}"
+            )
         if backend is None:
             backend = "analytic"
         if isinstance(backend, Backend):
@@ -334,11 +336,6 @@ class Runner:
                 max_operational_instances=max_operational_instances,
             )
         self.iterations_override = iterations_override
-
-    @property
-    def mode(self) -> str:
-        """Deprecated spelling of :attr:`backend` name."""
-        return self.backend.name
 
     @property
     def max_operational_instances(self) -> Optional[int]:

@@ -109,6 +109,21 @@ def publish_cache_metrics() -> None:
             rec, cache_name, cache.hits, cache.misses, cache.evictions,
             len(cache),
         )
+    from repro.backends.tensor import (
+        _GRID_CACHE,
+        _JITTER_Z_CACHE,
+        _KILLS_CACHE,
+    )
+
+    for cache_name, cache in (
+        ("tensor_grid", _GRID_CACHE),
+        ("tensor_kills", _KILLS_CACHE),
+        ("tensor_jitter", _JITTER_Z_CACHE),
+    ):
+        _publish_cache(
+            rec, cache_name, cache.hits, cache.misses, cache.evictions,
+            len(cache),
+        )
 
 
 def reset_publisher() -> None:

@@ -177,7 +177,7 @@ class TestRunnerComposition:
         backend = OperationalBackend(max_operational_instances=2)
         runner = Runner(backend=backend, iterations_override=3)
         assert runner.backend is backend
-        assert runner.mode == "operational"
+        assert runner.backend.name == "operational"
         assert runner.max_operational_instances == 2
 
     def test_instance_plus_cap_conflict(self):

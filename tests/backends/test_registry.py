@@ -3,9 +3,11 @@
 import pytest
 
 from repro.backends import (
+    EQUIVALENCE_CONTRACTS,
     AnalyticBackend,
     Backend,
     OperationalBackend,
+    TensorAnalyticBackend,
     VectorizedAnalyticBackend,
     make_backend,
     register,
@@ -19,12 +21,13 @@ from repro.errors import EnvironmentError_
 class TestResolve:
     def test_builtin_backends_registered(self):
         assert registered_backends() == (
-            "analytic", "operational", "vectorized"
+            "analytic", "operational", "tensor", "vectorized"
         )
 
     def test_resolve_returns_classes(self):
         assert resolve("analytic") is AnalyticBackend
         assert resolve("operational") is OperationalBackend
+        assert resolve("tensor") is TensorAnalyticBackend
         assert resolve("vectorized") is VectorizedAnalyticBackend
 
     def test_unknown_name_canonical_error(self):
@@ -32,7 +35,7 @@ class TestResolve:
         with pytest.raises(
             EnvironmentError_,
             match=r"unknown backend 'quantum'; registered backends: "
-            r"analytic, operational, vectorized",
+            r"analytic, operational, tensor, vectorized",
         ):
             resolve("quantum")
 
@@ -53,6 +56,32 @@ class TestResolve:
 
         with pytest.raises(EnvironmentError_, match="name"):
             register(Nameless)
+
+
+class TestEquivalenceContracts:
+    def test_every_backend_declares_a_known_contract(self):
+        for name in registered_backends():
+            assert resolve(name).equivalence in EQUIVALENCE_CONTRACTS
+
+    def test_declared_contracts(self):
+        assert AnalyticBackend.equivalence == "bitwise"
+        assert VectorizedAnalyticBackend.equivalence == "bitwise"
+        assert TensorAnalyticBackend.equivalence == "statistical"
+        assert OperationalBackend.equivalence == "directional"
+
+    def test_register_rejects_unknown_contract(self):
+        class Vibes(Backend):
+            name = "vibes"
+            equivalence = "close-enough"
+
+            def run(self, device, test, environment, iterations, rng):
+                raise NotImplementedError
+
+        with pytest.raises(
+            EnvironmentError_,
+            match=r"unknown equivalence contract 'close-enough'",
+        ):
+            register(Vibes)
 
 
 class TestOptions:

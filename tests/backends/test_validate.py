@@ -6,6 +6,7 @@ from repro.backends import (
     validate_backends,
     validate_bit_identity,
     validate_directional_agreement,
+    validate_statistical_equivalence,
 )
 from repro.backends.validate import main
 from repro.env import EnvironmentKind, environments_for, pte_baseline
@@ -54,6 +55,29 @@ class TestDirectionalAgreement:
         assert report.ok
 
 
+class TestStatisticalEquivalence:
+    def test_tensor_contract_holds(self):
+        report = validate_statistical_equivalence(
+            [make_device("amd"), make_device("intel", buggy=True)],
+            SUITE.mutants[:4],
+            environments_for(EnvironmentKind.PTE, 2, 5),
+            seed=5,
+        )
+        assert report.ok
+        assert report.units == 2 * 4 * 2
+        assert "statistical" in report.describe()
+
+    def test_residuals_reported(self):
+        report = validate_statistical_equivalence(
+            [make_device("amd")],
+            SUITE.mutants[:3],
+            environments_for(EnvironmentKind.SITE, 2, 1),
+            seed=2,
+        )
+        assert report.ok
+        assert any("residual" in note for note in report.notes)
+
+
 class TestEntryPoint:
     def test_validate_backends_small_grid(self):
         messages = []
@@ -61,6 +85,7 @@ class TestEntryPoint:
             environment_count=1, seed=3, log=messages.append
         )
         assert any("bit-identical" in message for message in messages)
+        assert any("/tensor]" in message for message in messages)
         assert any("operational-vs-analytic" in m for m in messages)
 
     def test_main_returns_zero(self):

@@ -1,14 +1,19 @@
-"""Historical journal headers (spec v1–v3) still load and resume.
+"""Historical journal headers (spec v1–v4) still load and resume.
 
 Every spec version bump must keep old journals readable: the header
 records both the spec payload and the fingerprint that version
 computed over it, and :func:`repro.campaign.spec.payload_fingerprint`
-hashes the *stored* payload — so these hand-crafted v1/v2/v3 headers
+hashes the *stored* payload — so these hand-crafted v1–v4 headers
 exercise exactly what a journal written by an older build looks like.
+Version 5 additionally records the backend's equivalence contract and
+refuses to resume when the recorded contract no longer matches the
+named backend's.
 """
 
 import hashlib
 import json
+
+import pytest
 
 from repro.campaign import (
     CampaignJournal,
@@ -16,7 +21,7 @@ from repro.campaign import (
     ExecutorConfig,
     resume_campaign,
 )
-from repro.campaign.spec import payload_fingerprint
+from repro.campaign.spec import CampaignError, payload_fingerprint
 from repro.mutation import default_suite
 
 SUITE = default_suite()
@@ -73,20 +78,38 @@ def v3_payload():
     }
 
 
+def v4_payload():
+    # Version 4 added the persistent-store knobs (non-grid fields);
+    # version 5 added the recorded equivalence contract on top.
+    return {
+        "version": 4,
+        **grid_fields(),
+        "backend": "analytic",
+        "buggy": False,
+        "max_operational_instances": None,
+        "suite_path": None,
+        "store_path": None,
+        "store_policy": "off",
+    }
+
+
 def write_journal(path, payload):
+    # v1–v3 hashed the raw payload (they had no non-grid fields);
+    # v4 onward scrubs store/equivalence fields first.  Both are what
+    # payload_fingerprint computes for the respective payloads.
     header = {
         "type": "header",
         "version": 1,
-        "fingerprint": historical_fingerprint(payload),
+        "fingerprint": payload_fingerprint(payload),
         "spec": payload,
     }
     path.write_text(json.dumps(header) + "\n")
 
 
 class TestHistoricalHeaders:
-    def test_v1_v2_v3_headers_load(self, tmp_path):
+    def test_v1_through_v4_headers_load(self, tmp_path):
         for index, payload in enumerate(
-            (v1_payload(), v2_payload(), v3_payload())
+            (v1_payload(), v2_payload(), v3_payload(), v4_payload())
         ):
             path = tmp_path / f"v{index + 1}.jsonl"
             write_journal(path, payload)
@@ -98,7 +121,7 @@ class TestHistoricalHeaders:
 
     def test_historical_journals_resume(self, tmp_path):
         for index, payload in enumerate(
-            (v1_payload(), v2_payload(), v3_payload())
+            (v1_payload(), v2_payload(), v3_payload(), v4_payload())
         ):
             path = tmp_path / f"v{index + 1}.jsonl"
             write_journal(path, payload)
@@ -137,6 +160,51 @@ class TestHistoricalHeaders:
             store_policy="reuse",
         )
         assert base.fingerprint() == stored.fingerprint()
+
+    def test_equivalence_does_not_change_identity(self):
+        # The v5 recorded contract is derived metadata; scrubbing it
+        # keeps a v4 payload's grid fingerprint stable across the
+        # version bump (fields aside from "version" itself).
+        v4 = v4_payload()
+        v5 = dict(v4, equivalence="bitwise")
+        assert payload_fingerprint(v4) == payload_fingerprint(v5)
+
+    def test_v5_round_trips(self):
+        spec = CampaignSpec(
+            name="compat-test",
+            kinds=("PTE",),
+            device_names=("AMD",),
+            test_names=NAMES[:2],
+            environment_count=2,
+            seed=3,
+            backend="tensor",
+        )
+        payload = spec.to_dict()
+        assert payload["version"] == 5
+        assert payload["equivalence"] == "statistical"
+        assert CampaignSpec.from_dict(payload) == spec
+
+    def test_contract_mismatch_refused(self):
+        # A journal recorded under one contract must not silently
+        # resume under another: completed and new units would not be
+        # draw-compatible.
+        payload = dict(
+            v4_payload(),
+            version=5,
+            backend="tensor",
+            equivalence="bitwise",
+        )
+        with pytest.raises(CampaignError, match="equivalence contract"):
+            CampaignSpec.from_dict(payload)
+
+    def test_recorded_contract_accepted_when_current(self):
+        payload = dict(
+            v4_payload(),
+            version=5,
+            backend="tensor",
+            equivalence="statistical",
+        )
+        assert CampaignSpec.from_dict(payload).backend == "tensor"
 
     def test_resume_with_store_on_historical_journal(self, tmp_path):
         # The full upgrade path: a pre-store journal resumes with a

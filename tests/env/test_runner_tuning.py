@@ -66,15 +66,13 @@ class TestRunnerModes:
         with pytest.raises(EnvironmentError_, match="registered backends"):
             Runner(backend="quantum")
 
-    def test_mode_is_deprecated_alias(self):
-        with pytest.warns(DeprecationWarning, match="backend"):
-            runner = Runner(mode="operational", max_operational_instances=4)
-        assert runner.mode == "operational"
-        assert runner.max_operational_instances == 4
+    def test_mode_is_removed(self):
+        with pytest.raises(EnvironmentError_, match="Runner\\(backend="):
+            Runner(mode="operational", max_operational_instances=4)
 
-    def test_mode_and_backend_conflict(self):
-        with pytest.raises(EnvironmentError_, match="not both"):
-            Runner(backend="analytic", mode="analytic")
+    def test_unknown_kwargs_rejected(self):
+        with pytest.raises(EnvironmentError_, match="unexpected"):
+            Runner(strategy="analytic")
 
     def test_option_rejected_by_backend(self):
         with pytest.raises(EnvironmentError_, match="does not accept"):
