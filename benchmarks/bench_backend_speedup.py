@@ -104,7 +104,7 @@ def test_backend_speedup(suite, devices):
           f"{stats.probability_hits} hits / {stats.probability_misses} "
           f"misses")
 
-    artifact = obs.update_bench_obs(
+    artifact = obs.emit(
         "backend_speedup",
         {
             "analytic": analytic_summary,

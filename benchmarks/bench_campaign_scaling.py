@@ -77,7 +77,7 @@ def test_campaign_scaling(suite):
             f"({speedup:.2f}x vs serial)"
         )
 
-    artifact = obs.update_bench_obs("campaign_scaling", stages)
+    artifact = obs.emit("campaign_scaling", stages)
     print(f"  per-stage unit-time summary written to {artifact}")
 
     cores = os.cpu_count() or 1

@@ -149,7 +149,7 @@ def test_service_throughput(suite, tmp_path):
             "concurrent_over_sequential": ratio,
         },
     }
-    artifact = obs.update_bench_obs(
+    artifact = obs.emit(
         "service_throughput", stages, path="BENCH_service.json"
     )
     print(f"  stage summary written to {artifact}")

@@ -99,7 +99,7 @@ def test_store_incremental(suite, tmp_path):
             "seconds": delta_seconds,
         },
     }
-    artifact = obs.update_bench_obs(
+    artifact = obs.emit(
         "store_incremental", stages, path="BENCH_store.json"
     )
     print(f"  stage summary written to {artifact}")

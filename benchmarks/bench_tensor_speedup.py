@@ -161,7 +161,7 @@ def test_tensor_speedup(suite, devices):
           f"{stats.grid_misses} misses; kills cache: "
           f"{stats.kills_hits} hits / {stats.kills_misses} misses")
 
-    artifact = obs.update_bench_obs(
+    artifact = obs.emit(
         "tensor",
         {
             "vectorized_warm": vector_summary,

@@ -4,6 +4,13 @@ The Figure 5 / Figure 6 benchmarks aggregate the same four tuning
 experiments (Sec. 5.1: SITE Baseline, SITE, PTE Baseline, PTE at the
 paper's full scale of 150 random environments); this conftest runs
 them once per session.
+
+It also routes every pytest-benchmark result through the shared
+``obs.bench.emit()`` path at session end: one validated BENCH entry
+per benchmark module, with per-test median/p90 stage summaries — so
+the pytest-benchmark suites leave the same longitudinal artifact
+(and, with ``REPRO_LEDGER`` set, the same run-ledger records) as the
+hand-rolled ``python benchmarks/bench_*.py`` emitters.
 """
 
 import pytest
@@ -39,3 +46,69 @@ def tuning_results(suite, devices):
         )
         for kind in EnvironmentKind
     }
+
+
+def _quantile(data, q):
+    """Linear-interpolation quantile of a sorted sample."""
+    if not data:
+        return 0.0
+    if len(data) == 1:
+        return float(data[0])
+    position = q * (len(data) - 1)
+    low = int(position)
+    high = min(low + 1, len(data) - 1)
+    fraction = position - low
+    return float(data[low] + (data[high] - data[low]) * fraction)
+
+
+def _stage_summary(stats):
+    data = sorted(getattr(stats, "data", []) or [])
+    if not data:
+        return None
+    return {
+        "count": len(data),
+        "sum": round(float(sum(data)), 6),
+        "mean": round(float(sum(data)) / len(data), 6),
+        "median": round(_quantile(data, 0.5), 6),
+        "p90": round(_quantile(data, 0.9), 6),
+    }
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Emit one BENCH entry per benchmark module through obs.emit().
+
+    Best-effort by design: a bench session must never fail because
+    the telemetry artifact could not be written.
+    """
+    benchsession = getattr(
+        session.config, "_benchmarksession", None
+    )
+    benchmarks = getattr(benchsession, "benchmarks", None) or []
+    by_module = {}
+    for bench in benchmarks:
+        stats = getattr(bench, "stats", None)
+        if stats is None:
+            continue
+        summary = _stage_summary(stats)
+        if summary is None:
+            continue
+        fullname = getattr(bench, "fullname", "") or ""
+        module = fullname.split("::")[0]
+        module = module.rsplit("/", 1)[-1]
+        if module.startswith("bench_"):
+            module = module[len("bench_"):]
+        module = module.removesuffix(".py") or "benchmarks"
+        stage = getattr(bench, "name", None) or "bench"
+        by_module.setdefault(module, {})[stage] = summary
+    if not by_module:
+        return
+    from repro import obs
+
+    for module, stages in sorted(by_module.items()):
+        try:
+            obs.emit(module, stages)
+        except Exception as error:
+            session.config.pluginmanager.get_plugin(
+                "terminalreporter"
+            )  # no-op lookup; keep the failure visible but non-fatal
+            print(f"[bench-obs] emit failed for {module}: {error}")

@@ -86,6 +86,12 @@ def parse_args() -> argparse.Namespace:
         help="record wall/CPU-time spans for the hot-path profile",
     )
     parser.add_argument(
+        "--ledger", default=None, metavar="DIR",
+        help="append the campaign's normalized run record to the run "
+        "ledger at DIR (default: $REPRO_LEDGER when set) for "
+        "`repro obs history|diff|check`",
+    )
+    parser.add_argument(
         "--metrics-out", default=None, metavar="DIR",
         help="write observability artifacts (metrics.jsonl, "
         "metrics.prom, trace.jsonl) into this directory "
@@ -132,6 +138,23 @@ def main() -> None:
         store_path=store_path,
         store_policy="off" if store_path is None else "reuse",
     )
+    from repro import obs
+
+    health = None
+    ledger = obs.resolve_ledger(args.ledger)
+    if ledger is not None:
+        baselines = ledger.baseline(
+            spec.fingerprint(), window=10, kind="campaign",
+            before_utc=float("inf"),
+        )
+        health = obs.HealthMonitor(
+            expected_kill_rate=obs.expected_rate_from_baseline(
+                baselines
+            ),
+            expected_units=obs.expected_units_from_baseline(
+                baselines
+            ),
+        )
     outcome = run_campaign(
         spec,
         journal_path=out / "campaign.jsonl",
@@ -139,7 +162,15 @@ def main() -> None:
             workers=args.workers, progress_interval=5.0
         ),
         log=print,
+        health=health,
     )
+    if ledger is not None:
+        record = obs.record_from_outcome(outcome)
+        ledger.append(record)
+        print(
+            f"      ledger: recorded run of {record.fingerprint} "
+            f"at {ledger.root}"
+        )
     (out / "campaign_report.txt").write_text(outcome.report() + "\n")
     results = outcome.results
     for kind, result in results.items():

@@ -33,6 +33,7 @@ from repro.env.tuning import TuningResult
 from repro.campaign.journal import CampaignJournal, JournalRecord
 from repro.campaign.metrics import CampaignMetrics
 from repro.campaign.spec import CampaignError, CampaignSpec, WorkUnit
+from repro.obs.health import HealthMonitor
 from repro.store import ResultStore, unit_digests
 from repro.campaign.worker import (
     FaultPlan,
@@ -85,6 +86,9 @@ class CampaignOutcome:
     results: Dict[EnvironmentKind, TuningResult]
     metrics: CampaignMetrics
     failed: List[Tuple[int, str]] = field(default_factory=list)
+    #: Live health summary (stragglers, mid-run kill drift) from the
+    #: scheduler's :class:`~repro.obs.health.HealthMonitor`.
+    health: Optional[Dict[str, object]] = None
 
     @property
     def complete(self) -> bool:
@@ -110,11 +114,17 @@ class CampaignScheduler:
         journal: Optional[CampaignJournal] = None,
         config: Optional[ExecutorConfig] = None,
         log: Optional[Log] = None,
+        health: Optional[HealthMonitor] = None,
     ) -> None:
         self.spec = spec
         self.journal = journal
         self.config = config or ExecutorConfig()
         self.log = log or (lambda message: None)
+        # Always-on live monitoring: stragglers adapt to the grid's
+        # own timing distribution, and kill-drift activates when the
+        # caller wires an expected rate (normally the ledger's
+        # baseline window for this fingerprint).
+        self.health = health or HealthMonitor()
         self.metrics = CampaignMetrics()
         self._completed: Dict[int, _Completed] = {}
         self._attempts: Dict[int, int] = {}
@@ -198,6 +208,7 @@ class CampaignScheduler:
             results=self._assemble(),
             metrics=self.metrics,
             failed=sorted(self._failed.items()),
+            health=self.health.summary(),
         )
         if outcome.failed:
             raise CampaignFailure(outcome)
@@ -399,6 +410,29 @@ class CampaignScheduler:
             self._completed[index] = _Completed(
                 unit=unit, run=run, attempts=attempts
             )
+            straggler = self.health.observe_unit(
+                outcome.elapsed,
+                worker=outcome.worker_id,
+                unit=index,
+            )
+            if straggler is not None:
+                self.log(
+                    f"[campaign] health: unit {index} straggled "
+                    f"({straggler['elapsed']:.3f}s > "
+                    f"{straggler['threshold']:.3f}s)"
+                )
+            drift = self.health.observe_kills(
+                run.kills,
+                run.iterations * run.instances_per_iteration,
+                unit=index,
+            )
+            if drift is not None:
+                self.log(
+                    f"[campaign] health: cumulative kill rate "
+                    f"{drift['observed_rate']:.4%} drifted from the "
+                    f"expected {drift['expected_rate']:.4%} "
+                    f"(z={drift['z']:+.1f})"
+                )
             if self.journal is not None:
                 self.journal.append(
                     unit, run, outcome.elapsed, attempts
@@ -533,6 +567,7 @@ def run_campaign(
     journal_path: Optional[Union[str, Path]] = None,
     config: Optional[ExecutorConfig] = None,
     log: Optional[Log] = None,
+    health: Optional[HealthMonitor] = None,
 ) -> CampaignOutcome:
     """Run (or resume) a campaign; journaling is on iff a path is given."""
     journal = (
@@ -540,7 +575,7 @@ def run_campaign(
         if journal_path is not None
         else None
     )
-    return CampaignScheduler(spec, journal, config, log).run()
+    return CampaignScheduler(spec, journal, config, log, health).run()
 
 
 def resume_campaign(
@@ -549,6 +584,7 @@ def resume_campaign(
     log: Optional[Log] = None,
     store_path: Optional[str] = None,
     store_policy: Optional[str] = None,
+    health: Optional[HealthMonitor] = None,
 ) -> CampaignOutcome:
     """Continue a journaled campaign using the spec in its header.
 
@@ -567,7 +603,7 @@ def resume_campaign(
         overrides["store_policy"] = store_policy
     if overrides:
         spec = replace(spec, **overrides)
-    return CampaignScheduler(spec, journal, config, log).run()
+    return CampaignScheduler(spec, journal, config, log, health).run()
 
 
 @dataclass(frozen=True)

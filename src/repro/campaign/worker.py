@@ -34,6 +34,33 @@ from repro.campaign.spec import CampaignError, CampaignSpec, WorkUnit
 from repro.obs.registry import MetricsRegistry
 
 
+#: Environment-variable fault injection for drift-detection testing.
+#: Unlike :class:`FaultPlan` (transient, retried failures), these
+#: simulate *silent implementation drift*: the spec — and therefore
+#: the grid fingerprint the run ledger matches baselines by — is
+#: unchanged, but the results or timings shift.  ``REPRO_FAULT_
+#: BUGGY_DEVICES`` (any non-empty value) builds every device with its
+#: known bugs enabled regardless of ``spec.buggy``; ``REPRO_FAULT_
+#: UNIT_SLEEP_FACTOR`` (a float) stretches every unit's measured wall
+#: time by that fraction inside the timed window.
+FAULT_BUGGY_ENV = "REPRO_FAULT_BUGGY_DEVICES"
+FAULT_SLEEP_ENV = "REPRO_FAULT_UNIT_SLEEP_FACTOR"
+
+
+def _fault_buggy_devices() -> bool:
+    return bool(os.environ.get(FAULT_BUGGY_ENV, "").strip())
+
+
+def _fault_sleep_factor() -> float:
+    raw = os.environ.get(FAULT_SLEEP_ENV, "").strip()
+    if not raw:
+        return 0.0
+    try:
+        return max(float(raw), 0.0)
+    except ValueError:
+        return 0.0
+
+
 class UnitTimeout(ReproError):
     """A work unit exceeded its per-unit deadline."""
 
@@ -172,7 +199,13 @@ def state_for(spec_payload: Dict[str, Any]) -> WorkerState:
     process pool is unavailable.
     """
     spec = CampaignSpec.from_dict(spec_payload)
-    fingerprint = spec.fingerprint()
+    # Fault injection changes the materialised devices without
+    # changing the fingerprint (that is its entire point), so it must
+    # participate in the cache key or a flipped knob could serve a
+    # stale state within one process.
+    fingerprint = spec.fingerprint() + (
+        ":faulty" if _fault_buggy_devices() else ""
+    )
     with _STATE_LOCK:
         state = _STATE_CACHE.pop(fingerprint, None)
         if state is not None:
@@ -223,7 +256,9 @@ def build_state(
         iterations_override=spec.iterations_override,
     )
     devices = {
-        name: make_device(name, buggy=spec.buggy)
+        name: make_device(
+            name, buggy=spec.buggy or _fault_buggy_devices()
+        )
         for name in spec.device_names
     }
     synthesized = None
@@ -347,6 +382,11 @@ def execute_unit(
                     unit.rng(state.spec.seed),
                 )
         after = oracle_cache_stats()
+        sleep_factor = _fault_sleep_factor()
+        if sleep_factor > 0:
+            # Inside the timed window on purpose: the injected
+            # slowdown must be visible to every latency metric.
+            time.sleep(sleep_factor * (time.perf_counter() - started))
         elapsed = time.perf_counter() - started
         record_unit(
             registry,

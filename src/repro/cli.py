@@ -414,6 +414,78 @@ def _parser() -> argparse.ArgumentParser:
         help="output path (default: stdout)",
     )
 
+    def _ledger_arg(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--ledger", default=None, metavar="DIR",
+            help="run ledger directory (default: $REPRO_LEDGER)",
+        )
+
+    obs_history = obs_commands.add_parser(
+        "history",
+        help="list the run ledger's recorded runs",
+    )
+    _ledger_arg(obs_history)
+    obs_history.add_argument(
+        "--fingerprint", default=None,
+        help="only runs of this grid fingerprint",
+    )
+    obs_history.add_argument(
+        "--kind", default=None,
+        choices=["campaign", "bench", "service"],
+    )
+    obs_history.add_argument(
+        "--limit", type=int, default=None,
+        help="newest N runs only",
+    )
+    obs_history.add_argument(
+        "--json", action="store_true",
+        help="machine-readable records instead of the table",
+    )
+    obs_diff = obs_commands.add_parser(
+        "diff",
+        help="metric-by-metric delta between the newest run and a "
+        "baseline run of the same fingerprint",
+    )
+    _ledger_arg(obs_diff)
+    obs_diff.add_argument(
+        "--fingerprint", default=None,
+        help="grid fingerprint (default: the newest run's)",
+    )
+    obs_diff.add_argument(
+        "--baseline", type=int, default=1, metavar="N",
+        help="compare against the N-th previous run (default 1)",
+    )
+    obs_diff.add_argument("--json", action="store_true")
+    obs_check = obs_commands.add_parser(
+        "check",
+        help="statistical drift/regression check of the newest run "
+        "against its baseline window (exit 1 on confirmed findings)",
+    )
+    _ledger_arg(obs_check)
+    obs_check.add_argument(
+        "--fingerprint", default=None,
+        help="grid fingerprint (default: the newest run's)",
+    )
+    obs_check.add_argument(
+        "--baseline", type=int, default=10, metavar="N",
+        help="baseline window size in runs (default 10)",
+    )
+    obs_check.add_argument(
+        "--sigma", type=float, default=6.0,
+        help="kill-rate residual bound in standard deviations",
+    )
+    obs_check.add_argument(
+        "--latency-threshold", type=float, default=0.2,
+        help="relative warm-path slowdown that counts as a "
+        "changepoint (default 0.2 = 20%%)",
+    )
+    obs_check.add_argument(
+        "--cache-drop", type=float, default=0.1,
+        help="absolute cache hit-rate drop that counts as a "
+        "regression",
+    )
+    obs_check.add_argument("--json", action="store_true")
+
     campaign = commands.add_parser(
         "campaign",
         help="sharded parallel campaigns with checkpoint/resume",
@@ -431,6 +503,12 @@ def _parser() -> argparse.ArgumentParser:
             "--metrics-out", default=None, metavar="DIR",
             help="write metrics.jsonl + metrics.prom (and trace.jsonl "
             "with --trace) into this directory",
+        )
+        sub.add_argument(
+            "--ledger", default=None, metavar="DIR",
+            help="append this run's normalized record to the run "
+            "ledger at DIR (default: $REPRO_LEDGER when set) for "
+            "`repro obs history|diff|check`",
         )
 
     def _executor_flags(sub: argparse.ArgumentParser) -> None:
@@ -789,9 +867,155 @@ def _obs_end(args: argparse.Namespace, rec) -> None:
     obs.disable()
 
 
+def _cli_ledger(args: argparse.Namespace, required: bool = True):
+    """The ledger a command operates on (flag, else $REPRO_LEDGER)."""
+    from repro import obs
+
+    ledger = obs.resolve_ledger(getattr(args, "ledger", None))
+    if ledger is None and required:
+        raise ReproError(
+            "no run ledger configured: pass --ledger DIR or set "
+            "REPRO_LEDGER"
+        )
+    return ledger
+
+
+def _ledger_emit(args: argparse.Namespace, outcome) -> None:
+    """Append a campaign outcome's record to the configured ledger."""
+    from repro import obs
+
+    ledger = _cli_ledger(args, required=False)
+    if ledger is None:
+        return
+    record = obs.record_from_outcome(outcome)
+    ledger.append(record)
+    print(
+        f"ledger: recorded run of {record.fingerprint} "
+        f"({record.kills}/{record.instances} kills, "
+        f"{record.wall_seconds:.2f}s) at {ledger.root}"
+    )
+
+
+def _campaign_health(args: argparse.Namespace, spec):
+    """A HealthMonitor seeded with the ledger's expected kill rate.
+
+    Without a ledger (or without history for this fingerprint) the
+    monitor still runs — stragglers need no baseline, and kill-drift
+    simply stays dormant.
+    """
+    from repro import obs
+
+    expected = None
+    expected_units = None
+    ledger = _cli_ledger(args, required=False)
+    if ledger is not None:
+        baselines = ledger.baseline(
+            spec.fingerprint(), window=10, kind="campaign",
+            before_utc=float("inf"),
+        )
+        expected = obs.expected_rate_from_baseline(baselines)
+        expected_units = obs.expected_units_from_baseline(baselines)
+    return obs.HealthMonitor(
+        expected_kill_rate=expected, expected_units=expected_units
+    )
+
+
+def _cmd_obs_history(args: argparse.Namespace) -> int:
+    ledger = _cli_ledger(args)
+    records = ledger.history(
+        fingerprint=args.fingerprint,
+        kind=args.kind,
+        limit=args.limit,
+    )
+    if args.json:
+        print(json.dumps(
+            [record.to_dict() for record in records],
+            indent=2, sort_keys=True,
+        ))
+        return 0
+    if not records:
+        print(f"run ledger at {ledger.root}: no matching runs")
+        return 0
+    for record in records:
+        print(record.describe())
+    return 0
+
+
+def _cmd_obs_diff(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    ledger = _cli_ledger(args)
+    fingerprint = args.fingerprint
+    if fingerprint is None:
+        newest = None
+        for fp in ledger.fingerprints():
+            candidate = ledger.latest(fp)
+            if candidate and (
+                newest is None or candidate.utc > newest.utc
+            ):
+                newest = candidate
+        if newest is None:
+            raise ReproError(f"{ledger.root}: ledger is empty")
+        fingerprint = newest.fingerprint
+    records = ledger.history(fingerprint=fingerprint)
+    if len(records) < args.baseline + 1:
+        raise ReproError(
+            f"need at least {args.baseline + 1} runs of "
+            f"{fingerprint} to diff (have {len(records)})"
+        )
+    payload = obs.diff_runs(
+        records[-1], records[-1 - args.baseline]
+    )
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"diff for {fingerprint} (newest vs -{args.baseline}):")
+    for key in ("kill_rate", "killed_fraction", "wall_seconds"):
+        entry = payload[key]
+        print(
+            f"  {key:>16}: {entry['observed']:.6g} "
+            f"(baseline {entry['baseline']:.6g}, "
+            f"delta {entry['delta']:+.6g})"
+        )
+    if "unit_seconds" in payload:
+        for side in ("observed", "baseline"):
+            stats = payload["unit_seconds"][side]
+            print(
+                f"  unit seconds ({side}): "
+                f"median {stats['median']:.6f} "
+                f"p90 {stats['p90']:.6f} (n={stats['count']})"
+            )
+    return 0
+
+
+def _cmd_obs_check(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    ledger = _cli_ledger(args)
+    report = obs.check_run(
+        ledger,
+        fingerprint=args.fingerprint,
+        window=args.baseline,
+        sigma=args.sigma,
+        latency_threshold=args.latency_threshold,
+        cache_drop=args.cache_drop,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.describe())
+    return 0 if report.ok else 1
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     from repro import obs
 
+    if args.obs_command == "history":
+        return _cmd_obs_history(args)
+    if args.obs_command == "diff":
+        return _cmd_obs_diff(args)
+    if args.obs_command == "check":
+        return _cmd_obs_check(args)
     registry, events = obs.load_metrics_jsonl(args.metrics)
     if args.obs_command == "report":
         spans = None
@@ -1224,6 +1448,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.campaign_command == "resume":
         _check_resume_backend(args, journal_path)
         store_path, store_policy = _store_overrides(args)
+        from repro.campaign import CampaignJournal
+
+        health = _campaign_health(
+            args, CampaignJournal(journal_path).load_spec()
+        )
         rec = _obs_begin(args)
         outcome = resume_campaign(
             journal_path,
@@ -1231,19 +1460,27 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             log=print,
             store_path=store_path,
             store_policy=store_policy,
+            health=health,
         )
         _obs_end(args, rec)
+        _ledger_emit(args, outcome)
         _finish_campaign(outcome, out_dir)
         return 0
     # run
     spec = _campaign_spec(args)
     out_dir.mkdir(parents=True, exist_ok=True)
     config = _executor_config(args)
+    health = _campaign_health(args, spec)
     rec = _obs_begin(args)
     outcome = run_campaign(
-        spec, journal_path=journal_path, config=config, log=print
+        spec,
+        journal_path=journal_path,
+        config=config,
+        log=print,
+        health=health,
     )
     _obs_end(args, rec)
+    _ledger_emit(args, outcome)
     if args.verify_determinism:
         verify_order_independence(
             spec, workers=max(2, config.effective_workers()), log=print

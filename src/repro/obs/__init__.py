@@ -31,10 +31,27 @@ Typical use (the CLI's ``--metrics-out``/``--trace`` flags do this):
 
 from repro.obs.bench import (
     bench_obs_path,
+    emit,
+    env_fingerprint,
     histogram_summary,
     update_bench_obs,
 )
 from repro.obs.caches import publish_cache_metrics, reset_publisher
+from repro.obs.drift import (
+    DriftReport,
+    Finding,
+    binomial_two_sided_p,
+    binomial_z,
+    check_run,
+    compare,
+    diff_runs,
+)
+from repro.obs.health import (
+    HealthConfig,
+    HealthMonitor,
+    expected_rate_from_baseline,
+    expected_units_from_baseline,
+)
 from repro.obs.events import EventLog
 from repro.obs.export import (
     METRICS_FILENAME,
@@ -73,14 +90,28 @@ from repro.obs.report import (
     render_profile,
     render_report,
 )
+from repro.obs.timeline import (
+    Ledger,
+    RunRecord,
+    TimelineError,
+    record_from_bench,
+    record_from_outcome,
+    record_from_results,
+    resolve_ledger,
+)
 from repro.obs.tracer import Tracer, aggregate_spans, hot_path
 
 __all__ = [
     "Counter",
     "DEFAULT_TIME_BUCKETS",
+    "DriftReport",
     "EventLog",
+    "Finding",
     "Gauge",
+    "HealthConfig",
+    "HealthMonitor",
     "Histogram",
+    "Ledger",
     "METRICS_FILENAME",
     "MetricsRegistry",
     "NullRecorder",
@@ -88,13 +119,24 @@ __all__ = [
     "PROM_FILENAME",
     "RATE_BUCKETS",
     "Recorder",
+    "RunRecord",
     "TRACE_FILENAME",
+    "TimelineError",
     "Tracer",
     "aggregate_spans",
     "bench_obs_path",
+    "binomial_two_sided_p",
+    "binomial_z",
+    "check_run",
+    "compare",
     "configure",
+    "diff_runs",
     "disable",
+    "emit",
     "enable",
+    "env_fingerprint",
+    "expected_rate_from_baseline",
+    "expected_units_from_baseline",
     "histogram_summary",
     "hot_path",
     "is_enabled",
@@ -104,12 +146,16 @@ __all__ = [
     "metrics_jsonl_lines",
     "prom_text",
     "publish_cache_metrics",
+    "record_from_bench",
+    "record_from_outcome",
+    "record_from_results",
     "recorder",
     "render_events",
     "render_metrics",
     "render_profile",
     "render_report",
     "reset_publisher",
+    "resolve_ledger",
     "set_recorder",
     "trace_jsonl_lines",
     "update_bench_obs",

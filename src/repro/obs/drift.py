@@ -1,0 +1,559 @@
+"""Statistical regression detection over the run ledger.
+
+Given the newest :class:`~repro.obs.timeline.RunRecord` for a grid
+fingerprint and a window of earlier runs of the *same* fingerprint,
+:func:`compare` runs four independent checks and returns a
+:class:`DriftReport` of structured findings:
+
+* **kill rate** — the observed kills-per-instance against the pooled
+  baseline rate, as an exact binomial: the standardized residual
+  ``z = (k - n·p) / sqrt(n·p·(1-p))`` must stay within ``±sigma``
+  (default 6, matching the tensor backend's statistical-equivalence
+  contract in :mod:`repro.backends.validate`).  Bit-identical re-runs
+  give ``z = 0`` exactly, so the check has zero false positives on
+  deterministic backends by construction.  A two-sided exact binomial
+  p-value accompanies every finding as supporting evidence.
+* **killed units** — the fraction of units with at least one kill
+  (the quantity behind the paper's mutation score), tested the same
+  way; catches bugs that concentrate or spread kills without moving
+  the total much.
+* **latency changepoint** — median/p90/mean of the
+  ``repro_campaign_unit_seconds`` distribution (and of each BENCH
+  stage, for bench records) against the merged baseline histograms.
+  Because timing is noisy where kill counts are not, a regression
+  needs at least two of the three statistics above
+  ``baseline × (1 + threshold)`` (default 0.2, i.e. a 20% slowdown).
+* **cache hit rate** — the pooled ``repro_cache_events_total``
+  hit fraction; flags an absolute drop beyond ``cache_drop``
+  (default 0.1) once enough lookups exist to mean anything.
+
+Everything is stdlib arithmetic (``math.lgamma`` for exact binomial
+tail sums; a continuity-corrected normal approximation takes over for
+very large counts) — no scipy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs.bench import histogram_summary
+from repro.obs.registry import MetricsRegistry, merge_snapshots
+from repro.obs.timeline import Ledger, RunRecord, TimelineError
+
+DEFAULT_WINDOW = 10
+DEFAULT_SIGMA = 6.0
+DEFAULT_LATENCY_THRESHOLD = 0.2
+DEFAULT_CACHE_DROP = 0.1
+#: Latency checks need this many observations on both sides.
+MIN_LATENCY_COUNT = 8
+#: Cache checks need this many pooled lookups on both sides.
+MIN_CACHE_LOOKUPS = 20
+
+UNIT_SECONDS_FAMILY = "repro_campaign_unit_seconds"
+CACHE_EVENTS_FAMILY = "repro_cache_events_total"
+
+
+# -- exact binomial machinery (stdlib only) ---------------------------------
+
+def _log_binomial_pmf(k: int, n: int, p: float) -> float:
+    if p <= 0.0:
+        return 0.0 if k == 0 else -math.inf
+    if p >= 1.0:
+        return 0.0 if k == n else -math.inf
+    return (
+        math.lgamma(n + 1)
+        - math.lgamma(k + 1)
+        - math.lgamma(n - k + 1)
+        + k * math.log(p)
+        + (n - k) * math.log1p(-p)
+    )
+
+
+def binomial_z(k: int, n: int, p: float) -> float:
+    """Standardized residual of ``k`` successes in ``Bin(n, p)``."""
+    if n <= 0:
+        return 0.0
+    if p <= 0.0 or p >= 1.0:
+        expected = 0 if p <= 0.0 else n
+        return 0.0 if k == expected else math.inf
+    scale = math.sqrt(n * p * (1.0 - p))
+    return (k - n * p) / scale if scale > 0 else 0.0
+
+
+def binomial_two_sided_p(k: int, n: int, p: float) -> float:
+    """Two-sided exact binomial p-value of ``k`` under ``Bin(n, p)``.
+
+    Exact (sum of outcomes no more likely than ``k``) for n up to
+    100k; beyond that a continuity-corrected normal approximation is
+    both accurate and instant.
+    """
+    if n <= 0:
+        return 1.0
+    if p <= 0.0 or p >= 1.0:
+        expected = 0 if p <= 0.0 else n
+        return 1.0 if k == expected else 0.0
+    if n > 100_000:
+        z = abs(binomial_z(k, n, p))
+        z = max(z - 0.5 / math.sqrt(n * p * (1.0 - p)), 0.0)
+        return min(1.0, math.erfc(z / math.sqrt(2.0)))
+    observed = _log_binomial_pmf(k, n, p)
+    # Tiny tolerance keeps "equally likely" outcomes (the mirror
+    # point) inside the sum despite float rounding.
+    cutoff = observed + 1e-9
+    total = 0.0
+    for i in range(n + 1):
+        if _log_binomial_pmf(i, n, p) <= cutoff:
+            total += math.exp(_log_binomial_pmf(i, n, p))
+    return min(1.0, total)
+
+
+# -- findings ---------------------------------------------------------------
+
+@dataclass
+class Finding:
+    """One confirmed regression (or drift) with its evidence."""
+
+    check: str
+    message: str
+    observed: float
+    expected: float
+    z: Optional[float] = None
+    p_value: Optional[float] = None
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "check": self.check,
+            "message": self.message,
+            "observed": self.observed,
+            "expected": self.expected,
+        }
+        if self.z is not None and math.isfinite(self.z):
+            payload["z"] = round(self.z, 3)
+        if self.p_value is not None:
+            payload["p_value"] = self.p_value
+        if self.details:
+            payload["details"] = self.details
+        return payload
+
+
+@dataclass
+class DriftReport:
+    """The verdict of one newest-vs-baseline comparison."""
+
+    fingerprint: str
+    run_utc: float
+    baseline_runs: int
+    findings: List[Finding] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "fingerprint": self.fingerprint,
+            "run_utc": self.run_utc,
+            "baseline_runs": self.baseline_runs,
+            "ok": self.ok,
+            "findings": [f.to_dict() for f in self.findings],
+            "notes": list(self.notes),
+        }
+
+    def describe(self) -> str:
+        lines = [
+            f"drift check  fp={self.fingerprint}  "
+            f"baseline={self.baseline_runs} run(s)"
+        ]
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        if self.ok:
+            lines.append("  OK — no drift detected")
+            return "\n".join(lines)
+        for finding in self.findings:
+            evidence = []
+            if finding.z is not None and math.isfinite(finding.z):
+                evidence.append(f"z={finding.z:+.2f}")
+            if finding.p_value is not None:
+                evidence.append(f"p={finding.p_value:.3g}")
+            suffix = f"  [{', '.join(evidence)}]" if evidence else ""
+            lines.append(
+                f"  REGRESSION [{finding.check}] "
+                f"{finding.message}{suffix}"
+            )
+        return "\n".join(lines)
+
+
+# -- the checks -------------------------------------------------------------
+
+def _registry_from(snapshot: Optional[Dict[str, Any]]) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    if snapshot:
+        registry.merge(snapshot)
+    return registry
+
+
+def _pooled_registry(records: Sequence[RunRecord]) -> MetricsRegistry:
+    return merge_snapshots(
+        [r.metrics for r in records if r.metrics]
+    )
+
+
+def _binomial_check(
+    check: str,
+    what: str,
+    k: int,
+    n: int,
+    base_k: int,
+    base_n: int,
+    sigma: float,
+) -> Optional[Finding]:
+    if n <= 0 or base_n <= 0:
+        return None
+    p = base_k / base_n
+    z = binomial_z(k, n, p)
+    if abs(z) <= sigma:
+        return None
+    return Finding(
+        check=check,
+        message=(
+            f"{what} {k}/{n} ({k / n:.4%}) drifted from the pooled "
+            f"baseline {base_k}/{base_n} ({p:.4%})"
+        ),
+        observed=k / n,
+        expected=p,
+        z=z,
+        p_value=binomial_two_sided_p(k, n, p),
+        details={"k": k, "n": n, "baseline_k": base_k,
+                 "baseline_n": base_n, "sigma": sigma},
+    )
+
+
+def _latency_check(
+    check: str,
+    what: str,
+    observed: Dict[str, float],
+    baseline: Dict[str, float],
+    threshold: float,
+) -> Optional[Finding]:
+    if (
+        observed.get("count", 0) < MIN_LATENCY_COUNT
+        or baseline.get("count", 0) < MIN_LATENCY_COUNT
+    ):
+        return None
+    slow = {}
+    for stat in ("median", "p90", "mean"):
+        base = baseline.get(stat, 0.0)
+        seen = observed.get(stat, 0.0)
+        if base > 0 and seen > base * (1.0 + threshold):
+            slow[stat] = round(seen / base, 3)
+    if len(slow) < 2:
+        return None
+    base_median = baseline.get("median", 0.0)
+    seen_median = observed.get("median", 0.0)
+    ratio = seen_median / base_median if base_median > 0 else math.inf
+    return Finding(
+        check=check,
+        message=(
+            f"{what} slowed beyond the {threshold:.0%} changepoint: "
+            f"median {seen_median:.6f}s vs baseline "
+            f"{base_median:.6f}s ({ratio:.2f}x); "
+            f"{len(slow)}/3 statistics regressed"
+        ),
+        observed=seen_median,
+        expected=base_median,
+        details={
+            "threshold": threshold,
+            "regressed": slow,
+            "observed_stats": observed,
+            "baseline_stats": baseline,
+        },
+    )
+
+
+def _cache_totals(registry: MetricsRegistry) -> Dict[str, float]:
+    totals = {"hit": 0.0, "miss": 0.0}
+    for entry in registry.snapshot()["counters"]:
+        if entry["name"] != CACHE_EVENTS_FAMILY:
+            continue
+        event = entry["labels"].get("event")
+        if event in totals:
+            totals[event] += entry["value"]
+    return totals
+
+
+def _cache_check(
+    observed: MetricsRegistry,
+    baseline: MetricsRegistry,
+    cache_drop: float,
+) -> Optional[Finding]:
+    seen = _cache_totals(observed)
+    base = _cache_totals(baseline)
+    seen_n = seen["hit"] + seen["miss"]
+    base_n = base["hit"] + base["miss"]
+    if seen_n < MIN_CACHE_LOOKUPS or base_n < MIN_CACHE_LOOKUPS:
+        return None
+    seen_rate = seen["hit"] / seen_n
+    base_rate = base["hit"] / base_n
+    if seen_rate >= base_rate - cache_drop:
+        return None
+    return Finding(
+        check="cache_hit_rate",
+        message=(
+            f"cache hit rate fell to {seen_rate:.1%} from the pooled "
+            f"baseline {base_rate:.1%} "
+            f"(drop > {cache_drop:.0%} absolute)"
+        ),
+        observed=seen_rate,
+        expected=base_rate,
+        details={"observed": seen, "baseline": base,
+                 "cache_drop": cache_drop},
+    )
+
+
+def compare(
+    record: RunRecord,
+    baselines: Sequence[RunRecord],
+    sigma: float = DEFAULT_SIGMA,
+    latency_threshold: float = DEFAULT_LATENCY_THRESHOLD,
+    cache_drop: float = DEFAULT_CACHE_DROP,
+) -> DriftReport:
+    """Run every applicable check of ``record`` against its window."""
+    report = DriftReport(
+        fingerprint=record.fingerprint,
+        run_utc=record.utc,
+        baseline_runs=len(baselines),
+    )
+    baselines = [
+        b for b in baselines if b.fingerprint == record.fingerprint
+    ]
+    if len(baselines) != report.baseline_runs:
+        raise TimelineError(
+            "baseline window contains records of a different "
+            "fingerprint — drift comparison is only defined over "
+            "identical grids"
+        )
+    if not baselines:
+        report.notes.append(
+            "no baseline runs for this fingerprint yet — nothing to "
+            "compare against"
+        )
+        return report
+
+    # Kill-rate and killed-unit drift (exact binomial, overall and
+    # per environment kind).
+    finding = _binomial_check(
+        "kill_rate", "kills", record.kills, record.instances,
+        sum(b.kills for b in baselines),
+        sum(b.instances for b in baselines),
+        sigma,
+    )
+    if finding:
+        report.findings.append(finding)
+    finding = _binomial_check(
+        "killed_units", "killed units",
+        record.killed_units, record.units,
+        sum(b.killed_units for b in baselines),
+        sum(b.units for b in baselines),
+        sigma,
+    )
+    if finding:
+        report.findings.append(finding)
+    for kind_name in sorted(record.kinds):
+        bucket = record.kinds[kind_name]
+        base_buckets = [
+            b.kinds[kind_name] for b in baselines
+            if kind_name in b.kinds
+        ]
+        if len(base_buckets) != len(baselines):
+            continue
+        finding = _binomial_check(
+            "kill_rate", f"[{kind_name}] kills",
+            bucket["kills"], bucket["instances"],
+            sum(b["kills"] for b in base_buckets),
+            sum(b["instances"] for b in base_buckets),
+            sigma,
+        )
+        if finding:
+            finding.details["environment_kind"] = kind_name
+            report.findings.append(finding)
+
+    # Warm-path latency changepoints.
+    observed_reg = _registry_from(record.metrics)
+    baseline_reg = _pooled_registry(baselines)
+    if record.metrics:
+        finding = _latency_check(
+            "latency", "per-unit execution",
+            histogram_summary(observed_reg, UNIT_SECONDS_FAMILY),
+            histogram_summary(baseline_reg, UNIT_SECONDS_FAMILY),
+            latency_threshold,
+        )
+        if finding:
+            report.findings.append(finding)
+        finding = _cache_check(
+            observed_reg, baseline_reg, cache_drop
+        )
+        if finding:
+            report.findings.append(finding)
+    else:
+        report.notes.append(
+            "record carries no metrics snapshot — latency and cache "
+            "checks skipped"
+        )
+
+    # BENCH stage changepoints (bench records only).
+    if record.bench:
+        base_stages = [b.bench for b in baselines if b.bench]
+        for stage, summary in sorted(record.bench.items()):
+            pooled = _pool_bench_stage(base_stages, stage)
+            if pooled is None or not isinstance(summary, dict):
+                continue
+            finding = _latency_check(
+                "bench_latency", f"bench stage '{stage}'",
+                _coerce_stats(summary), pooled, latency_threshold,
+            )
+            if finding:
+                finding.details["stage"] = stage
+                report.findings.append(finding)
+    return report
+
+
+def _coerce_stats(summary: Dict[str, Any]) -> Dict[str, float]:
+    stats: Dict[str, float] = {}
+    for key in ("count", "median", "p90", "mean", "sum"):
+        try:
+            stats[key] = float(summary.get(key, 0.0))
+        except (TypeError, ValueError):
+            stats[key] = 0.0
+    if "mean" not in summary and stats.get("count"):
+        stats["mean"] = stats.get("sum", 0.0) / stats["count"]
+    return stats
+
+
+def _pool_bench_stage(
+    stage_sets: Sequence[Dict[str, Any]], stage: str
+) -> Optional[Dict[str, float]]:
+    """Count-weighted pooling of one stage across baseline records.
+
+    Medians and p90s don't pool exactly; the count-weighted average
+    of per-run statistics is the standard changepoint baseline and is
+    exact when the baseline runs are identical.
+    """
+    picked = [
+        _coerce_stats(stages[stage])
+        for stages in stage_sets
+        if isinstance(stages, dict)
+        and isinstance(stages.get(stage), dict)
+    ]
+    picked = [p for p in picked if p.get("count", 0) > 0]
+    if not picked:
+        return None
+    total = sum(p["count"] for p in picked)
+    pooled = {"count": total}
+    for stat in ("median", "p90", "mean"):
+        pooled[stat] = (
+            sum(p[stat] * p["count"] for p in picked) / total
+        )
+    return pooled
+
+
+def check_run(
+    ledger: Ledger,
+    fingerprint: Optional[str] = None,
+    window: int = DEFAULT_WINDOW,
+    sigma: float = DEFAULT_SIGMA,
+    latency_threshold: float = DEFAULT_LATENCY_THRESHOLD,
+    cache_drop: float = DEFAULT_CACHE_DROP,
+    kind: Optional[str] = None,
+) -> DriftReport:
+    """Compare a ledger's newest run against its baseline window.
+
+    With no ``fingerprint``, checks the most recently appended record
+    across the whole ledger.
+    """
+    if fingerprint is None:
+        newest: Optional[RunRecord] = None
+        for fp in ledger.fingerprints():
+            candidate = ledger.latest(fp, kind=kind)
+            if candidate and (
+                newest is None or candidate.utc > newest.utc
+            ):
+                newest = candidate
+        if newest is None:
+            raise TimelineError(
+                f"{ledger.root}: ledger has no runs to check"
+            )
+        fingerprint = newest.fingerprint
+    record = ledger.latest(fingerprint, kind=kind)
+    if record is None:
+        raise TimelineError(
+            f"{ledger.root}: no runs recorded for fingerprint "
+            f"{fingerprint}"
+        )
+    baselines = ledger.baseline(
+        fingerprint, window=window, kind=kind,
+        before_utc=None,
+    )
+    # `baseline` drops the newest record positionally; when utc
+    # collisions occur the sort is stable, so this stays correct.
+    return compare(
+        record,
+        baselines,
+        sigma=sigma,
+        latency_threshold=latency_threshold,
+        cache_drop=cache_drop,
+    )
+
+
+def diff_runs(
+    record: RunRecord, baseline: RunRecord
+) -> Dict[str, Any]:
+    """A metric-by-metric delta between two runs (no verdicts)."""
+    payload: Dict[str, Any] = {
+        "fingerprint": record.fingerprint,
+        "runs": {
+            "observed": record.utc,
+            "baseline": baseline.utc,
+        },
+        "kill_rate": {
+            "observed": record.kill_rate,
+            "baseline": baseline.kill_rate,
+            "delta": record.kill_rate - baseline.kill_rate,
+        },
+        "killed_fraction": {
+            "observed": record.killed_fraction,
+            "baseline": baseline.killed_fraction,
+            "delta": (
+                record.killed_fraction - baseline.killed_fraction
+            ),
+        },
+        "wall_seconds": {
+            "observed": record.wall_seconds,
+            "baseline": baseline.wall_seconds,
+            "delta": record.wall_seconds - baseline.wall_seconds,
+        },
+    }
+    if record.metrics and baseline.metrics:
+        observed = histogram_summary(
+            _registry_from(record.metrics), UNIT_SECONDS_FAMILY
+        )
+        base = histogram_summary(
+            _registry_from(baseline.metrics), UNIT_SECONDS_FAMILY
+        )
+        payload["unit_seconds"] = {
+            "observed": observed, "baseline": base,
+        }
+    if record.bench and baseline.bench:
+        stages = {}
+        for stage in sorted(
+            set(record.bench) & set(baseline.bench)
+        ):
+            stages[stage] = {
+                "observed": record.bench[stage],
+                "baseline": baseline.bench[stage],
+            }
+        payload["bench"] = stages
+    return payload

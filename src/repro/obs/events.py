@@ -30,6 +30,10 @@ class EventLog:
             raise ObsError("event log capacity must be >= 1")
         self.capacity = capacity
         self.dropped = 0
+        #: Drops that happened *locally* in this process, never
+        #: reset by drain and never inflated by absorb — the basis
+        #: of the exactly-once ``repro_obs_dropped_total`` counter.
+        self.lifetime_dropped = 0
         self._events: List[Dict[str, Any]] = []
 
     def emit(self, name: str, **attrs: Any) -> None:
@@ -42,6 +46,7 @@ class EventLog:
     def _append(self, event: Dict[str, Any]) -> None:
         if len(self._events) >= self.capacity:
             self.dropped += 1
+            self.lifetime_dropped += 1
             return
         self._events.append(event)
 
@@ -91,3 +96,4 @@ class EventLog:
     def reset(self) -> None:
         self._events = []
         self.dropped = 0
+        self.lifetime_dropped = 0

@@ -267,6 +267,10 @@ def write_artifacts(
     out.mkdir(parents=True, exist_ok=True)
     paths: Dict[str, Path] = {}
 
+    # Buffer truncation must be visible in the artifacts even when
+    # nothing was drained (single-process runs export directly).
+    rec.publish_drop_counters()
+
     metrics_path = out / METRICS_FILENAME
     metrics_path.write_text(
         "\n".join(metrics_jsonl_lines(rec.registry, rec.events)) + "\n"

@@ -1,0 +1,301 @@
+"""Live campaign health: stragglers and mid-run kill-rate drift.
+
+A :class:`HealthMonitor` watches a campaign *while it runs* — the
+ledger/detector pair (:mod:`repro.obs.timeline`,
+:mod:`repro.obs.drift`) only speaks after the run is over.  The
+scheduler feeds it every completed unit; the service feeds it every
+absorbed shard and forwards flagged events to SSE subscribers.
+
+Two checks:
+
+* **stragglers** — a unit whose wall time exceeds ``factor`` × the
+  running ``quantile`` of all units seen so far (a per-campaign
+  histogram, so the threshold adapts to the grid instead of being a
+  magic constant).  Flagging starts only after ``min_units``
+  observations, so cold-start noise never fires.
+* **kill drift** — two modes, best first:
+
+  - *prefix-exact*: when the ledger baseline carries per-unit kill
+    detail (``RunRecord.units_detail``), the cumulative kills are
+    compared against the baseline's expectation *for exactly the
+    units completed so far*.  On a seeded identical re-run the
+    residual is exactly zero at every prefix — unit ordering cannot
+    produce a false positive — and a genuinely drifted unit moves
+    the residual immediately.
+  - *pooled fallback*: with only pooled baseline totals, the
+    cumulative rate is z-tested against the pooled expectation.
+    Units run grouped by kind/test, so the partial rate legitimately
+    wanders around the pooled value on a healthy run; the fallback
+    therefore additionally requires the observed rate to diverge by
+    at least ``drift_min_ratio`` × (in either direction) and is
+    best-effort by design.
+
+  Either way the flag latches: one structured event when drift is
+  first confirmed, not one per shard.
+
+Flags are delivered three ways at once: appended to the monitor's
+bounded event list (for ``summary()`` / the service's job status),
+pushed through an optional ``emit`` callback (the service publishes
+these on the SSE stream), and counted on the process recorder as
+``repro_obs_health_total{kind=...}`` named events.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.obs.drift import binomial_z
+from repro.obs.recorder import recorder
+from repro.obs.registry import DEFAULT_TIME_BUCKETS, Histogram
+
+HEALTH_METRIC = "repro_obs_health_total"
+#: Event kinds a monitor can flag; materialized at zero on the
+#: recorder so dashboards see the family even when nothing fired.
+HEALTH_KINDS = ("straggler", "kill_drift")
+
+
+@dataclass
+class HealthConfig:
+    """Thresholds for live monitoring (all adaptive checks)."""
+
+    straggler_quantile: float = 0.9
+    straggler_factor: float = 4.0
+    min_units: int = 20
+    drift_sigma: float = 6.0
+    #: Minimum multiplicative divergence (either direction) before a
+    #: statistically-significant cumulative rate counts as drift —
+    #: the ordering-noise guard described in the module docstring.
+    drift_min_ratio: float = 2.0
+    min_instances: int = 1000
+    event_capacity: int = 256
+
+
+class HealthMonitor:
+    """Streaming health checks for one running campaign."""
+
+    def __init__(
+        self,
+        expected_kill_rate: Optional[float] = None,
+        config: Optional[HealthConfig] = None,
+        emit: Optional[Callable[[Dict[str, Any]], None]] = None,
+        expected_units: Optional[Dict[int, List[float]]] = None,
+    ) -> None:
+        self.config = config or HealthConfig()
+        self.expected_kill_rate = expected_kill_rate
+        #: unit index -> [mean kills, instances] from the baseline
+        #: window; enables the prefix-exact drift mode.
+        self.expected_units = expected_units
+        self._expected_kills = 0.0
+        self._expected_variance = 0.0
+        self._emit = emit
+        self._durations = Histogram(DEFAULT_TIME_BUCKETS)
+        self.units = 0
+        self.kills = 0
+        self.instances = 0
+        self.stragglers = 0
+        self.drift_flagged = False
+        self.events: List[Dict[str, Any]] = []
+        self.dropped_events = 0
+        rec = recorder()
+        if rec.enabled:
+            for kind in HEALTH_KINDS:
+                rec.counter_inc(HEALTH_METRIC, 0, {"kind": kind})
+
+    # -- feeding -----------------------------------------------------------
+
+    def observe_unit(
+        self,
+        elapsed: float,
+        worker: Optional[str] = None,
+        unit: Optional[int] = None,
+    ) -> Optional[Dict[str, Any]]:
+        """Record one completed unit; returns a straggler flag or
+        ``None``."""
+        flag = None
+        cfg = self.config
+        if self.units >= cfg.min_units:
+            threshold = (
+                self._durations.quantile(cfg.straggler_quantile)
+                * cfg.straggler_factor
+            )
+            if threshold > 0 and elapsed > threshold:
+                self.stragglers += 1
+                flag = self._flag(
+                    "straggler",
+                    elapsed=round(elapsed, 6),
+                    threshold=round(threshold, 6),
+                    quantile=cfg.straggler_quantile,
+                    factor=cfg.straggler_factor,
+                    worker=worker,
+                    unit=unit,
+                )
+        self._durations.observe(elapsed)
+        self.units += 1
+        return flag
+
+    def observe_kills(
+        self, kills: int, instances: int, unit: Optional[int] = None
+    ) -> Optional[Dict[str, Any]]:
+        """Accumulate kill totals; returns a drift flag the first
+        time the cumulative residual leaves the expected band.
+
+        ``unit`` is the global unit index — with per-unit baseline
+        expectations it selects the prefix-exact mode.
+        """
+        self.kills += kills
+        self.instances += instances
+        expected_unit = None
+        if self.expected_units is not None and unit is not None:
+            expected_unit = self.expected_units.get(unit)
+        if expected_unit is not None:
+            mean_kills, unit_instances = expected_unit
+            self._expected_kills += mean_kills
+            if unit_instances > 0:
+                p = min(max(mean_kills / unit_instances, 0.0), 1.0)
+                self._expected_variance += (
+                    unit_instances * p * (1.0 - p)
+                )
+        if (
+            self.drift_flagged
+            or self.instances < self.config.min_instances
+        ):
+            return None
+        if self.expected_units is not None:
+            if self._expected_kills <= 0 and self.kills == 0:
+                return None
+            z = (self.kills - self._expected_kills) / math.sqrt(
+                max(self._expected_variance, 1.0)
+            )
+            if abs(z) <= self.config.drift_sigma:
+                return None
+            self.drift_flagged = True
+            return self._flag(
+                "kill_drift",
+                mode="prefix",
+                kills=self.kills,
+                instances=self.instances,
+                expected_kills=round(self._expected_kills, 3),
+                observed_rate=round(
+                    self.kills / self.instances, 6
+                ),
+                expected_rate=round(
+                    self._expected_kills / self.instances, 6
+                ),
+                z=round(z, 3),
+                sigma=self.config.drift_sigma,
+            )
+        if self.expected_kill_rate is None:
+            return None
+        z = binomial_z(
+            self.kills, self.instances, self.expected_kill_rate
+        )
+        if abs(z) <= self.config.drift_sigma:
+            return None
+        observed = self.kills / self.instances
+        expected = self.expected_kill_rate
+        ratio = self.config.drift_min_ratio
+        if expected > 0 and (
+            observed <= expected * ratio
+            and observed * ratio >= expected
+        ):
+            return None
+        self.drift_flagged = True
+        return self._flag(
+            "kill_drift",
+            mode="pooled",
+            kills=self.kills,
+            instances=self.instances,
+            observed_rate=round(self.kills / self.instances, 6),
+            expected_rate=self.expected_kill_rate,
+            z=round(z, 3),
+            sigma=self.config.drift_sigma,
+        )
+
+    # -- reporting ---------------------------------------------------------
+
+    def _flag(self, kind: str, **details: Any) -> Dict[str, Any]:
+        event = {
+            "kind": kind,
+            "utc": time.time(),
+            **{k: v for k, v in details.items() if v is not None},
+        }
+        if len(self.events) < self.config.event_capacity:
+            self.events.append(event)
+        else:
+            self.dropped_events += 1
+        rec = recorder()
+        if rec.enabled:
+            rec.counter_inc(HEALTH_METRIC, 1, {"kind": kind})
+            rec.event(f"obs.health.{kind}", **details)
+        if self._emit is not None:
+            try:
+                self._emit(event)
+            except Exception:
+                # Health reporting must never take the campaign down.
+                pass
+        return event
+
+    def summary(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "units": self.units,
+            "stragglers": self.stragglers,
+            "kill_drift": self.drift_flagged,
+            "kills": self.kills,
+            "instances": self.instances,
+            "events": self.events[-10:],
+            "dropped_events": self.dropped_events,
+        }
+        if self.expected_kill_rate is not None:
+            payload["expected_kill_rate"] = self.expected_kill_rate
+            if self.instances:
+                payload["observed_kill_rate"] = round(
+                    self.kills / self.instances, 6
+                )
+        if self.units:
+            payload["unit_seconds_p90"] = round(
+                self._durations.quantile(0.9), 6
+            )
+        return payload
+
+
+def expected_rate_from_baseline(
+    baselines: List[Any],
+) -> Optional[float]:
+    """Pooled kill rate of a ledger baseline window, or ``None``."""
+    instances = sum(b.instances for b in baselines)
+    kills = sum(b.kills for b in baselines)
+    if instances <= 0:
+        return None
+    return kills / instances
+
+
+def expected_units_from_baseline(
+    baselines: List[Any],
+) -> Optional[Dict[int, List[float]]]:
+    """Per-unit ``[mean kills, instances]`` expectations, or ``None``.
+
+    Built from the baseline records that carry ``units_detail`` of one
+    consistent length (records from a different grid shape are
+    skipped); kills are averaged across the window.
+    """
+    detailed = [
+        b.units_detail
+        for b in baselines
+        if getattr(b, "units_detail", None)
+    ]
+    if not detailed:
+        return None
+    length = len(detailed[0])
+    detailed = [d for d in detailed if len(d) == length]
+    expected: Dict[int, List[float]] = {}
+    for index in range(length):
+        kills = [float(d[index][0]) for d in detailed]
+        instances = [int(d[index][1]) for d in detailed]
+        expected[index] = [
+            sum(kills) / len(detailed),
+            max(instances),
+        ]
+    return expected

@@ -29,6 +29,9 @@ from repro.obs.registry import MetricsRegistry
 from repro.obs.tracer import Tracer
 
 CONFIG_SCHEMA = 1
+#: Bounded-buffer truncation, visible instead of silent: one counter
+#: per buffer kind, materialized at zero on every drain/export.
+DROP_METRIC = "repro_obs_dropped_total"
 
 
 class _NullSpan:
@@ -88,6 +91,9 @@ class NullRecorder:
     def drain(self) -> Optional[Dict[str, Any]]:
         return None
 
+    def publish_drop_counters(self) -> None:
+        return None
+
     def absorb(
         self,
         payload: Optional[Dict[str, Any]],
@@ -107,6 +113,7 @@ class Recorder(NullRecorder):
     __slots__ = (
         "registry", "tracer", "events", "trace",
         "span_capacity", "event_capacity", "trace_sample",
+        "_drops_published",
     )
 
     def __init__(
@@ -123,6 +130,7 @@ class Recorder(NullRecorder):
         self.span_capacity = span_capacity
         self.event_capacity = event_capacity
         self.trace_sample = trace_sample
+        self._drops_published = {"events": 0, "spans": 0}
 
     # -- metrics -----------------------------------------------------------
 
@@ -171,8 +179,28 @@ class Recorder(NullRecorder):
 
     # -- shipping ----------------------------------------------------------
 
+    def publish_drop_counters(self) -> None:
+        """Materialize ``repro_obs_dropped_total{kind}`` counters.
+
+        Publishes only drops that happened *locally* and weren't
+        published before (lifetime counters, not the drain-reset
+        ones), so counts ship upstream exactly once through the
+        normal drain/merge channel — a parent that absorbs a worker
+        payload never double-counts the worker's drops.
+        """
+        for kind, lifetime in (
+            ("events", self.events.lifetime_dropped),
+            ("spans", self.tracer.lifetime_dropped),
+        ):
+            delta = max(lifetime - self._drops_published[kind], 0)
+            self.registry.counter(
+                DROP_METRIC, {"kind": kind}
+            ).inc(delta)
+            self._drops_published[kind] = lifetime
+
     def drain(self) -> Dict[str, Any]:
         """Everything since the last drain, as one picklable payload."""
+        self.publish_drop_counters()
         return {
             "schema": CONFIG_SCHEMA,
             "metrics": self.registry.drain(),

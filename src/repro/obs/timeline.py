@@ -1,0 +1,537 @@
+"""The longitudinal run ledger: every run leaves a durable record.
+
+A :class:`Ledger` is an append-only, sharded JSONL archive of
+normalized :class:`RunRecord` payloads — one per campaign, benchmark,
+or service job — so runs separated by days (or machines) can be
+compared statistically instead of eyeballed:
+
+.. code-block:: text
+
+    <ledger>/
+        manifest.json              # atomic write; pins format + schema
+        runs/<fp[:2]>/<fp>.jsonl   # one shard per grid fingerprint
+
+Records for the same spec land in the same shard, keyed by the spec's
+grid :func:`~repro.campaign.spec.payload_fingerprint` — the detector
+(:mod:`repro.obs.drift`) only ever compares runs of identical grids,
+so the fingerprint IS the baseline-matching key.  Benchmark records
+use a fingerprint derived from the bench name.
+
+Durability follows the two disciplines already in the tree: the
+manifest is written atomically (``mkstemp`` + ``fsync`` +
+``os.replace``, as in :mod:`repro.store`), and record appends are
+fsync'd whole lines with torn-tail repair (as in
+:mod:`repro.campaign.journal`) — a writer SIGKILLed mid-append leaves
+at most one incomplete trailing line, which the next append truncates
+and every read forgives.  The newest valid record is therefore always
+intact.
+
+The ledger is opt-in and ambient: pass a path explicitly, use the
+``--ledger`` CLI flag, or export ``REPRO_LEDGER=<dir>`` and every
+campaign/bench/service entry point picks it up.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.analysis.serialize import iter_jsonl, jsonl_line
+from repro.obs.registry import ObsError
+
+LEDGER_FORMAT = 1
+RUN_RECORD_SCHEMA = 1
+LEDGER_ENV = "REPRO_LEDGER"
+
+#: Record kinds; free-form strings are allowed but these are the ones
+#: the built-in emitters write.
+KIND_CAMPAIGN = "campaign"
+KIND_BENCH = "bench"
+KIND_SERVICE = "service"
+
+
+class TimelineError(ObsError):
+    """A malformed ledger, record, or query."""
+
+
+def ledger_env_root() -> Optional[Path]:
+    """The ambient ledger directory, if ``REPRO_LEDGER`` is set."""
+    root = os.environ.get(LEDGER_ENV, "").strip()
+    return Path(root) if root else None
+
+
+def resolve_ledger(
+    path: Optional[Union[str, Path]] = None
+) -> Optional["Ledger"]:
+    """An opened ledger from an explicit path or the environment.
+
+    Returns ``None`` when neither is given — callers treat that as
+    "ledger emission disabled", which keeps the warm path free of any
+    ledger cost unless one was asked for.
+    """
+    root = Path(path) if path is not None else ledger_env_root()
+    if root is None:
+        return None
+    return Ledger(root)
+
+
+@dataclass
+class RunRecord:
+    """One normalized run: identity, outcome totals, and telemetry."""
+
+    kind: str
+    name: str
+    fingerprint: str
+    utc: float
+    seed: Optional[int] = None
+    backend: Optional[str] = None
+    equivalence: Optional[str] = None
+    wall_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    units: int = 0
+    kills: int = 0
+    instances: int = 0
+    killed_units: int = 0
+    #: Per-environment-kind breakdown of the four totals above.
+    kinds: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: Per-unit ``[kills, instances]`` in global unit-index order.
+    #: What makes *prefix-exact* live drift detection possible: a
+    #: monitor can compare cumulative kills against the baseline's
+    #: expectation for exactly the units completed so far, instead of
+    #: against a pooled rate that ordering noise wanders around.
+    units_detail: Optional[List[List[int]]] = None
+    #: Drained/final MetricsRegistry snapshot (schema 1), if any.
+    metrics: Optional[Dict[str, Any]] = None
+    #: BENCH-style per-stage summaries (median/p90/...), if any.
+    bench: Optional[Dict[str, Any]] = None
+    #: Free-form context (job id, tenant, env fingerprint, ...).
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "schema": RUN_RECORD_SCHEMA,
+            "kind": self.kind,
+            "name": self.name,
+            "fingerprint": self.fingerprint,
+            "utc": self.utc,
+            "seed": self.seed,
+            "backend": self.backend,
+            "equivalence": self.equivalence,
+            "wall_seconds": self.wall_seconds,
+            "cpu_seconds": self.cpu_seconds,
+            "units": self.units,
+            "kills": self.kills,
+            "instances": self.instances,
+            "killed_units": self.killed_units,
+            "kinds": self.kinds,
+        }
+        if self.units_detail is not None:
+            payload["units_detail"] = self.units_detail
+        if self.metrics is not None:
+            payload["metrics"] = self.metrics
+        if self.bench is not None:
+            payload["bench"] = self.bench
+        if self.extra:
+            payload["extra"] = self.extra
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RunRecord":
+        if not isinstance(payload, dict):
+            raise TimelineError("run record payload is not an object")
+        if payload.get("schema") != RUN_RECORD_SCHEMA:
+            raise TimelineError(
+                f"unsupported run record schema "
+                f"{payload.get('schema')!r} (this build reads schema "
+                f"{RUN_RECORD_SCHEMA})"
+            )
+        try:
+            return cls(
+                kind=payload["kind"],
+                name=payload["name"],
+                fingerprint=payload["fingerprint"],
+                utc=float(payload["utc"]),
+                seed=payload.get("seed"),
+                backend=payload.get("backend"),
+                equivalence=payload.get("equivalence"),
+                wall_seconds=float(payload.get("wall_seconds", 0.0)),
+                cpu_seconds=float(payload.get("cpu_seconds", 0.0)),
+                units=int(payload.get("units", 0)),
+                kills=int(payload.get("kills", 0)),
+                instances=int(payload.get("instances", 0)),
+                killed_units=int(payload.get("killed_units", 0)),
+                kinds=payload.get("kinds", {}),
+                units_detail=payload.get("units_detail"),
+                metrics=payload.get("metrics"),
+                bench=payload.get("bench"),
+                extra=payload.get("extra", {}),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise TimelineError(f"malformed run record: {error}")
+
+    @property
+    def kill_rate(self) -> float:
+        return self.kills / self.instances if self.instances else 0.0
+
+    @property
+    def killed_fraction(self) -> float:
+        return self.killed_units / self.units if self.units else 0.0
+
+    def describe(self) -> str:
+        when = time.strftime(
+            "%Y-%m-%d %H:%M:%S", time.gmtime(self.utc)
+        )
+        bits = [
+            f"{when}Z",
+            f"{self.kind}:{self.name}",
+            f"fp={self.fingerprint}",
+        ]
+        if self.backend:
+            bits.append(f"backend={self.backend}")
+        if self.units:
+            bits.append(
+                f"units={self.units} kills={self.kills}/"
+                f"{self.instances} ({self.kill_rate:.4%})"
+            )
+        if self.bench:
+            bits.append(f"bench stages={len(self.bench)}")
+        bits.append(f"wall={self.wall_seconds:.2f}s")
+        return "  ".join(bits)
+
+
+def _spec_equivalence(spec: Any) -> Optional[str]:
+    """The spec's backend equivalence contract, if resolvable."""
+    method = getattr(spec, "equivalence", None)
+    if method is None:
+        return None
+    try:
+        value = method()
+    except Exception:
+        return None
+    return value if isinstance(value, str) else None
+
+
+def record_from_outcome(
+    outcome: Any,
+    kind: str = KIND_CAMPAIGN,
+    extra: Optional[Dict[str, Any]] = None,
+) -> RunRecord:
+    """Normalize a :class:`~repro.campaign.scheduler.CampaignOutcome`."""
+    metrics = outcome.metrics
+    registry = getattr(metrics, "registry", None)
+    return record_from_results(
+        outcome.spec,
+        outcome.results,
+        kind=kind,
+        wall_seconds=metrics.wall_seconds,
+        registry=registry,
+        utc=getattr(metrics, "finished_at_utc", None),
+        extra=extra,
+    )
+
+
+def record_from_results(
+    spec: Any,
+    results: Dict[Any, Any],
+    kind: str = KIND_CAMPAIGN,
+    wall_seconds: float = 0.0,
+    registry: Optional[Any] = None,
+    utc: Optional[float] = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> RunRecord:
+    """Normalize assembled per-kind results into a run record.
+
+    Totals are recomputed from the assembled results (not the metrics)
+    so a resumed or store-warmed run reports the same outcome numbers
+    as the run that executed every unit — the ledger records *what the
+    grid produced*, which is what drift detection compares.
+    """
+    per_kind: Dict[str, Dict[str, int]] = {}
+    units = kills = instances = killed_units = 0
+    # Per-kind runs are in global unit-index order (assemble_results
+    # sorts them), so zipping each kind's runs with that kind's unit
+    # indices recovers the per-unit detail the live monitor needs.
+    kind_indices: Dict[str, List[int]] = {}
+    for index, unit in enumerate(spec.units()):
+        kind_indices.setdefault(unit.kind.name, []).append(index)
+    detail: Dict[int, List[int]] = {}
+    for env_kind, result in sorted(
+        results.items(), key=lambda item: item[0].name
+    ):
+        bucket = {"units": 0, "kills": 0, "instances": 0,
+                  "killed_units": 0}
+        indices = kind_indices.get(env_kind.name, [])
+        aligned = len(indices) == len(result.runs)
+        for position, run in enumerate(result.runs):
+            run_instances = (
+                run.iterations * run.instances_per_iteration
+            )
+            bucket["units"] += 1
+            bucket["kills"] += run.kills
+            bucket["instances"] += run_instances
+            if run.kills > 0:
+                bucket["killed_units"] += 1
+            if aligned:
+                detail[indices[position]] = [run.kills, run_instances]
+        per_kind[env_kind.name.lower()] = bucket
+        units += bucket["units"]
+        kills += bucket["kills"]
+        instances += bucket["instances"]
+        killed_units += bucket["killed_units"]
+    units_detail: Optional[List[List[int]]] = None
+    if detail and sorted(detail) == list(range(len(detail))):
+        units_detail = [detail[index] for index in range(len(detail))]
+    cpu_seconds = 0.0
+    snapshot = None
+    if registry is not None:
+        snapshot = registry.snapshot()
+        cpu_seconds = registry.family_total(
+            "repro_campaign_busy_seconds_total"
+        )
+    return RunRecord(
+        kind=kind,
+        name=spec.name,
+        fingerprint=spec.fingerprint(),
+        utc=utc or time.time(),
+        seed=spec.seed,
+        backend=spec.backend,
+        equivalence=_spec_equivalence(spec),
+        wall_seconds=wall_seconds,
+        cpu_seconds=cpu_seconds,
+        units=units,
+        kills=kills,
+        instances=instances,
+        killed_units=killed_units,
+        kinds=per_kind,
+        units_detail=units_detail,
+        metrics=snapshot,
+        extra=dict(extra or {}),
+    )
+
+
+def bench_fingerprint(bench: str) -> str:
+    """The baseline-matching key for one named benchmark."""
+    from repro.campaign.spec import payload_fingerprint
+
+    return payload_fingerprint(
+        {"bench": bench, "schema": RUN_RECORD_SCHEMA}
+    )
+
+
+def record_from_bench(
+    bench: str,
+    stages: Dict[str, Dict[str, Any]],
+    extra: Optional[Dict[str, Any]] = None,
+) -> RunRecord:
+    """Normalize one BENCH emission into a run record."""
+    wall = 0.0
+    for summary in stages.values():
+        try:
+            wall += float(summary.get("sum", 0.0))
+        except (AttributeError, TypeError, ValueError):
+            pass
+    return RunRecord(
+        kind=KIND_BENCH,
+        name=bench,
+        fingerprint=bench_fingerprint(bench),
+        utc=time.time(),
+        wall_seconds=wall,
+        bench=stages,
+        extra=dict(extra or {}),
+    )
+
+
+class Ledger:
+    """A sharded, crash-safe, append-only archive of run records."""
+
+    def __init__(self, root: Union[str, Path], create: bool = True):
+        self.root = Path(root)
+        self.runs_dir = self.root / "runs"
+        self.manifest_path = self.root / "manifest.json"
+        if create:
+            self._ensure_manifest()
+        elif not self.manifest_path.exists():
+            raise TimelineError(f"{self.root}: not a run ledger")
+
+    # -- layout ------------------------------------------------------------
+
+    def shard_path(self, fingerprint: str) -> Path:
+        if not fingerprint or len(fingerprint) < 3:
+            raise TimelineError(
+                f"malformed ledger fingerprint: {fingerprint!r}"
+            )
+        return (
+            self.runs_dir / fingerprint[:2] / f"{fingerprint}.jsonl"
+        )
+
+    def fingerprints(self) -> List[str]:
+        if not self.runs_dir.exists():
+            return []
+        return sorted(
+            path.stem
+            for path in self.runs_dir.glob("*/*.jsonl")
+        )
+
+    def _ensure_manifest(self) -> None:
+        if self.manifest_path.exists():
+            manifest = self._load_manifest()
+            if manifest.get("format") != LEDGER_FORMAT:
+                raise TimelineError(
+                    f"{self.root}: ledger format "
+                    f"{manifest.get('format')!r} is not the supported "
+                    f"format {LEDGER_FORMAT}"
+                )
+            return
+        self._write_atomic(
+            self.manifest_path,
+            json.dumps(
+                {
+                    "format": LEDGER_FORMAT,
+                    "record_schema": RUN_RECORD_SCHEMA,
+                    "created_utc": time.time(),
+                },
+                sort_keys=True,
+            )
+            + "\n",
+        )
+
+    def _load_manifest(self) -> Dict[str, Any]:
+        try:
+            return json.loads(self.manifest_path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise TimelineError(
+                f"{self.root}: unreadable ledger manifest: {error}"
+            )
+
+    def _write_atomic(self, target: Path, text: str) -> None:
+        target.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(target.parent), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, target)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    # -- writing -----------------------------------------------------------
+
+    def _repair(self, path: Path) -> None:
+        """Truncate a torn trailing line left by a killed writer."""
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return
+        if not data or data.endswith(b"\n"):
+            return
+        keep = data.rfind(b"\n") + 1
+        with open(path, "r+b") as handle:
+            handle.truncate(keep)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def append(self, record: RunRecord) -> Path:
+        """Durably append one record to its fingerprint shard.
+
+        The line is flushed and fsync'd before returning; a crash
+        after ``append`` never loses the record, a crash during it
+        leaves a torn tail that the next append (or any read)
+        discards.
+        """
+        path = self.shard_path(record.fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        if path.exists():
+            self._repair(path)
+        line = jsonl_line(record.to_dict()) + "\n"
+        with open(path, "a") as handle:
+            handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+        return path
+
+    # -- reading -----------------------------------------------------------
+
+    def _shard_records(self, path: Path) -> List[RunRecord]:
+        records: List[RunRecord] = []
+        for payload in iter_jsonl(path, tolerate_truncated_tail=True):
+            records.append(RunRecord.from_dict(payload))
+        return records
+
+    def history(
+        self,
+        fingerprint: Optional[str] = None,
+        kind: Optional[str] = None,
+        name: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> List[RunRecord]:
+        """Matching records, oldest first (append order per shard)."""
+        if fingerprint is not None:
+            paths = [self.shard_path(fingerprint)]
+        else:
+            paths = [
+                self.shard_path(fp) for fp in self.fingerprints()
+            ]
+        records: List[RunRecord] = []
+        for path in paths:
+            if not path.exists():
+                continue
+            records.extend(self._shard_records(path))
+        if kind is not None:
+            records = [r for r in records if r.kind == kind]
+        if name is not None:
+            records = [r for r in records if r.name == name]
+        records.sort(key=lambda record: record.utc)
+        if limit is not None and limit >= 0:
+            records = records[-limit:]
+        return records
+
+    def latest(
+        self, fingerprint: str, kind: Optional[str] = None
+    ) -> Optional[RunRecord]:
+        records = self.history(fingerprint=fingerprint, kind=kind)
+        return records[-1] if records else None
+
+    def baseline(
+        self,
+        fingerprint: str,
+        window: int = 10,
+        kind: Optional[str] = None,
+        before_utc: Optional[float] = None,
+    ) -> List[RunRecord]:
+        """The baseline window: up to ``window`` runs before the
+        newest one (or before ``before_utc``), oldest first."""
+        records = self.history(fingerprint=fingerprint, kind=kind)
+        if before_utc is not None:
+            records = [r for r in records if r.utc < before_utc]
+        else:
+            records = records[:-1]
+        if window >= 0:
+            records = records[-window:] if window else []
+        return records
+
+    def describe(self) -> str:
+        lines = [f"run ledger at {self.root}"]
+        for fp in self.fingerprints():
+            records = self.history(fingerprint=fp)
+            if not records:
+                continue
+            newest = records[-1]
+            lines.append(
+                f"  {fp}  {len(records):4d} run(s)  "
+                f"latest {newest.kind}:{newest.name}"
+            )
+        if len(lines) == 1:
+            lines.append("  (empty)")
+        return "\n".join(lines)

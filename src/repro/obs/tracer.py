@@ -85,6 +85,9 @@ class Tracer:
         self.capacity = capacity
         self.sample = sample
         self.dropped = 0
+        #: Local drops only, never drained away — see
+        #: ``EventLog.lifetime_dropped``.
+        self.lifetime_dropped = 0
         self._spans: List[Dict[str, Any]] = []
         self._stack: List[str] = []
         self._seq = 0
@@ -105,6 +108,7 @@ class Tracer:
     def _record(self, span: Dict[str, Any]) -> None:
         if len(self._spans) >= self.capacity:
             self.dropped += 1
+            self.lifetime_dropped += 1
             return
         self._spans.append(span)
 
@@ -158,6 +162,7 @@ class Tracer:
         self._spans = []
         self._stack = []
         self.dropped = 0
+        self.lifetime_dropped = 0
         self._seq = 0
         self._top_seen = 0
         self._epoch = time.perf_counter()

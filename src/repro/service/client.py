@@ -17,7 +17,7 @@ import json
 import time
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Union
-from urllib.parse import urlsplit
+from urllib.parse import urlencode, urlsplit
 
 from repro.service.jobstore import JobState, ServiceError
 from repro.service.server import endpoint_path
@@ -134,6 +134,24 @@ class ServiceClient:
 
     def cancel(self, job_id: str) -> Dict[str, Any]:
         return self._request("DELETE", f"/jobs/{job_id}")
+
+    def history(
+        self,
+        fingerprint: Optional[str] = None,
+        kind: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> List[Dict[str, Any]]:
+        """Run-ledger records, oldest first."""
+        params = {
+            "fingerprint": fingerprint,
+            "kind": kind,
+            "limit": limit,
+        }
+        query = urlencode(
+            {k: v for k, v in params.items() if v is not None}
+        )
+        path = "/history" + (f"?{query}" if query else "")
+        return self._request("GET", path)["runs"]
 
     def metrics_text(self) -> str:
         return self._request("GET", "/metrics")

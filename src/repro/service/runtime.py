@@ -48,7 +48,17 @@ from repro.campaign.worker import (
     execute_shard_for,
     initialize_service_worker,
 )
+from repro.obs.health import (
+    HealthMonitor,
+    expected_rate_from_baseline,
+    expected_units_from_baseline,
+)
 from repro.obs.registry import MetricsRegistry
+from repro.obs.timeline import (
+    KIND_SERVICE,
+    Ledger,
+    record_from_results,
+)
 from repro.store import ResultStore, unit_digests
 from repro.service.fairshare import FairShareScheduler, TenantQuota
 from repro.service.jobstore import (
@@ -96,6 +106,10 @@ class ServiceConfig:
     #: "off"``) but name no path get ``<store_root>/<tenant>`` — one
     #: persistent result store per tenant, shared by all their jobs.
     store_root: Optional[Union[str, Path]] = None
+    #: Run-ledger directory.  Defaults to ``<root>/ledger``; every
+    #: DONE job appends a normalized run record there, and the same
+    #: ledger seeds each job's live :class:`HealthMonitor` baselines.
+    ledger: Optional[Union[str, Path]] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -137,6 +151,7 @@ class ActiveJob:
     digests: Dict[int, str] = field(default_factory=dict)
     backend_name: str = ""
     backend_version: int = 1
+    health: HealthMonitor = field(default_factory=HealthMonitor)
     subscribers: List["asyncio.Queue[Optional[Dict[str, Any]]]"] = field(
         default_factory=list
     )
@@ -186,6 +201,11 @@ class CampaignService:
         for tenant, quota in config.quotas.items():
             self.fairshare.set_quota(tenant, quota)
         self.registry = MetricsRegistry()
+        self.ledger = Ledger(
+            Path(config.ledger)
+            if config.ledger is not None
+            else Path(config.root) / "ledger"
+        )
         self.jobs: Dict[str, ActiveJob] = {}
         self.started_utc = time.time()
         self._executor: Optional[Executor] = None
@@ -323,6 +343,7 @@ class CampaignService:
             resumed=len(done_keys),
             cached=sum(1 for rec in records if rec.attempts == 0),
         )
+        job.health = self._make_health(job)
         spec = record.spec
         if spec.store_path is not None and spec.store_policy != "off":
             job.store = ResultStore(spec.store_path)
@@ -343,6 +364,37 @@ class CampaignService:
             # run, straight to finalization.
             asyncio.get_running_loop().create_task(self._finalize(job))
         return job
+
+    def _make_health(self, job: ActiveJob) -> HealthMonitor:
+        """A ledger-seeded live monitor whose flags reach subscribers.
+
+        Baselines come from previous DONE runs of the same grid
+        fingerprint (any kind: a `campaign run` of the same spec is
+        just as valid a baseline as an earlier service job).  Flags
+        are published to the job's SSE stream as ``health`` events.
+        """
+        expected = None
+        expected_units = None
+        try:
+            baselines = self.ledger.baseline(
+                job.record.spec.fingerprint(),
+                window=10,
+                before_utc=float("inf"),
+            )
+            expected = expected_rate_from_baseline(baselines)
+            expected_units = expected_units_from_baseline(baselines)
+        except Exception as error:
+            self.log(
+                f"[service] job {job.job_id}: unreadable ledger "
+                f"baseline ({error}); health drift check disabled"
+            )
+        return HealthMonitor(
+            expected_kill_rate=expected,
+            expected_units=expected_units,
+            emit=lambda event: self._publish(
+                job, "health", health=event
+            ),
+        )
 
     def _load_from_store(self, job: ActiveJob) -> None:
         """Drain store hits from a job's pending queue before dispatch.
@@ -493,6 +545,16 @@ class CampaignService:
                     unit, run, outcome.elapsed, attempts
                 )
                 job.done += 1
+                job.health.observe_unit(
+                    outcome.elapsed,
+                    worker=outcome.worker_id,
+                    unit=outcome.index,
+                )
+                job.health.observe_kills(
+                    run.kills,
+                    run.iterations * run.instances_per_iteration,
+                    unit=outcome.index,
+                )
                 if job.store is not None:
                     job.store.put(
                         job.digests[outcome.index],
@@ -527,7 +589,8 @@ class CampaignService:
     # -- finalization / cancellation ---------------------------------------
 
     def _write_stats(self, job: ActiveJob) -> None:
-        """Per-kind stats + metrics snapshot next to the journal."""
+        """Per-kind stats + metrics snapshot next to the journal,
+        plus the job's normalized run record in the service ledger."""
         records = job.journal.load_records()
         results = assemble_results(
             job.record.spec,
@@ -540,6 +603,28 @@ class CampaignService:
         snapshot_path.write_text(
             json.dumps(job.registry.snapshot(), sort_keys=True) + "\n"
         )
+        try:
+            self.ledger.append(
+                record_from_results(
+                    job.record.spec,
+                    results,
+                    kind=KIND_SERVICE,
+                    wall_seconds=(
+                        time.monotonic() - job.started_monotonic
+                    ),
+                    registry=job.registry,
+                    extra={
+                        "job": job.job_id,
+                        "tenant": job.tenant,
+                    },
+                )
+            )
+        except Exception as error:
+            # The ledger is telemetry; it must never fail the job.
+            self.log(
+                f"[service] job {job.job_id}: ledger append failed "
+                f"({error})"
+            )
 
     async def _finalize(self, job: ActiveJob) -> None:
         if job.finalizing or job.record.terminal:
@@ -612,6 +697,7 @@ class CampaignService:
         job: ActiveJob,
         event: str,
         metrics: Optional[Dict[str, Any]] = None,
+        health: Optional[Dict[str, Any]] = None,
     ) -> None:
         job.seq += 1
         payload = {
@@ -627,6 +713,8 @@ class CampaignService:
             "utc": time.time(),
             "metrics": metrics,
         }
+        if health is not None:
+            payload["health"] = health
         for queue in list(job.subscribers):
             queue.put_nowait(payload)
 
@@ -732,9 +820,24 @@ class CampaignService:
                 "inflight": job.inflight,
                 "cancelled": job.cancelled,
                 "cached": job.cached,
+                "health": job.health.summary(),
             }
         )
         return payload
+
+    def history(
+        self,
+        fingerprint: Optional[str] = None,
+        kind: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> List[Dict[str, Any]]:
+        """Run-ledger records as wire payloads, oldest first."""
+        return [
+            record.to_dict()
+            for record in self.ledger.history(
+                fingerprint=fingerprint, kind=kind, limit=limit
+            )
+        ]
 
     def describe_jobs(self) -> List[Dict[str, Any]]:
         described = []

@@ -11,6 +11,7 @@ beyond the standard library.  Endpoints:
 ``GET  /jobs/{id}``       one job's status
 ``DELETE /jobs/{id}``     cancel (idempotent on terminal jobs)
 ``GET  /jobs/{id}/events``  SSE stream of progress events
+``GET  /history``         run-ledger records (``?fingerprint=&kind=&limit=``)
 ``GET  /metrics``         service registry, Prometheus text exposition
 ``GET  /metrics.jsonl``   same registry, JSONL export schema
 ``POST /shutdown``        request a graceful daemon shutdown
@@ -36,6 +37,7 @@ import signal
 import time
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qsl
 
 from repro.campaign.spec import CampaignError
 from repro.obs.export import metrics_jsonl_lines, prom_text
@@ -198,7 +200,7 @@ class ServiceServer:
         if length > MAX_BODY_BYTES:
             raise _HttpError(413, "request body too large")
         body = await reader.readexactly(length) if length else b""
-        return method.upper(), target.split("?", 1)[0], body
+        return method.upper(), target, body
 
     async def _route(
         self,
@@ -208,6 +210,8 @@ class ServiceServer:
         writer: asyncio.StreamWriter,
     ) -> int:
         service = self.service
+        path, _, raw_query = path.partition("?")
+        query = dict(parse_qsl(raw_query))
         if path == "/healthz" and method == "GET":
             writer.write(
                 _json_response(
@@ -265,6 +269,23 @@ class ServiceServer:
             writer.write(
                 _json_response(200, {"jobs": service.describe_jobs()})
             )
+            return 200
+        if path == "/history" and method == "GET":
+            limit = None
+            if "limit" in query:
+                try:
+                    limit = int(query["limit"])
+                except ValueError:
+                    raise _HttpError(400, "limit must be an integer")
+            try:
+                runs = service.history(
+                    fingerprint=query.get("fingerprint"),
+                    kind=query.get("kind"),
+                    limit=limit,
+                )
+            except Exception as error:
+                raise _HttpError(400, str(error))
+            writer.write(_json_response(200, {"runs": runs}))
             return 200
         if path == "/shutdown" and method == "POST":
             writer.write(_json_response(200, {"stopping": True}))

@@ -1,0 +1,125 @@
+"""Fault injection (REPRO_FAULT_*) and its visibility to detectors.
+
+The environment hooks exist so CI can prove the timeline detectors
+catch real regressions: ``REPRO_FAULT_BUGGY_DEVICES`` forces every
+device's historical bug on (the spec fingerprint stays unchanged, so
+the run lands in the same ledger shard as its clean baselines), and
+``REPRO_FAULT_UNIT_SLEEP_FACTOR`` stretches the timed warm path.
+Fence-removal mutants on a fence-dropping device (AMD) are the
+channel: their kill counts shift ~2x when the bug is live.
+"""
+
+import pytest
+
+from repro.campaign import CampaignSpec, ExecutorConfig, run_campaign
+from repro.campaign.worker import FAULT_BUGGY_ENV, FAULT_SLEEP_ENV
+from repro.obs.drift import compare
+from repro.obs.health import (
+    HealthMonitor,
+    expected_units_from_baseline,
+)
+from repro.obs.timeline import record_from_outcome
+
+#: Fence mutants respond to a fence-dropping device bug; eight units
+#: (2 tests x 4 envs) clears the latency check's minimum count.
+FENCE_TESTS = ("weak_sw_ww_rr_mut_f0", "weak_sw_ww_rr_mut_f01")
+
+
+def spec():
+    return CampaignSpec(
+        name="fault-test",
+        kinds=("PTE",),
+        device_names=("AMD",),
+        test_names=FENCE_TESTS,
+        environment_count=4,
+        seed=7,
+    )
+
+
+def run(**overrides):
+    return run_campaign(
+        spec(),
+        config=ExecutorConfig(workers=1, retry_backoff=0.0),
+    )
+
+
+class TestBuggyDeviceInjection:
+    def test_fingerprint_is_unchanged(self, monkeypatch):
+        """Faulted runs must land in the same ledger shard."""
+        clean_fp = spec().fingerprint()
+        monkeypatch.setenv(FAULT_BUGGY_ENV, "1")
+        assert spec().fingerprint() == clean_fp
+
+    def test_detector_flags_the_injected_bug(self, monkeypatch):
+        clean = record_from_outcome(run())
+        monkeypatch.setenv(FAULT_BUGGY_ENV, "1")
+        faulty = record_from_outcome(run())
+        monkeypatch.delenv(FAULT_BUGGY_ENV)
+        assert faulty.kills != clean.kills
+        assert faulty.instances == clean.instances
+        faulty.utc = clean.utc + 1
+        report = compare(faulty, [clean])
+        kill_findings = [
+            f for f in report.findings if f.check == "kill_rate"
+        ]
+        assert kill_findings
+        assert abs(kill_findings[0].z) > 6
+
+    def test_clean_rerun_stays_clean(self):
+        first = record_from_outcome(run())
+        again = record_from_outcome(run())
+        again.utc = first.utc + 1
+        report = compare(again, [first])
+        assert not any(
+            f.check in ("kill_rate", "killed_units")
+            for f in report.findings
+        ), report.describe()
+
+    def test_live_monitor_catches_the_bug_mid_run(self, monkeypatch):
+        """The prefix-exact monitor flags during the faulted run and
+        stays silent through an identical clean replay."""
+        clean = record_from_outcome(run())
+        expectations = expected_units_from_baseline([clean])
+        assert expectations is not None
+
+        quiet = HealthMonitor(expected_units=expectations)
+        for index, (kills, instances) in enumerate(
+            clean.units_detail
+        ):
+            assert quiet.observe_kills(
+                kills, instances, unit=index
+            ) is None
+        assert not quiet.drift_flagged
+
+        monkeypatch.setenv(FAULT_BUGGY_ENV, "1")
+        faulty = record_from_outcome(run())
+        monkeypatch.delenv(FAULT_BUGGY_ENV)
+        loud = HealthMonitor(expected_units=expectations)
+        flags = [
+            loud.observe_kills(kills, instances, unit=index)
+            for index, (kills, instances) in enumerate(
+                faulty.units_detail
+            )
+        ]
+        fired = [flag for flag in flags if flag is not None]
+        assert len(fired) == 1  # latched, not one per unit
+        assert fired[0]["mode"] == "prefix"
+
+
+class TestSleepInjection:
+    def test_detector_flags_the_injected_slowdown(self, monkeypatch):
+        clean = record_from_outcome(run())
+        monkeypatch.setenv(FAULT_SLEEP_ENV, "1.5")
+        slow = record_from_outcome(run())
+        monkeypatch.delenv(FAULT_SLEEP_ENV)
+        # The sleep changes timings, never results.
+        assert slow.kills == clean.kills
+        slow.utc = clean.utc + 1
+        report = compare(slow, [clean])
+        latency = [
+            f for f in report.findings if f.check == "latency"
+        ]
+        assert latency, report.describe()
+        assert not any(
+            f.check == "kill_rate" for f in report.findings
+        )

@@ -1,0 +1,270 @@
+"""Tests for live campaign health monitoring (repro.obs.health).
+
+The ordering-immunity contract under test: with per-unit baseline
+expectations (prefix-exact mode) a seeded identical re-run has a
+residual of exactly zero at every prefix, so no unit ordering can
+produce a false kill-drift flag; the pooled fallback is best-effort
+and additionally guarded by a minimum divergence ratio.
+"""
+
+import pytest
+
+from repro import obs
+from repro.obs.health import (
+    HEALTH_METRIC,
+    HealthConfig,
+    HealthMonitor,
+    expected_rate_from_baseline,
+    expected_units_from_baseline,
+)
+from repro.obs.timeline import RunRecord
+
+
+def config(**overrides):
+    kwargs = dict(min_units=5, min_instances=100, drift_sigma=6.0)
+    kwargs.update(overrides)
+    return HealthConfig(**kwargs)
+
+
+def baseline_record(utc, units_detail, **overrides):
+    kills = sum(k for k, _ in units_detail)
+    instances = sum(n for _, n in units_detail)
+    kwargs = dict(
+        kind="campaign", name="health", fingerprint="f" * 16,
+        utc=utc, units=len(units_detail), kills=kills,
+        instances=instances, units_detail=units_detail,
+    )
+    kwargs.update(overrides)
+    return RunRecord(**kwargs)
+
+
+class TestStragglers:
+    def test_quiet_during_cold_start(self):
+        monitor = HealthMonitor(config=config(min_units=10))
+        for _ in range(9):
+            assert monitor.observe_unit(100.0) is None
+        assert monitor.stragglers == 0
+
+    def test_flags_outliers_against_the_running_quantile(self):
+        monitor = HealthMonitor(config=config(min_units=5))
+        for _ in range(10):
+            monitor.observe_unit(0.01)
+        flag = monitor.observe_unit(5.0, worker="w1", unit=42)
+        assert flag is not None
+        assert flag["kind"] == "straggler"
+        assert flag["worker"] == "w1"
+        assert flag["unit"] == 42
+        assert monitor.stragglers == 1
+        # A normal unit right after does not flag.
+        assert monitor.observe_unit(0.01) is None
+
+    def test_threshold_adapts_to_the_grid(self):
+        slow_grid = HealthMonitor(config=config(min_units=5))
+        for _ in range(10):
+            slow_grid.observe_unit(2.0)
+        # 5 seconds is an outlier on a 10ms grid, routine on a 2s one.
+        assert slow_grid.observe_unit(5.0) is None
+
+
+class TestPrefixExactDrift:
+    def expected(self):
+        # Baseline: 4 units, [mean kills, instances] each.
+        return {0: [5.0, 1000], 1: [0.0, 1000],
+                2: [20.0, 1000], 3: [5.0, 1000]}
+
+    def test_identical_rerun_never_flags_in_any_order(self):
+        for order in ([0, 1, 2, 3], [3, 2, 1, 0], [2, 0, 3, 1]):
+            monitor = HealthMonitor(
+                expected_units=self.expected(), config=config()
+            )
+            for unit in order:
+                mean, n = self.expected()[unit]
+                flag = monitor.observe_kills(
+                    int(mean), int(n), unit=unit
+                )
+                assert flag is None, (order, unit, flag)
+            assert not monitor.drift_flagged
+
+    def test_drifted_prefix_flags_immediately(self):
+        monitor = HealthMonitor(
+            expected_units=self.expected(), config=config()
+        )
+        assert monitor.observe_kills(5, 1000, unit=0) is None
+        flag = monitor.observe_kills(200, 1000, unit=2)
+        assert flag is not None
+        assert flag["kind"] == "kill_drift"
+        assert flag["mode"] == "prefix"
+        assert abs(flag["z"]) > 6
+        # The flag latches: one event, not one per shard.
+        assert monitor.observe_kills(200, 1000, unit=3) is None
+        assert len(monitor.events) == 1
+
+    def test_zero_kill_grid_stays_quiet(self):
+        monitor = HealthMonitor(
+            expected_units={0: [0.0, 1000], 1: [0.0, 1000]},
+            config=config(),
+        )
+        assert monitor.observe_kills(0, 1000, unit=0) is None
+        assert monitor.observe_kills(0, 1000, unit=1) is None
+
+    def test_unknown_unit_falls_back_gracefully(self):
+        # A unit index absent from the baseline contributes no
+        # expectation but still accumulates observed totals.
+        monitor = HealthMonitor(
+            expected_units=self.expected(), config=config()
+        )
+        monitor.observe_kills(7, 1000, unit=99)
+        assert monitor.instances == 1000
+
+
+class TestPooledFallback:
+    def test_needs_min_instances(self):
+        monitor = HealthMonitor(
+            expected_kill_rate=0.01,
+            config=config(min_instances=10_000),
+        )
+        assert monitor.observe_kills(50, 1000) is None
+
+    def test_ratio_guard_absorbs_ordering_noise(self):
+        # Statistically significant (z >> 6) but less than 2x off:
+        # that's what unit ordering does to a partial pooled rate.
+        monitor = HealthMonitor(
+            expected_kill_rate=0.01, config=config()
+        )
+        assert monitor.observe_kills(150, 10_000) is None
+        assert not monitor.drift_flagged
+
+    def test_real_divergence_flags(self):
+        monitor = HealthMonitor(
+            expected_kill_rate=0.01, config=config()
+        )
+        flag = monitor.observe_kills(500, 10_000)
+        assert flag is not None
+        assert flag["mode"] == "pooled"
+        assert monitor.drift_flagged
+        # Latching.
+        assert monitor.observe_kills(500, 10_000) is None
+
+    def test_collapse_to_zero_flags(self):
+        monitor = HealthMonitor(
+            expected_kill_rate=0.05, config=config()
+        )
+        flag = monitor.observe_kills(0, 10_000)
+        assert flag is not None
+
+    def test_no_baseline_no_check(self):
+        monitor = HealthMonitor(config=config())
+        assert monitor.observe_kills(500, 10_000) is None
+
+
+class TestReporting:
+    def test_emit_callback_receives_events(self):
+        seen = []
+        monitor = HealthMonitor(
+            expected_kill_rate=0.01, config=config(),
+            emit=seen.append,
+        )
+        monitor.observe_kills(500, 10_000)
+        assert len(seen) == 1
+        assert seen[0]["kind"] == "kill_drift"
+
+    def test_emit_failures_never_propagate(self):
+        def boom(event):
+            raise RuntimeError("subscriber went away")
+
+        monitor = HealthMonitor(
+            expected_kill_rate=0.01, config=config(), emit=boom
+        )
+        assert monitor.observe_kills(500, 10_000) is not None
+
+    def test_event_capacity_bounds_memory(self):
+        monitor = HealthMonitor(
+            config=config(min_units=1, event_capacity=3)
+        )
+        for _ in range(10):
+            # Keep outliers rare so the running p90 stays low and
+            # every outlier flags.
+            for _ in range(20):
+                monitor.observe_unit(0.01)
+            monitor.observe_unit(1000.0)
+        assert len(monitor.events) == 3
+        assert monitor.dropped_events > 0
+        assert monitor.summary()["dropped_events"] > 0
+
+    def test_summary_shape(self):
+        monitor = HealthMonitor(
+            expected_kill_rate=0.01, config=config()
+        )
+        monitor.observe_unit(0.5)
+        monitor.observe_kills(10, 1000)
+        summary = monitor.summary()
+        assert summary["units"] == 1
+        assert summary["kills"] == 10
+        assert summary["instances"] == 1000
+        assert summary["expected_kill_rate"] == 0.01
+        assert summary["observed_kill_rate"] == pytest.approx(0.01)
+        assert summary["kill_drift"] is False
+        assert "unit_seconds_p90" in summary
+
+    def test_health_counters_materialized_at_zero(self):
+        rec = obs.enable()
+        HealthMonitor(config=config())
+        families = {
+            (entry["name"], entry["labels"].get("kind")):
+                entry["value"]
+            for entry in rec.registry.snapshot()["counters"]
+            if entry["name"] == HEALTH_METRIC
+        }
+        assert families == {
+            (HEALTH_METRIC, "straggler"): 0,
+            (HEALTH_METRIC, "kill_drift"): 0,
+        }
+
+    def test_flags_count_on_the_recorder(self):
+        rec = obs.enable()
+        monitor = HealthMonitor(
+            expected_kill_rate=0.01, config=config()
+        )
+        monitor.observe_kills(500, 10_000)
+        value = sum(
+            entry["value"]
+            for entry in rec.registry.snapshot()["counters"]
+            if entry["name"] == HEALTH_METRIC
+            and entry["labels"].get("kind") == "kill_drift"
+        )
+        assert value == 1
+
+
+class TestBaselineHelpers:
+    def test_expected_rate(self):
+        detail = [[10, 1000], [0, 1000]]
+        records = [
+            baseline_record(1.0, detail),
+            baseline_record(2.0, detail),
+        ]
+        assert expected_rate_from_baseline(records) == pytest.approx(
+            10 / 2000
+        )
+        assert expected_rate_from_baseline([]) is None
+
+    def test_expected_units_averages_across_the_window(self):
+        records = [
+            baseline_record(1.0, [[10, 1000], [0, 1000]]),
+            baseline_record(2.0, [[20, 1000], [0, 1000]]),
+        ]
+        expected = expected_units_from_baseline(records)
+        assert expected == {0: [15.0, 1000], 1: [0.0, 1000]}
+
+    def test_mismatched_grid_shapes_are_skipped(self):
+        records = [
+            baseline_record(1.0, [[10, 1000], [0, 1000]]),
+            baseline_record(2.0, [[5, 500]]),  # different grid shape
+        ]
+        expected = expected_units_from_baseline(records)
+        assert expected == {0: [10.0, 1000], 1: [0.0, 1000]}
+
+    def test_no_detail_no_expectations(self):
+        plain = baseline_record(1.0, [[10, 1000]])
+        plain.units_detail = None
+        assert expected_units_from_baseline([plain]) is None
+        assert expected_units_from_baseline([]) is None

@@ -94,6 +94,55 @@ class TestShipping:
         assert rec.registry.is_empty()
 
 
+class TestDropCounters:
+    """repro_obs_dropped_total: visible truncation, counted once."""
+
+    def counter(self, rec, kind):
+        return rec.registry.counter_value(
+            "repro_obs_dropped_total", {"kind": kind}
+        )
+
+    def test_materialized_at_zero(self):
+        """Dashboards must see the family even with zero drops."""
+        rec = Recorder()
+        rec.publish_drop_counters()
+        assert self.counter(rec, "events") == 0
+        assert self.counter(rec, "spans") == 0
+
+    def test_counts_buffer_truncation(self):
+        rec = Recorder(trace=True, span_capacity=1, event_capacity=1)
+        for _ in range(4):
+            rec.event("e")
+            with rec.span("s"):
+                pass
+        rec.publish_drop_counters()
+        assert self.counter(rec, "events") == 3
+        assert self.counter(rec, "spans") == 3
+
+    def test_exactly_once_across_drain_and_absorb(self):
+        """A parent absorbing a worker's payload never double-counts
+        the worker's drops, and repeated publishes add nothing."""
+        worker = Recorder(event_capacity=1)
+        for _ in range(3):
+            worker.event("e")
+        payload = worker.drain()  # publishes the 2 drops once
+
+        parent = Recorder()
+        parent.absorb(payload)
+        parent.publish_drop_counters()
+        assert self.counter(parent, "events") == 2
+
+        # Draining again without new drops ships nothing new.
+        parent.absorb(worker.drain())
+        assert self.counter(parent, "events") == 2
+
+        # New drops after the first drain ship as a delta.
+        for _ in range(2):
+            worker.event("e")
+        parent.absorb(worker.drain())
+        assert self.counter(parent, "events") == 3
+
+
 class TestConfigure:
     def test_config_payload_round_trip(self):
         rec = obs.enable(

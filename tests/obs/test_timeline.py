@@ -1,0 +1,315 @@
+"""Tests for the longitudinal run ledger (repro.obs.timeline).
+
+The durability contract under test: an append that returned has been
+fsync'd and is never lost; a writer killed mid-append leaves at most
+one torn trailing line, which every read forgives and the next append
+truncates.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+
+import pytest
+
+from repro import obs
+from repro.campaign import CampaignSpec, ExecutorConfig, run_campaign
+from repro.mutation import default_suite
+from repro.obs.timeline import (
+    LEDGER_ENV,
+    Ledger,
+    RunRecord,
+    TimelineError,
+    bench_fingerprint,
+    record_from_bench,
+    record_from_outcome,
+    resolve_ledger,
+)
+
+SUITE = default_suite()
+NAMES = tuple(mutant.name for mutant in SUITE.mutants)
+
+FP = "a" * 16
+FP2 = "b" * 16
+
+
+def record(utc=1.0, fingerprint=FP, kind="campaign", **overrides):
+    kwargs = dict(
+        kind=kind,
+        name="ledger-test",
+        fingerprint=fingerprint,
+        utc=utc,
+        seed=7,
+        backend="analytic",
+        equivalence="bitwise",
+        wall_seconds=1.5,
+        units=4,
+        kills=10,
+        instances=4000,
+        killed_units=3,
+        kinds={"pte": {"units": 4, "kills": 10, "instances": 4000,
+                       "killed_units": 3}},
+        units_detail=[[1, 1000], [2, 1000], [3, 1000], [4, 1000]],
+        extra={"note": "test"},
+    )
+    kwargs.update(overrides)
+    return RunRecord(**kwargs)
+
+
+class TestRunRecord:
+    def test_round_trip(self):
+        original = record(metrics={"counters": [], "gauges": [],
+                                   "histograms": []})
+        clone = RunRecord.from_dict(
+            json.loads(json.dumps(original.to_dict()))
+        )
+        assert clone == original
+
+    def test_units_detail_omitted_when_absent(self):
+        payload = record(units_detail=None).to_dict()
+        assert "units_detail" not in payload
+        assert RunRecord.from_dict(payload).units_detail is None
+
+    def test_schema_gate(self):
+        payload = record().to_dict()
+        payload["schema"] = 99
+        with pytest.raises(TimelineError):
+            RunRecord.from_dict(payload)
+
+    def test_malformed_payload(self):
+        with pytest.raises(TimelineError):
+            RunRecord.from_dict("not an object")
+        with pytest.raises(TimelineError):
+            RunRecord.from_dict({"schema": 1, "kind": "campaign"})
+
+    def test_rates(self):
+        r = record()
+        assert r.kill_rate == 10 / 4000
+        assert r.killed_fraction == 3 / 4
+        empty = record(units=0, kills=0, instances=0, killed_units=0)
+        assert empty.kill_rate == 0.0
+        assert empty.killed_fraction == 0.0
+
+    def test_describe_mentions_the_essentials(self):
+        text = record().describe()
+        assert "campaign:ledger-test" in text
+        assert f"fp={FP}" in text
+        assert "kills=10/4000" in text
+
+
+class TestLedgerLayout:
+    def test_manifest_created_and_validated(self, tmp_path):
+        ledger = Ledger(tmp_path / "ledger")
+        manifest = json.loads(ledger.manifest_path.read_text())
+        assert manifest["format"] == 1
+        assert manifest["record_schema"] == 1
+        # Reopening an existing ledger keeps the manifest.
+        Ledger(tmp_path / "ledger")
+
+    def test_unknown_format_rejected(self, tmp_path):
+        root = tmp_path / "ledger"
+        root.mkdir()
+        (root / "manifest.json").write_text(
+            json.dumps({"format": 99}) + "\n"
+        )
+        with pytest.raises(TimelineError):
+            Ledger(root)
+
+    def test_open_without_create(self, tmp_path):
+        with pytest.raises(TimelineError):
+            Ledger(tmp_path / "missing", create=False)
+        Ledger(tmp_path / "there")
+        Ledger(tmp_path / "there", create=False)
+
+    def test_shards_by_fingerprint_prefix(self, tmp_path):
+        ledger = Ledger(tmp_path)
+        path = ledger.shard_path(FP)
+        assert path.parent.name == FP[:2]
+        assert path.name == f"{FP}.jsonl"
+        with pytest.raises(TimelineError):
+            ledger.shard_path("xy")
+
+    def test_resolve_ledger(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(LEDGER_ENV, raising=False)
+        assert resolve_ledger() is None
+        explicit = resolve_ledger(tmp_path / "explicit")
+        assert explicit is not None
+        assert explicit.root == tmp_path / "explicit"
+        monkeypatch.setenv(LEDGER_ENV, str(tmp_path / "ambient"))
+        ambient = resolve_ledger()
+        assert ambient is not None
+        assert ambient.root == tmp_path / "ambient"
+
+
+class TestLedgerReadWrite:
+    def test_append_history_latest(self, tmp_path):
+        ledger = Ledger(tmp_path)
+        for utc in (3.0, 1.0, 2.0):
+            ledger.append(record(utc=utc))
+        ledger.append(record(utc=4.0, fingerprint=FP2, kind="bench"))
+        history = ledger.history(fingerprint=FP)
+        assert [r.utc for r in history] == [1.0, 2.0, 3.0]
+        assert ledger.latest(FP).utc == 3.0
+        assert [r.utc for r in ledger.history()] == [1.0, 2.0, 3.0, 4.0]
+        assert [r.utc for r in ledger.history(kind="bench")] == [4.0]
+        assert [r.utc for r in ledger.history(limit=2)] == [3.0, 4.0]
+        assert sorted(ledger.fingerprints()) == [FP, FP2]
+
+    def test_baseline_window(self, tmp_path):
+        ledger = Ledger(tmp_path)
+        for utc in range(1, 6):
+            ledger.append(record(utc=float(utc)))
+        # Default: newest dropped, window applied.
+        assert [r.utc for r in ledger.baseline(FP, window=3)] == [
+            2.0, 3.0, 4.0,
+        ]
+        # before_utc=inf keeps everything (pre-run baseline lookup).
+        assert [
+            r.utc
+            for r in ledger.baseline(FP, window=10,
+                                     before_utc=float("inf"))
+        ] == [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert ledger.baseline(FP, window=0) == []
+
+    def test_torn_tail_tolerated_and_repaired(self, tmp_path):
+        ledger = Ledger(tmp_path)
+        ledger.append(record(utc=1.0))
+        path = ledger.shard_path(FP)
+        with open(path, "ab") as handle:
+            handle.write(b'{"schema": 1, "kind": "camp')  # torn write
+        # Reads forgive the torn tail.
+        assert [r.utc for r in ledger.history(fingerprint=FP)] == [1.0]
+        # The next append truncates it before writing.
+        ledger.append(record(utc=2.0))
+        data = path.read_bytes()
+        assert data.endswith(b"\n")
+        assert [r.utc for r in ledger.history(fingerprint=FP)] == [
+            1.0, 2.0,
+        ]
+        for line in data.decode().splitlines():
+            json.loads(line)
+
+    def test_describe(self, tmp_path):
+        ledger = Ledger(tmp_path)
+        assert "(empty)" in ledger.describe()
+        ledger.append(record())
+        text = ledger.describe()
+        assert FP in text
+        assert "1 run(s)" in text
+
+
+class TestCrashSafety:
+    def test_sigkilled_writer_never_corrupts_the_ledger(self, tmp_path):
+        """SIGKILL a live appender mid-stream; the ledger must stay
+        readable, keep every fsync'd record, and accept new appends."""
+        root = tmp_path / "ledger"
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        script = textwrap.dedent(
+            f"""
+            import sys
+            sys.path.insert(0, {os.path.abspath(src)!r})
+            from repro.obs.timeline import Ledger, RunRecord
+
+            ledger = Ledger({str(root)!r})
+            i = 0
+            while True:
+                ledger.append(RunRecord(
+                    kind="campaign", name="crash",
+                    fingerprint={FP!r}, utc=float(i),
+                    units=1, kills=i, instances=1000,
+                    extra={{"pad": "x" * 8192}},
+                ))
+                i += 1
+                print(i, flush=True)
+            """
+        )
+        child = subprocess.Popen(
+            [sys.executable, "-c", script],
+            stdout=subprocess.PIPE,
+        )
+        try:
+            appended = 0
+            deadline = time.monotonic() + 30.0
+            while appended < 5:
+                line = child.stdout.readline()
+                assert line, "appender died before writing 5 records"
+                appended = int(line)
+                assert time.monotonic() < deadline
+            child.kill()  # SIGKILL: no cleanup, no flush
+            child.wait()
+        finally:
+            if child.poll() is None:
+                child.kill()
+                child.wait()
+        ledger = Ledger(root, create=False)
+        records = ledger.history(fingerprint=FP)
+        # Every append the child reported is durable; at most the one
+        # in flight at kill time is missing.
+        assert len(records) >= appended
+        assert [r.utc for r in records] == [
+            float(i) for i in range(len(records))
+        ]
+        # The survivor ledger accepts appends and repairs any torn tail.
+        ledger.append(record(utc=1e9))
+        data = ledger.shard_path(FP).read_bytes()
+        assert data.endswith(b"\n")
+        assert ledger.latest(FP).utc == 1e9
+
+
+class TestNormalization:
+    def spec(self, **overrides):
+        kwargs = dict(
+            name="timeline-spec",
+            kinds=("PTE", "SITE_BASELINE"),
+            device_names=("AMD",),
+            test_names=NAMES[:2],
+            environment_count=2,
+            seed=11,
+        )
+        kwargs.update(overrides)
+        return CampaignSpec(**kwargs)
+
+    def test_record_from_outcome(self):
+        spec = self.spec()
+        outcome = run_campaign(
+            spec, config=ExecutorConfig(workers=1, retry_backoff=0.0)
+        )
+        rec = record_from_outcome(outcome)
+        assert rec.kind == "campaign"
+        assert rec.name == spec.name
+        assert rec.fingerprint == spec.fingerprint()
+        assert rec.seed == spec.seed
+        assert rec.backend == spec.backend
+        assert rec.equivalence == "bitwise"
+        assert rec.units == len(spec.units())
+        total_kills = sum(
+            run.kills
+            for result in outcome.results.values()
+            for run in result.runs
+        )
+        assert rec.kills == total_kills
+        # Per-unit detail covers every unit, in global index order,
+        # and its totals agree with the rollup.
+        assert rec.units_detail is not None
+        assert len(rec.units_detail) == rec.units
+        assert sum(k for k, _ in rec.units_detail) == rec.kills
+        assert sum(n for _, n in rec.units_detail) == rec.instances
+        assert set(rec.kinds) == {"pte", "site_baseline"}
+        # The record is JSON-serializable end to end.
+        RunRecord.from_dict(json.loads(json.dumps(rec.to_dict())))
+
+    def test_record_from_bench(self):
+        stages = {
+            "warm": {"count": 10, "sum": 2.0, "median": 0.2,
+                     "p90": 0.3},
+        }
+        rec = record_from_bench("smoke", stages, extra={"ci": True})
+        assert rec.kind == "bench"
+        assert rec.fingerprint == bench_fingerprint("smoke")
+        assert rec.bench == stages
+        assert rec.wall_seconds == pytest.approx(2.0)
+        assert rec.extra == {"ci": True}

@@ -1,0 +1,347 @@
+"""Service timeline integration: run ledger, /history, live health.
+
+The SSE invariants under test (satellite of the timeline PR):
+
+* **cancellation** — a cancelled job's stream still folds exactly:
+  snapshot + deltas received before the terminal ``cancelled`` event
+  equal the job's registry, whose unit counter equals the journal's
+  record count; nothing follows the terminal event.
+* **daemon restart** — a subscriber on the second service process
+  (primed with the recovery snapshot) folds to the job's exact final
+  registry; the unit total matches the journal-derived count.
+* **health events** — ride the same stream as non-terminal events
+  with ``metrics: None``, so folding and terminal detection are
+  unaffected.
+"""
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.campaign import CampaignSpec
+from repro.mutation import default_suite
+from repro.obs.registry import merge_snapshots
+from repro.obs.timeline import RunRecord
+from repro.service import (
+    CampaignService,
+    ServiceClient,
+    ServiceConfig,
+    ServiceServer,
+)
+from repro.service.jobstore import ServiceError
+
+SUITE = default_suite()
+NAMES = tuple(mutant.name for mutant in SUITE.mutants)
+
+
+def spec(**overrides):
+    kwargs = dict(
+        name="timeline-svc",
+        kinds=("PTE",),
+        device_names=("AMD",),
+        test_names=NAMES[:2],
+        environment_count=3,
+        seed=3,
+    )
+    kwargs.update(overrides)
+    return CampaignSpec(**kwargs)
+
+
+def config(root, **overrides):
+    kwargs = dict(
+        root=root, workers=1, shard_size=1, pool_mode="thread"
+    )
+    kwargs.update(overrides)
+    return ServiceConfig(**kwargs)
+
+
+def units_total(snapshot):
+    return sum(
+        entry["value"]
+        for entry in snapshot["counters"]
+        if entry["name"] == "repro_campaign_units_total"
+    )
+
+
+async def collect_stream(queue, timeout=60):
+    """Drain one subscriber queue through its terminal event, then
+    prove the stream is closed (sentinel, no trailing events)."""
+    events = []
+    while True:
+        event = await asyncio.wait_for(queue.get(), timeout=timeout)
+        if event is None:
+            return events, False
+        events.append(event)
+        if event["event"] in ("done", "failed", "cancelled"):
+            break
+    sentinel = await asyncio.wait_for(queue.get(), timeout=timeout)
+    return events, sentinel is None
+
+
+def fold(events):
+    return merge_snapshots(
+        [e["metrics"] for e in events if e["metrics"] is not None]
+    )
+
+
+class TestCancelledStreamFold:
+    def test_cancelled_job_stream_folds_to_journal_totals(
+        self, tmp_path
+    ):
+        the_spec = spec(environment_count=20)
+
+        async def scenario():
+            service = CampaignService(config(tmp_path))
+            await service.start()
+            record = await service.submit(the_spec.to_dict(), "alice")
+            queue = service.subscribe(record.job_id)
+            job = service.jobs[record.job_id]
+            while job.done < 3:
+                await asyncio.sleep(0.01)
+            await service.cancel(record.job_id)
+            events, closed = await collect_stream(queue)
+            final_snapshot = job.registry.snapshot()
+            journal_units = len(job.journal.load_records())
+            history = service.history()
+            await service.stop()
+            return events, closed, final_snapshot, journal_units, \
+                history
+
+        events, closed, final_snapshot, journal_units, history = (
+            asyncio.run(scenario())
+        )
+        assert events[-1]["event"] == "cancelled"
+        assert closed, "no end-of-stream sentinel after the terminal"
+        folded = fold(events).snapshot()
+        assert json.dumps(folded, sort_keys=True) == json.dumps(
+            final_snapshot, sort_keys=True
+        )
+        assert 0 < journal_units < the_spec.unit_count()
+        assert units_total(folded) == journal_units
+        # A cancelled partial never becomes a ledger baseline.
+        assert history == []
+
+
+class TestRestartStreamFold:
+    def test_resubscribed_stream_folds_after_restart(self, tmp_path):
+        the_spec = spec(environment_count=20)
+        root = tmp_path / "svc"
+
+        async def first_life():
+            service = CampaignService(config(root))
+            await service.start()
+            record = await service.submit(the_spec.to_dict(), "alice")
+            job = service.jobs[record.job_id]
+            while job.done < 5:
+                await asyncio.sleep(0.01)
+            await service.stop()
+            return record.job_id
+
+        job_id = asyncio.run(first_life())
+
+        async def second_life():
+            service = CampaignService(
+                config(root, workers=2, shard_size=4)
+            )
+            await service.start()  # recover() re-adopts the job
+            queue = service.subscribe(job_id)
+            events, closed = await collect_stream(queue)
+            job = service.jobs[job_id]
+            final_snapshot = job.registry.snapshot()
+            journal_units = len(job.journal.load_records())
+            history = service.history()
+            await service.stop()
+            return events, closed, final_snapshot, journal_units, \
+                history
+
+        events, closed, final_snapshot, journal_units, history = (
+            asyncio.run(second_life())
+        )
+        assert events[0]["event"] == "snapshot"
+        assert events[-1]["event"] == "done"
+        assert closed
+        folded = fold(events).snapshot()
+        assert json.dumps(folded, sort_keys=True) == json.dumps(
+            final_snapshot, sort_keys=True
+        )
+        assert journal_units == the_spec.unit_count()
+        # The counter counts second-life executions only; journaled
+        # units adopted on recovery show up as `resumed` instead.
+        assert events[-1]["done"] == journal_units
+        assert units_total(folded) == (
+            journal_units - events[-1]["resumed"]
+        )
+        # The finished job landed in the service ledger exactly once.
+        assert len(history) == 1
+        assert history[0]["kind"] == "service"
+        assert history[0]["fingerprint"] == the_spec.fingerprint()
+
+
+class TestServiceLedger:
+    def test_done_job_appends_a_normalized_record(self, tmp_path):
+        async def scenario():
+            service = CampaignService(config(tmp_path))
+            await service.start()
+            record = await service.submit(spec().to_dict(), "alice")
+            queue = service.subscribe(record.job_id)
+            await collect_stream(queue)
+            history = service.history()
+            ledger_latest = service.ledger.latest(
+                spec().fingerprint()
+            )
+            await service.stop()
+            return record.job_id, history, ledger_latest
+
+        job_id, history, ledger_latest = asyncio.run(scenario())
+        assert len(history) == 1
+        run = history[0]
+        assert run["kind"] == "service"
+        assert run["units"] == spec().unit_count()
+        assert run["extra"]["job"] == job_id
+        assert run["extra"]["tenant"] == "alice"
+        assert run["units_detail"] is not None
+        assert len(run["units_detail"]) == run["units"]
+        assert ledger_latest.kills == run["kills"]
+
+    def test_second_job_monitors_against_the_first(self, tmp_path):
+        """Baselines come from the shared ledger: job #2's monitor is
+        seeded with job #1's per-unit expectations and stays quiet on
+        the identical re-run."""
+
+        async def scenario():
+            service = CampaignService(config(tmp_path))
+            await service.start()
+            for _ in range(2):
+                record = await service.submit(
+                    spec().to_dict(), "alice"
+                )
+                queue = service.subscribe(record.job_id)
+                await collect_stream(queue)
+            job = service.jobs[record.job_id]
+            health = job.health
+            status = service.describe_job(record.job_id)
+            await service.stop()
+            return health, status
+
+        health, status = asyncio.run(scenario())
+        assert health.expected_units is not None
+        assert not health.drift_flagged
+        assert status["health"]["kill_drift"] is False
+
+
+class TestHealthEvents:
+    def test_drifted_job_emits_health_on_the_stream(self, tmp_path):
+        """Seed the ledger with an absurd baseline; the live monitor
+        must flag mid-run, the flag must ride the SSE stream as a
+        non-terminal metrics-free event, and folding must still be
+        exact."""
+        the_spec = spec()
+        detail = [[1000.0, 1000]] * the_spec.unit_count()
+
+        async def scenario():
+            service = CampaignService(config(tmp_path))
+            # Every unit "should" kill 100% of 1000 instances: any
+            # real run is light-years below that expectation.
+            service.ledger.append(RunRecord(
+                kind="service", name=the_spec.name,
+                fingerprint=the_spec.fingerprint(), utc=1.0,
+                units=len(detail),
+                kills=int(sum(k for k, _ in detail)),
+                instances=sum(n for _, n in detail),
+                killed_units=len(detail),
+                units_detail=[[int(k), n] for k, n in detail],
+            ))
+            await service.start()
+            record = await service.submit(the_spec.to_dict(), "bob")
+            queue = service.subscribe(record.job_id)
+            events, closed = await collect_stream(queue)
+            job = service.jobs[record.job_id]
+            final_snapshot = job.registry.snapshot()
+            status = service.describe_job(record.job_id)
+            await service.stop()
+            return events, closed, final_snapshot, status
+
+        events, closed, final_snapshot, status = asyncio.run(
+            scenario()
+        )
+        health_events = [
+            e for e in events if e["event"] == "health"
+        ]
+        assert health_events, "expected a live kill-drift flag"
+        flag = health_events[0]
+        assert flag["health"]["kind"] == "kill_drift"
+        assert flag["health"]["mode"] == "prefix"
+        assert flag["metrics"] is None
+        # Health events are non-terminal: the stream ran to 'done'.
+        assert events[-1]["event"] == "done"
+        assert closed
+        assert json.dumps(fold(events).snapshot(), sort_keys=True) == (
+            json.dumps(final_snapshot, sort_keys=True)
+        )
+        assert status["health"]["kill_drift"] is True
+        assert any(
+            event["kind"] == "kill_drift"
+            for event in status["health"]["events"]
+        )
+
+
+class TestHistoryEndpoint:
+    def test_http_history_surface(self, tmp_path):
+        """GET /history with filters, via the thin client."""
+        result = {}
+        the_spec = spec()
+
+        async def scenario():
+            service = CampaignService(config(tmp_path))
+            server = ServiceServer(service)
+            await service.start()
+            await server.start()
+            done = threading.Event()
+
+            def client_side():
+                try:
+                    client = ServiceClient(
+                        base_url=server.url, timeout=60
+                    )
+                    job = client.submit(the_spec.to_dict(), "alice")
+                    client.wait(job["job_id"])
+                    result["all"] = client.history()
+                    result["by_fp"] = client.history(
+                        fingerprint=the_spec.fingerprint()
+                    )
+                    result["by_kind"] = client.history(
+                        kind="service", limit=1
+                    )
+                    result["other_kind"] = client.history(
+                        kind="bench"
+                    )
+                    result["status"] = client.job(job["job_id"])
+                    try:
+                        client._request("GET", "/history?limit=abc")
+                    except ServiceError as error:
+                        result["bad_limit"] = str(error)
+                finally:
+                    done.set()
+
+            thread = threading.Thread(target=client_side)
+            thread.start()
+            while not done.is_set():
+                await asyncio.sleep(0.02)
+            await server.stop()
+            await service.stop()
+            thread.join(timeout=5)
+
+        asyncio.run(scenario())
+        assert len(result["all"]) == 1
+        assert result["all"][0]["fingerprint"] == (
+            the_spec.fingerprint()
+        )
+        assert result["by_fp"] == result["all"]
+        assert result["by_kind"] == result["all"]
+        assert result["other_kind"] == []
+        assert "limit must be an integer" in result["bad_limit"]
+        # The job status surface carries the live health summary.
+        assert "health" in result["status"]
+        assert result["status"]["health"]["kill_drift"] is False

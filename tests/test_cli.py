@@ -250,6 +250,104 @@ class TestCampaignCommands:
         assert "no journal" in capsys.readouterr().err
 
 
+class TestTimelineCommands:
+    """The run ledger surface: --ledger, obs history/diff/check."""
+
+    def test_ledger_lifecycle_and_regression_check(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.delenv("REPRO_LEDGER", raising=False)
+        ledger = str(tmp_path / "ledger")
+
+        # Two identical seeded smoke runs, both recorded.
+        for i in (1, 2):
+            assert main(
+                ["campaign", "run",
+                 "--out", str(tmp_path / f"run{i}"),
+                 "--smoke", "--serial", "--ledger", ledger]
+            ) == 0
+            out = capsys.readouterr().out
+            assert "ledger: recorded run of" in out
+
+        assert main(["obs", "history", "--ledger", ledger]) == 0
+        out = capsys.readouterr().out
+        assert out.count("campaign:smoke") == 2
+
+        assert main(
+            ["obs", "history", "--ledger", ledger, "--json",
+             "--limit", "1"]
+        ) == 0
+        runs = json.loads(capsys.readouterr().out)
+        assert len(runs) == 1
+        assert runs[0]["kind"] == "campaign"
+        assert runs[0]["units_detail"]
+
+        assert main(["obs", "diff", "--ledger", ledger]) == 0
+        out = capsys.readouterr().out
+        assert "kill_rate" in out
+        assert "delta" in out
+
+        # Identical re-run: the drift check passes.  Real wall times
+        # on a loaded test machine can jitter past the default 20%
+        # changepoint, so give the clean pass a 100% latency budget —
+        # the injected 1.5x sleep below slows units ~2.5x and still
+        # clears that bar by a wide margin.
+        assert main(
+            ["obs", "check", "--ledger", ledger,
+             "--latency-threshold", "1.0"]
+        ) == 0
+        assert "OK — no drift detected" in capsys.readouterr().out
+
+        # Third run with an injected warm-path slowdown: the check
+        # must fail on a latency changepoint.
+        monkeypatch.setenv("REPRO_FAULT_UNIT_SLEEP_FACTOR", "1.5")
+        assert main(
+            ["campaign", "run", "--out", str(tmp_path / "run3"),
+             "--smoke", "--serial", "--ledger", ledger]
+        ) == 0
+        monkeypatch.delenv("REPRO_FAULT_UNIT_SLEEP_FACTOR")
+        capsys.readouterr()
+        assert main(
+            ["obs", "check", "--ledger", ledger, "--json",
+             "--latency-threshold", "1.0"]
+        ) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is False
+        assert any(
+            finding["check"] == "latency"
+            for finding in report["findings"]
+        )
+        # The injected sleep must not look like kill drift.
+        assert not any(
+            finding["check"] == "kill_rate"
+            for finding in report["findings"]
+        )
+
+    def test_ledger_errors(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_LEDGER", raising=False)
+        # No ledger configured at all.
+        assert main(["obs", "history"]) == 1
+        assert "no run ledger configured" in capsys.readouterr().err
+        # Empty ledger has nothing to diff or check.
+        empty = str(tmp_path / "empty")
+        assert main(["obs", "diff", "--ledger", empty]) == 1
+        assert "ledger is empty" in capsys.readouterr().err
+        assert main(["obs", "check", "--ledger", empty]) == 1
+        assert "no runs" in capsys.readouterr().err
+
+    def test_ambient_ledger_env(self, tmp_path, capsys, monkeypatch):
+        """REPRO_LEDGER makes emission ambient: no flag needed."""
+        ledger_dir = tmp_path / "ambient"
+        monkeypatch.setenv("REPRO_LEDGER", str(ledger_dir))
+        assert main(
+            ["campaign", "run", "--out", str(tmp_path / "camp"),
+             "--smoke", "--serial"]
+        ) == 0
+        assert "ledger: recorded run" in capsys.readouterr().out
+        assert main(["obs", "history"]) == 0
+        assert "campaign:smoke" in capsys.readouterr().out
+
+
 @pytest.fixture(scope="module")
 def synth_path(tmp_path_factory):
     """A small synthesized suite (unfenced 3-event family)."""
